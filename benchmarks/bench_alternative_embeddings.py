@@ -1,0 +1,69 @@
+"""Future-work bench: alternative entity embeddings (RDF2Vec vs TransE).
+
+The conclusion plans to "explore the impact of alternative embeddings
+and more advanced structural graph embeddings".  This bench swaps the
+embedding trainer under STSE: walk-based RDF2Vec (the paper's choice)
+vs translation-based TransE, trained on the same KG, evaluated with
+the same engine.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.core import TableSearchEngine
+from repro.embeddings import train_transe
+from repro.eval import ExperimentRunner
+from repro.similarity import EmbeddingCosineSimilarity, Informativeness
+
+K = 10
+
+
+def test_alternative_embeddings(wt_bench, wt_thetis, wt_ground_truths,
+                                benchmark):
+    informativeness = Informativeness.from_mapping(
+        wt_bench.mapping, len(wt_bench.lake)
+    )
+
+    def run():
+        print_header("Future work - alternative embeddings under STSE "
+                      f"(NDCG@{K})")
+        transe_store = train_transe(
+            wt_bench.graph, dimensions=32, epochs=40, seed=0
+        )
+        engines = {
+            "RDF2Vec (paper)": TableSearchEngine(
+                wt_bench.lake, wt_bench.mapping,
+                EmbeddingCosineSimilarity(wt_thetis.embeddings),
+                informativeness=informativeness,
+            ),
+            "TransE": TableSearchEngine(
+                wt_bench.lake, wt_bench.mapping,
+                EmbeddingCosineSimilarity(transe_store),
+                informativeness=informativeness,
+            ),
+        }
+        runner = ExperimentRunner(wt_bench.queries.all_queries(),
+                                  wt_ground_truths)
+        means = {}
+        for subset, ids in (
+            ("1-tuple", list(wt_bench.queries.one_tuple)),
+            ("5-tuple", list(wt_bench.queries.five_tuple)),
+        ):
+            print(f"  {subset} queries:")
+            for name, engine in engines.items():
+                report = runner.run_system(
+                    name, lambda q, k, e=engine: e.search(q, k=k), K, ids
+                )
+                means[(subset, name)] = report.ndcg_summary()["mean"]
+                print(f"    {name:<18} NDCG mean = "
+                      f"{means[(subset, name)]:.3f}")
+        return means
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    for subset in ("1-tuple", "5-tuple"):
+        rdf2vec = means[(subset, "RDF2Vec (paper)")]
+        transe = means[(subset, "TransE")]
+        # Both embedding families must deliver usable semantic search;
+        # which one wins is corpus-dependent (that is the experiment).
+        assert rdf2vec > 0.3, subset
+        assert transe > 0.3, subset

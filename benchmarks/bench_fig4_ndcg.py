@@ -1,0 +1,134 @@
+"""Figure 4: NDCG@10 of semantic search vs baselines and LSH configs.
+
+Regenerates the paper's Figure 4 panels: brute-force semantic search
+with types (STST) and embeddings (STSE), the three LSH prefilter
+configurations per similarity, BM25 on text queries, and Starmie-style
+union search, on both 1-tuple and 5-tuple queries.
+
+Paper shape to reproduce:
+* STST/STSE achieve NDCG comparable to BM25;
+* every LSH configuration matches its brute-force counterpart;
+* union search scores clearly lower (relevant tables are often not
+  unionable).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.baselines import UnionTableSearch, text_query_from_labels
+from repro.eval import ExperimentRunner
+from repro.lsh import LSHConfig
+
+K = 10
+LSH_CONFIGS = (LSHConfig(32, 8), LSHConfig(128, 8), LSHConfig(30, 10))
+
+
+def _systems(bench, thetis, bm25):
+    """All Figure 4 systems as (query, k) -> ResultSet callables."""
+    systems = {
+        "STST": lambda q, k: thetis.search(q, k=k, method="types"),
+        "STSE": lambda q, k: thetis.search(q, k=k, method="embeddings"),
+        "BM25text": lambda q, k: bm25.search(
+            text_query_from_labels(q, bench.graph), k=k
+        ),
+    }
+    for config in LSH_CONFIGS:
+        for method, tag in (("types", "T"), ("embeddings", "E")):
+            label = f"{tag}{config}"
+            systems[label] = (
+                lambda q, k, m=method, c=config: thetis.search(
+                    q, k=k, method=m, use_lsh=True, lsh_config=c
+                )
+            )
+    union = UnionTableSearch(
+        bench.lake, bench.mapping, store=thetis.embeddings,
+        column_encoder="embeddings",
+    )
+    systems["Starmie-union"] = lambda q, k: union.search(q, k=k)
+    return systems
+
+
+@pytest.fixture(scope="module")
+def fig4_reports(wt_bench, wt_thetis, wt_bm25, wt_ground_truths):
+    systems = _systems(wt_bench, wt_thetis, wt_bm25)
+    runner = ExperimentRunner(wt_bench.queries.all_queries(),
+                              wt_ground_truths)
+    reports = {}
+    for subset, ids in (
+        ("1-tuple", list(wt_bench.queries.one_tuple)),
+        ("5-tuple", list(wt_bench.queries.five_tuple)),
+    ):
+        reports[subset] = {
+            name: runner.run_system(f"{name} [{subset}]", system, K, ids)
+            for name, system in systems.items()
+        }
+    return reports
+
+
+def test_fig4_report(fig4_reports, benchmark):
+    from repro.eval import box_plot_figure
+
+    def report():
+        for subset, by_system in fig4_reports.items():
+            print_header(f"Figure 4 - NDCG@{K} on {subset} queries")
+            for name, rep in by_system.items():
+                print("  " + rep.format_row())
+            series = {
+                name: [o.ndcg for o in rep.outcomes]
+                for name, rep in by_system.items()
+            }
+            print()
+            print(box_plot_figure(series, title=f"  NDCG@{K} ({subset})"))
+        return fig4_reports
+
+    reports = benchmark.pedantic(report, rounds=1, iterations=1)
+    # Keep the headline shape assertions inside the benchmarked test so
+    # they run under --benchmark-only as well.
+    for subset, by_system in reports.items():
+        stst = by_system["STST"].ndcg_summary()["mean"]
+        stse = by_system["STSE"].ndcg_summary()["mean"]
+        bm25 = by_system["BM25text"].ndcg_summary()["mean"]
+        union = by_system["Starmie-union"].ndcg_summary()["mean"]
+        assert stst > 0.3 and stse > 0.2
+        assert stst > 0.5 * bm25
+        assert union < 0.75 * stst
+        for config in LSH_CONFIGS:
+            for method, tag in (("STST", "T"), ("STSE", "E")):
+                brute = by_system[method].ndcg_summary()["mean"]
+                lsh = by_system[f"{tag}{config}"].ndcg_summary()["mean"]
+                assert lsh >= 0.6 * brute, (subset, tag, str(config))
+
+
+@pytest.mark.parametrize("subset", ["1-tuple", "5-tuple"])
+def test_fig4_semantic_search_competitive_with_bm25(fig4_reports, subset):
+    """Panel (a)/(g): STST/STSE in the same NDCG range as BM25."""
+    by_system = fig4_reports[subset]
+    bm25 = by_system["BM25text"].ndcg_summary()["mean"]
+    stst = by_system["STST"].ndcg_summary()["mean"]
+    stse = by_system["STSE"].ndcg_summary()["mean"]
+    assert stst > 0.3
+    assert stse > 0.2
+    # "Similar ranking quality": within a factor-2 band of BM25.
+    assert stst > 0.5 * bm25
+
+
+@pytest.mark.parametrize("subset", ["1-tuple", "5-tuple"])
+@pytest.mark.parametrize("config", LSH_CONFIGS, ids=str)
+def test_fig4_lsh_preserves_ndcg(fig4_reports, subset, config):
+    """Panels (b,c,e,f,...): LSH configs ~ brute force quality."""
+    by_system = fig4_reports[subset]
+    for method, tag in (("STST", "T"), ("STSE", "E")):
+        brute = by_system[method].ndcg_summary()["mean"]
+        lsh = by_system[f"{tag}{config}"].ndcg_summary()["mean"]
+        assert lsh >= 0.6 * brute, (
+            f"{tag}{config} on {subset}: NDCG {lsh:.3f} vs brute {brute:.3f}"
+        )
+
+
+@pytest.mark.parametrize("subset", ["1-tuple", "5-tuple"])
+def test_fig4_union_search_much_worse(fig4_reports, subset):
+    """Union search cannot rank by topical relevance (paper: ~1000x)."""
+    by_system = fig4_reports[subset]
+    stst = by_system["STST"].ndcg_summary()["mean"]
+    union = by_system["Starmie-union"].ndcg_summary()["mean"]
+    assert union < 0.75 * stst

@@ -1,0 +1,53 @@
+"""LSH auto-tuning bench: reproduce the paper's configuration choice.
+
+Section 7.3 selects its LSH configurations "after testing various
+configurations on a smaller subset of the corpus" and recommends
+(30, 10).  The tuner automates that procedure; this bench runs it on a
+query sample and checks that the recommended configuration filters
+aggressively while keeping brute-force quality.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.lsh import (
+    LSHConfig,
+    LSHTuner,
+    TypeSignatureScheme,
+    frequent_types,
+)
+
+CONFIGS = (LSHConfig(32, 8), LSHConfig(128, 8), LSHConfig(30, 10),
+           LSHConfig(16, 8), LSHConfig(60, 10))
+
+
+def test_lsh_tuner(wt_bench, wt_thetis, benchmark):
+    excluded = frequent_types(
+        wt_bench.mapping, wt_bench.graph, wt_bench.lake.table_ids()
+    )
+    tuner = LSHTuner(
+        wt_thetis.engine("types"),
+        scheme_factory=lambda n: TypeSignatureScheme(
+            wt_bench.graph, n, excluded_types=excluded, seed=0
+        ),
+        k=10,
+    )
+    sample = list(wt_bench.queries.one_tuple.values())[:5]
+
+    def run():
+        print_header("LSH auto-tuner - configuration sweep")
+        outcomes = tuner.sweep(sample, CONFIGS, votes_options=(1, 3))
+        for outcome in outcomes:
+            print("  " + outcome.format_row())
+        recommended = tuner.recommend(
+            sample, CONFIGS, votes_options=(1, 3), min_retention=0.8
+        )
+        print(f"  recommended: {recommended.config} "
+              f"votes={recommended.votes}")
+        return outcomes, recommended
+
+    outcomes, recommended = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(outcomes) == len(CONFIGS) * 2
+    # The recommendation keeps quality while filtering meaningfully.
+    assert recommended.ndcg_retention >= 0.8
+    assert recommended.mean_reduction > 0.3

@@ -1,0 +1,65 @@
+"""Section 7.2 (text): union/join/TURL baselines score near zero.
+
+The paper reports NDCG ~1000x lower than Thetis for SANTOS and D3L,
+and 0.004-0.005 for TURL with small entity-tuple queries - these
+methods rank structural similarity, not topical relevance.  This bench
+regenerates that comparison with the re-implemented ranking principles.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.baselines import JoinTableSearch, TurlLikeTableSearch, UnionTableSearch
+from repro.eval import ExperimentRunner
+
+K = 10
+
+
+def test_sec72_baselines(wt_bench, wt_thetis, wt_ground_truths, benchmark):
+    santos_like = UnionTableSearch(
+        wt_bench.lake, wt_bench.mapping, graph=wt_bench.graph,
+        column_encoder="types",
+    )
+    d3l_like = JoinTableSearch(wt_bench.lake)
+    turl_like = TurlLikeTableSearch(
+        wt_bench.lake, wt_bench.mapping, wt_thetis.embeddings
+    )
+    systems = {
+        "STST": lambda q, k: wt_thetis.search(q, k=k),
+        "SANTOS-like union": lambda q, k: santos_like.search(q, k=k),
+        "D3L-like join": lambda q, k: d3l_like.search(
+            q, wt_bench.graph, k=k
+        ),
+        "TURL-like": lambda q, k: turl_like.search(q, k=k),
+    }
+    runner = ExperimentRunner(wt_bench.queries.all_queries(),
+                              wt_ground_truths)
+
+    def run():
+        print_header("Section 7.2 - structural baselines vs Thetis "
+                      f"(NDCG@{K})")
+        reports = {}
+        for subset, ids in (
+            ("1-tuple", list(wt_bench.queries.one_tuple)),
+            ("5-tuple", list(wt_bench.queries.five_tuple)),
+        ):
+            print(f"  {subset} queries:")
+            reports[subset] = {}
+            for name, system in systems.items():
+                report = runner.run_system(name, system, K, ids)
+                reports[subset][name] = report.ndcg_summary()["mean"]
+                print(f"    {name:<20} NDCG mean = "
+                      f"{reports[subset][name]:.4f}")
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    for subset, by_system in reports.items():
+        stst = by_system["STST"]
+        # Structural rankings fall below semantic relevance ranking.
+        # The paper reports a ~1000x gap; our synthetic ground truth is
+        # category-based, which correlates topicality with schema
+        # similarity far more than Wikipedia relevance labels do, so
+        # the reproduced gap is smaller (see EXPERIMENTS.md).
+        assert by_system["SANTOS-like union"] < 0.95 * stst, subset
+        assert by_system["D3L-like join"] < 0.8 * stst, subset
+        assert by_system["TURL-like"] < 0.75 * stst, subset

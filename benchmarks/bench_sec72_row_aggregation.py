@@ -1,0 +1,93 @@
+"""Section 7.2 (text): row-score aggregation ablation (max vs avg).
+
+The paper reports that aggregating per-row scores with the maximum
+gives up to 5x better NDCG than averaging, because max amplifies the
+relevance signal of the matching tuples while avg dilutes it across
+every row of the table.  Also ablates the query-tuple aggregation of
+Equation 1 (mean vs max over query tuples).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.core import (
+    QueryAggregation,
+    RowAggregation,
+    TableSearchEngine,
+    TupleSemantics,
+)
+from repro.eval import ExperimentRunner
+from repro.similarity import Informativeness, TypeJaccardSimilarity
+
+K = 10
+
+
+def _engine(bench, row_agg, query_agg=QueryAggregation.MEAN,
+            semantics=TupleSemantics.PER_ENTITY):
+    return TableSearchEngine(
+        bench.lake,
+        bench.mapping,
+        TypeJaccardSimilarity(bench.graph),
+        informativeness=Informativeness.from_mapping(
+            bench.mapping, len(bench.lake)
+        ),
+        row_aggregation=row_agg,
+        query_aggregation=query_agg,
+        tuple_semantics=semantics,
+    )
+
+
+def test_sec72_row_aggregation(wt_bench, wt_ground_truths, benchmark):
+    engines = {
+        "row=max (paper)": _engine(wt_bench, RowAggregation.MAX),
+        "row=avg": _engine(wt_bench, RowAggregation.AVG),
+        "row=max, query=max": _engine(
+            wt_bench, RowAggregation.MAX, QueryAggregation.MAX
+        ),
+        "Eq.1 SemRel_MAX (per-row)": _engine(
+            wt_bench, RowAggregation.MAX,
+            semantics=TupleSemantics.PER_ROW,
+        ),
+        "Eq.1 SemRel_AVG (per-row)": _engine(
+            wt_bench, RowAggregation.AVG,
+            semantics=TupleSemantics.PER_ROW,
+        ),
+    }
+    runner = ExperimentRunner(wt_bench.queries.all_queries(),
+                              wt_ground_truths)
+
+    def run():
+        print_header("Section 7.2 - row aggregation ablation "
+                      f"(NDCG@{K})")
+        reports = {}
+        for subset, ids in (
+            ("1-tuple", list(wt_bench.queries.one_tuple)),
+            ("5-tuple", list(wt_bench.queries.five_tuple)),
+        ):
+            print(f"  {subset} queries:")
+            reports[subset] = {}
+            for name, engine in engines.items():
+                report = runner.run_system(
+                    name, lambda q, k, e=engine: e.search(q, k=k), K, ids
+                )
+                mean = report.ndcg_summary()["mean"]
+                reports[subset][name] = mean
+                print(f"    {name:<22} NDCG mean = {mean:.4f}")
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Max amplifies the matching-row signal (paper: up to 5x better);
+    # the effect concentrates where multiple rows matter, so the strict
+    # ordering is asserted on 5-tuple queries and within noise on
+    # 1-tuple (our topically-coherent synthetic tables leave avg much
+    # closer to max than the paper's web tables do; EXPERIMENTS.md).
+    assert reports["5-tuple"]["row=max (paper)"] >= \
+        reports["5-tuple"]["row=avg"] - 1e-9
+    assert reports["1-tuple"]["row=max (paper)"] >= \
+        0.95 * reports["1-tuple"]["row=avg"]
+    for subset, by_name in reports.items():
+        ratio = (
+            by_name["row=max (paper)"] / by_name["row=avg"]
+            if by_name["row=avg"] > 0 else float("inf")
+        )
+        print(f"  {subset}: max/avg NDCG ratio = {ratio:.2f}x")

@@ -1,0 +1,95 @@
+"""Section 7.4: WT2019 (low coverage) and GitTables (keyword-linked).
+
+The paper shows that:
+
+* on WT2019, whose entity-link coverage drops from 27.7% to 18.2%,
+  Thetis's NDCG stays essentially unchanged versus WT2015;
+* on GitTables, which ships no entity links at all, mentions resolved
+  through a keyword (Lucene-like) index still support efficient search,
+  with LSH pruning over 98% of the corpus.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro import Thetis
+from repro.eval import ndcg_at_k, summarize
+from repro.lsh import RECOMMENDED_CONFIG
+
+K = 10
+
+
+def _ndcg(bench, thetis, query_ids, truths):
+    scores = []
+    for qid in query_ids:
+        query = bench.queries.all_queries()[qid]
+        results = thetis.search(query, k=K)
+        scores.append(ndcg_at_k(results.table_ids(K), truths[qid].gains, K))
+    return summarize(scores)["mean"]
+
+
+def test_sec74_wt2019_low_coverage(wt_bench, wt_thetis, wt_ground_truths,
+                                   wt2019_bench, benchmark):
+    thetis_2019 = Thetis(wt2019_bench.lake, wt2019_bench.graph,
+                         wt2019_bench.mapping)
+    truths_2019 = wt2019_bench.ground_truths()
+
+    def run():
+        print_header("Section 7.4 - WT2019: lower coverage, same quality")
+        rows = {}
+        for subset in ("one_tuple", "five_tuple"):
+            ids_15 = list(getattr(wt_bench.queries, subset))
+            ids_19 = list(getattr(wt2019_bench.queries, subset))
+            n15 = _ndcg(wt_bench, wt_thetis, ids_15, wt_ground_truths)
+            n19 = _ndcg(wt2019_bench, thetis_2019, ids_19, truths_2019)
+            rows[subset] = (n15, n19)
+            print(f"  {subset:<10} WT2015 NDCG={n15:.3f}   "
+                  f"WT2019 NDCG={n19:.3f}")
+        cov15 = wt_bench.statistics().mean_coverage
+        cov19 = wt2019_bench.statistics().mean_coverage
+        print(f"  coverage: WT2015 {cov15:.1%} vs WT2019 {cov19:.1%}")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for subset, (n15, n19) in rows.items():
+        # Dropping coverage from ~28% to ~18% barely affects quality.
+        assert n19 > 0.6 * n15, subset
+
+
+def test_sec74_gittables_runtime(git_bench, benchmark):
+    thetis = Thetis(git_bench.lake, git_bench.graph, git_bench.mapping)
+    prefilter = thetis.prefilter("types", RECOMMENDED_CONFIG)
+
+    def run():
+        print_header("Section 7.4 - GitTables: keyword-linked mentions")
+        rows = {}
+        for subset, queries in (
+            ("1-tuple", list(git_bench.queries.one_tuple.values())),
+            ("5-tuple", list(git_bench.queries.five_tuple.values())),
+        ):
+            start = time.perf_counter()
+            reductions = []
+            for query in queries:
+                candidates = prefilter.candidate_tables(query, votes=3)
+                reductions.append(
+                    prefilter.reduction(len(git_bench.lake), candidates)
+                )
+                thetis.search(query, k=K, use_lsh=True,
+                              lsh_config=RECOMMENDED_CONFIG, votes=3)
+            elapsed = (time.perf_counter() - start) / len(queries)
+            reduction = sum(reductions) / len(reductions)
+            rows[subset] = (elapsed, reduction)
+            print(f"  {subset}: {elapsed:.3f} s/query   "
+                  f"reduction {reduction:.1%}")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for subset, (elapsed, reduction) in rows.items():
+        # LSH prunes a meaningful share of GitTables (the paper reports
+        # >98% at 864k tables, where entities spread across far more
+        # buckets; at bench scale the reduction is smaller but queries
+        # stay comparable in cost to the small-table corpora).
+        assert reduction > 0.1, subset
+        assert elapsed < 10.0, subset

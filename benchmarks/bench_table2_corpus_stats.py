@@ -1,0 +1,91 @@
+"""Table 2: benchmark corpus statistics.
+
+Regenerates the paper's Table 2 (number of tables, mean rows, mean
+columns, mean entity-link coverage) for all four corpus profiles.
+Absolute table counts are scaled down (see conftest); rows, columns,
+and coverage track the paper's targets directly.
+"""
+
+from benchmarks.conftest import print_header
+
+# Paper's Table 2 for reference output.
+PAPER_ROWS = {
+    "wt2015": (238_038, 35.1, 5.8, 27.7),
+    "wt2019": (457_714, 23.9, 6.3, 18.2),
+    "gittables": (864_478, 142.0, 12.0, 29.6),
+    "synthetic": (1_732_328, 9.6, 5.8, 34.8),
+}
+
+
+def _report(name, bench):
+    stats = bench.statistics()
+    paper = PAPER_ROWS[name]
+    print(stats.format_row(name))
+    print(
+        f"{'  (paper)':<12} T={paper[0]:>9,}  R={paper[1]:>7.1f}  "
+        f"C={paper[2]:>5.1f}  Cov={paper[3]:>5.1f}%"
+    )
+    return stats
+
+
+def test_table2_wt2015(wt_bench, benchmark):
+    print_header("Table 2 - WT2015 corpus statistics")
+    stats = benchmark.pedantic(
+        lambda: _report("wt2015", wt_bench), rounds=1, iterations=1
+    )
+    paper = PAPER_ROWS["wt2015"]
+    assert abs(stats.mean_rows - paper[1]) < 10.0
+    assert abs(stats.mean_columns - paper[2]) < 1.0
+    assert abs(stats.mean_coverage * 100 - paper[3]) < 6.0
+
+
+def test_table2_wt2019(wt2019_bench, benchmark):
+    print_header("Table 2 - WT2019 corpus statistics")
+    stats = benchmark.pedantic(
+        lambda: _report("wt2019", wt2019_bench), rounds=1, iterations=1
+    )
+    paper = PAPER_ROWS["wt2019"]
+    assert abs(stats.mean_columns - paper[2]) < 1.0
+    assert abs(stats.mean_coverage * 100 - paper[3]) < 6.0
+
+
+def test_table2_gittables(git_bench, benchmark):
+    print_header("Table 2 - GitTables corpus statistics")
+    stats = benchmark.pedantic(
+        lambda: _report("gittables", git_bench), rounds=1, iterations=1
+    )
+    paper = PAPER_ROWS["gittables"]
+    assert abs(stats.mean_rows - paper[1]) < 25.0
+    assert abs(stats.mean_columns - paper[2]) < 1.5
+    # GitTables coverage comes from label linking, not gold links, and
+    # our wide-schema profile has ~2-3 entity columns of 12, capping the
+    # reachable coverage near 20% (paper: 29.6%; see EXPERIMENTS.md).
+    assert 10.0 < stats.mean_coverage * 100 < 32.0
+
+
+def test_table2_synthetic(wt_bench, benchmark):
+    """Synthetic corpus: row-resampled expansion of the base corpus."""
+    from repro.benchgen import expand_lake
+    from repro.datalake import corpus_statistics
+
+    print_header("Table 2 - Synthetic corpus statistics")
+
+    def build_and_report():
+        lake, mapping = expand_lake(
+            wt_bench.lake, wt_bench.mapping, num_new_tables=2000,
+            mean_rows=9.6, seed=3,
+        )
+        stats = corpus_statistics(
+            lake.subset(t for t in lake.table_ids() if t.startswith("syn-")),
+            mapping,
+        )
+        print(stats.format_row("synthetic"))
+        paper = PAPER_ROWS["synthetic"]
+        print(
+            f"{'  (paper)':<12} T={paper[0]:>9,}  R={paper[1]:>7.1f}  "
+            f"C={paper[2]:>5.1f}  Cov={paper[3]:>5.1f}%"
+        )
+        return stats
+
+    stats = benchmark.pedantic(build_and_report, rounds=1, iterations=1)
+    assert abs(stats.mean_rows - 9.6) < 4.0

@@ -1,0 +1,84 @@
+"""Table 3: search runtime per LSH configuration and vote threshold.
+
+Regenerates the paper's Table 3: wall-clock runtime of semantic table
+search without prefiltering (STST/STSE) and with each LSH configuration
+at vote thresholds 1 and 3, on 1-tuple and 5-tuple queries.
+
+Paper shape to reproduce:
+* every type-LSH configuration is much faster than brute force (up to
+  17x in the paper);
+* embedding-LSH reduces less and is therefore slower than type-LSH;
+* 3 votes is at least as fast as 1 vote;
+* (30, 10) is the best or near-best configuration.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.lsh import LSHConfig
+
+LSH_CONFIGS = (LSHConfig(32, 8), LSHConfig(128, 8), LSHConfig(30, 10))
+
+
+def _mean_runtime(thetis, queries, method, config=None, votes=1):
+    total = 0.0
+    for query in queries:
+        start = time.perf_counter()
+        if config is None:
+            thetis.search(query, k=10, method=method)
+        else:
+            thetis.search(query, k=10, method=method, use_lsh=True,
+                          lsh_config=config, votes=votes)
+        total += time.perf_counter() - start
+    return total / len(queries)
+
+
+def test_table3_runtime(wt_bench, wt_thetis, benchmark):
+    def run():
+        rows = {}
+        for subset, queries in (
+            ("1-tuple", list(wt_bench.queries.one_tuple.values())),
+            ("5-tuple", list(wt_bench.queries.five_tuple.values())),
+        ):
+            row = {
+                "STST": _mean_runtime(wt_thetis, queries, "types"),
+                "STSE": _mean_runtime(wt_thetis, queries, "embeddings"),
+            }
+            for votes in (1, 3):
+                for config in LSH_CONFIGS:
+                    row[f"T{config} v{votes}"] = _mean_runtime(
+                        wt_thetis, queries, "types", config, votes
+                    )
+                    row[f"E{config} v{votes}"] = _mean_runtime(
+                        wt_thetis, queries, "embeddings", config, votes
+                    )
+            rows[subset] = row
+        print_header("Table 3 - mean per-query runtime (seconds)")
+        for subset, row in rows.items():
+            print(f"  {subset} queries:")
+            for name, seconds in row.items():
+                print(f"    {name:<18} {seconds * 1000:8.1f} ms")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for subset, row in rows.items():
+        brute_types = row["STST"]
+        for config in LSH_CONFIGS:
+            for votes in (1, 3):
+                # Type-LSH prefiltering must beat brute force clearly.
+                assert row[f"T{config} v{votes}"] < brute_types, (
+                    f"{subset} T{config} v{votes} not faster"
+                )
+        # 3 votes filters at least as hard as 1 vote (allow 20% noise).
+        assert row[f"T{LSHConfig(30, 10)} v3"] <= \
+            1.2 * row[f"T{LSHConfig(30, 10)} v1"]
+
+    # Speedup headline (paper: up to 17x with types).
+    speedup = rows["5-tuple"]["STST"] / rows["5-tuple"][
+        f"T{LSHConfig(30, 10)} v3"
+    ]
+    print(f"\n  headline speedup (types, (30,10), 3 votes, 5-tuple): "
+          f"{speedup:.1f}x")
+    assert speedup > 2.0

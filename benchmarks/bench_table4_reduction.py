@@ -1,0 +1,71 @@
+"""Table 4: search-space reduction per LSH configuration and votes.
+
+Regenerates the paper's Table 4: the percentage of the corpus pruned by
+each LSEI configuration at vote thresholds 1 and 3.
+
+Paper shape to reproduce:
+* type-LSH prunes a large majority of the corpus (61-90 %);
+* embedding-LSH prunes much less at 1 vote (0.01-35 %), far more at 3;
+* more votes monotonically increase reduction;
+* (30, 10) achieves the highest reduction among the three configs.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.eval import summarize
+from repro.lsh import LSHConfig
+
+LSH_CONFIGS = (LSHConfig(32, 8), LSHConfig(128, 8), LSHConfig(30, 10))
+
+
+def _mean_reduction(thetis, total, queries, method, config, votes):
+    prefilter = thetis.prefilter(method, config)
+    values = []
+    for query in queries:
+        candidates = prefilter.candidate_tables(query, votes=votes)
+        values.append(prefilter.reduction(total, candidates))
+    return summarize(values)["mean"]
+
+
+def test_table4_reduction(wt_bench, wt_thetis, benchmark):
+    total = len(wt_bench.lake)
+
+    def run():
+        rows = {}
+        for subset, queries in (
+            ("1-tuple", list(wt_bench.queries.one_tuple.values())),
+            ("5-tuple", list(wt_bench.queries.five_tuple.values())),
+        ):
+            row = {}
+            for votes in (1, 3):
+                for config in LSH_CONFIGS:
+                    for method, tag in (("types", "T"), ("embeddings", "E")):
+                        row[f"{tag}{config} v{votes}"] = _mean_reduction(
+                            wt_thetis, total, queries, method, config, votes
+                        )
+            rows[subset] = row
+        print_header("Table 4 - mean search-space reduction")
+        for subset, row in rows.items():
+            print(f"  {subset} queries:")
+            for name, value in row.items():
+                print(f"    {name:<18} {value * 100:6.1f}%")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    best = LSHConfig(30, 10)
+    for subset, row in rows.items():
+        # Types prune a large share of the corpus.
+        assert row[f"T{best} v1"] > 0.4, subset
+        # Votes monotonically increase reduction.
+        for config in LSH_CONFIGS:
+            for tag in ("T", "E"):
+                assert row[f"{tag}{config} v3"] >= \
+                    row[f"{tag}{config} v1"] - 1e-9
+        # Types prune more than embeddings at 1 vote (paper Table 4).
+        assert row[f"T{best} v1"] >= row[f"E{best} v1"]
+        # (30, 10) is the best or near-best type configuration.
+        t3010 = row[f"T{best} v1"]
+        assert all(
+            t3010 >= row[f"T{c} v1"] - 0.1 for c in LSH_CONFIGS
+        ), subset

@@ -1,0 +1,54 @@
+"""Optimization bench: early-terminating top-k vs full scan.
+
+Not a paper table — an engineering ablation of this implementation's
+threshold-algorithm top-k (``repro.core.topk``): identical rankings,
+fewer full table scorings.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.core import topk_search
+
+K = 10
+
+
+def test_topk_pruning(wt_bench, wt_thetis, benchmark):
+    engine = wt_thetis.engine("types")
+    queries = list(wt_bench.queries.one_tuple.values())
+
+    def run():
+        print_header("Optimization - early-terminating top-k "
+                      f"(k={K}, types)")
+        # Warm the engine caches so both measurements are comparable.
+        engine.search(queries[0], k=K)
+        start = time.perf_counter()
+        brute = [engine.search(q, k=K) for q in queries]
+        brute_seconds = (time.perf_counter() - start) / len(queries)
+        engine.profile.reset()
+        start = time.perf_counter()
+        fast = [topk_search(engine, q, K) for q in queries]
+        fast_seconds = (time.perf_counter() - start) / len(queries)
+        scored_fraction = engine.profile.tables_scored / (
+            len(queries) * len(wt_bench.lake)
+        )
+        matches = sum(
+            1 for b, f in zip(brute, fast)
+            if b.table_ids() == f.table_ids()
+        )
+        print(f"  brute force: {brute_seconds * 1000:7.1f} ms/query "
+              f"({len(wt_bench.lake)} tables scored)")
+        print(f"  top-k bound: {fast_seconds * 1000:7.1f} ms/query "
+              f"({scored_fraction:.1%} of tables fully scored)")
+        print(f"  identical rankings: {matches}/{len(queries)}")
+        return brute_seconds, fast_seconds, scored_fraction, matches
+
+    brute_s, fast_s, scored_fraction, matches = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    # Exactness is non-negotiable.
+    assert matches == len(queries)
+    # The bound must prune a large share of full scorings.
+    assert scored_fraction < 0.7

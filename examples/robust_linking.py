@@ -1,0 +1,62 @@
+"""Robustness to poor entity linking (Section 7.5).
+
+Thetis only requires *partial* links between tables and the KG.  This
+example degrades the gold entity links two ways and measures how search
+quality responds:
+
+* capping per-table link coverage at decreasing levels (Figure 6);
+* replacing the gold links with a simulated low-F1 automatic linker
+  (the EMBLOOKUP experiment).
+
+Run with:  python examples/robust_linking.py
+"""
+
+from repro import Thetis
+from repro.benchgen import WT2015_PROFILE, build_benchmark
+from repro.eval import ndcg_at_k, summarize
+from repro.linking import NoisyLinker, reduce_coverage
+
+
+def evaluate(bench, mapping, label):
+    """Mean NDCG@10 of type-based search under a given mapping."""
+    thetis = Thetis(bench.lake, bench.graph, mapping)
+    scores = []
+    for qid, query in bench.queries.one_tuple.items():
+        truth = bench.ground_truth(qid)
+        results = thetis.search(query, k=10)
+        scores.append(ndcg_at_k(results.table_ids(10), truth.gains, 10))
+    mean = summarize(scores)["mean"]
+    print(f"  {label:<28} NDCG@10 mean = {mean:.3f}")
+    return mean
+
+
+def main() -> None:
+    print("Generating benchmark corpus ...")
+    bench = build_benchmark(
+        WT2015_PROFILE, num_tables=500, num_query_pairs=8, seed=13
+    )
+    cell_counts = {t.table_id: t.num_cells for t in bench.lake}
+
+    print("\nEffect of entity-link coverage (global caps):")
+    full = evaluate(bench, bench.mapping, "gold links (full coverage)")
+    for cap in (0.20, 0.10, 0.05, 0.02):
+        reduced = reduce_coverage(bench.mapping, cap, cell_counts, seed=1)
+        evaluate(bench, reduced, f"coverage capped at {cap:.0%}")
+    print("  (Quality is remarkably stable - a few links per table "
+          "suffice to type it;\n   capping even prunes misleading "
+          "noise-row links.  The per-table decline of the\n   paper's "
+          "Figure 6 is reproduced in benchmarks/bench_fig6_coverage.py.)")
+
+    print("\nEffect of a noisy automatic entity linker:")
+    linker = NoisyLinker(bench.graph, recall=0.6, precision=0.35, seed=2)
+    noisy = linker.corrupt(bench.mapping)
+    f1 = linker.f1(bench.mapping, noisy)
+    noisy_score = evaluate(bench, noisy, f"noisy linker (F1 = {f1:.2f})")
+
+    print(f"\nEven at F1 = {f1:.2f} the search retains "
+          f"{noisy_score / full:.0%} of the gold-link NDCG - Thetis "
+          "degrades gracefully with linking quality (Section 7.5).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Comparison systems: BM25, TURL-like, union search, join search."""
+
+from repro.baselines.bm25 import BM25TableSearch, text_query_from_labels
+from repro.baselines.join_search import JoinTableSearch
+from repro.baselines.metadata_search import MetadataKeywordSearch
+from repro.baselines.turl_like import TurlLikeTableSearch
+from repro.baselines.union_search import UnionTableSearch
+
+__all__ = [
+    "BM25TableSearch",
+    "text_query_from_labels",
+    "TurlLikeTableSearch",
+    "UnionTableSearch",
+    "JoinTableSearch",
+    "MetadataKeywordSearch",
+]

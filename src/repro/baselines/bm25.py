@@ -1,0 +1,134 @@
+"""Okapi BM25 keyword search over tables, from scratch (Section 7.1).
+
+Tables are treated as bags of tokens drawn from their cell values and
+metadata.  Queries are keyword lists; the paper converts entity-tuple
+queries into *text queries* by extracting the full text of each query
+cell, which :func:`text_query_from_labels` mirrors.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.query import Query
+from repro.core.result import ResultSet, ScoredTable
+from repro.datalake.lake import DataLake
+from repro.kg.graph import KnowledgeGraph
+from repro.linking.inverted_index import tokenize
+
+
+def text_query_from_labels(query: Query, graph: KnowledgeGraph) -> List[str]:
+    """Convert an entity-tuple query to keywords via entity labels.
+
+    Mirrors Section 7.1: "we extract the entire text contents in each
+    cell in a query and let those be keywords".  Entities missing from
+    the KG contribute their URI tail as a best-effort keyword.
+    """
+    keywords: List[str] = []
+    for entity_tuple in query:
+        for uri in entity_tuple:
+            entity = graph.find(uri)
+            if entity is not None and entity.label:
+                keywords.extend(tokenize(entity.label))
+            else:
+                keywords.extend(tokenize(uri.rsplit(":", 1)[-1]))
+    return keywords
+
+
+class BM25TableSearch:
+    """BM25 ranking of data-lake tables for keyword queries.
+
+    Parameters
+    ----------
+    lake:
+        Tables to index (cell text + metadata values).
+    k1, b:
+        Standard Okapi parameters (defaults 1.2 / 0.75).
+    """
+
+    def __init__(self, lake: DataLake, k1: float = 1.2, b: float = 0.75):
+        self.k1 = k1
+        self.b = b
+        self._postings: Dict[str, Dict[str, int]] = defaultdict(dict)
+        self._doc_length: Dict[str, int] = {}
+        for table in lake:
+            tokens: List[str] = []
+            for text in table.text_values():
+                tokens.extend(tokenize(text))
+            counts = Counter(tokens)
+            for token, count in counts.items():
+                self._postings[token][table.table_id] = count
+            self._doc_length[table.table_id] = len(tokens)
+        self._num_docs = len(self._doc_length)
+        total_length = sum(self._doc_length.values())
+        self._avg_length = total_length / self._num_docs if self._num_docs else 0.0
+
+    @property
+    def num_documents(self) -> int:
+        """Number of indexed tables."""
+        return self._num_docs
+
+    def _idf(self, token: str) -> float:
+        df = len(self._postings.get(token, ()))
+        # The +1 inside the log keeps idf positive for very common terms.
+        return math.log(1.0 + (self._num_docs - df + 0.5) / (df + 0.5))
+
+    def score(self, keywords: Sequence[str], table_id: str) -> float:
+        """BM25 score of one table for ``keywords``."""
+        length = self._doc_length.get(table_id)
+        if length is None:
+            return 0.0
+        score = 0.0
+        for token in keywords:
+            tf = self._postings.get(token, {}).get(table_id, 0)
+            if tf == 0:
+                continue
+            idf = self._idf(token)
+            denom = tf + self.k1 * (
+                1.0 - self.b + self.b * length / self._avg_length
+            )
+            score += idf * tf * (self.k1 + 1.0) / denom
+        return score
+
+    def search(
+        self,
+        keywords: Sequence[str],
+        k: Optional[int] = None,
+        candidates: Optional[Iterable[str]] = None,
+    ) -> ResultSet:
+        """Rank tables containing at least one query keyword."""
+        accumulator: Dict[str, float] = defaultdict(float)
+        allowed = set(candidates) if candidates is not None else None
+        for token in set(keywords):
+            posting = self._postings.get(token)
+            if not posting:
+                continue
+            idf = self._idf(token)
+            repeat = keywords.count(token)
+            for table_id, tf in posting.items():
+                if allowed is not None and table_id not in allowed:
+                    continue
+                length = self._doc_length[table_id]
+                denom = tf + self.k1 * (
+                    1.0 - self.b + self.b * length / self._avg_length
+                )
+                accumulator[table_id] += (
+                    repeat * idf * tf * (self.k1 + 1.0) / denom
+                )
+        results = ResultSet(
+            ScoredTable(score, table_id) for table_id, score in accumulator.items()
+        )
+        if k is not None:
+            results = results.top(k)
+        return results
+
+    def search_query(
+        self,
+        query: Query,
+        graph: KnowledgeGraph,
+        k: Optional[int] = None,
+    ) -> ResultSet:
+        """Convenience wrapper: entity-tuple query -> text query -> rank."""
+        return self.search(text_query_from_labels(query, graph), k)

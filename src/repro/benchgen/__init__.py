@@ -1,0 +1,63 @@
+"""Benchmark generation: synthetic world, corpora, queries, expansion."""
+
+from repro.benchgen.domains import (
+    DEFAULT_DOMAINS,
+    DomainSpec,
+    RelationSpec,
+    RoleSpec,
+    TopicSpec,
+    all_topics,
+    topic_id,
+)
+from repro.benchgen.io import (
+    load_queries,
+    queries_from_dict,
+    queries_to_dict,
+    save_queries,
+)
+from repro.benchgen.kg_builder import World, WorldBuilder, build_taxonomy
+from repro.benchgen.names import NameFactory
+from repro.benchgen.queries import BenchmarkQuerySet, QueryGenerator
+from repro.benchgen.synthetic import expand_lake
+from repro.benchgen.tables import (
+    GITTABLES_PROFILE,
+    PROFILES,
+    SYNTHETIC_PROFILE,
+    WT2015_PROFILE,
+    WT2019_PROFILE,
+    CorpusProfile,
+    GeneratedCorpus,
+    TableGenerator,
+)
+from repro.benchgen.workload import SemanticBenchmark, build_benchmark
+
+__all__ = [
+    "DomainSpec",
+    "RoleSpec",
+    "RelationSpec",
+    "TopicSpec",
+    "DEFAULT_DOMAINS",
+    "all_topics",
+    "topic_id",
+    "World",
+    "WorldBuilder",
+    "build_taxonomy",
+    "NameFactory",
+    "CorpusProfile",
+    "TableGenerator",
+    "GeneratedCorpus",
+    "WT2015_PROFILE",
+    "WT2019_PROFILE",
+    "GITTABLES_PROFILE",
+    "SYNTHETIC_PROFILE",
+    "PROFILES",
+    "QueryGenerator",
+    "BenchmarkQuerySet",
+    "queries_to_dict",
+    "queries_from_dict",
+    "save_queries",
+    "load_queries",
+    "expand_lake",
+    "SemanticBenchmark",
+    "build_benchmark",
+]

@@ -1,0 +1,243 @@
+"""Declarative world specification for the synthetic semantic data lake.
+
+The evaluation corpora of the paper (Wikipedia tables linked to DBpedia)
+are heterogeneous: sports rosters, film credits, company listings, and
+so on, all sharing geographic entities.  This module describes an
+equivalent multi-domain world — a type taxonomy, per-domain entity
+roles, the relations connecting them, and the *topics* (table shapes)
+each domain produces.  The KG builder instantiates the spec at any
+scale; the crucial semantic property is preserved by construction:
+entities of the same fine type share type paths and graph
+neighborhoods, different domains are only weakly connected (through
+shared cities), and cross-domain confusion (two teams from the same
+city, different sports) exists exactly as in the paper's motivating
+example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: Taxonomy edges as (type, parent); parents appear before children.
+TAXONOMY_EDGES: Tuple[Tuple[str, Optional[str]], ...] = (
+    ("Thing", None),
+    ("Agent", "Thing"),
+    ("Person", "Agent"),
+    ("Athlete", "Person"),
+    ("BaseballPlayer", "Athlete"),
+    ("BasketballPlayer", "Athlete"),
+    ("SoccerPlayer", "Athlete"),
+    ("Artist", "Person"),
+    ("Actor", "Artist"),
+    ("Musician", "Artist"),
+    ("Director", "Artist"),
+    ("Politician", "Person"),
+    ("Executive", "Person"),
+    ("Organisation", "Agent"),
+    ("SportsTeam", "Organisation"),
+    ("BaseballTeam", "SportsTeam"),
+    ("BasketballTeam", "SportsTeam"),
+    ("SoccerTeam", "SportsTeam"),
+    ("Company", "Organisation"),
+    ("Place", "Thing"),
+    ("City", "Place"),
+    ("Country", "Place"),
+    ("Venue", "Place"),
+    ("Stadium", "Venue"),
+    ("Work", "Thing"),
+    ("Film", "Work"),
+    ("MusicalWork", "Work"),
+    ("Album", "MusicalWork"),
+)
+
+
+@dataclass(frozen=True)
+class RoleSpec:
+    """One entity role within a domain.
+
+    ``count`` is the number of entities at scale 1.0; ``global_role``
+    marks roles resolved against the shared world pool (cities,
+    countries) rather than domain-private entities.
+    """
+
+    name: str
+    type_name: str
+    count: int = 0
+    label_kind: str = "person"  # person | org | place | work
+    global_role: bool = False
+
+
+@dataclass(frozen=True)
+class RelationSpec:
+    """A predicate connecting two roles of the domain.
+
+    Every subject entity receives ``fanout`` edges to randomly chosen
+    object-role entities.
+    """
+
+    predicate: str
+    subject_role: str
+    object_role: str
+    fanout: int = 1
+
+
+@dataclass(frozen=True)
+class TopicSpec:
+    """A table shape: which roles appear as entity columns of one row.
+
+    Each generated row is a *connected* tuple — the sampler walks the
+    domain's relations from the first role outward, so a roster row
+    holds a player, *their* team, and that team's city.
+    """
+
+    name: str
+    roles: Tuple[str, ...]
+    numeric_columns: Tuple[str, ...] = ()
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """A thematic domain: roles, relations among them, table topics."""
+
+    name: str
+    roles: Tuple[RoleSpec, ...]
+    relations: Tuple[RelationSpec, ...]
+    topics: Tuple[TopicSpec, ...]
+
+    def role(self, name: str) -> RoleSpec:
+        """Look up a role by name."""
+        for role in self.roles:
+            if role.name == name:
+                return role
+        raise KeyError(f"domain {self.name!r} has no role {name!r}")
+
+
+def _sports_domain(sport: str, player_type: str, team_type: str,
+                   players: int, teams: int) -> DomainSpec:
+    return DomainSpec(
+        name=sport,
+        roles=(
+            RoleSpec("player", player_type, players, "person"),
+            RoleSpec("team", team_type, teams, "org"),
+            RoleSpec("stadium", "Stadium", max(4, teams), "place"),
+            RoleSpec("city", "City", global_role=True),
+        ),
+        relations=(
+            RelationSpec("playsFor", "player", "team"),
+            RelationSpec("homeGround", "team", "stadium"),
+            RelationSpec("basedIn", "team", "city"),
+            RelationSpec("bornIn", "player", "city"),
+            # Anchors every stadium to the shared geography, so no
+            # entity is isolated (isolated nodes cannot be embedded).
+            RelationSpec("locatedIn", "stadium", "city"),
+        ),
+        topics=(
+            TopicSpec("roster", ("player", "team", "city"),
+                      ("Season", "Games", "Score"), weight=2.0),
+            TopicSpec("results", ("team", "stadium", "city"),
+                      ("Year", "Wins", "Losses")),
+            TopicSpec("transfers", ("player", "team"),
+                      ("Year", "Fee")),
+        ),
+    )
+
+
+#: The standard world: six domains plus the shared geography pool.
+DEFAULT_DOMAINS: Tuple[DomainSpec, ...] = (
+    _sports_domain("baseball", "BaseballPlayer", "BaseballTeam", 220, 16),
+    _sports_domain("basketball", "BasketballPlayer", "BasketballTeam", 180, 14),
+    _sports_domain("soccer", "SoccerPlayer", "SoccerTeam", 260, 20),
+    DomainSpec(
+        name="film",
+        roles=(
+            RoleSpec("actor", "Actor", 200, "person"),
+            RoleSpec("director", "Director", 60, "person"),
+            RoleSpec("film", "Film", 160, "work"),
+            RoleSpec("city", "City", global_role=True),
+        ),
+        relations=(
+            RelationSpec("starring", "film", "actor", fanout=3),
+            RelationSpec("directedBy", "film", "director"),
+            RelationSpec("bornIn", "actor", "city"),
+            RelationSpec("bornIn", "director", "city"),
+        ),
+        topics=(
+            TopicSpec("credits", ("film", "actor", "director"),
+                      ("Year", "Runtime"), weight=2.0),
+            TopicSpec("filmography", ("actor", "film"),
+                      ("Year", "Rating")),
+        ),
+    ),
+    DomainSpec(
+        name="music",
+        roles=(
+            RoleSpec("musician", "Musician", 150, "person"),
+            RoleSpec("album", "Album", 180, "work"),
+            RoleSpec("city", "City", global_role=True),
+        ),
+        relations=(
+            RelationSpec("byArtist", "album", "musician"),
+            RelationSpec("bornIn", "musician", "city"),
+        ),
+        topics=(
+            TopicSpec("discography", ("musician", "album"),
+                      ("Year", "Tracks", "Sales"), weight=2.0),
+            TopicSpec("charts", ("album", "musician"),
+                      ("Week", "Position")),
+        ),
+    ),
+    DomainSpec(
+        name="business",
+        roles=(
+            RoleSpec("company", "Company", 140, "company"),
+            RoleSpec("ceo", "Executive", 140, "person"),
+            RoleSpec("city", "City", global_role=True),
+            RoleSpec("country", "Country", global_role=True),
+        ),
+        relations=(
+            RelationSpec("leadBy", "company", "ceo"),
+            RelationSpec("headquarteredIn", "company", "city"),
+            RelationSpec("operatesIn", "company", "country", fanout=2),
+            RelationSpec("bornIn", "ceo", "city"),
+        ),
+        topics=(
+            TopicSpec("listings", ("company", "ceo", "city"),
+                      ("Founded", "Revenue", "Employees"), weight=2.0),
+            TopicSpec("markets", ("company", "country"),
+                      ("Year", "Share")),
+        ),
+    ),
+    DomainSpec(
+        name="politics",
+        roles=(
+            RoleSpec("politician", "Politician", 120, "person"),
+            RoleSpec("city", "City", global_role=True),
+            RoleSpec("country", "Country", global_role=True),
+        ),
+        relations=(
+            RelationSpec("mayorOf", "politician", "city"),
+            RelationSpec("citizenOf", "politician", "country"),
+        ),
+        topics=(
+            TopicSpec("officials", ("politician", "city", "country"),
+                      ("Term", "Votes"), weight=1.5),
+        ),
+    ),
+)
+
+
+#: Shared geography pool at scale 1.0.
+DEFAULT_NUM_COUNTRIES = 12
+DEFAULT_NUM_CITIES = 70
+
+
+def all_topics(domains: Tuple[DomainSpec, ...] = DEFAULT_DOMAINS) -> List[Tuple[str, TopicSpec]]:
+    """Flatten domains to ``(domain name, topic)`` pairs."""
+    return [(d.name, topic) for d in domains for topic in d.topics]
+
+
+def topic_id(domain_name: str, topic: TopicSpec) -> str:
+    """Canonical category identifier stamped on tables and queries."""
+    return f"{domain_name}/{topic.name}"

@@ -1,0 +1,61 @@
+"""Persistence for benchmark query sets.
+
+The WT benchmarks distribute their query workloads as standalone files;
+this module round-trips :class:`~repro.benchgen.queries.BenchmarkQuerySet`
+through JSON so corpora generated once (e.g. by ``thetis generate``)
+can be re-evaluated reproducibly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.benchgen.queries import BenchmarkQuerySet
+from repro.core.query import Query
+
+PathLike = Union[str, Path]
+
+
+def queries_to_dict(queries: BenchmarkQuerySet) -> dict:
+    """Return a JSON-serializable snapshot of a query set."""
+    return {
+        "version": 1,
+        "queries": {
+            query_id: [list(t) for t in query.tuples]
+            for query_id, query in queries.all_queries().items()
+        },
+        "categories": dict(queries.categories),
+        "domains": dict(queries.domains),
+    }
+
+
+def queries_from_dict(payload: dict) -> BenchmarkQuerySet:
+    """Rebuild a query set from :func:`queries_to_dict` output.
+
+    The 1-tuple / N-tuple split is recovered from the id suffix written
+    by the generator (``-1t`` vs ``-<n>t``).
+    """
+    result = BenchmarkQuerySet()
+    for query_id, tuples in payload.get("queries", {}).items():
+        query = Query([tuple(t) for t in tuples])
+        if query_id.endswith("-1t"):
+            result.one_tuple[query_id] = query
+        else:
+            result.five_tuple[query_id] = query
+    result.categories.update(payload.get("categories", {}))
+    result.domains.update(payload.get("domains", {}))
+    return result
+
+
+def save_queries(queries: BenchmarkQuerySet, path: PathLike) -> None:
+    """Write ``queries`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(queries_to_dict(queries)),
+                          encoding="utf-8")
+
+
+def load_queries(path: PathLike) -> BenchmarkQuerySet:
+    """Load a query set previously written by :func:`save_queries`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return queries_from_dict(payload)

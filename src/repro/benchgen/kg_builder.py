@@ -1,0 +1,225 @@
+"""World construction: instantiate the domain spec as a knowledge graph.
+
+The builder creates the shared geography pool, every domain's role
+entities with full taxonomy-expanded type sets, and the relation edges
+connecting them.  The resulting :class:`World` keeps role/relation
+indexes so the table generator can sample *connected* entity tuples —
+a roster row holds a player, their actual team, and that team's city.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.benchgen.domains import (
+    DEFAULT_DOMAINS,
+    DEFAULT_NUM_CITIES,
+    DEFAULT_NUM_COUNTRIES,
+    TAXONOMY_EDGES,
+    DomainSpec,
+    TopicSpec,
+)
+from repro.benchgen.names import NameFactory
+from repro.exceptions import ConfigurationError
+from repro.kg.entity import Entity
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.taxonomy import TypeTaxonomy
+
+RoleKey = Tuple[str, str]  # (domain name, role name); domain "" = global
+
+
+def build_taxonomy() -> TypeTaxonomy:
+    """Instantiate the fixed world taxonomy."""
+    taxonomy = TypeTaxonomy()
+    for name, parent in TAXONOMY_EDGES:
+        taxonomy.add_type(name, parent)
+    return taxonomy
+
+
+@dataclass
+class World:
+    """A built world: the KG plus the sampling indexes over it."""
+
+    graph: KnowledgeGraph
+    domains: Tuple[DomainSpec, ...]
+    role_entities: Dict[RoleKey, List[str]] = field(default_factory=dict)
+    #: (domain, subject role, object role) -> subject uri -> object uris
+    forward: Dict[Tuple[str, str, str], Dict[str, List[str]]] = field(
+        default_factory=dict
+    )
+
+    def domain(self, name: str) -> DomainSpec:
+        """Look up a domain spec by name."""
+        for spec in self.domains:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"unknown domain {name!r}")
+
+    def entities_for_role(self, domain_name: str, role_name: str) -> List[str]:
+        """Entities filling a role (global roles resolve to the shared pool)."""
+        spec = self.domain(domain_name)
+        role = spec.role(role_name)
+        key = ("", role_name) if role.global_role else (domain_name, role_name)
+        return self.role_entities.get(key, [])
+
+    # ------------------------------------------------------------------
+    def sample_topic_row(
+        self,
+        domain_name: str,
+        topic: TopicSpec,
+        rng: np.random.Generator,
+        anchor: Optional[str] = None,
+    ) -> List[str]:
+        """Sample one connected entity tuple for ``topic``.
+
+        The first role is drawn uniformly (or set to ``anchor``); every
+        later role is resolved by following a relation from an
+        already-chosen entity when one exists, falling back to a uniform
+        draw from the role pool (still topically coherent).
+        """
+        chosen: Dict[str, str] = {}
+        row: List[str] = []
+        for role_name in topic.roles:
+            uri = anchor if (anchor is not None and not chosen) else None
+            if uri is None:
+                uri = self._resolve_role(domain_name, role_name, chosen, rng)
+            chosen[role_name] = uri
+            row.append(uri)
+        return row
+
+    def _resolve_role(
+        self,
+        domain_name: str,
+        role_name: str,
+        chosen: Dict[str, str],
+        rng: np.random.Generator,
+    ) -> str:
+        # Try to walk an existing relation from an already chosen entity.
+        for prior_role, prior_uri in chosen.items():
+            targets = self.forward.get(
+                (domain_name, prior_role, role_name), {}
+            ).get(prior_uri)
+            if targets:
+                return targets[int(rng.integers(len(targets)))]
+        pool = self.entities_for_role(domain_name, role_name)
+        if not pool:
+            raise ConfigurationError(
+                f"role {role_name!r} of domain {domain_name!r} has no entities"
+            )
+        return pool[int(rng.integers(len(pool)))]
+
+
+class WorldBuilder:
+    """Builds a :class:`World` from a domain spec at a given scale."""
+
+    def __init__(
+        self,
+        domains: Tuple[DomainSpec, ...] = DEFAULT_DOMAINS,
+        scale: float = 1.0,
+        seed: int = 0,
+    ):
+        if scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        self.domains = domains
+        self.scale = scale
+        self.seed = seed
+
+    def _count(self, base: int) -> int:
+        return max(2, int(round(base * self.scale)))
+
+    def build(self) -> World:
+        """Construct the knowledge graph and sampling indexes."""
+        rng = np.random.default_rng(self.seed)
+        names = NameFactory(rng)
+        graph = KnowledgeGraph(build_taxonomy())
+        world = World(graph=graph, domains=self.domains)
+        city_labels: Dict[str, str] = {}
+
+        # Shared geography pool.
+        countries: List[str] = []
+        for i in range(self._count(DEFAULT_NUM_COUNTRIES)):
+            uri = f"kg:country/{i}"
+            graph.add_entity(
+                Entity(uri, names.country(),
+                       frozenset(graph.taxonomy.ancestors("Country")))
+            )
+            countries.append(uri)
+        cities: List[str] = []
+        for i in range(self._count(DEFAULT_NUM_CITIES)):
+            uri = f"kg:city/{i}"
+            label = names.city()
+            graph.add_entity(
+                Entity(uri, label,
+                       frozenset(graph.taxonomy.ancestors("City")))
+            )
+            city_labels[uri] = label
+            cities.append(uri)
+        for uri in cities:
+            graph.add_edge(uri, "locatedIn",
+                           countries[int(rng.integers(len(countries)))])
+        world.role_entities[("", "city")] = cities
+        world.role_entities[("", "country")] = countries
+
+        # Domain entities.
+        for spec in self.domains:
+            for role in spec.roles:
+                if role.global_role:
+                    continue
+                uris: List[str] = []
+                type_set = frozenset(graph.taxonomy.ancestors(role.type_name))
+                for i in range(self._count(role.count)):
+                    uri = f"kg:{spec.name}/{role.name}/{i}"
+                    label = self._label_for(role.label_kind, names, rng,
+                                            cities, city_labels)
+                    graph.add_entity(Entity(uri, label, type_set))
+                    uris.append(uri)
+                world.role_entities[(spec.name, role.name)] = uris
+
+        # Relations (and their role-level forward index).
+        for spec in self.domains:
+            for relation in spec.relations:
+                subjects = world.entities_for_role(spec.name, relation.subject_role)
+                objects = world.entities_for_role(spec.name, relation.object_role)
+                if not subjects or not objects:
+                    continue
+                index: Dict[str, List[str]] = defaultdict(list)
+                for subject in subjects:
+                    picks = rng.choice(
+                        len(objects),
+                        size=min(relation.fanout, len(objects)),
+                        replace=False,
+                    )
+                    for pick in np.atleast_1d(picks):
+                        obj = objects[int(pick)]
+                        graph.add_edge(subject, relation.predicate, obj)
+                        index[subject].append(obj)
+                world.forward[
+                    (spec.name, relation.subject_role, relation.object_role)
+                ] = dict(index)
+        return world
+
+    @staticmethod
+    def _label_for(
+        kind: str,
+        names: NameFactory,
+        rng: np.random.Generator,
+        cities: List[str],
+        city_labels: Dict[str, str],
+    ) -> str:
+        if kind == "person":
+            return names.person()
+        if kind == "work":
+            return names.work()
+        if kind == "company":
+            return names.company()
+        if kind == "place":
+            city = city_labels[cities[int(rng.integers(len(cities)))]]
+            return names.stadium(city)
+        # "org": sports teams anchor their name to a city, which creates
+        # the paper's cross-domain confusion (same city, different sport).
+        city = city_labels[cities[int(rng.integers(len(cities)))]]
+        return names.team(city)

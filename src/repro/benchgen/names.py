@@ -1,0 +1,129 @@
+"""Deterministic label generation for synthetic entities.
+
+Labels must look like real table mentions (the entity linker matches on
+them) and be globally unique so gold links are unambiguous.  The
+factory composes labels from word lists and guarantees uniqueness by
+appending a roman-numeral style disambiguator on collision.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+import numpy as np
+
+_FIRST = (
+    "James Mary Robert Linda Michael Susan David Karen Carlos Elena Hiro "
+    "Yuki Omar Fatima Ivan Nadia Pedro Lucia Samuel Ruth Victor Alma Dmitri "
+    "Ingrid Kofi Amara Liang Mei Raj Priya Sean Aoife Lars Astrid Mateo "
+    "Camila Tomas Hana Felix Iris"
+).split()
+
+# Surnames are generated combinatorially from syllables (~1600 forms)
+# so that distinct entities rarely share a surname token - real-world
+# name diversity, which keeps keyword baselines honest.
+_SURNAME_HEADS = (
+    "Ram Tol Ves Kar Lin Mor Hal Ben Sor Gal Fen Dur Pel Ras Vin Col Mar "
+    "Tan Bor Hel Kes Lom Nar Per Quin Rol Sal Tor Ul Var Wen Yor Zan Bran "
+    "Cros Dal Er Fos Gri Hol"
+).split()
+
+_SURNAME_TAILS = (
+    "vik sen dahl berg strom quist holm gard lund mark son etti ano elli "
+    "osa ira eda uchi moto kawa oka awa ez es ano"
+).split()
+
+_CITY_HEADS = (
+    "Brook River Oak Maple Stone Clear Fair Green Silver North South East "
+    "West Lake Hill Spring Ash Cedar Elm Iron Gold Mill Bay Fox Pine Wolf"
+).split()
+
+_CITY_TAILS = (
+    "dale ton ville field ford haven port view crest wood burg mont shore "
+    "bridge gate brook stead march ham ley"
+).split()
+
+_MASCOTS = (
+    "Hawks Tigers Bears Wolves Eagles Falcons Sharks Comets Giants Royals "
+    "Raptors Storm Thunder Blaze Knights Pirates Rangers Chiefs Stars Bulls "
+    "Lynx Cougars Vipers Stallions Herons Badgers Otters Ravens Bisons "
+    "Panthers Drakes Foxes Owls Cranes Hornets Jackals Lions Mustangs "
+    "Ospreys Pumas Rhinos Seals Terriers Vultures Wasps Whalers Yaks "
+    "Condors Dingoes Elks Gulls Ibises Jaguars Kites Llamas Moose Narwhals"
+).split()
+
+_COMPANY_HEADS = (
+    "Vex Nor Alt Quan Zen Hex Lum Opt Syn Ver Ax Cor Del Flux Gen Hel Ion "
+    "Kin Lex Mon"
+).split()
+
+_COMPANY_TAILS = ("um Corp", "ia Labs", "on Systems", "ix Group", "eo Inc",
+                  "ara Holdings", "ent Partners", "ova Industries")
+
+_WORK_ADJ = (
+    "Silent Crimson Golden Hidden Broken Distant Endless Fallen Frozen "
+    "Gentle Hollow Iron Lost Midnight Pale Quiet Restless Scarlet Velvet Wild"
+).split()
+
+_WORK_NOUN = (
+    "River Sky Garden Mirror Harbor Crown Ember Echo Voyage Horizon Letter "
+    "Season Shadow Signal Summer Tide Tower Window Winter Orchard"
+).split()
+
+
+class NameFactory:
+    """Generates unique, human-plausible labels per label kind."""
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self._used: Set[str] = set()
+
+    def _pick(self, words: List[str]) -> str:
+        return words[int(self._rng.integers(len(words)))]
+
+    def _unique(self, base: str) -> str:
+        label = base
+        suffix = 2
+        while label in self._used:
+            label = f"{base} {suffix}"
+            suffix += 1
+        self._used.add(label)
+        return label
+
+    def person(self) -> str:
+        """A first-last person name, e.g. ``Elena Ramvik``."""
+        surname = (
+            f"{self._pick(_SURNAME_HEADS)}{self._pick(_SURNAME_TAILS)}"
+        )
+        return self._unique(f"{self._pick(_FIRST)} {surname}")
+
+    def city(self) -> str:
+        """A compound city name, e.g. ``Brookdale``."""
+        return self._unique(f"{self._pick(_CITY_HEADS)}{self._pick(_CITY_TAILS)}")
+
+    def country(self) -> str:
+        """A country-like name, e.g. ``Northam Republic``."""
+        head = f"{self._pick(_CITY_HEADS)}{self._pick(_CITY_TAILS)}".capitalize()
+        form = self._pick(["Republic", "Kingdom", "Union", "Federation", "States"])
+        return self._unique(f"{head} {form}")
+
+    def team(self, city_label: str) -> str:
+        """A team name anchored to its city, e.g. ``Brookdale Hawks``."""
+        return self._unique(f"{city_label} {self._pick(_MASCOTS)}")
+
+    def stadium(self, city_label: str) -> str:
+        """A venue name, e.g. ``Brookdale Stadium``."""
+        kind = self._pick(["Stadium", "Arena", "Park", "Field", "Dome"])
+        return self._unique(f"{city_label} {kind}")
+
+    def company(self) -> str:
+        """A company name, e.g. ``Vexum Corp``."""
+        return self._unique(
+            f"{self._pick(_COMPANY_HEADS)}{self._pick(list(_COMPANY_TAILS))}"
+        )
+
+    def work(self) -> str:
+        """A film/album title, e.g. ``The Silent River``."""
+        return self._unique(
+            f"The {self._pick(_WORK_ADJ)} {self._pick(_WORK_NOUN)}"
+        )

@@ -1,0 +1,353 @@
+"""Command-line interface for the Thetis reproduction.
+
+Four subcommands cover the end-to-end workflow on files:
+
+* ``generate`` — build a synthetic benchmark corpus (KG + lake + links
+  + queries) and write it to a directory;
+* ``link``     — entity-link a data lake against a knowledge graph;
+* ``stats``    — print Table-2 style corpus statistics;
+* ``search``   — run semantic table search for an entity-tuple query.
+
+Example session::
+
+    thetis generate --out corpus/ --tables 500
+    thetis stats --lake corpus/lake.json --mapping corpus/mapping.json
+    thetis search --lake corpus/lake.json --graph corpus/graph.json \\
+        --mapping corpus/mapping.json --tuple kg:baseball/player/0 -k 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.benchgen import PROFILES, build_benchmark
+from repro.core.query import Query
+from repro.datalake.io import load_lake, save_lake
+from repro.datalake.stats import corpus_statistics
+from repro.kg.io import load_graph, save_graph
+from repro.linking.io import load_mapping, save_mapping
+from repro.linking.linker import LabelLinker
+from repro.system import Thetis
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    profile = PROFILES[args.profile]
+    bench = build_benchmark(
+        profile,
+        num_tables=args.tables,
+        num_query_pairs=args.queries,
+        seed=args.seed,
+    )
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    save_graph(bench.graph, out / "graph.json")
+    save_lake(bench.lake, out / "lake.json")
+    save_mapping(bench.mapping, out / "mapping.json")
+    from repro.benchgen.io import save_queries
+
+    save_queries(bench.queries, out / "queries.json")
+    stats = bench.statistics()
+    print(stats.format_row(profile.name))
+    print(f"wrote graph/lake/mapping/queries to {out}/")
+    return 0
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    lake = load_lake(args.lake)
+    if args.contextual:
+        from repro.linking import ContextualLinker
+
+        mapping = ContextualLinker(graph).link_lake(lake)
+    else:
+        linker = LabelLinker(graph, fuzzy=not args.exact_only)
+        mapping = linker.link_lake(lake)
+    save_mapping(mapping, args.out)
+    print(f"linked {len(mapping)} cells across {len(lake)} tables "
+          f"-> {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    lake = load_lake(args.lake)
+    mapping = load_mapping(args.mapping) if args.mapping else None
+    stats = corpus_statistics(lake, mapping)
+    print(stats.format_row(Path(args.lake).stem))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.graph:
+        from repro.kg.analytics import profile_graph, top_types
+
+        graph = load_graph(args.graph)
+        print(profile_graph(graph).format_report())
+        print("most frequent types:")
+        for name, count in top_types(graph, k=args.top):
+            print(f"  {name:<24} {count:,}")
+    if args.lake:
+        from repro.datalake.profiling import profile_table
+
+        lake = load_lake(args.lake)
+        mapping = load_mapping(args.mapping) if args.mapping else None
+        table_ids = (
+            args.table if args.table else lake.table_ids()[: args.top]
+        )
+        for table_id in table_ids:
+            print(profile_table(lake.get(table_id), mapping).format_report())
+    if not args.graph and not args.lake:
+        print("nothing to profile: pass --graph and/or --lake",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.benchgen.io import load_queries
+    from repro.lsh import LSHConfig, LSHTuner, TypeSignatureScheme, \
+        frequent_types
+
+    graph = load_graph(args.graph)
+    lake = load_lake(args.lake)
+    mapping = load_mapping(args.mapping)
+    thetis = Thetis(lake, graph, mapping)
+    query_set = load_queries(args.queries)
+    sample = list(query_set.all_queries().values())[: args.sample]
+    excluded = frequent_types(mapping, graph, lake.table_ids())
+    tuner = LSHTuner(
+        thetis.engine("types"),
+        scheme_factory=lambda n: TypeSignatureScheme(
+            graph, n, excluded_types=excluded
+        ),
+        k=args.k,
+    )
+    specs = args.config or ["32,8", "128,8", "30,10"]
+    configs = tuple(
+        LSHConfig(*map(int, spec.split(","))) for spec in specs
+    )
+    for outcome in tuner.sweep(sample, configs, votes_options=(1, 3)):
+        print(outcome.format_row())
+    best = tuner.recommend(sample, configs, votes_options=(1, 3),
+                           min_retention=args.min_retention)
+    print(f"recommended: {best.config} votes={best.votes}")
+    return 0
+
+
+def _parse_tuples(raw_tuples: Sequence[str]) -> Query:
+    tuples: List[List[str]] = []
+    for raw in raw_tuples:
+        entities = [part.strip() for part in raw.split(",") if part.strip()]
+        if entities:
+            tuples.append(entities)
+    return Query(tuples)
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    lake = load_lake(args.lake)
+    mapping = load_mapping(args.mapping)
+    thetis = Thetis(lake, graph, mapping)
+    if args.method == "embeddings":
+        thetis.train_embeddings(
+            dimensions=args.dimensions, seed=args.seed
+        )
+    query = _parse_tuples(args.tuple)
+    results = thetis.search(
+        query, k=args.k, method=args.method, use_lsh=args.lsh,
+        votes=args.votes,
+    )
+    for rank, scored in enumerate(results, start=1):
+        caption = lake.get(scored.table_id).metadata.get("caption", "")
+        print(f"{rank:>3}. {scored.table_id:<24} "
+              f"{scored.score:.4f}  {caption}")
+    if args.explain and len(results) > 0:
+        best = results.table_ids(1)[0]
+        print()
+        print(thetis.explain(query, best, method=args.method).render(graph))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.baselines import BM25TableSearch, text_query_from_labels
+    from repro.benchgen.io import load_queries
+    from repro.eval import (
+        ExperimentRunner,
+        build_ground_truth,
+        compare_systems,
+        write_markdown_report,
+    )
+
+    graph = load_graph(args.graph)
+    lake = load_lake(args.lake)
+    mapping = load_mapping(args.mapping)
+    query_set = load_queries(args.queries)
+    thetis = Thetis(lake, graph, mapping)
+    bm25 = BM25TableSearch(lake)
+    queries = query_set.all_queries()
+    truths = {
+        qid: build_ground_truth(
+            lake, mapping, query,
+            query_category=query_set.categories.get(qid),
+            query_domain=query_set.domains.get(qid),
+        )
+        for qid, query in queries.items()
+    }
+    runner = ExperimentRunner(queries, truths)
+    reports = runner.run_all(
+        {
+            "STST": lambda q, k: thetis.search(q, k=k),
+            "STST+LSH": lambda q, k: thetis.search(q, k=k, use_lsh=True,
+                                                   votes=3),
+            "BM25": lambda q, k: bm25.search(
+                text_query_from_labels(q, graph), k=k
+            ),
+        },
+        k=args.k,
+    )
+    comparisons = {
+        "STST vs BM25 (NDCG)": compare_systems(
+            [o.ndcg for o in reports["STST"].outcomes],
+            [o.ndcg for o in reports["BM25"].outcomes],
+        ),
+        "STST+LSH vs STST (NDCG)": compare_systems(
+            [o.ndcg for o in reports["STST+LSH"].outcomes],
+            [o.ndcg for o in reports["STST"].outcomes],
+        ),
+    }
+    for report in reports.values():
+        print(report.format_row())
+    path = write_markdown_report(
+        args.out,
+        f"Semantic table search benchmark (k={args.k})",
+        reports,
+        comparisons,
+        notes=[
+            f"corpus: {args.lake} ({len(lake)} tables)",
+            f"queries: {args.queries} ({len(queries)})",
+        ],
+    )
+    print(f"report written to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="thetis",
+        description="Semantic table search in semantic data lakes",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="generate a synthetic benchmark corpus"
+    )
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.add_argument("--profile", choices=sorted(PROFILES),
+                          default="wt2015")
+    generate.add_argument("--tables", type=int, default=500)
+    generate.add_argument("--queries", type=int, default=10,
+                          help="number of 1-/5-tuple query pairs")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    link = sub.add_parser("link", help="entity-link a lake against a KG")
+    link.add_argument("--graph", required=True)
+    link.add_argument("--lake", required=True)
+    link.add_argument("--out", required=True, help="mapping output path")
+    link.add_argument("--exact-only", action="store_true",
+                      help="disable fuzzy label matching")
+    link.add_argument("--contextual", action="store_true",
+                      help="disambiguate ambiguous labels by column "
+                           "type coherence")
+    link.set_defaults(func=_cmd_link)
+
+    stats = sub.add_parser("stats", help="print corpus statistics")
+    stats.add_argument("--lake", required=True)
+    stats.add_argument("--mapping", default=None)
+    stats.set_defaults(func=_cmd_stats)
+
+    profile = sub.add_parser(
+        "profile", help="profile a knowledge graph and/or tables"
+    )
+    profile.add_argument("--graph", default=None)
+    profile.add_argument("--lake", default=None)
+    profile.add_argument("--mapping", default=None)
+    profile.add_argument("--table", action="append", default=None,
+                         help="specific table id(s) to profile")
+    profile.add_argument("--top", type=int, default=5,
+                         help="top types / table count limit")
+    profile.set_defaults(func=_cmd_profile)
+
+    tune = sub.add_parser(
+        "tune", help="auto-tune LSH configuration on sample queries"
+    )
+    tune.add_argument("--graph", required=True)
+    tune.add_argument("--lake", required=True)
+    tune.add_argument("--mapping", required=True)
+    tune.add_argument("--queries", required=True,
+                      help="queries.json written by 'generate'")
+    tune.add_argument("--config", action="append",
+                      default=None, help="candidate as 'vectors,band'")
+    tune.add_argument("--sample", type=int, default=5)
+    tune.add_argument("-k", type=int, default=10)
+    tune.add_argument("--min-retention", type=float, default=0.9)
+    tune.set_defaults(func=_cmd_tune)
+
+    bench = sub.add_parser(
+        "bench", help="run a BM25-vs-semantic benchmark, write a report"
+    )
+    bench.add_argument("--graph", required=True)
+    bench.add_argument("--lake", required=True)
+    bench.add_argument("--mapping", required=True)
+    bench.add_argument("--queries", required=True)
+    bench.add_argument("--out", required=True, help="markdown report path")
+    bench.add_argument("-k", type=int, default=10)
+    bench.set_defaults(func=_cmd_bench)
+
+    search = sub.add_parser("search", help="semantic table search")
+    search.add_argument("--graph", required=True)
+    search.add_argument("--lake", required=True)
+    search.add_argument("--mapping", required=True)
+    search.add_argument(
+        "--tuple", action="append", required=True,
+        help="comma-separated entity URIs; repeat for multi-tuple queries",
+    )
+    search.add_argument("-k", type=int, default=10)
+    search.add_argument("--method", choices=["types", "embeddings"],
+                        default="types")
+    search.add_argument("--dimensions", type=int, default=32,
+                        help="embedding width when --method embeddings")
+    search.add_argument("--lsh", action="store_true",
+                        help="enable LSH prefiltering")
+    search.add_argument("--votes", type=int, default=1)
+    search.add_argument("--explain", action="store_true",
+                        help="explain the top result")
+    search.add_argument("--seed", type=int, default=0)
+    search.set_defaults(func=_cmd_search)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Library errors and missing files are reported on stderr with exit
+    code 1 instead of a traceback; argparse errors keep their usual
+    exit code 2.
+    """
+    from repro.exceptions import ReproError
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

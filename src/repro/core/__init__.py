@@ -1,0 +1,71 @@
+"""Core semantic table search: queries, SemRel scoring, Algorithm 1."""
+
+from repro.core.aggregation import (
+    QueryAggregation,
+    RowAggregation,
+    TupleSemantics,
+)
+from repro.core.assignment import assignment_score, max_assignment
+from repro.core.explain import (
+    EntityExplanation,
+    TableExplanation,
+    TupleExplanation,
+    explain_table,
+)
+from repro.core.fusion import (
+    LogisticFusion,
+    comb_mnz,
+    comb_sum,
+    reciprocal_rank_fusion,
+)
+from repro.core.mappings import MappingKind, RelevantMapping, best_mapping
+from repro.core.relaxation import (
+    RelaxationOutcome,
+    RelaxingSearcher,
+    drop_least_informative,
+    split_tuples,
+)
+from repro.core.topk import table_score_upper_bound, topk_search
+from repro.core.query import EntityTuple, Query
+from repro.core.result import ResultSet, ScoredTable
+from repro.core.search import ScoringProfile, TableScore, TableSearchEngine
+from repro.core.semrel import (
+    distance_to_similarity,
+    semrel_tuple_score,
+    weighted_distance,
+)
+
+__all__ = [
+    "Query",
+    "EntityTuple",
+    "TableSearchEngine",
+    "TableScore",
+    "ScoringProfile",
+    "ResultSet",
+    "ScoredTable",
+    "RowAggregation",
+    "QueryAggregation",
+    "TupleSemantics",
+    "MappingKind",
+    "RelevantMapping",
+    "best_mapping",
+    "max_assignment",
+    "assignment_score",
+    "weighted_distance",
+    "distance_to_similarity",
+    "semrel_tuple_score",
+    "explain_table",
+    "TableExplanation",
+    "TupleExplanation",
+    "EntityExplanation",
+    "topk_search",
+    "table_score_upper_bound",
+    "reciprocal_rank_fusion",
+    "comb_sum",
+    "comb_mnz",
+    "LogisticFusion",
+    "RelaxingSearcher",
+    "RelaxationOutcome",
+    "drop_least_informative",
+    "split_tuples",
+]

@@ -1,0 +1,116 @@
+"""Rectangular assignment solver (the Hungarian Method of Section 5.1).
+
+The query-to-column mapping ``tau`` maximizes the summed column-relevance
+score under the constraint that each query entity maps to a distinct
+column.  This module implements the O(n^2 m) shortest-augmenting-path
+formulation of the Hungarian algorithm with dual potentials, operating
+directly on rectangular matrices (rows <= columns after internal
+padding).  Its output is verified against ``scipy.optimize`` in the test
+suite but the library never depends on scipy at runtime for this path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SearchError
+
+_INF = float("inf")
+
+
+def _solve_min(cost: np.ndarray) -> List[int]:
+    """Minimum-cost assignment for an ``n x m`` matrix with ``n <= m``.
+
+    Returns ``assignment`` where ``assignment[i]`` is the column assigned
+    to row ``i``.  Classic potentials-based Hungarian (e-maxx variant).
+    """
+    n, m = cost.shape
+    u = [0.0] * (n + 1)
+    v = [0.0] * (m + 1)
+    match = [0] * (m + 1)  # match[j] = row (1-based) assigned to column j
+    way = [0] * (m + 1)
+    for i in range(1, n + 1):
+        match[0] = i
+        j0 = 0
+        minv = [_INF] * (m + 1)
+        used = [False] * (m + 1)
+        while True:
+            used[j0] = True
+            i0 = match[j0]
+            delta = _INF
+            j1 = 0
+            for j in range(1, m + 1):
+                if used[j]:
+                    continue
+                cur = cost[i0 - 1][j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(m + 1):
+                if used[j]:
+                    u[match[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if match[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            match[j0] = match[j1]
+            j0 = j1
+    assignment = [-1] * n
+    for j in range(1, m + 1):
+        if match[j] != 0:
+            assignment[match[j] - 1] = j - 1
+    return assignment
+
+
+def max_assignment(scores: Sequence[Sequence[float]]) -> Tuple[List[int], float]:
+    """Maximum-score assignment of rows to distinct columns.
+
+    Parameters
+    ----------
+    scores:
+        A ``k x n`` matrix of non-negative scores (query entities by
+        table columns).  When ``k > n`` the matrix is padded with zero
+        columns, so surplus rows map to "no real column" and are reported
+        as ``-1``.
+
+    Returns
+    -------
+    assignment, total:
+        ``assignment[i]`` is the column index for row ``i`` (or ``-1``
+        when the row was assigned to a zero-padding column), and
+        ``total`` is the summed score of the chosen real cells.
+    """
+    matrix = np.asarray(scores, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise SearchError("scores must be a 2-D matrix")
+    k, n = matrix.shape
+    if k == 0 or n == 0:
+        return [-1] * k, 0.0
+    padded = matrix
+    if k > n:
+        padded = np.concatenate([matrix, np.zeros((k, k - n))], axis=1)
+    assignment = _solve_min(-padded)
+    total = 0.0
+    result: List[int] = []
+    for row, column in enumerate(assignment):
+        if column >= n:
+            result.append(-1)
+        else:
+            result.append(column)
+            total += float(matrix[row, column])
+    return result, total
+
+
+def assignment_score(scores: Sequence[Sequence[float]]) -> float:
+    """Return only the optimal total of :func:`max_assignment`."""
+    _, total = max_assignment(scores)
+    return total

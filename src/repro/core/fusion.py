@@ -1,0 +1,185 @@
+"""Rank fusion: principled ways to combine retrieval signals.
+
+Section 7.2 merges BM25 and semantic rankings with a fixed top-50 %
+interleave and notes that "there are many other methods to complement
+the two approaches, such as using learning to rank, but we leave this
+as future work".  This module implements that future work:
+
+* :func:`reciprocal_rank_fusion` — the classic RRF of Cormack et al.;
+* :func:`comb_sum` / :func:`comb_mnz` — score-based fusion with
+  min-max normalization;
+* :class:`LogisticFusion` — a from-scratch logistic-regression
+  learning-to-rank model over per-system scores, trained on graded
+  ground truth with plain gradient descent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.result import ResultSet, ScoredTable
+from repro.exceptions import ConfigurationError
+
+
+def reciprocal_rank_fusion(
+    rankings: Sequence[ResultSet], k: int = 60
+) -> ResultSet:
+    """Fuse rankings by summed reciprocal ranks ``1 / (k + rank)``.
+
+    ``k`` dampens the head advantage (60 is the literature default).
+    Tables absent from a ranking simply contribute nothing for it.
+    """
+    if not rankings:
+        raise ConfigurationError("need at least one ranking to fuse")
+    if k < 1:
+        raise ConfigurationError("k must be >= 1")
+    scores: Dict[str, float] = {}
+    for ranking in rankings:
+        for rank, table_id in enumerate(ranking.table_ids(), start=1):
+            scores[table_id] = scores.get(table_id, 0.0) + 1.0 / (k + rank)
+    return ResultSet.from_scores(scores)
+
+
+def _normalized_scores(ranking: ResultSet) -> Dict[str, float]:
+    """Min-max normalize a ranking's scores into [0, 1]."""
+    scores = ranking.scores()
+    if not scores:
+        return {}
+    values = list(scores.values())
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return {tid: 1.0 for tid in scores}
+    return {tid: (s - lo) / (hi - lo) for tid, s in scores.items()}
+
+
+def comb_sum(rankings: Sequence[ResultSet]) -> ResultSet:
+    """CombSUM: sum of min-max normalized scores across systems."""
+    if not rankings:
+        raise ConfigurationError("need at least one ranking to fuse")
+    totals: Dict[str, float] = {}
+    for ranking in rankings:
+        for table_id, score in _normalized_scores(ranking).items():
+            totals[table_id] = totals.get(table_id, 0.0) + score
+    return ResultSet.from_scores(totals)
+
+
+def comb_mnz(rankings: Sequence[ResultSet]) -> ResultSet:
+    """CombMNZ: CombSUM weighted by the number of systems that found it."""
+    if not rankings:
+        raise ConfigurationError("need at least one ranking to fuse")
+    totals: Dict[str, float] = {}
+    hits: Dict[str, int] = {}
+    for ranking in rankings:
+        for table_id, score in _normalized_scores(ranking).items():
+            totals[table_id] = totals.get(table_id, 0.0) + score
+            hits[table_id] = hits.get(table_id, 0) + 1
+    return ResultSet.from_scores(
+        {tid: totals[tid] * hits[tid] for tid in totals}
+    )
+
+
+class LogisticFusion:
+    """Pointwise learning-to-rank over per-system score features.
+
+    Each candidate table is a feature vector of (normalized) scores
+    from N retrieval systems plus a bias; the model learns logistic
+    weights so that tables with positive ground-truth gain score high.
+    Training is batch gradient descent — no external dependencies.
+
+    Parameters
+    ----------
+    num_systems:
+        Feature dimensionality (one score per fused system).
+    learning_rate, epochs, l2:
+        Plain-vanilla training knobs.
+    """
+
+    def __init__(
+        self,
+        num_systems: int,
+        learning_rate: float = 0.5,
+        epochs: int = 300,
+        l2: float = 1e-3,
+        seed: int = 0,
+    ):
+        if num_systems < 1:
+            raise ConfigurationError("num_systems must be >= 1")
+        self.num_systems = num_systems
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        rng = np.random.default_rng(seed)
+        self.weights = rng.normal(0.0, 0.01, num_systems)
+        self.bias = 0.0
+        self._trained = False
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def features_for(
+        rankings: Sequence[ResultSet],
+    ) -> Tuple[List[str], np.ndarray]:
+        """Assemble the candidate pool and its feature matrix.
+
+        The pool is the union of all rankings' tables; feature ``j`` of
+        a table is system ``j``'s min-max normalized score (0 when the
+        system did not retrieve the table).
+        """
+        normalized = [_normalized_scores(r) for r in rankings]
+        pool = sorted({tid for scores in normalized for tid in scores})
+        matrix = np.zeros((len(pool), len(rankings)))
+        for j, scores in enumerate(normalized):
+            for i, table_id in enumerate(pool):
+                matrix[i, j] = scores.get(table_id, 0.0)
+        return pool, matrix
+
+    def fit(
+        self,
+        training: Sequence[Tuple[Sequence[ResultSet], Mapping[str, float]]],
+    ) -> "LogisticFusion":
+        """Train on ``(per-system rankings, graded gains)`` pairs.
+
+        Gains > 0 become positive labels.  Returns ``self``.
+        """
+        rows: List[np.ndarray] = []
+        labels: List[float] = []
+        for rankings, gains in training:
+            if len(rankings) != self.num_systems:
+                raise ConfigurationError(
+                    f"expected {self.num_systems} rankings, "
+                    f"got {len(rankings)}"
+                )
+            pool, matrix = self.features_for(rankings)
+            for i, table_id in enumerate(pool):
+                rows.append(matrix[i])
+                labels.append(1.0 if gains.get(table_id, 0.0) > 0 else 0.0)
+        if not rows:
+            raise ConfigurationError("no training candidates produced")
+        x = np.vstack(rows)
+        y = np.asarray(labels)
+        for _ in range(self.epochs):
+            logits = x @ self.weights + self.bias
+            probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+            error = probs - y
+            grad_w = x.T @ error / len(y) + self.l2 * self.weights
+            grad_b = float(error.mean())
+            self.weights -= self.learning_rate * grad_w
+            self.bias -= self.learning_rate * grad_b
+        self._trained = True
+        return self
+
+    def fuse(self, rankings: Sequence[ResultSet]) -> ResultSet:
+        """Rank the candidate pool by the learned relevance probability."""
+        if not self._trained:
+            raise ConfigurationError("fuse() called before fit()")
+        if len(rankings) != self.num_systems:
+            raise ConfigurationError(
+                f"expected {self.num_systems} rankings, got {len(rankings)}"
+            )
+        pool, matrix = self.features_for(rankings)
+        logits = matrix @ self.weights + self.bias
+        probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+        return ResultSet(
+            ScoredTable(float(p), tid) for tid, p in zip(pool, probs)
+        )

@@ -1,0 +1,117 @@
+"""Relevant mappings between entity tuples (Section 4.2).
+
+A *relevant mapping* from query tuple ``t_Q`` to target tuple ``t_T`` is
+a partial injective function sending query entities to target entities
+with positive similarity.  Four cases are distinguished — total/partial
+x exact/related — and the axioms of Section 4.2 constrain how any valid
+SemRel score must order them.  This module computes the best relevant
+mapping between two tuples and classifies it, making the axioms
+executable (they are property-tested in the test suite).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.assignment import max_assignment
+from repro.similarity.base import EntitySimilarity
+
+
+class MappingKind(enum.Enum):
+    """The four relevant-mapping cases of Section 4.2, plus irrelevance."""
+
+    TOTAL_EXACT = "TE"
+    PARTIAL_EXACT = "PE"
+    TOTAL_RELATED = "TR"
+    PARTIAL_RELATED = "PR"
+    IRRELEVANT = "NONE"
+
+
+@dataclass(frozen=True)
+class RelevantMapping:
+    """Best injective mapping from a query tuple into a target tuple.
+
+    Attributes
+    ----------
+    assignment:
+        ``query entity position -> target entity position`` for mapped
+        entities only (pairs with zero similarity are dropped).
+    similarities:
+        Per mapped query position, the similarity ``sigma`` achieved.
+    kind:
+        The Section 4.2 classification of this mapping.
+    """
+
+    assignment: Dict[int, int]
+    similarities: Dict[int, float]
+    kind: MappingKind
+
+    @property
+    def total_score(self) -> float:
+        """Cumulative similarity across mapped entities."""
+        return sum(self.similarities.values())
+
+    def is_total(self) -> bool:
+        """Whether every query entity is mapped."""
+        return self.kind in (MappingKind.TOTAL_EXACT, MappingKind.TOTAL_RELATED)
+
+
+def best_mapping(
+    query_tuple: Sequence[str],
+    target_tuple: Sequence[Optional[str]],
+    sigma: EntitySimilarity,
+) -> RelevantMapping:
+    """Compute and classify the score-maximal relevant mapping.
+
+    ``target_tuple`` may contain ``None`` entries (unlinked cells); those
+    positions can never be mapped.  The assignment maximizes cumulative
+    similarity subject to injectivity, via the Hungarian solver.
+    """
+    k = len(query_tuple)
+    n = len(target_tuple)
+    if k == 0 or n == 0:
+        return RelevantMapping({}, {}, MappingKind.IRRELEVANT)
+    scores = [
+        [
+            0.0 if target is None else sigma.similarity(query_entity, target)
+            for target in target_tuple
+        ]
+        for query_entity in query_tuple
+    ]
+    assignment, _ = max_assignment(scores)
+    mapped: Dict[int, int] = {}
+    sims: Dict[int, float] = {}
+    for query_pos, target_pos in enumerate(assignment):
+        if target_pos < 0:
+            continue
+        score = scores[query_pos][target_pos]
+        if score > 0.0:
+            mapped[query_pos] = target_pos
+            sims[query_pos] = score
+    kind = _classify(query_tuple, target_tuple, mapped)
+    return RelevantMapping(mapped, sims, kind)
+
+
+def _classify(
+    query_tuple: Sequence[str],
+    target_tuple: Sequence[Optional[str]],
+    mapped: Dict[int, int],
+) -> MappingKind:
+    if not mapped:
+        return MappingKind.IRRELEVANT
+    total = len(mapped) == len(query_tuple)
+    exact_positions = {
+        q for q, t in mapped.items() if target_tuple[t] == query_tuple[q]
+    }
+    all_exact = len(exact_positions) == len(mapped)
+    if total and all_exact:
+        return MappingKind.TOTAL_EXACT
+    if total:
+        # Some mapped entities are exact, others merely related: the
+        # paper folds this into the total related case.
+        return MappingKind.TOTAL_RELATED
+    if exact_positions and len(exact_positions) == len(mapped):
+        return MappingKind.PARTIAL_EXACT
+    return MappingKind.PARTIAL_RELATED

@@ -1,0 +1,67 @@
+"""The SemRel relevance score: Equations 2 and 3 of Section 5.2.
+
+A target tuple is mapped to a point in the unit hypercube ``R^m`` (one
+axis per query entity, coordinate = achieved similarity); its relevance
+is the informativeness-weighted Euclidean distance from the ideal point
+``(1, ..., 1)``, converted to a similarity in ``(0, 1]``::
+
+    D_I(p_Q, p_T) = sqrt( sum_i I(e_i) * (1 - x_i)^2 )     (Eq. 2)
+    SemRel(t_Q, t_T) = 1 / (D_I + 1)                        (Eq. 3)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.exceptions import SearchError
+
+WeightFunction = Callable[[str], float]
+
+
+def weighted_distance(
+    query_entities: Sequence[str],
+    coordinates: Sequence[float],
+    informativeness: WeightFunction,
+) -> float:
+    """Equation 2: weighted Euclidean distance from the perfect match.
+
+    ``coordinates[i]`` is the aggregated similarity achieved for query
+    entity ``i`` (0 when the entity has no relevant mapping in the
+    target).
+    """
+    if len(query_entities) != len(coordinates):
+        raise SearchError(
+            f"{len(query_entities)} query entities but "
+            f"{len(coordinates)} coordinates"
+        )
+    total = 0.0
+    for uri, x in zip(query_entities, coordinates):
+        if not 0.0 <= x <= 1.0 + 1e-9:
+            raise SearchError(f"coordinate out of [0, 1]: {x!r} for {uri!r}")
+        weight = informativeness(uri)
+        residual = 1.0 - min(x, 1.0)
+        total += weight * residual * residual
+    return math.sqrt(total)
+
+
+def distance_to_similarity(distance: float) -> float:
+    """Equation 3: convert a distance to a score in ``(0, 1]``."""
+    if distance < 0.0:
+        raise SearchError(f"distance must be non-negative, got {distance!r}")
+    return 1.0 / (distance + 1.0)
+
+
+def semrel_tuple_score(
+    query_entities: Sequence[str],
+    coordinates: Sequence[float],
+    informativeness: WeightFunction,
+) -> float:
+    """SemRel of one query tuple against aggregated target coordinates.
+
+    This is line 14 of Algorithm 1: the per-entity aggregated row scores
+    become coordinates, and the weighted distance from the ideal point is
+    converted to a similarity.
+    """
+    distance = weighted_distance(query_entities, coordinates, informativeness)
+    return distance_to_similarity(distance)

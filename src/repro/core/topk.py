@@ -1,0 +1,141 @@
+"""Early-terminating top-k search with score upper bounds.
+
+Problem 2.2 only needs the top-k tables, yet Algorithm 1 scores every
+candidate fully.  This module adds a threshold-algorithm style
+optimization on top of the exact engine:
+
+1. for each candidate table, compute a cheap *upper bound* on its
+   SemRel score — per query entity, the best similarity any entity in
+   the table could provide, ignoring column assignment and injectivity
+   (both can only lower the real score);
+2. process tables in descending bound order, scoring them exactly;
+3. stop as soon as the k-th best exact score reaches the next bound —
+   no remaining table can enter the top-k.
+
+The result is *identical* to the brute-force ranking (property-tested),
+only cheaper: hopeless tables never pay the Hungarian mapping or the
+row scan.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.query import Query
+from repro.core.result import ResultSet, ScoredTable
+from repro.core.search import TableSearchEngine
+from repro.core.semrel import semrel_tuple_score
+from repro.datalake.table import Table
+
+
+def table_score_upper_bound(
+    engine: TableSearchEngine,
+    query: Query,
+    table: Table,
+    memo: Dict[Tuple[str, str], float],
+) -> float:
+    """A sound, cheap upper bound on ``SemRel(query, table)``.
+
+    Every coordinate of every query tuple is bounded by the best
+    similarity between that query entity and *any* entity mentioned in
+    the table; dropping the distinct-column and injectivity constraints
+    only raises the bound.  The bound needs one similarity evaluation
+    per (query entity, distinct table entity) pair — no Hungarian
+    solve, no row scan.
+    """
+    table_entities = engine.mapping.entities_in_table(table.table_id)
+    if not table_entities:
+        return 0.0
+    entity_list = sorted(table_entities)
+    best_for: Dict[str, float] = {}
+    tuple_bounds: List[float] = []
+    for query_tuple in query:
+        coordinates: List[float] = []
+        for query_entity in query_tuple:
+            best = best_for.get(query_entity)
+            if best is None:
+                best = 0.0
+                for target in entity_list:
+                    similarity = engine._memo_similarity(
+                        memo, query_entity, target
+                    )
+                    if similarity > best:
+                        best = similarity
+                        if best >= 1.0:
+                            break
+                best_for[query_entity] = best
+            coordinates.append(best)
+        tuple_bounds.append(
+            semrel_tuple_score(
+                list(query_tuple), coordinates, engine.informativeness
+            )
+        )
+    return engine.query_aggregation.aggregate(tuple_bounds)
+
+
+def topk_search(
+    engine: TableSearchEngine,
+    query: Query,
+    k: int,
+    candidates: Optional[Iterable[str]] = None,
+) -> ResultSet:
+    """Return the exact top-``k`` ranking with early termination.
+
+    Parameters
+    ----------
+    engine:
+        A configured exact search engine.
+    query:
+        The entity-tuple query.
+    k:
+        Result count (must be >= 1).
+    candidates:
+        Optional table-id restriction (e.g. from an LSH prefilter);
+        defaults to the whole lake.
+
+    Returns
+    -------
+    ResultSet:
+        Identical to ``engine.search(query, k=k, candidates=...)``.
+    """
+    if k < 1:
+        return ResultSet([])
+    memo: Dict[Tuple[str, str], float] = {}
+    if candidates is None:
+        tables: List[Table] = list(engine.lake)
+    else:
+        tables = [
+            engine.lake.get(tid)
+            for tid in dict.fromkeys(candidates)
+            if tid in engine.lake
+        ]
+    # Phase 1: bounds for every candidate (cheap).
+    bounded: List[Tuple[float, str, Table]] = []
+    for table in tables:
+        if engine.drop_irrelevant and not engine.mapping.entities_in_table(
+            table.table_id
+        ):
+            continue
+        bound = table_score_upper_bound(engine, query, table, memo)
+        if bound > 0.0:
+            bounded.append((bound, table.table_id, table))
+    # Phase 2: exact scoring in descending bound order with cut-off.
+    bounded.sort(key=lambda item: (-item[0], item[1]))
+    heap: List[Tuple[float, str]] = []  # min-heap of (score, -id) top-k
+    results: List[ScoredTable] = []
+    for bound, _table_id, table in bounded:
+        # Strict comparison keeps tie-breaking exact: any table whose
+        # bound equals the k-th score might still enter via the id
+        # tie-break, so it gets scored.
+        if len(heap) == k and bound < heap[0][0]:
+            break  # nothing below can displace the current top-k
+        outcome = engine.score_table(query, table, memo)
+        if not outcome.relevant or outcome.score <= 0.0:
+            continue
+        results.append(ScoredTable(outcome.score, outcome.table_id))
+        if len(heap) < k:
+            heapq.heappush(heap, (outcome.score, outcome.table_id))
+        elif outcome.score > heap[0][0]:
+            heapq.heapreplace(heap, (outcome.score, outcome.table_id))
+    return ResultSet(results).top(k)

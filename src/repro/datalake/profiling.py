@@ -1,0 +1,126 @@
+"""Column profiling for data-lake tables.
+
+Data-lake systems routinely profile ingested tables to drive indexing
+decisions; here, profiles answer the questions the search stack cares
+about: which columns are textual (candidate entity columns), which are
+numeric (never linkable), how dense the nulls are, and — given a
+mapping — what fraction of a column's cells actually resolved to KG
+entities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.datalake.table import Table
+from repro.linking.mapping import EntityMapping
+
+
+class ColumnKind(enum.Enum):
+    """Dominant value kind of a column."""
+
+    NUMERIC = "numeric"
+    TEXT = "text"
+    MIXED = "mixed"
+    EMPTY = "empty"
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Statistics of one table column."""
+
+    name: str
+    index: int
+    kind: ColumnKind
+    null_fraction: float
+    distinct_values: int
+    entity_link_fraction: float  # 0.0 without a mapping
+
+    @property
+    def is_entity_candidate(self) -> bool:
+        """Whether the column could plausibly hold entity mentions."""
+        return self.kind in (ColumnKind.TEXT, ColumnKind.MIXED)
+
+
+@dataclass(frozen=True)
+class TableProfile:
+    """Per-column profiles plus table-level aggregates."""
+
+    table_id: str
+    columns: List[ColumnProfile]
+
+    @property
+    def entity_columns(self) -> List[ColumnProfile]:
+        """Columns that could hold entity mentions."""
+        return [c for c in self.columns if c.is_entity_candidate]
+
+    @property
+    def numeric_columns(self) -> List[ColumnProfile]:
+        """Columns dominated by numbers."""
+        return [c for c in self.columns if c.kind is ColumnKind.NUMERIC]
+
+    def format_report(self) -> str:
+        """Text report, one line per column."""
+        lines = [f"table {self.table_id!r}:"]
+        for column in self.columns:
+            lines.append(
+                f"  [{column.index}] {column.name:<16} {column.kind.value:<8}"
+                f" nulls={column.null_fraction:5.1%}"
+                f" distinct={column.distinct_values:<6}"
+                f" linked={column.entity_link_fraction:5.1%}"
+            )
+        return "\n".join(lines)
+
+
+def _classify(values: List[object]) -> ColumnKind:
+    non_null = [v for v in values if v is not None]
+    if not non_null:
+        return ColumnKind.EMPTY
+    numeric = sum(1 for v in non_null if isinstance(v, (int, float)))
+    fraction = numeric / len(non_null)
+    if fraction >= 0.9:
+        return ColumnKind.NUMERIC
+    if fraction <= 0.1:
+        return ColumnKind.TEXT
+    return ColumnKind.MIXED
+
+
+def profile_column(
+    table: Table,
+    column: int,
+    mapping: Optional[EntityMapping] = None,
+) -> ColumnProfile:
+    """Profile one column of ``table``."""
+    values = table.column(column)
+    total = len(values)
+    nulls = sum(1 for v in values if v is None)
+    linked = 0
+    if mapping is not None:
+        linked = sum(
+            1
+            for row in range(table.num_rows)
+            if mapping.entity_at(table.table_id, row, column) is not None
+        )
+    return ColumnProfile(
+        name=table.attributes[column],
+        index=column,
+        kind=_classify(values),
+        null_fraction=(nulls / total) if total else 0.0,
+        distinct_values=len({v for v in values if v is not None}),
+        entity_link_fraction=(linked / total) if total else 0.0,
+    )
+
+
+def profile_table(
+    table: Table, mapping: Optional[EntityMapping] = None
+) -> TableProfile:
+    """Profile every column of ``table``."""
+    return TableProfile(
+        table_id=table.table_id,
+        columns=[
+            profile_column(table, column, mapping)
+            for column in range(table.num_columns)
+        ],
+    )

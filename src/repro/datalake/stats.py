@@ -1,0 +1,64 @@
+"""Corpus statistics in the shape of the paper's Table 2.
+
+For each benchmark the paper reports the number of tables, mean rows,
+mean columns, and mean entity-link coverage (fraction of cells linked to
+a KG entity).  :func:`corpus_statistics` computes the same summary for
+any lake, optionally using an entity mapping for the coverage column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.datalake.lake import DataLake
+
+
+@dataclass(frozen=True)
+class CorpusStatistics:
+    """Summary row matching the columns of the paper's Table 2."""
+
+    num_tables: int
+    mean_rows: float
+    mean_columns: float
+    mean_coverage: float
+
+    def format_row(self, name: str) -> str:
+        """Render in the style of Table 2 for benchmark harness output."""
+        return (
+            f"{name:<12} T={self.num_tables:>9,}  R={self.mean_rows:>7.1f}  "
+            f"C={self.mean_columns:>5.1f}  Cov={self.mean_coverage * 100:>5.1f}%"
+        )
+
+
+def corpus_statistics(lake: DataLake, mapping=None) -> CorpusStatistics:
+    """Compute Table-2 style statistics for ``lake``.
+
+    Parameters
+    ----------
+    lake:
+        The data lake to summarize.
+    mapping:
+        Optional :class:`~repro.linking.mapping.EntityMapping`; when
+        provided, mean coverage is the per-table mean fraction of cells
+        linked to a KG entity, as in the paper.  Without a mapping the
+        coverage column is reported as 0.
+    """
+    num_tables = len(lake)
+    if num_tables == 0:
+        return CorpusStatistics(0, 0.0, 0.0, 0.0)
+    total_rows = 0
+    total_columns = 0
+    coverage_sum = 0.0
+    for table in lake:
+        total_rows += table.num_rows
+        total_columns += table.num_columns
+        if mapping is not None and table.num_cells > 0:
+            linked = mapping.linked_cell_count(table.table_id)
+            coverage_sum += linked / table.num_cells
+    return CorpusStatistics(
+        num_tables=num_tables,
+        mean_rows=total_rows / num_tables,
+        mean_columns=total_columns / num_tables,
+        mean_coverage=coverage_sum / num_tables if mapping is not None else 0.0,
+    )

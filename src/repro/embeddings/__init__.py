@@ -1,0 +1,18 @@
+"""Entity embeddings: skip-gram word2vec, RDF2Vec trainer, vector store."""
+
+from repro.embeddings.rdf2vec import RDF2VecConfig, RDF2VecTrainer, train_rdf2vec
+from repro.embeddings.store import EmbeddingStore
+from repro.embeddings.transe import TransEConfig, TransETrainer, train_transe
+from repro.embeddings.word2vec import SkipGramModel, Vocabulary
+
+__all__ = [
+    "EmbeddingStore",
+    "SkipGramModel",
+    "Vocabulary",
+    "RDF2VecConfig",
+    "RDF2VecTrainer",
+    "train_rdf2vec",
+    "TransEConfig",
+    "TransETrainer",
+    "train_transe",
+]

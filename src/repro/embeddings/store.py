@@ -1,0 +1,127 @@
+"""Embedding storage with fast cosine operations.
+
+An :class:`EmbeddingStore` owns a dense matrix of L2-normalized entity
+vectors, so cosine similarity is a dot product and batched similarity a
+matrix-vector product.  The LSH layer also reads the raw matrix to
+compute hyperplane signatures for all entities in one pass.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, EmbeddingError
+
+PathLike = Union[str, Path]
+
+
+class EmbeddingStore:
+    """Immutable registry of entity embeddings keyed by URI."""
+
+    def __init__(self, vectors: Mapping[str, np.ndarray]):
+        if not vectors:
+            raise EmbeddingError("embedding store cannot be empty")
+        self._uris: List[str] = list(vectors.keys())
+        self._row_of: Dict[str, int] = {uri: i for i, uri in enumerate(self._uris)}
+        first = np.asarray(next(iter(vectors.values())), dtype=np.float64)
+        self.dimensions = int(first.shape[-1])
+        matrix = np.empty((len(self._uris), self.dimensions))
+        for i, uri in enumerate(self._uris):
+            vec = np.asarray(vectors[uri], dtype=np.float64).reshape(-1)
+            if vec.shape[0] != self.dimensions:
+                raise DimensionMismatchError(self.dimensions, vec.shape[0])
+            matrix[i] = vec
+        self._matrix = matrix
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        self._unit = matrix / norms
+
+    # ------------------------------------------------------------------
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._row_of
+
+    def __len__(self) -> int:
+        return len(self._uris)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._uris)
+
+    def uris(self) -> List[str]:
+        """Return all stored URIs in matrix row order."""
+        return list(self._uris)
+
+    def vector(self, uri: str) -> np.ndarray:
+        """Return the raw (unnormalized) vector for ``uri``."""
+        try:
+            return self._matrix[self._row_of[uri]]
+        except KeyError:
+            raise EmbeddingError(f"no embedding for {uri!r}") from None
+
+    def unit_vector(self, uri: str) -> np.ndarray:
+        """Return the L2-normalized vector for ``uri``."""
+        try:
+            return self._unit[self._row_of[uri]]
+        except KeyError:
+            raise EmbeddingError(f"no embedding for {uri!r}") from None
+
+    def matrix(self) -> np.ndarray:
+        """Return a read-only view of the raw embedding matrix."""
+        view = self._matrix.view()
+        view.flags.writeable = False
+        return view
+
+    # ------------------------------------------------------------------
+    def cosine(self, a: str, b: str) -> float:
+        """Cosine similarity between two stored entities."""
+        return float(self.unit_vector(a) @ self.unit_vector(b))
+
+    def cosine_to_all(self, uri: str) -> np.ndarray:
+        """Cosine similarity of ``uri`` against every stored entity."""
+        return self._unit @ self.unit_vector(uri)
+
+    def nearest(self, uri: str, top_k: int = 10) -> List[Tuple[str, float]]:
+        """Return the ``top_k`` most cosine-similar entities (excl. self)."""
+        sims = self.cosine_to_all(uri)
+        order = np.argsort(-sims)
+        results: List[Tuple[str, float]] = []
+        for index in order:
+            candidate = self._uris[int(index)]
+            if candidate == uri:
+                continue
+            results.append((candidate, float(sims[int(index)])))
+            if len(results) == top_k:
+                break
+        return results
+
+    def mean_vector(self, uris: Iterable[str]) -> Optional[np.ndarray]:
+        """Average the raw vectors of ``uris`` (skipping unknown URIs).
+
+        Used for the column-aggregation LSH variant of Section 6.2 and
+        the TURL-like baseline's table pooling.  Returns ``None`` when no
+        URI is known.
+        """
+        rows = [self._row_of[uri] for uri in uris if uri in self._row_of]
+        if not rows:
+            return None
+        return self._matrix[rows].mean(axis=0)
+
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> None:
+        """Persist to a JSON file (URIs + vector lists)."""
+        payload = {
+            "dimensions": self.dimensions,
+            "vectors": {uri: self.vector(uri).tolist() for uri in self._uris},
+        }
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "EmbeddingStore":
+        """Load a store previously written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls(
+            {uri: np.asarray(vec) for uri, vec in payload["vectors"].items()}
+        )

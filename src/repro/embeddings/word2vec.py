@@ -1,0 +1,251 @@
+"""Skip-gram word2vec with negative sampling, implemented on numpy.
+
+This is the learning core of RDF2Vec: the walk corpus is treated as
+sentences and each token (entity or predicate URI) receives a dense
+vector such that tokens sharing contexts land close in the learned
+space.  The implementation follows Mikolov et al.'s SGNS objective::
+
+    log s(v_c . v_o) + sum_{k} E[log s(-v_c . v_nk)]
+
+with a unigram^0.75 negative-sampling distribution, linear learning-rate
+decay, and mini-batched updates via ``np.add.at`` so training stays
+vectorized end-to-end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, EmbeddingError
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    # Clipping keeps exp() finite; gradients saturate identically.
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+def _scatter_mean_step(
+    target: np.ndarray, indices: np.ndarray, grads: np.ndarray, lr: float
+) -> None:
+    """SGD step with gradients averaged per repeated index."""
+    unique, inverse, counts = np.unique(
+        indices, return_inverse=True, return_counts=True
+    )
+    accumulated = np.zeros((unique.size, target.shape[1]))
+    np.add.at(accumulated, inverse, grads)
+    target[unique] -= lr * accumulated / counts[:, None]
+
+
+class Vocabulary:
+    """Token-to-index mapping with unigram statistics."""
+
+    def __init__(self, sentences: Sequence[Sequence[str]], min_count: int = 1):
+        counts: Dict[str, int] = {}
+        for sentence in sentences:
+            for token in sentence:
+                counts[token] = counts.get(token, 0) + 1
+        self.index: Dict[str, int] = {}
+        self.tokens: List[str] = []
+        self.counts: List[int] = []
+        for token, count in counts.items():
+            if count >= min_count:
+                self.index[token] = len(self.tokens)
+                self.tokens.append(token)
+                self.counts.append(count)
+        if not self.tokens:
+            raise EmbeddingError("vocabulary is empty after min_count filtering")
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.index
+
+    def encode(self, sentence: Sequence[str]) -> List[int]:
+        """Map a sentence to known-token indices, dropping OOV tokens."""
+        return [self.index[t] for t in sentence if t in self.index]
+
+    def negative_sampling_distribution(self) -> np.ndarray:
+        """Unigram distribution raised to 3/4, as in the original paper."""
+        weights = np.asarray(self.counts, dtype=np.float64) ** 0.75
+        return weights / weights.sum()
+
+
+class SkipGramModel:
+    """Trainable SGNS model over a fixed vocabulary.
+
+    Parameters
+    ----------
+    dimensions:
+        Embedding width.
+    window:
+        Max distance between center and context token.
+    negative:
+        Negative samples per positive pair.
+    learning_rate:
+        Initial SGD step size (decays linearly to 1e-4 of itself).
+    epochs:
+        Full passes over the corpus.
+    batch_size:
+        Pairs per vectorized update.
+    subsample:
+        Frequent-token subsampling threshold ``t`` (word2vec's ``-sample``):
+        a token with corpus frequency ``f`` is kept with probability
+        ``min(1, sqrt(t / f) + t / f)``.  ``0`` disables subsampling
+        (the default — synthetic walk corpora are small); the original
+        paper uses ``1e-3``-``1e-5`` on natural text.
+    seed:
+        Determinism seed for init and sampling.
+    """
+
+    def __init__(
+        self,
+        dimensions: int = 32,
+        window: int = 3,
+        negative: int = 5,
+        learning_rate: float = 0.05,
+        epochs: int = 3,
+        batch_size: int = 1024,
+        subsample: float = 0.0,
+        seed: int = 0,
+    ):
+        if dimensions < 1:
+            raise ConfigurationError("dimensions must be >= 1")
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        if negative < 1:
+            raise ConfigurationError("negative must be >= 1")
+        if epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+        self.dimensions = dimensions
+        self.window = window
+        self.negative = negative
+        self.learning_rate = learning_rate
+        if subsample < 0:
+            raise ConfigurationError("subsample must be >= 0")
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.subsample = subsample
+        self.seed = seed
+        self.vocabulary: Vocabulary = None  # type: ignore[assignment]
+        self.input_vectors: np.ndarray = None  # type: ignore[assignment]
+        self.output_vectors: np.ndarray = None  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    def _pairs(self, encoded: Sequence[Sequence[int]]) -> Tuple[np.ndarray, np.ndarray]:
+        centers: List[int] = []
+        contexts: List[int] = []
+        for sentence in encoded:
+            length = len(sentence)
+            for position, center in enumerate(sentence):
+                lo = max(0, position - self.window)
+                hi = min(length, position + self.window + 1)
+                for other in range(lo, hi):
+                    if other != position:
+                        centers.append(center)
+                        contexts.append(sentence[other])
+        return (
+            np.asarray(centers, dtype=np.int64),
+            np.asarray(contexts, dtype=np.int64),
+        )
+
+    def train(self, sentences: Sequence[Sequence[str]], min_count: int = 1) -> "SkipGramModel":
+        """Fit embeddings on ``sentences``; returns ``self``."""
+        rng = np.random.default_rng(self.seed)
+        self.vocabulary = Vocabulary(sentences, min_count=min_count)
+        vocab_size = len(self.vocabulary)
+        scale = 1.0 / self.dimensions
+        self.input_vectors = rng.uniform(-scale, scale, (vocab_size, self.dimensions))
+        self.output_vectors = np.zeros((vocab_size, self.dimensions))
+        encoded = [self.vocabulary.encode(s) for s in sentences]
+        if self.subsample > 0.0:
+            encoded = self._subsample(encoded, rng)
+        centers, contexts = self._pairs(encoded)
+        if centers.size == 0:
+            raise EmbeddingError("no training pairs: corpus sentences too short")
+        neg_dist = self.vocabulary.negative_sampling_distribution()
+        total_steps = self.epochs * (1 + (centers.size - 1) // self.batch_size)
+        step = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(centers.size)
+            for start in range(0, centers.size, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                lr = self.learning_rate * max(
+                    1.0 - step / total_steps, 1e-4
+                )
+                self._update(centers[batch], contexts[batch], neg_dist, lr, rng)
+                step += 1
+        return self
+
+    def _subsample(
+        self, encoded: Sequence[Sequence[int]], rng: np.random.Generator
+    ) -> List[List[int]]:
+        """Randomly drop frequent tokens (word2vec's -sample option)."""
+        counts = np.asarray(self.vocabulary.counts, dtype=np.float64)
+        frequencies = counts / counts.sum()
+        keep = np.minimum(
+            1.0,
+            np.sqrt(self.subsample / frequencies)
+            + self.subsample / frequencies,
+        )
+        return [
+            [token for token in sentence if rng.random() < keep[token]]
+            for sentence in encoded
+        ]
+
+    def _update(
+        self,
+        centers: np.ndarray,
+        contexts: np.ndarray,
+        neg_dist: np.ndarray,
+        lr: float,
+        rng: np.random.Generator,
+    ) -> None:
+        batch = centers.shape[0]
+        center_vecs = self.input_vectors[centers]  # (B, D)
+        # Positive pass.
+        context_vecs = self.output_vectors[contexts]  # (B, D)
+        pos_score = _sigmoid(np.einsum("bd,bd->b", center_vecs, context_vecs))
+        pos_grad = (pos_score - 1.0)[:, None]  # d loss / d (dot)
+        grad_center = pos_grad * context_vecs
+        grad_context = pos_grad * center_vecs
+        # Negative pass.
+        negatives = rng.choice(
+            len(neg_dist), size=(batch, self.negative), p=neg_dist
+        )  # (B, K)
+        neg_vecs = self.output_vectors[negatives]  # (B, K, D)
+        neg_score = _sigmoid(np.einsum("bd,bkd->bk", center_vecs, neg_vecs))
+        grad_center += np.einsum("bk,bkd->bd", neg_score, neg_vecs)
+        grad_negatives = neg_score[:, :, None] * center_vecs[:, None, :]
+        # Apply the *mean* gradient per parameter rather than the sum:
+        # with small vocabularies a token recurs hundreds of times per
+        # batch and summed stale gradients diverge.
+        _scatter_mean_step(self.input_vectors, centers, grad_center, lr)
+        _scatter_mean_step(self.output_vectors, contexts, grad_context, lr)
+        _scatter_mean_step(
+            self.output_vectors,
+            negatives.reshape(-1),
+            grad_negatives.reshape(-1, self.dimensions),
+            lr,
+        )
+
+    # ------------------------------------------------------------------
+    def vector(self, token: str) -> np.ndarray:
+        """Return the learned input vector for ``token``."""
+        if self.vocabulary is None:
+            raise EmbeddingError("model has not been trained")
+        try:
+            return self.input_vectors[self.vocabulary.index[token]]
+        except KeyError:
+            raise EmbeddingError(f"token not in vocabulary: {token!r}") from None
+
+    def vectors(self) -> Dict[str, np.ndarray]:
+        """Return a token -> vector dictionary of all learned embeddings."""
+        if self.vocabulary is None:
+            raise EmbeddingError("model has not been trained")
+        return {
+            token: self.input_vectors[index]
+            for token, index in self.vocabulary.index.items()
+        }

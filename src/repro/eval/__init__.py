@@ -1,0 +1,53 @@
+"""Evaluation: metrics, graded ground truth, experiment runner."""
+
+from repro.eval.ground_truth import (
+    GroundTruth,
+    build_ground_truth,
+    entity_jaccard_gains,
+    ground_truth_for_benchmark,
+)
+from repro.eval.metrics import (
+    dcg,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    summarize,
+)
+from repro.eval.plots import box_plot_figure, box_plot_row
+from repro.eval.report import report_to_markdown, write_markdown_report
+from repro.eval.significance import (
+    ComparisonResult,
+    bootstrap_ci,
+    compare_systems,
+    permutation_test,
+)
+from repro.eval.runner import (
+    ExperimentRunner,
+    QueryOutcome,
+    SearchSystem,
+    SystemReport,
+)
+
+__all__ = [
+    "GroundTruth",
+    "build_ground_truth",
+    "entity_jaccard_gains",
+    "ground_truth_for_benchmark",
+    "dcg",
+    "ndcg_at_k",
+    "recall_at_k",
+    "precision_at_k",
+    "summarize",
+    "ExperimentRunner",
+    "SystemReport",
+    "QueryOutcome",
+    "SearchSystem",
+    "compare_systems",
+    "permutation_test",
+    "bootstrap_ci",
+    "ComparisonResult",
+    "box_plot_row",
+    "box_plot_figure",
+    "report_to_markdown",
+    "write_markdown_report",
+]

@@ -1,0 +1,112 @@
+"""Graded ground-truth relevance for benchmark queries.
+
+The paper evaluates against the SIGIR'24 semantic table search corpus
+[40], whose relevance labels derive from Wikipedia categories and
+navigational links plus entity overlap.  Our synthetic benchmark knows
+each table's true topic (the generator stamps ``category`` and
+``domain`` metadata), so the equivalent graded ground truth combines:
+
+* topical grade — 3 for the query's exact category, 1 for the same
+  domain, 0 otherwise;
+* entity grade — the Jaccard similarity between the table's linked
+  entity set and the query's entity set (the signal the paper's recall
+  definition ranks by), scaled to [0, 2].
+
+Gains are the sum, giving a 0..5 graded scale suitable for NDCG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Set
+
+from repro.core.query import Query
+from repro.datalake.lake import DataLake
+from repro.linking.mapping import EntityMapping
+from repro.similarity.types import jaccard
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Per-query graded gains over table ids."""
+
+    gains: Dict[str, float] = field(default_factory=dict)
+
+    def gain(self, table_id: str) -> float:
+        """Graded gain of one table (0.0 when irrelevant/unknown)."""
+        return self.gains.get(table_id, 0.0)
+
+    def relevant_ids(self) -> Set[str]:
+        """Tables with positive gain."""
+        return {tid for tid, gain in self.gains.items() if gain > 0.0}
+
+    def __len__(self) -> int:
+        return len(self.gains)
+
+
+def entity_jaccard_gains(
+    lake: DataLake, mapping: EntityMapping, query: Query
+) -> Dict[str, float]:
+    """Entity-overlap gains: Jaccard(table entities, query entities)."""
+    query_entities = frozenset(query.entities())
+    gains: Dict[str, float] = {}
+    for table in lake:
+        table_entities = mapping.entities_in_table(table.table_id)
+        score = jaccard(query_entities, table_entities)
+        if score > 0.0:
+            gains[table.table_id] = score
+    return gains
+
+
+def build_ground_truth(
+    lake: DataLake,
+    mapping: EntityMapping,
+    query: Query,
+    query_category: Optional[str] = None,
+    query_domain: Optional[str] = None,
+    category_weight: float = 3.0,
+    domain_weight: float = 1.0,
+    entity_weight: float = 2.0,
+) -> GroundTruth:
+    """Combine topical and entity-overlap grades into one ground truth.
+
+    Tables whose metadata carries the query's category get the full
+    topical grade; same-domain tables a smaller one; entity overlap adds
+    a continuous component so exact-match tables rank above merely
+    topical ones — mirroring the structure of the Wikipedia-category
+    benchmark the paper uses.
+    """
+    entity_gains = entity_jaccard_gains(lake, mapping, query)
+    gains: Dict[str, float] = {}
+    for table in lake:
+        gain = entity_weight * entity_gains.get(table.table_id, 0.0)
+        if query_category is not None or query_domain is not None:
+            category = table.metadata.get("category")
+            domain = table.metadata.get("domain")
+            if query_category is not None and category == query_category:
+                gain += category_weight
+            elif query_domain is not None and domain == query_domain:
+                gain += domain_weight
+        if gain > 0.0:
+            gains[table.table_id] = gain
+    return GroundTruth(gains)
+
+
+def ground_truth_for_benchmark(
+    lake: DataLake,
+    mapping: EntityMapping,
+    queries: Mapping[str, Query],
+    categories: Mapping[str, str],
+    domains: Mapping[str, str],
+) -> Dict[str, GroundTruth]:
+    """Ground truth for a whole query set keyed by query id."""
+    return {
+        query_id: build_ground_truth(
+            lake,
+            mapping,
+            query,
+            query_category=categories.get(query_id),
+            query_domain=domains.get(query_id),
+        )
+        for query_id, query in queries.items()
+    }

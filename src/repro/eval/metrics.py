@@ -1,0 +1,102 @@
+"""Retrieval quality metrics: NDCG, recall, precision (Section 7.1).
+
+NDCG@k uses graded gains with the standard ``gain / log2(rank + 1)``
+discount; the ideal ranking orders ground-truth gains descending.
+Recall@k follows the paper's definition: the fraction of the top-k
+*ground-truth* relevant tables that appear anywhere in the retrieved
+top-k.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Sequence
+
+
+def dcg(gains: Sequence[float]) -> float:
+    """Discounted cumulative gain of a gain sequence in rank order."""
+    return sum(
+        gain / math.log2(rank + 2) for rank, gain in enumerate(gains) if gain > 0.0
+    )
+
+
+def ndcg_at_k(
+    ranked_ids: Sequence[str],
+    gains: Mapping[str, float],
+    k: int,
+) -> float:
+    """NDCG@k of ``ranked_ids`` under graded ``gains``.
+
+    Returns 0.0 when the ground truth has no positive gain at all (an
+    unanswerable query contributes nothing, as in trec-style tooling).
+    """
+    if k <= 0:
+        return 0.0
+    achieved = dcg([gains.get(table_id, 0.0) for table_id in ranked_ids[:k]])
+    ideal_gains = sorted((g for g in gains.values() if g > 0.0), reverse=True)[:k]
+    ideal = dcg(ideal_gains)
+    if ideal == 0.0:
+        return 0.0
+    return achieved / ideal
+
+
+def recall_at_k(
+    ranked_ids: Sequence[str],
+    gains: Mapping[str, float],
+    k: int,
+) -> float:
+    """Paper-style recall@k.
+
+    The ground-truth top-k is the k highest-gain tables (ties broken by
+    id for determinism); recall is the fraction of those found in the
+    retrieved top-k.
+    """
+    if k <= 0:
+        return 0.0
+    relevant = sorted(
+        (table_id for table_id, gain in gains.items() if gain > 0.0),
+        key=lambda tid: (-gains[tid], tid),
+    )[:k]
+    if not relevant:
+        return 0.0
+    retrieved = set(ranked_ids[:k])
+    hits = sum(1 for table_id in relevant if table_id in retrieved)
+    return hits / len(relevant)
+
+
+def precision_at_k(
+    ranked_ids: Sequence[str],
+    gains: Mapping[str, float],
+    k: int,
+) -> float:
+    """Fraction of the retrieved top-k that has positive gain."""
+    if k <= 0 or not ranked_ids:
+        return 0.0
+    retrieved = ranked_ids[:k]
+    hits = sum(1 for table_id in retrieved if gains.get(table_id, 0.0) > 0.0)
+    return hits / len(retrieved)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / quartile summary used in benchmark reports."""
+    if not values:
+        return {"mean": 0.0, "median": 0.0, "q1": 0.0, "q3": 0.0, "n": 0}
+    ordered = sorted(values)
+    n = len(ordered)
+
+    def percentile(p: float) -> float:
+        if n == 1:
+            return ordered[0]
+        position = p * (n - 1)
+        low = int(position)
+        high = min(low + 1, n - 1)
+        weight = position - low
+        return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+    return {
+        "mean": sum(ordered) / n,
+        "median": percentile(0.5),
+        "q1": percentile(0.25),
+        "q3": percentile(0.75),
+        "n": float(n),
+    }

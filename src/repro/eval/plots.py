@@ -1,0 +1,82 @@
+"""Terminal box plots for figure-style benchmark output.
+
+Figures 4 and 5 of the paper are box plots over per-query metric
+distributions.  The benchmark harness runs in a terminal, so this
+module renders the same information as unicode box-and-whisker rows:
+
+    STST    |------[=====|=====]-------|        0.00..1.00
+
+with whiskers at min/max, the box at the quartiles, and the bar at the
+median.  Pure string manipulation — no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.eval.metrics import summarize
+
+
+def _position(value: float, lo: float, hi: float, width: int) -> int:
+    if hi <= lo:
+        return 0
+    fraction = (value - lo) / (hi - lo)
+    return min(width - 1, max(0, int(round(fraction * (width - 1)))))
+
+
+def box_plot_row(
+    values: Sequence[float],
+    width: int = 40,
+    lo: float = 0.0,
+    hi: float = 1.0,
+) -> str:
+    """Render one distribution as a fixed-width box-plot string."""
+    if not values:
+        return " " * width
+    stats = summarize(values)
+    minimum, maximum = min(values), max(values)
+    cells = [" "] * width
+    p_min = _position(minimum, lo, hi, width)
+    p_max = _position(maximum, lo, hi, width)
+    p_q1 = _position(stats["q1"], lo, hi, width)
+    p_q3 = _position(stats["q3"], lo, hi, width)
+    p_med = _position(stats["median"], lo, hi, width)
+    for i in range(p_min, p_max + 1):
+        cells[i] = "-"
+    for i in range(p_q1, p_q3 + 1):
+        cells[i] = "="
+    cells[p_min] = "|"
+    cells[p_max] = "|"
+    cells[p_q1] = "["
+    cells[p_q3] = "]"
+    cells[p_med] = "#"
+    return "".join(cells)
+
+
+def box_plot_figure(
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 40,
+    lo: float = 0.0,
+    hi: float = 1.0,
+) -> str:
+    """Render a labeled multi-series box-plot figure as text.
+
+    ``series`` maps a system label to its per-query metric values; the
+    output is one plot row per system plus an axis line, suitable for
+    direct printing from a benchmark.
+    """
+    label_width = max((len(name) for name in series), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, values in series.items():
+        stats = summarize(values)
+        lines.append(
+            f"  {name:<{label_width}} "
+            f"{box_plot_row(values, width, lo, hi)} "
+            f"med={stats['median']:.3f} mean={stats['mean']:.3f}"
+        )
+    axis = f"{lo:g}" + " " * (width - len(f"{lo:g}") - len(f"{hi:g}")) + f"{hi:g}"
+    lines.append(f"  {'':<{label_width}} {axis}")
+    return "\n".join(lines)

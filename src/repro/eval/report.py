@@ -1,0 +1,89 @@
+"""Markdown report generation for experiment results.
+
+Benchmarks print to the terminal; long-lived results deserve an
+artifact.  :func:`write_markdown_report` turns a set of
+:class:`~repro.eval.runner.SystemReport` objects (plus optional
+significance comparisons) into a single self-describing Markdown file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.eval.plots import box_plot_row
+from repro.eval.runner import SystemReport
+from repro.eval.significance import ComparisonResult
+
+PathLike = Union[str, Path]
+
+
+def report_to_markdown(
+    title: str,
+    reports: Mapping[str, SystemReport],
+    comparisons: Optional[Mapping[str, ComparisonResult]] = None,
+    notes: Sequence[str] = (),
+) -> str:
+    """Render reports as a Markdown document (returned as a string)."""
+    lines = [f"# {title}", ""]
+    if notes:
+        for note in notes:
+            lines.append(f"> {note}")
+        lines.append("")
+    lines.append("## Systems")
+    lines.append("")
+    lines.append(
+        "| System | k | NDCG mean | NDCG median | recall mean | "
+        "mean s/query | queries |"
+    )
+    lines.append("|---|---|---|---|---|---|---|")
+    for name, report in reports.items():
+        ndcg = report.ndcg_summary()
+        recall = report.recall_summary()
+        lines.append(
+            f"| {name} | {report.k} | {ndcg['mean']:.3f} | "
+            f"{ndcg['median']:.3f} | {recall['mean']:.3f} | "
+            f"{report.mean_seconds():.3f} | {len(report.outcomes)} |"
+        )
+    lines.append("")
+    lines.append("## NDCG distributions")
+    lines.append("")
+    lines.append("```")
+    width = max((len(name) for name in reports), default=0)
+    for name, report in reports.items():
+        values = [o.ndcg for o in report.outcomes]
+        lines.append(f"{name:<{width}} {box_plot_row(values, width=40)}")
+    lines.append("```")
+    if comparisons:
+        lines.append("")
+        lines.append("## Paired comparisons")
+        lines.append("")
+        lines.append(
+            "| Comparison | mean diff | p-value | 95% CI | significant |"
+        )
+        lines.append("|---|---|---|---|---|")
+        for label, result in comparisons.items():
+            lines.append(
+                f"| {label} | {result.mean_difference:+.4f} | "
+                f"{result.p_value:.4f} | "
+                f"[{result.ci_low:+.4f}, {result.ci_high:+.4f}] | "
+                f"{'yes' if result.significant else 'no'} |"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_markdown_report(
+    path: PathLike,
+    title: str,
+    reports: Mapping[str, SystemReport],
+    comparisons: Optional[Mapping[str, ComparisonResult]] = None,
+    notes: Sequence[str] = (),
+) -> Path:
+    """Write the Markdown report to ``path``; returns the path."""
+    target = Path(path)
+    target.write_text(
+        report_to_markdown(title, reports, comparisons, notes),
+        encoding="utf-8",
+    )
+    return target

@@ -1,0 +1,131 @@
+"""Experiment runner: evaluate named retrieval systems over a query set.
+
+Each system is a callable ``(query, k) -> ResultSet``; the runner times
+every call, computes NDCG/recall/precision against per-query ground
+truth, and produces per-system summaries — the machinery behind every
+figure and table of Section 7.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.query import Query
+from repro.core.result import ResultSet
+from repro.eval.ground_truth import GroundTruth
+from repro.eval.metrics import ndcg_at_k, precision_at_k, recall_at_k, summarize
+
+SearchSystem = Callable[[Query, int], ResultSet]
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Metrics for one system on one query."""
+
+    system: str
+    query_id: str
+    k: int
+    ndcg: float
+    recall: float
+    precision: float
+    seconds: float
+    result_size: int
+
+
+@dataclass
+class SystemReport:
+    """Aggregate metrics for one system across a query set."""
+
+    system: str
+    k: int
+    outcomes: List[QueryOutcome] = field(default_factory=list)
+
+    def ndcg_summary(self) -> Dict[str, float]:
+        """Mean/median/quartiles of NDCG@k."""
+        return summarize([o.ndcg for o in self.outcomes])
+
+    def recall_summary(self) -> Dict[str, float]:
+        """Mean/median/quartiles of recall@k."""
+        return summarize([o.recall for o in self.outcomes])
+
+    def mean_seconds(self) -> float:
+        """Mean per-query wall time in seconds."""
+        if not self.outcomes:
+            return 0.0
+        return sum(o.seconds for o in self.outcomes) / len(self.outcomes)
+
+    def format_row(self) -> str:
+        """Render one report line for benchmark output."""
+        ndcg = self.ndcg_summary()
+        recall = self.recall_summary()
+        return (
+            f"{self.system:<28} k={self.k:<4} "
+            f"NDCG mean={ndcg['mean']:.3f} med={ndcg['median']:.3f}  "
+            f"recall mean={recall['mean']:.3f}  "
+            f"time={self.mean_seconds():.3f}s"
+        )
+
+
+class ExperimentRunner:
+    """Runs systems against queries and aggregates metrics.
+
+    Parameters
+    ----------
+    queries:
+        ``query_id -> Query``.
+    ground_truth:
+        ``query_id -> GroundTruth`` with graded gains.
+    """
+
+    def __init__(
+        self,
+        queries: Mapping[str, Query],
+        ground_truth: Mapping[str, GroundTruth],
+    ):
+        self.queries = dict(queries)
+        self.ground_truth = dict(ground_truth)
+
+    def run_system(
+        self,
+        name: str,
+        system: SearchSystem,
+        k: int,
+        query_ids: Optional[Sequence[str]] = None,
+    ) -> SystemReport:
+        """Evaluate one system at cut-off ``k`` over (a subset of) queries."""
+        report = SystemReport(system=name, k=k)
+        ids = list(query_ids) if query_ids is not None else list(self.queries)
+        for query_id in ids:
+            query = self.queries[query_id]
+            truth = self.ground_truth.get(query_id, GroundTruth())
+            start = time.perf_counter()
+            results = system(query, k)
+            elapsed = time.perf_counter() - start
+            ranked = results.table_ids(k)
+            report.outcomes.append(
+                QueryOutcome(
+                    system=name,
+                    query_id=query_id,
+                    k=k,
+                    ndcg=ndcg_at_k(ranked, truth.gains, k),
+                    recall=recall_at_k(ranked, truth.gains, k),
+                    precision=precision_at_k(ranked, truth.gains, k),
+                    seconds=elapsed,
+                    result_size=len(ranked),
+                )
+            )
+        return report
+
+    def run_all(
+        self,
+        systems: Mapping[str, SearchSystem],
+        k: int,
+        query_ids: Optional[Sequence[str]] = None,
+    ) -> Dict[str, SystemReport]:
+        """Evaluate every named system at cut-off ``k``."""
+        return {
+            name: self.run_system(name, system, k, query_ids)
+            for name, system in systems.items()
+        }

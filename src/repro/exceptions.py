@@ -1,0 +1,73 @@
+"""Exception hierarchy for the Thetis reproduction library.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch the whole family with a single ``except`` clause while still being
+able to discriminate specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class KnowledgeGraphError(ReproError):
+    """Raised for malformed or inconsistent knowledge-graph operations."""
+
+
+class UnknownEntityError(KnowledgeGraphError):
+    """Raised when an entity URI is not present in the knowledge graph."""
+
+    def __init__(self, uri: str):
+        super().__init__(f"unknown entity: {uri!r}")
+        self.uri = uri
+
+
+class UnknownTypeError(KnowledgeGraphError):
+    """Raised when a type name is not present in the taxonomy."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown type: {name!r}")
+        self.name = name
+
+
+class DataLakeError(ReproError):
+    """Raised for malformed tables or data-lake operations."""
+
+
+class DuplicateTableError(DataLakeError):
+    """Raised when adding a table whose identifier already exists."""
+
+    def __init__(self, table_id: str):
+        super().__init__(f"table id already present in lake: {table_id!r}")
+        self.table_id = table_id
+
+
+class LinkingError(ReproError):
+    """Raised for invalid entity-linking operations."""
+
+
+class EmbeddingError(ReproError):
+    """Raised for embedding-store and training failures."""
+
+
+class DimensionMismatchError(EmbeddingError):
+    """Raised when vectors of incompatible dimensionality are combined."""
+
+    def __init__(self, expected: int, got: int):
+        super().__init__(f"expected dimension {expected}, got {got}")
+        self.expected = expected
+        self.got = got
+
+
+class SearchError(ReproError):
+    """Raised for invalid search queries or engine configuration."""
+
+
+class EmptyQueryError(SearchError):
+    """Raised when a query contains no usable entity tuples."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is configured with invalid parameters."""

@@ -1,0 +1,85 @@
+"""Entity, type, and predicate value objects for the knowledge graph.
+
+The knowledge graph of Section 2.2 is a labeled directed graph
+``G = (N, E, lambda)``.  Nodes are entities or concepts, edges carry a
+predicate, and a labeling function maps nodes and edges to human readable
+literals.  These small immutable records are the vocabulary shared by the
+rest of the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class EntityType:
+    """A node type (class) in the KG taxonomy, e.g. ``BaseballTeam``.
+
+    Types are compared and hashed by :attr:`name` alone; ``parent`` is the
+    immediate super-type name (``None`` for taxonomy roots).
+    """
+
+    name: str
+    parent: str = field(default=None, compare=False)  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Predicate:
+    """An edge label in the KG, e.g. ``playsFor`` or ``locatedIn``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Entity:
+    """An entity node in the KG.
+
+    Parameters
+    ----------
+    uri:
+        Globally unique identifier (compared/hashed on this alone).
+    label:
+        Human readable literal produced by the labeling function
+        ``lambda``; used by entity linkers to match table mentions.
+    types:
+        The full set of type names annotating the entity, including all
+        taxonomy ancestors (as DBpedia annotates ``Milwaukee Brewers``
+        with both ``SportsTeam`` and ``Organisation``).
+    aliases:
+        Alternative surface forms for the label (used to simulate noisy
+        mentions in the data lake).
+    """
+
+    uri: str
+    label: str = ""
+    types: FrozenSet[str] = frozenset()
+    aliases: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.uri:
+            raise ValueError("entity uri must be a non-empty string")
+        if not isinstance(self.types, frozenset):
+            object.__setattr__(self, "types", frozenset(self.types))
+
+    def __hash__(self) -> int:
+        return hash(self.uri)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Entity):
+            return self.uri == other.uri
+        return NotImplemented
+
+    def has_type(self, type_name: str) -> bool:
+        """Return whether the entity is annotated with ``type_name``."""
+        return type_name in self.types
+
+    def __str__(self) -> str:
+        return self.label or self.uri

@@ -1,0 +1,171 @@
+"""The knowledge-graph substrate: ``G = (N, E, lambda)`` of Section 2.2.
+
+A :class:`KnowledgeGraph` stores entities (nodes), labeled directed edges
+(predicates), the taxonomy of entity types, and a label index used by
+entity linkers.  It is an in-memory structure tuned for the access
+patterns of semantic table search: type-set lookup, neighborhood
+expansion for random walks, and label-based entity resolution.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import KnowledgeGraphError, UnknownEntityError
+from repro.kg.entity import Entity
+from repro.kg.taxonomy import TypeTaxonomy
+
+Edge = Tuple[str, str, str]  # (subject uri, predicate, object uri)
+
+
+class KnowledgeGraph:
+    """A labeled directed multigraph of entities.
+
+    Nodes are :class:`~repro.kg.entity.Entity` records keyed by URI.
+    Edges carry a predicate name.  The graph also owns the
+    :class:`~repro.kg.taxonomy.TypeTaxonomy` describing its type system.
+    """
+
+    def __init__(self, taxonomy: Optional[TypeTaxonomy] = None):
+        self.taxonomy = taxonomy if taxonomy is not None else TypeTaxonomy()
+        self._entities: Dict[str, Entity] = {}
+        self._out: Dict[str, List[Tuple[str, str]]] = defaultdict(list)
+        self._in: Dict[str, List[Tuple[str, str]]] = defaultdict(list)
+        self._predicates: Set[str] = set()
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+    def add_entity(self, entity: Entity) -> Entity:
+        """Insert or replace an entity node, returning the stored record."""
+        self._entities[entity.uri] = entity
+        return entity
+
+    def get(self, uri: str) -> Entity:
+        """Return the entity for ``uri`` or raise :class:`UnknownEntityError`."""
+        try:
+            return self._entities[uri]
+        except KeyError:
+            raise UnknownEntityError(uri) from None
+
+    def find(self, uri: str) -> Optional[Entity]:
+        """Return the entity for ``uri`` or ``None`` if absent."""
+        return self._entities.get(uri)
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._entities
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __iter__(self) -> Iterator[Entity]:
+        return iter(self._entities.values())
+
+    def entities(self) -> Iterator[Entity]:
+        """Iterate over all entity records."""
+        return iter(self._entities.values())
+
+    def uris(self) -> Iterator[str]:
+        """Iterate over all entity URIs."""
+        return iter(self._entities.keys())
+
+    # ------------------------------------------------------------------
+    # Edge management
+    # ------------------------------------------------------------------
+    def add_edge(self, subject: str, predicate: str, obj: str) -> None:
+        """Add the directed edge ``subject --predicate--> obj``.
+
+        Both endpoints must already be present in the graph.
+        """
+        if subject not in self._entities:
+            raise UnknownEntityError(subject)
+        if obj not in self._entities:
+            raise UnknownEntityError(obj)
+        if not predicate:
+            raise KnowledgeGraphError("predicate must be non-empty")
+        self._out[subject].append((predicate, obj))
+        self._in[obj].append((predicate, subject))
+        self._predicates.add(predicate)
+        self._edge_count += 1
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of directed edges."""
+        return self._edge_count
+
+    @property
+    def predicates(self) -> FrozenSet[str]:
+        """All predicate names used by at least one edge."""
+        return frozenset(self._predicates)
+
+    def out_edges(self, uri: str) -> List[Tuple[str, str]]:
+        """Return ``(predicate, object)`` pairs leaving ``uri``."""
+        if uri not in self._entities:
+            raise UnknownEntityError(uri)
+        return list(self._out.get(uri, []))
+
+    def in_edges(self, uri: str) -> List[Tuple[str, str]]:
+        """Return ``(predicate, subject)`` pairs entering ``uri``."""
+        if uri not in self._entities:
+            raise UnknownEntityError(uri)
+        return list(self._in.get(uri, []))
+
+    def neighbors(self, uri: str, undirected: bool = True) -> List[str]:
+        """Return neighbor URIs of ``uri``.
+
+        With ``undirected=True`` (the default, as used by RDF2Vec walks)
+        both out- and in-neighbors are returned, in insertion order and
+        with duplicates preserved so that parallel edges weight the walk
+        distribution naturally.
+        """
+        if uri not in self._entities:
+            raise UnknownEntityError(uri)
+        result = [obj for _, obj in self._out.get(uri, [])]
+        if undirected:
+            result.extend(subj for _, subj in self._in.get(uri, []))
+        return result
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges as ``(subject, predicate, object)``."""
+        for subject, pairs in self._out.items():
+            for predicate, obj in pairs:
+                yield (subject, predicate, obj)
+
+    def degree(self, uri: str) -> int:
+        """Return the undirected degree of ``uri``."""
+        if uri not in self._entities:
+            raise UnknownEntityError(uri)
+        return len(self._out.get(uri, ())) + len(self._in.get(uri, ()))
+
+    # ------------------------------------------------------------------
+    # Semantics helpers
+    # ------------------------------------------------------------------
+    def types_of(self, uri: str) -> FrozenSet[str]:
+        """Return the full type set of an entity (empty if untyped)."""
+        return self.get(uri).types
+
+    def entities_of_type(self, type_name: str) -> List[Entity]:
+        """Return all entities annotated with ``type_name``."""
+        return [e for e in self._entities.values() if type_name in e.types]
+
+    def label_of(self, uri: str) -> str:
+        """The labeling function ``lambda`` restricted to nodes."""
+        return self.get(uri).label
+
+    def all_type_names(self) -> Set[str]:
+        """Return the union of type names used by at least one entity."""
+        names: Set[str] = set()
+        for entity in self._entities.values():
+            names.update(entity.types)
+        return names
+
+    def stats(self) -> Dict[str, int]:
+        """Return basic size statistics (nodes, edges, types, predicates)."""
+        return {
+            "nodes": len(self._entities),
+            "edges": self._edge_count,
+            "types": len(self.all_type_names()),
+            "predicates": len(self._predicates),
+        }

@@ -1,0 +1,147 @@
+"""Type taxonomy (class hierarchy) for the knowledge graph.
+
+Rich KGs annotate entities with types at several granularities: in
+DBpedia, ``Milwaukee Brewers`` is both a ``BaseballTeam``, a
+``SportsTeam``, and an ``Organisation``.  The taxonomy records the
+``subClassOf`` edges between type names and answers ancestor/descendant
+queries, which the KG generator uses to expand an entity's most specific
+type into its full type set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.exceptions import KnowledgeGraphError, UnknownTypeError
+
+
+class TypeTaxonomy:
+    """A forest of type names connected by ``subClassOf`` edges.
+
+    The structure is intentionally simple: each type has at most one
+    parent (a tree per root), which matches the dominant shape of the
+    DBpedia ontology used in the paper.
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[str, Optional[str]] = {}
+        self._children: Dict[str, List[str]] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._parent)
+
+    def add_type(self, name: str, parent: Optional[str] = None) -> None:
+        """Register ``name`` with an optional parent type.
+
+        The parent is registered implicitly (as a root) if it has not
+        been seen before.  Re-adding an existing type with a conflicting
+        parent raises :class:`KnowledgeGraphError`.
+        """
+        if not name:
+            raise KnowledgeGraphError("type name must be non-empty")
+        if parent is not None and parent not in self._parent:
+            self.add_type(parent)
+        if name in self._parent:
+            existing = self._parent[name]
+            if existing != parent and parent is not None and existing is not None:
+                raise KnowledgeGraphError(
+                    f"type {name!r} already has parent {existing!r}, "
+                    f"cannot reassign to {parent!r}"
+                )
+            if parent is not None and existing is None:
+                self._reparent(name, parent)
+            return
+        self._parent[name] = parent
+        self._children.setdefault(name, [])
+        if parent is not None:
+            self._children.setdefault(parent, []).append(name)
+            self._check_acyclic(name)
+
+    def _reparent(self, name: str, parent: str) -> None:
+        self._parent[name] = parent
+        self._children.setdefault(parent, []).append(name)
+        self._check_acyclic(name)
+
+    def _check_acyclic(self, start: str) -> None:
+        seen: Set[str] = set()
+        node: Optional[str] = start
+        while node is not None:
+            if node in seen:
+                raise KnowledgeGraphError(f"cycle in taxonomy through {start!r}")
+            seen.add(node)
+            node = self._parent[node]
+
+    def parent(self, name: str) -> Optional[str]:
+        """Return the immediate super-type of ``name`` (``None`` at roots)."""
+        try:
+            return self._parent[name]
+        except KeyError:
+            raise UnknownTypeError(name) from None
+
+    def children(self, name: str) -> List[str]:
+        """Return the immediate sub-types of ``name``."""
+        if name not in self._parent:
+            raise UnknownTypeError(name)
+        return list(self._children.get(name, []))
+
+    def ancestors(self, name: str, include_self: bool = True) -> List[str]:
+        """Return the chain of super-types from ``name`` up to its root."""
+        if name not in self._parent:
+            raise UnknownTypeError(name)
+        chain: List[str] = [name] if include_self else []
+        node = self._parent[name]
+        while node is not None:
+            chain.append(node)
+            node = self._parent[node]
+        return chain
+
+    def descendants(self, name: str, include_self: bool = False) -> Set[str]:
+        """Return all transitive sub-types of ``name``."""
+        if name not in self._parent:
+            raise UnknownTypeError(name)
+        result: Set[str] = {name} if include_self else set()
+        frontier = list(self._children.get(name, []))
+        while frontier:
+            node = frontier.pop()
+            if node in result:
+                continue
+            result.add(node)
+            frontier.extend(self._children.get(node, []))
+        return result
+
+    def roots(self) -> List[str]:
+        """Return all types without a parent."""
+        return [name for name, parent in self._parent.items() if parent is None]
+
+    def depth(self, name: str) -> int:
+        """Return the distance from ``name`` to its root (root depth is 0)."""
+        return len(self.ancestors(name)) - 1
+
+    def expand(self, names: Iterable[str]) -> Set[str]:
+        """Return ``names`` plus every taxonomy ancestor of each name.
+
+        Unknown names pass through unchanged so that entities can carry
+        ad-hoc types not present in the curated taxonomy (common in real
+        KGs and tolerated throughout the library).
+        """
+        expanded: Set[str] = set()
+        for name in names:
+            if name in self._parent:
+                expanded.update(self.ancestors(name))
+            else:
+                expanded.add(name)
+        return expanded
+
+    def lowest_common_ancestor(self, a: str, b: str) -> Optional[str]:
+        """Return the deepest type that is an ancestor of both ``a`` and ``b``."""
+        ancestors_a = set(self.ancestors(a))
+        for candidate in self.ancestors(b):
+            if candidate in ancestors_a:
+                return candidate
+        return None

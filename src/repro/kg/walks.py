@@ -1,0 +1,108 @@
+"""Random-walk extraction over the knowledge graph.
+
+RDF2Vec (Ristoski & Paulheim, 2016) learns entity embeddings by running
+word2vec over sequences of graph walks.  This module produces those
+walk corpora: uniform random walks of bounded depth starting from every
+(or a sampled subset of) entity, optionally interleaving predicate names
+into the sequence as RDF2Vec does for its "walk with predicates" variant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.kg.graph import KnowledgeGraph
+
+
+class RandomWalker:
+    """Generates uniform random walks over a :class:`KnowledgeGraph`.
+
+    Parameters
+    ----------
+    graph:
+        The knowledge graph to walk.
+    walk_length:
+        Number of *hops* per walk; a walk visits ``walk_length + 1`` nodes.
+    walks_per_entity:
+        How many independent walks to start from each seed entity.
+    include_predicates:
+        When true, the emitted token sequence interleaves predicate names
+        between node URIs, matching the original RDF2Vec formulation.
+    undirected:
+        Whether walks may traverse edges against their direction.  Real
+        RDF2Vec walks follow edge direction; undirected walks mix entity
+        contexts more aggressively, which helps on the small synthetic
+        graphs used in this reproduction.
+    seed:
+        Seed for the internal PRNG (deterministic corpora for tests).
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        walk_length: int = 4,
+        walks_per_entity: int = 10,
+        include_predicates: bool = False,
+        undirected: bool = True,
+        seed: int = 0,
+    ):
+        if walk_length < 1:
+            raise ConfigurationError("walk_length must be >= 1")
+        if walks_per_entity < 1:
+            raise ConfigurationError("walks_per_entity must be >= 1")
+        self.graph = graph
+        self.walk_length = walk_length
+        self.walks_per_entity = walks_per_entity
+        self.include_predicates = include_predicates
+        self.undirected = undirected
+        self._rng = np.random.default_rng(seed)
+
+    def walk_from(self, start: str) -> List[str]:
+        """Return a single token sequence for one walk from ``start``.
+
+        The walk stops early at sink nodes (no usable out-edges).
+        """
+        tokens: List[str] = [start]
+        current = start
+        for _ in range(self.walk_length):
+            step = self._step(current)
+            if step is None:
+                break
+            predicate, nxt = step
+            if self.include_predicates:
+                tokens.append(predicate)
+            tokens.append(nxt)
+            current = nxt
+        return tokens
+
+    def _step(self, uri: str) -> Optional[tuple]:
+        out = self.graph.out_edges(uri)
+        if self.undirected:
+            out = out + self.graph.in_edges(uri)
+        if not out:
+            return None
+        index = int(self._rng.integers(len(out)))
+        return out[index]
+
+    def walks(self, seeds: Optional[Iterable[str]] = None) -> List[List[str]]:
+        """Return the full walk corpus.
+
+        Parameters
+        ----------
+        seeds:
+            Entities to start from.  Defaults to every entity in the
+            graph, in insertion order (deterministic given the seed).
+        """
+        seed_list: Sequence[str]
+        if seeds is None:
+            seed_list = list(self.graph.uris())
+        else:
+            seed_list = list(seeds)
+        corpus: List[List[str]] = []
+        for uri in seed_list:
+            for _ in range(self.walks_per_entity):
+                corpus.append(self.walk_from(uri))
+        return corpus

@@ -1,0 +1,125 @@
+"""Context-aware entity linking: disambiguation by column coherence.
+
+Labels are ambiguous — two KGs entities may share the surface form
+"Springfield".  :class:`ContextualLinker` resolves such mentions using
+the *column* they appear in: table columns are typically homogeneous,
+so the candidate whose type set best agrees with the column's
+unambiguous neighbors wins.  (The paper treats entity linking as an
+orthogonal, pluggable step; this linker is the natural upgrade over
+first-come-first-served label resolution and demonstrates the plug-in
+point.)
+
+Two passes per table:
+
+1. link every cell whose surface form maps to exactly one entity;
+2. for ambiguous cells, pick the candidate maximizing type overlap
+   with the entities already linked in the same column (falling back
+   to the earliest-inserted candidate on ties or empty columns).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Table
+from repro.kg.graph import KnowledgeGraph
+from repro.linking.mapping import EntityMapping
+from repro.similarity.types import jaccard
+
+
+class ContextualLinker:
+    """Column-coherence disambiguation over exact label matches.
+
+    Parameters
+    ----------
+    graph:
+        The reference knowledge graph.
+    min_agreement:
+        Minimum type-set Jaccard between a candidate and the column's
+        dominant types for a disambiguated link to be created; below
+        it, the earliest-registered candidate is used (the behaviour of
+        :class:`~repro.linking.linker.LabelLinker`).
+    """
+
+    def __init__(self, graph: KnowledgeGraph, min_agreement: float = 0.0):
+        self.graph = graph
+        self.min_agreement = min_agreement
+        self._candidates: Dict[str, List[str]] = defaultdict(list)
+        for entity in graph.entities():
+            for form in (entity.label, *entity.aliases):
+                if form:
+                    self._candidates[form.strip().lower()].append(entity.uri)
+
+    # ------------------------------------------------------------------
+    def candidates_for(self, value: object) -> List[str]:
+        """All entity URIs whose label/alias exactly matches ``value``."""
+        if not isinstance(value, str):
+            return []
+        return list(self._candidates.get(value.strip().lower(), ()))
+
+    def _column_type_profile(
+        self, linked_uris: List[str]
+    ) -> Counter:
+        profile: Counter = Counter()
+        for uri in linked_uris:
+            entity = self.graph.find(uri)
+            if entity is not None:
+                profile.update(entity.types)
+        return profile
+
+    def _disambiguate(
+        self, candidates: List[str], profile: Counter
+    ) -> str:
+        if len(candidates) == 1 or not profile:
+            return candidates[0]
+        dominant = frozenset(
+            t for t, c in profile.items() if c >= max(profile.values()) / 2
+        )
+        best_uri, best_score = candidates[0], -1.0
+        for uri in candidates:
+            entity = self.graph.find(uri)
+            types = entity.types if entity is not None else frozenset()
+            score = jaccard(types, dominant)
+            if score > best_score:
+                best_uri, best_score = uri, score
+        if best_score < self.min_agreement:
+            return candidates[0]
+        return best_uri
+
+    # ------------------------------------------------------------------
+    def link_table(
+        self, table: Table, mapping: Optional[EntityMapping] = None
+    ) -> EntityMapping:
+        """Two-pass linking of one table; returns the mapping."""
+        if mapping is None:
+            mapping = EntityMapping()
+        ambiguous: List[Tuple[int, int, List[str]]] = []
+        by_column: Dict[int, List[str]] = defaultdict(list)
+        # Pass 1: unambiguous mentions anchor the column profiles.
+        for row_index, row in enumerate(table.rows):
+            for col_index, value in enumerate(row):
+                candidates = self.candidates_for(value)
+                if not candidates:
+                    continue
+                if len(candidates) == 1:
+                    mapping.link(table.table_id, row_index, col_index,
+                                 candidates[0])
+                    by_column[col_index].append(candidates[0])
+                else:
+                    ambiguous.append((row_index, col_index, candidates))
+        # Pass 2: resolve ambiguity against the column profile.
+        for row_index, col_index, candidates in ambiguous:
+            profile = self._column_type_profile(by_column[col_index])
+            chosen = self._disambiguate(candidates, profile)
+            mapping.link(table.table_id, row_index, col_index, chosen)
+            by_column[col_index].append(chosen)
+        return mapping
+
+    def link_lake(self, lake: DataLake) -> EntityMapping:
+        """Link every table of ``lake`` into one mapping."""
+        mapping = EntityMapping()
+        for table in lake:
+            self.link_table(table, mapping)
+        return mapping

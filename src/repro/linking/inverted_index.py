@@ -1,0 +1,100 @@
+"""A from-scratch inverted index over short text documents.
+
+The paper links GitTables mentions to KG entities by building Lucene
+indexes over entity labels and running keyword search (Section 7.4).
+This module provides the equivalent substrate: a token-based inverted
+index with TF-IDF-weighted overlap scoring, used by the label linker and
+reused by the BM25 baseline's document store.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase and split ``text`` into alphanumeric tokens."""
+    return [match.group(0).lower() for match in _TOKEN_RE.finditer(text)]
+
+
+class InvertedIndex:
+    """Maps tokens to the documents containing them.
+
+    Documents are arbitrary hashable identifiers with associated text;
+    scoring is a normalized TF-IDF overlap, sufficient for entity-label
+    resolution (short, name-like documents).
+    """
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, Dict[str, int]] = defaultdict(dict)
+        self._doc_lengths: Dict[str, int] = {}
+
+    def add(self, doc_id: str, text: str) -> None:
+        """Index ``text`` under ``doc_id`` (additive for repeated calls)."""
+        tokens = tokenize(text)
+        counts = Counter(tokens)
+        for token, count in counts.items():
+            posting = self._postings[token]
+            posting[doc_id] = posting.get(doc_id, 0) + count
+        self._doc_lengths[doc_id] = self._doc_lengths.get(doc_id, 0) + len(tokens)
+
+    def add_many(self, documents: Iterable[Tuple[str, str]]) -> None:
+        """Index an iterable of ``(doc_id, text)`` pairs."""
+        for doc_id, text in documents:
+            self.add(doc_id, text)
+
+    @property
+    def num_documents(self) -> int:
+        """Number of indexed documents."""
+        return len(self._doc_lengths)
+
+    def document_frequency(self, token: str) -> int:
+        """Number of documents containing ``token``."""
+        return len(self._postings.get(token, ()))
+
+    def postings(self, token: str) -> Dict[str, int]:
+        """Return ``{doc_id: term frequency}`` for ``token``."""
+        return dict(self._postings.get(token, ()))
+
+    def candidates(self, query: str) -> List[str]:
+        """Return doc ids sharing at least one token with ``query``."""
+        seen: Dict[str, None] = {}
+        for token in tokenize(query):
+            for doc_id in self._postings.get(token, ()):
+                seen.setdefault(doc_id)
+        return list(seen)
+
+    def search(self, query: str, top_k: int = 10) -> List[Tuple[str, float]]:
+        """Return the ``top_k`` documents by TF-IDF overlap with ``query``.
+
+        Scores are normalized by document length so that an exact label
+        match outranks a long document that merely contains the tokens.
+        Ties break deterministically by doc id.
+        """
+        query_tokens = tokenize(query)
+        if not query_tokens or not self._doc_lengths:
+            return []
+        n_docs = self.num_documents
+        scores: Dict[str, float] = defaultdict(float)
+        for token in set(query_tokens):
+            posting = self._postings.get(token)
+            if not posting:
+                continue
+            idf = math.log(1.0 + n_docs / len(posting))
+            for doc_id, term_freq in posting.items():
+                scores[doc_id] += idf * term_freq
+        if not scores:
+            return []
+        ranked = sorted(
+            (
+                (doc_id, score / (1.0 + math.log(1.0 + self._doc_lengths[doc_id])))
+                for doc_id, score in scores.items()
+            ),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return ranked[:top_k]

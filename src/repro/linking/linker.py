@@ -1,0 +1,100 @@
+"""Label-based entity linking between table cells and KG entities.
+
+The semantic data lake of Definition 2.1 only requires *entity linking*,
+never schema alignment.  :class:`LabelLinker` resolves cell values to KG
+entities through an inverted index over entity labels and aliases — the
+same mechanism the paper uses to link GitTables mentions via Lucene
+keyword search — and emits an :class:`~repro.linking.mapping.EntityMapping`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Table
+from repro.kg.graph import KnowledgeGraph
+from repro.linking.inverted_index import InvertedIndex, tokenize
+from repro.linking.mapping import EntityMapping
+
+
+class LabelLinker:
+    """Resolves string cell values to KG entities by label matching.
+
+    Resolution strategy, in priority order:
+
+    1. exact (case-insensitive) match on an entity label or alias;
+    2. best inverted-index hit whose normalized score reaches
+       ``min_score`` (fuzzy matching for partial mentions).
+
+    Parameters
+    ----------
+    graph:
+        The reference knowledge graph.
+    min_score:
+        Score threshold below which fuzzy candidates are rejected; at the
+        default the linker is conservative, preferring precision as good
+        entity linkers do.
+    fuzzy:
+        Disable to restrict linking to exact label/alias matches.
+    """
+
+    def __init__(self, graph: KnowledgeGraph, min_score: float = 1.0, fuzzy: bool = True):
+        self.graph = graph
+        self.min_score = min_score
+        self.fuzzy = fuzzy
+        self._exact: Dict[str, str] = {}
+        self._index = InvertedIndex()
+        self._build()
+
+    def _build(self) -> None:
+        for entity in self.graph.entities():
+            surface_forms = [entity.label, *entity.aliases]
+            for form in surface_forms:
+                if not form:
+                    continue
+                key = form.strip().lower()
+                # First writer wins: deterministic given graph insertion order.
+                self._exact.setdefault(key, entity.uri)
+            text = " ".join(form for form in surface_forms if form)
+            if text:
+                self._index.add(entity.uri, text)
+
+    def link_value(self, value: object) -> Optional[str]:
+        """Return the URI the cell value resolves to, or ``None``.
+
+        Only string values are candidates: numbers and nulls are never
+        entity mentions.
+        """
+        if not isinstance(value, str):
+            return None
+        key = value.strip().lower()
+        if not key:
+            return None
+        uri = self._exact.get(key)
+        if uri is not None:
+            return uri
+        if not self.fuzzy or not tokenize(value):
+            return None
+        hits = self._index.search(value, top_k=1)
+        if hits and hits[0][1] >= self.min_score:
+            return hits[0][0]
+        return None
+
+    def link_table(self, table: Table, mapping: Optional[EntityMapping] = None) -> EntityMapping:
+        """Link every resolvable cell of ``table``; returns the mapping."""
+        if mapping is None:
+            mapping = EntityMapping()
+        for row_index, row in enumerate(table.rows):
+            for col_index, value in enumerate(row):
+                uri = self.link_value(value)
+                if uri is not None:
+                    mapping.link(table.table_id, row_index, col_index, uri)
+        return mapping
+
+    def link_lake(self, lake: DataLake) -> EntityMapping:
+        """Link every table of ``lake`` into one mapping."""
+        mapping = EntityMapping()
+        for table in lake:
+            self.link_table(table, mapping)
+        return mapping

@@ -1,0 +1,149 @@
+"""Entity-linking degradation simulators for the Section 7.5 experiments.
+
+Two distortions are studied in the paper:
+
+* *coverage reduction* — fewer cells are linked at all (Figure 6 caps the
+  per-table coverage);
+* *noisy linking* — a realistic linker (EMBLOOKUP, F1 = 0.21) links some
+  cells to the wrong entity and misses others entirely.
+
+Both transformations operate on an existing gold
+:class:`~repro.linking.mapping.EntityMapping` and are deterministic given
+a seed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.kg.graph import KnowledgeGraph
+from repro.linking.mapping import CellRef, EntityMapping
+
+
+def reduce_coverage(
+    mapping: EntityMapping,
+    max_coverage: float,
+    cell_counts: Dict[str, int],
+    seed: int = 0,
+) -> EntityMapping:
+    """Return a copy of ``mapping`` with per-table coverage capped.
+
+    For each table whose linked fraction exceeds ``max_coverage``, a
+    uniformly random subset of its links is kept so the fraction falls to
+    the cap.  ``cell_counts`` maps table id to its total cell count.
+    """
+    if not 0.0 <= max_coverage <= 1.0:
+        raise ConfigurationError("max_coverage must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    links_by_table: Dict[str, List[CellRef]] = defaultdict(list)
+    uris: Dict[CellRef, str] = {}
+    for ref, uri in mapping.all_links():
+        links_by_table[ref[0]].append(ref)
+        uris[ref] = uri
+    reduced = EntityMapping()
+    for table_id in sorted(links_by_table):
+        refs = sorted(links_by_table[table_id])
+        total_cells = cell_counts.get(table_id, 0)
+        if total_cells <= 0:
+            continue
+        allowed = int(max_coverage * total_cells)
+        if len(refs) > allowed:
+            keep_indices = rng.choice(len(refs), size=allowed, replace=False)
+            refs = [refs[i] for i in sorted(keep_indices)]
+        for ref in refs:
+            reduced.link(ref[0], ref[1], ref[2], uris[ref])
+    return reduced
+
+
+def coverage_of(mapping: EntityMapping, cell_counts: Dict[str, int]) -> Dict[str, float]:
+    """Return each table's linked-cell fraction."""
+    return {
+        table_id: (mapping.linked_cell_count(table_id) / count if count else 0.0)
+        for table_id, count in cell_counts.items()
+    }
+
+
+class NoisyLinker:
+    """Corrupts a gold mapping to emulate a low-F1 automatic entity linker.
+
+    Parameters
+    ----------
+    graph:
+        Source of replacement entities for wrong links.
+    recall:
+        Fraction of gold links the noisy linker finds at all.
+    precision:
+        Among found links, the fraction pointing at the *correct* entity;
+        the rest are redirected to a random other entity (preferring one
+        sharing a type, as real embedding-based linkers confuse
+        same-type entities most often).
+    seed:
+        Determinism seed.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        recall: float = 0.6,
+        precision: float = 0.35,
+        seed: int = 0,
+    ):
+        if not 0.0 <= recall <= 1.0:
+            raise ConfigurationError("recall must be within [0, 1]")
+        if not 0.0 <= precision <= 1.0:
+            raise ConfigurationError("precision must be within [0, 1]")
+        self.graph = graph
+        self.recall = recall
+        self.precision = precision
+        self._rng = np.random.default_rng(seed)
+        self._all_uris: Sequence[str] = list(graph.uris())
+        self._by_type: Dict[str, List[str]] = defaultdict(list)
+        for entity in graph.entities():
+            for type_name in entity.types:
+                self._by_type[type_name].append(entity.uri)
+
+    def _wrong_entity(self, correct_uri: str) -> Optional[str]:
+        """Pick a plausible wrong entity (same-type when possible)."""
+        entity = self.graph.find(correct_uri)
+        pool: Sequence[str] = ()
+        if entity is not None and entity.types:
+            type_name = sorted(entity.types)[int(self._rng.integers(len(entity.types)))]
+            pool = [uri for uri in self._by_type.get(type_name, ()) if uri != correct_uri]
+        if not pool:
+            pool = [uri for uri in self._all_uris if uri != correct_uri]
+        if not pool:
+            return None
+        return pool[int(self._rng.integers(len(pool)))]
+
+    def corrupt(self, gold: EntityMapping) -> EntityMapping:
+        """Return a new mapping with recall/precision-limited links."""
+        noisy = EntityMapping()
+        for ref, uri in sorted(gold.all_links()):
+            if self._rng.random() > self.recall:
+                continue  # linker missed this mention entirely
+            if self._rng.random() <= self.precision:
+                noisy.link(ref[0], ref[1], ref[2], uri)
+            else:
+                wrong = self._wrong_entity(uri)
+                if wrong is not None:
+                    noisy.link(ref[0], ref[1], ref[2], wrong)
+        return noisy
+
+    def f1(self, gold: EntityMapping, noisy: EntityMapping) -> float:
+        """Measure the cell-level F1 of ``noisy`` against ``gold``."""
+        gold_links = dict(gold.all_links())
+        noisy_links = dict(noisy.all_links())
+        if not noisy_links or not gold_links:
+            return 0.0
+        correct = sum(
+            1 for ref, uri in noisy_links.items() if gold_links.get(ref) == uri
+        )
+        precision = correct / len(noisy_links)
+        recall = correct / len(gold_links)
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)

@@ -1,0 +1,36 @@
+"""LSH prefiltering: MinHash / hyperplane signatures and the LSEI."""
+
+from repro.lsh.config import PAPER_CONFIGS, RECOMMENDED_CONFIG, LSHConfig
+from repro.lsh.hyperplane import HyperplaneHasher
+from repro.lsh.index import LSHIndex, TablePrefilter
+from repro.lsh.minhash import MinHasher, TypeShingler, pair_shingles
+from repro.lsh.multiprobe import MultiProbePrefilter, probe_band_keys
+from repro.lsh.tuning import LSHTuner, TuningOutcome
+from repro.lsh.schemes import (
+    DEFAULT_TYPE_FILTER_THRESHOLD,
+    EmbeddingSignatureScheme,
+    SignatureScheme,
+    TypeSignatureScheme,
+    frequent_types,
+)
+
+__all__ = [
+    "LSHConfig",
+    "PAPER_CONFIGS",
+    "RECOMMENDED_CONFIG",
+    "MinHasher",
+    "TypeShingler",
+    "pair_shingles",
+    "HyperplaneHasher",
+    "LSHIndex",
+    "TablePrefilter",
+    "LSHTuner",
+    "MultiProbePrefilter",
+    "probe_band_keys",
+    "TuningOutcome",
+    "SignatureScheme",
+    "TypeSignatureScheme",
+    "EmbeddingSignatureScheme",
+    "frequent_types",
+    "DEFAULT_TYPE_FILTER_THRESHOLD",
+]

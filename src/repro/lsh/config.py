@@ -1,0 +1,52 @@
+"""LSH configuration: signature length and banding (Section 6.1).
+
+A configuration ``(X, Y)`` uses ``X`` permutation/projection vectors and
+band size ``Y``, giving ``X / Y`` bucket groups of ``2^Y`` potential
+buckets each.  The paper evaluates (32, 8), (128, 8), and (30, 10) and
+selects (30, 10) — few bands with large band size maximize search-space
+reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LSHConfig:
+    """Number of permutation/projection vectors and the band size."""
+
+    num_vectors: int
+    band_size: int
+
+    def __post_init__(self) -> None:
+        if self.num_vectors < 1:
+            raise ConfigurationError("num_vectors must be >= 1")
+        if self.band_size < 1:
+            raise ConfigurationError("band_size must be >= 1")
+        if self.num_vectors % self.band_size != 0:
+            raise ConfigurationError(
+                f"num_vectors ({self.num_vectors}) must be divisible by "
+                f"band_size ({self.band_size})"
+            )
+
+    @property
+    def num_bands(self) -> int:
+        """Number of bucket groups (bands)."""
+        return self.num_vectors // self.band_size
+
+    def __str__(self) -> str:
+        return f"({self.num_vectors}, {self.band_size})"
+
+
+#: The three configurations evaluated in Section 7.3.
+PAPER_CONFIGS = (
+    LSHConfig(32, 8),
+    LSHConfig(128, 8),
+    LSHConfig(30, 10),
+)
+
+#: The configuration the paper recommends after Table 3/4.
+RECOMMENDED_CONFIG = LSHConfig(30, 10)

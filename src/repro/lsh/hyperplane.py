@@ -1,0 +1,61 @@
+"""Random-hyperplane LSH for embedding vectors (Section 6.1).
+
+Each of ``k`` random projection vectors splits the embedding space into
+a positive and a negative half; an entity's signature is the bit vector
+of which side its embedding falls on.  Signatures of cosine-similar
+vectors agree on most bits (Charikar's SimHash family).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+
+
+class HyperplaneHasher:
+    """Computes sign-bit signatures under ``k`` Gaussian hyperplanes."""
+
+    def __init__(self, num_planes: int, dimensions: int, seed: int = 0):
+        if num_planes < 1:
+            raise ConfigurationError("num_planes must be >= 1")
+        if dimensions < 1:
+            raise ConfigurationError("dimensions must be >= 1")
+        self.num_planes = num_planes
+        self.dimensions = dimensions
+        rng = np.random.default_rng(seed)
+        self._planes = rng.standard_normal((num_planes, dimensions))
+
+    def signature(self, vector: np.ndarray) -> Optional[np.ndarray]:
+        """Return the 0/1 signature of ``vector`` (``None`` for zeros).
+
+        A zero vector carries no directional information, so it is
+        treated like a missing embedding rather than being hashed to an
+        arbitrary all-negative bucket.
+        """
+        vec = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vec.shape[0] != self.dimensions:
+            raise DimensionMismatchError(self.dimensions, vec.shape[0])
+        if not np.any(vec):
+            return None
+        return (self._planes @ vec > 0.0).astype(np.int64)
+
+    def signatures(self, matrix: np.ndarray) -> np.ndarray:
+        """Vectorized signatures for an ``(n, D)`` matrix of embeddings."""
+        mat = np.asarray(matrix, dtype=np.float64)
+        if mat.ndim != 2 or mat.shape[1] != self.dimensions:
+            raise DimensionMismatchError(self.dimensions, mat.shape[-1])
+        return (mat @ self._planes.T > 0.0).astype(np.int64)
+
+    def estimate_cosine(self, sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+        """Estimate cosine similarity from the bit-agreement fraction.
+
+        ``cos(theta) ~ cos(pi * (1 - agreement))`` under the SimHash
+        collision probability.
+        """
+        if sig_a.shape != sig_b.shape:
+            raise ConfigurationError("signatures must have equal length")
+        agreement = float(np.mean(sig_a == sig_b))
+        return float(np.cos(np.pi * (1.0 - agreement)))

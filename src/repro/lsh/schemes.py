@@ -1,0 +1,165 @@
+"""Signature schemes: how entities become LSH-hashable vectors.
+
+The LSEI is generic over a :class:`SignatureScheme` that turns an entity
+URI (or a group of URIs, for the column/query aggregation variants of
+Section 6.2) into a fixed-width integer signature:
+
+* :class:`TypeSignatureScheme` — MinHash over type-pair shingles, with
+  the >50 %-table-frequency type filter;
+* :class:`EmbeddingSignatureScheme` — random-hyperplane sign bits over
+  RDF2Vec vectors (aggregation = mean vector).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.embeddings.store import EmbeddingStore
+from repro.kg.graph import KnowledgeGraph
+from repro.linking.mapping import EntityMapping
+from repro.lsh.hyperplane import HyperplaneHasher
+from repro.lsh.minhash import MinHasher, TypeShingler
+
+#: Paper default: drop types present in more than half of all tables.
+DEFAULT_TYPE_FILTER_THRESHOLD = 0.5
+
+
+def frequent_types(
+    mapping: EntityMapping,
+    graph: KnowledgeGraph,
+    table_ids: Iterable[str],
+    threshold: float = DEFAULT_TYPE_FILTER_THRESHOLD,
+) -> FrozenSet[str]:
+    """Return types occurring in more than ``threshold`` of all tables.
+
+    A type "occurs in" a table when any entity linked in the table
+    carries it.  These near-universal types (``owl:Thing`` in DBpedia)
+    carry no discriminative signal and are excluded from type signatures
+    (Section 6.1).
+    """
+    ids = list(table_ids)
+    if not ids:
+        return frozenset()
+    counts: Dict[str, int] = {}
+    for table_id in ids:
+        table_types: Set[str] = set()
+        for uri in mapping.entities_in_table(table_id):
+            entity = graph.find(uri)
+            if entity is not None:
+                table_types.update(entity.types)
+        for type_name in table_types:
+            counts[type_name] = counts.get(type_name, 0) + 1
+    cutoff = threshold * len(ids)
+    return frozenset(name for name, count in counts.items() if count > cutoff)
+
+
+class SignatureScheme(ABC):
+    """Maps entities (and groups of entities) to LSH signatures."""
+
+    @property
+    @abstractmethod
+    def num_vectors(self) -> int:
+        """Signature width (permutation/projection vector count)."""
+
+    @abstractmethod
+    def entity_signature(self, uri: str) -> Optional[np.ndarray]:
+        """Signature of one entity, ``None`` when it cannot be hashed."""
+
+    @abstractmethod
+    def group_signature(self, uris: Sequence[str]) -> Optional[np.ndarray]:
+        """Aggregated signature of a group (column or whole query)."""
+
+    @property
+    def name(self) -> str:
+        """Short identifier used in benchmark reports."""
+        return type(self).__name__
+
+
+class TypeSignatureScheme(SignatureScheme):
+    """MinHash over type-pair shingles (the paper's type LSEI).
+
+    Parameters
+    ----------
+    graph:
+        Source of type annotations.
+    num_vectors:
+        Number of MinHash permutations (signature width).
+    excluded_types:
+        Types filtered before shingling; pass :func:`frequent_types`
+        output to mirror the paper.
+    seed:
+        Permutation seed.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        num_vectors: int,
+        excluded_types: Iterable[str] = (),
+        seed: int = 0,
+    ):
+        self.graph = graph
+        self._hasher = MinHasher(num_vectors, seed=seed)
+        type_names = sorted(graph.all_type_names())
+        self._shingler = TypeShingler(type_names, excluded=excluded_types)
+
+    @property
+    def num_vectors(self) -> int:
+        return self._hasher.num_hashes
+
+    def _types_of(self, uri: str) -> FrozenSet[str]:
+        entity = self.graph.find(uri)
+        if entity is None:
+            return frozenset()
+        return entity.types
+
+    def entity_signature(self, uri: str) -> Optional[np.ndarray]:
+        shingles = self._shingler.shingles(self._types_of(uri))
+        if not shingles:
+            return None
+        return self._hasher.signature(shingles)
+
+    def group_signature(self, uris: Sequence[str]) -> Optional[np.ndarray]:
+        """Merge the group's type sets into one shingle set (Section 6.2)."""
+        merged: Set[str] = set()
+        for uri in uris:
+            merged.update(self._types_of(uri))
+        shingles = self._shingler.shingles(merged)
+        if not shingles:
+            return None
+        return self._hasher.signature(shingles)
+
+    @property
+    def name(self) -> str:
+        return "types"
+
+
+class EmbeddingSignatureScheme(SignatureScheme):
+    """Random-hyperplane signatures over entity embeddings."""
+
+    def __init__(self, store: EmbeddingStore, num_vectors: int, seed: int = 0):
+        self.store = store
+        self._hasher = HyperplaneHasher(num_vectors, store.dimensions, seed=seed)
+
+    @property
+    def num_vectors(self) -> int:
+        return self._hasher.num_planes
+
+    def entity_signature(self, uri: str) -> Optional[np.ndarray]:
+        if uri not in self.store:
+            return None
+        return self._hasher.signature(self.store.vector(uri))
+
+    def group_signature(self, uris: Sequence[str]) -> Optional[np.ndarray]:
+        """Average the group's vectors before hashing (Section 6.2)."""
+        mean = self.store.mean_vector(uris)
+        if mean is None:
+            return None
+        return self._hasher.signature(mean)
+
+    @property
+    def name(self) -> str:
+        return "embeddings"

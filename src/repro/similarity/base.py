@@ -1,0 +1,84 @@
+"""The entity semantic-similarity abstraction ``sigma`` of Section 4.1.
+
+Thetis is parametric in the entity similarity: any function
+``sigma: N x N -> [0, 1]`` with ``sigma(e, e) = 1`` plugs into the
+search framework.  The paper instantiates two — adjusted Jaccard over
+type sets and cosine over RDF2Vec embeddings — and this module defines
+the shared interface plus small combinators.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+class EntitySimilarity(ABC):
+    """Pairwise entity similarity in ``[0, 1]``, identity-maximal."""
+
+    @abstractmethod
+    def similarity(self, a: str, b: str) -> float:
+        """Return ``sigma(a, b)`` in ``[0, 1]``.
+
+        Implementations must return 1.0 when ``a == b`` and must treat
+        entities they know nothing about as dissimilar (score 0 to any
+        *other* entity) rather than raising, because real data lakes
+        always mention entities outside the KG.
+        """
+
+    def __call__(self, a: str, b: str) -> float:
+        return self.similarity(a, b)
+
+    @property
+    def name(self) -> str:
+        """Short identifier used in benchmark reports."""
+        return type(self).__name__
+
+
+class ExactMatchSimilarity(EntitySimilarity):
+    """Degenerate similarity: 1 on identity, 0 otherwise.
+
+    This reduces semantic search to exact entity matching and serves as
+    a control in tests and ablations.
+    """
+
+    def similarity(self, a: str, b: str) -> float:
+        return 1.0 if a == b else 0.0
+
+    @property
+    def name(self) -> str:
+        return "exact"
+
+
+class WeightedCombination(EntitySimilarity):
+    """Convex combination of several similarities.
+
+    The paper's future work proposes combining type and embedding
+    signals; this combinator makes the experiment a one-liner.
+    """
+
+    def __init__(self, parts: Sequence[EntitySimilarity], weights: Sequence[float]):
+        if len(parts) != len(weights) or not parts:
+            raise ConfigurationError("parts and weights must be equal, non-empty")
+        if any(w < 0 for w in weights):
+            raise ConfigurationError("weights must be non-negative")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ConfigurationError("weights must not sum to zero")
+        self.parts = list(parts)
+        self.weights = [w / total for w in weights]
+
+    def similarity(self, a: str, b: str) -> float:
+        if a == b:
+            return 1.0
+        return sum(
+            weight * part.similarity(a, b)
+            for part, weight in zip(self.parts, self.weights)
+        )
+
+    @property
+    def name(self) -> str:
+        inner = "+".join(part.name for part in self.parts)
+        return f"combo({inner})"

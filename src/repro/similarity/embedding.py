@@ -1,0 +1,33 @@
+"""Embedding-based entity similarity: cosine over RDF2Vec vectors.
+
+Cosine similarity lies in ``[-1, 1]``; the search framework requires
+``sigma`` in ``[0, 1]``, so negative similarities are clamped to 0
+(anti-correlated entities are simply unrelated for retrieval purposes).
+"""
+
+from __future__ import annotations
+
+from repro.embeddings.store import EmbeddingStore
+from repro.similarity.base import EntitySimilarity
+
+
+class EmbeddingCosineSimilarity(EntitySimilarity):
+    """Clamped cosine similarity between stored entity embeddings.
+
+    Entities without an embedding score 0 against every other entity
+    (and 1 against themselves, per the ``sigma`` contract).
+    """
+
+    def __init__(self, store: EmbeddingStore):
+        self.store = store
+
+    def similarity(self, a: str, b: str) -> float:
+        if a == b:
+            return 1.0
+        if a not in self.store or b not in self.store:
+            return 0.0
+        return max(0.0, self.store.cosine(a, b))
+
+    @property
+    def name(self) -> str:
+        return "embeddings"

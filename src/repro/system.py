@@ -1,0 +1,245 @@
+"""The Thetis facade: one object wiring the whole search stack together.
+
+The lower-level packages stay independently usable; this class is the
+convenience layer a downstream user starts with — construct it over a
+semantic data lake, optionally train embeddings, and search by entity
+tuples with or without LSH prefiltering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.aggregation import QueryAggregation, RowAggregation
+from repro.core.query import Query
+from repro.core.result import ResultSet
+from repro.core.search import TableSearchEngine
+from repro.datalake.lake import DataLake
+from repro.embeddings.rdf2vec import RDF2VecConfig, RDF2VecTrainer
+from repro.embeddings.store import EmbeddingStore
+from repro.exceptions import ConfigurationError
+from repro.kg.graph import KnowledgeGraph
+from repro.linking.mapping import EntityMapping
+from repro.lsh.config import LSHConfig, RECOMMENDED_CONFIG
+from repro.lsh.index import TablePrefilter
+from repro.lsh.schemes import (
+    EmbeddingSignatureScheme,
+    TypeSignatureScheme,
+    frequent_types,
+)
+from repro.similarity.embedding import EmbeddingCosineSimilarity
+from repro.similarity.informativeness import Informativeness
+from repro.similarity.types import TypeJaccardSimilarity
+
+
+class Thetis:
+    """Semantic table search over a semantic data lake.
+
+    Parameters
+    ----------
+    lake:
+        The table repository.
+    graph:
+        The reference knowledge graph.
+    mapping:
+        Entity links between lake cells and KG entities.
+    embeddings:
+        Optional pre-trained entity embeddings; required for the
+        ``"embeddings"`` method (train with :meth:`train_embeddings`).
+
+    Example
+    -------
+    >>> thetis = Thetis(lake, graph, mapping)          # doctest: +SKIP
+    >>> results = thetis.search(Query.single("kg:x"))  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        lake: DataLake,
+        graph: KnowledgeGraph,
+        mapping: EntityMapping,
+        embeddings: Optional[EmbeddingStore] = None,
+        row_aggregation: RowAggregation = RowAggregation.MAX,
+        query_aggregation: QueryAggregation = QueryAggregation.MEAN,
+    ):
+        self.lake = lake
+        self.graph = graph
+        self.mapping = mapping
+        self.embeddings = embeddings
+        self.row_aggregation = row_aggregation
+        self.query_aggregation = query_aggregation
+        self.informativeness = Informativeness.from_mapping(mapping, len(lake))
+        self._engines: Dict[str, TableSearchEngine] = {}
+        self._prefilters: Dict[Tuple[str, LSHConfig, bool], TablePrefilter] = {}
+
+    # ------------------------------------------------------------------
+    def train_embeddings(self, **overrides) -> EmbeddingStore:
+        """Train RDF2Vec embeddings on the KG and attach them.
+
+        Keyword overrides go to :class:`RDF2VecConfig` (``dimensions``,
+        ``epochs``, ...).
+        """
+        config = RDF2VecConfig(**overrides)
+        self.embeddings = RDF2VecTrainer(self.graph, config).train()
+        self._engines.pop("embeddings", None)
+        return self.embeddings
+
+    # ------------------------------------------------------------------
+    def engine(self, method: str = "types") -> TableSearchEngine:
+        """Return (and cache) the exact search engine for ``method``."""
+        engine = self._engines.get(method)
+        if engine is not None:
+            return engine
+        if method == "types":
+            sigma = TypeJaccardSimilarity(self.graph)
+        elif method == "embeddings":
+            if self.embeddings is None:
+                raise ConfigurationError(
+                    "no embeddings attached; call train_embeddings() or "
+                    "pass an EmbeddingStore"
+                )
+            sigma = EmbeddingCosineSimilarity(self.embeddings)
+        else:
+            raise ConfigurationError(
+                f"unknown method {method!r}: use 'types' or 'embeddings'"
+            )
+        engine = TableSearchEngine(
+            self.lake,
+            self.mapping,
+            sigma,
+            informativeness=self.informativeness,
+            row_aggregation=self.row_aggregation,
+            query_aggregation=self.query_aggregation,
+        )
+        self._engines[method] = engine
+        return engine
+
+    def prefilter(
+        self,
+        method: str = "types",
+        config: LSHConfig = RECOMMENDED_CONFIG,
+        column_aggregation: bool = False,
+    ) -> TablePrefilter:
+        """Return (and cache) the LSEI prefilter for ``method``."""
+        key = (method, config, column_aggregation)
+        cached = self._prefilters.get(key)
+        if cached is not None:
+            return cached
+        if method == "types":
+            excluded = frequent_types(
+                self.mapping, self.graph, self.lake.table_ids()
+            )
+            scheme = TypeSignatureScheme(
+                self.graph, config.num_vectors, excluded_types=excluded
+            )
+        elif method == "embeddings":
+            if self.embeddings is None:
+                raise ConfigurationError(
+                    "no embeddings attached; call train_embeddings() first"
+                )
+            scheme = EmbeddingSignatureScheme(self.embeddings, config.num_vectors)
+        else:
+            raise ConfigurationError(
+                f"unknown method {method!r}: use 'types' or 'embeddings'"
+            )
+        prefilter = TablePrefilter(
+            scheme, config, self.mapping, column_aggregation=column_aggregation
+        )
+        self._prefilters[key] = prefilter
+        return prefilter
+
+    # ------------------------------------------------------------------
+    # Dynamic data lake support
+    # ------------------------------------------------------------------
+    def add_table(self, table, link: bool = True) -> int:
+        """Add a table to the lake at runtime; returns links created.
+
+        Matching the data-lake principle that new datasets should be
+        ingestible without manual curation (Section 3.2): the table is
+        entity-linked automatically, every cached engine and LSEI picks
+        it up incrementally, and the informativeness weights are
+        refreshed.
+        """
+        from repro.datalake.table import Table
+        from repro.linking.linker import LabelLinker
+
+        if not isinstance(table, Table):
+            raise ConfigurationError("add_table expects a Table")
+        self.lake.add(table)
+        created = 0
+        if link:
+            if not hasattr(self, "_linker") or self._linker is None:
+                self._linker = LabelLinker(self.graph, fuzzy=False)
+            before = len(self.mapping)
+            self._linker.link_table(table, self.mapping)
+            created = len(self.mapping) - before
+        for engine in self._engines.values():
+            engine.invalidate_table(table.table_id)
+        for prefilter in self._prefilters.values():
+            prefilter.add_table(table.table_id)
+        self._refresh_informativeness()
+        return created
+
+    def remove_table(self, table_id: str) -> None:
+        """Remove a table and every trace of it from the search stack."""
+        self.lake.remove(table_id)
+        self.mapping.unlink_table(table_id)
+        for engine in self._engines.values():
+            engine.invalidate_table(table_id)
+        for prefilter in self._prefilters.values():
+            prefilter.remove_table(table_id)
+        self._refresh_informativeness()
+
+    def _refresh_informativeness(self) -> None:
+        self.informativeness = Informativeness.from_mapping(
+            self.mapping, max(1, len(self.lake))
+        )
+        for engine in self._engines.values():
+            engine.informativeness = self.informativeness
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: Query,
+        k: int = 10,
+        method: str = "types",
+        use_lsh: bool = False,
+        lsh_config: LSHConfig = RECOMMENDED_CONFIG,
+        votes: int = 1,
+    ) -> ResultSet:
+        """Rank the lake's tables by SemRel against ``query``.
+
+        With ``use_lsh`` the LSEI prefilter reduces the search space
+        before exact scoring (Section 6); quality is preserved while
+        runtime drops with the search-space reduction.
+        """
+        engine = self.engine(method)
+        candidates = None
+        if use_lsh:
+            prefilter = self.prefilter(method, lsh_config)
+            candidates = prefilter.candidate_tables(query, votes=votes)
+        return engine.search(query, k=k, candidates=candidates)
+
+    def search_topk(self, query: Query, k: int = 10,
+                    method: str = "types") -> ResultSet:
+        """Exact top-k search with early termination (upper bounds).
+
+        Produces the same ranking as :meth:`search` while skipping the
+        full scoring of tables whose score bound cannot reach the
+        top-k.
+        """
+        from repro.core.topk import topk_search
+
+        return topk_search(self.engine(method), query, k)
+
+    def explain(self, query: Query, table_id: str, method: str = "types"):
+        """Explain a table's score: column mapping, rows, weights.
+
+        Returns a :class:`~repro.core.explain.TableExplanation`; call
+        its ``render(self.graph)`` for a text report.
+        """
+        from repro.core.explain import explain_table
+
+        return explain_table(
+            self.engine(method), query, self.lake.get(table_id)
+        )

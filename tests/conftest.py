@@ -1,0 +1,109 @@
+"""Shared fixtures: a small deterministic world reused across tests.
+
+Expensive artifacts (benchmark corpora, trained embeddings) are built
+once per session; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen import WT2015_PROFILE, build_benchmark
+from repro.datalake import DataLake, Table
+from repro.embeddings import train_rdf2vec
+from repro.kg import Entity, KnowledgeGraph, TypeTaxonomy
+from repro.linking import EntityMapping, LabelLinker
+
+
+def make_sports_taxonomy() -> TypeTaxonomy:
+    """A miniature DBpedia-like taxonomy used across unit tests."""
+    taxonomy = TypeTaxonomy()
+    taxonomy.add_type("Thing")
+    taxonomy.add_type("Agent", "Thing")
+    taxonomy.add_type("Person", "Agent")
+    taxonomy.add_type("Athlete", "Person")
+    taxonomy.add_type("BaseballPlayer", "Athlete")
+    taxonomy.add_type("VolleyballPlayer", "Athlete")
+    taxonomy.add_type("Organisation", "Agent")
+    taxonomy.add_type("SportsTeam", "Organisation")
+    taxonomy.add_type("BaseballTeam", "SportsTeam")
+    taxonomy.add_type("Place", "Thing")
+    taxonomy.add_type("City", "Place")
+    return taxonomy
+
+
+def make_sports_graph() -> KnowledgeGraph:
+    """8 teams, 32 players, 4 cities, with playsFor/basedIn edges."""
+    taxonomy = make_sports_taxonomy()
+    graph = KnowledgeGraph(taxonomy)
+    for i in range(4):
+        graph.add_entity(
+            Entity(f"kg:city{i}", f"City {i}",
+                   frozenset(taxonomy.ancestors("City")))
+        )
+    for i in range(8):
+        graph.add_entity(
+            Entity(f"kg:team{i}", f"Team {i}",
+                   frozenset(taxonomy.ancestors("BaseballTeam")))
+        )
+        graph.add_edge(f"kg:team{i}", "basedIn", f"kg:city{i % 4}")
+    for i in range(32):
+        graph.add_entity(
+            Entity(f"kg:player{i}", f"Player {i}",
+                   frozenset(taxonomy.ancestors("BaseballPlayer")))
+        )
+        graph.add_edge(f"kg:player{i}", "playsFor", f"kg:team{i % 8}")
+    return graph
+
+
+def make_sports_lake() -> DataLake:
+    """12 roster tables over the sports graph's labels."""
+    lake = DataLake()
+    for t in range(12):
+        rows = []
+        for r in range(4):
+            player = (t * 4 + r) % 32
+            rows.append(
+                [f"Player {player}", f"Team {player % 8}",
+                 f"City {player % 4}", 2000 + r]
+            )
+        lake.add(
+            Table(
+                f"T{t:02d}",
+                ["Player", "Team", "City", "Year"],
+                rows,
+                metadata={"caption": f"Roster {t}", "domain": "baseball",
+                          "category": "baseball/roster"},
+            )
+        )
+    return lake
+
+
+@pytest.fixture(scope="session")
+def sports_graph() -> KnowledgeGraph:
+    return make_sports_graph()
+
+
+@pytest.fixture(scope="session")
+def sports_lake() -> DataLake:
+    return make_sports_lake()
+
+
+@pytest.fixture(scope="session")
+def sports_mapping(sports_graph, sports_lake) -> EntityMapping:
+    return LabelLinker(sports_graph).link_lake(sports_lake)
+
+
+@pytest.fixture(scope="session")
+def sports_embeddings(sports_graph):
+    return train_rdf2vec(
+        sports_graph, dimensions=16, epochs=2, walks_per_entity=6, seed=1
+    )
+
+
+@pytest.fixture(scope="session")
+def small_benchmark():
+    """A small WT2015-profile benchmark shared by integration tests."""
+    return build_benchmark(
+        WT2015_PROFILE, num_tables=200, num_query_pairs=6, seed=11
+    )

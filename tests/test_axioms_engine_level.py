@@ -1,0 +1,99 @@
+"""The Section 4.2 axioms verified at the full-engine level.
+
+The tuple-level axioms are property-tested in test_core_axioms; here
+whole tables are constructed so that Algorithm 1 (column mapping, row
+aggregation, informativeness, Eq. 1 averaging) must still respect the
+orderings the axioms demand.
+"""
+
+import pytest
+
+from repro.core import Query, TableSearchEngine
+from repro.datalake import DataLake, Table
+from repro.linking import EntityMapping
+from repro.similarity import MappingTypeSimilarity
+
+TYPES = {
+    "kg:stetter": frozenset({"Thing", "Person", "BaseballPlayer"}),
+    "kg:santo": frozenset({"Thing", "Person", "BaseballPlayer"}),
+    "kg:brewers": frozenset({"Thing", "Org", "BaseballTeam"}),
+    "kg:cubs": frozenset({"Thing", "Org", "BaseballTeam"}),
+    "kg:streep": frozenset({"Thing", "Person", "Actor"}),
+    "kg:milwaukee": frozenset({"Thing", "Place", "City"}),
+}
+
+
+def _build_engine():
+    """One table per axiom case, two entity columns each."""
+    rows = {
+        "total_exact": ("kg:stetter", "kg:brewers"),
+        "partial_exact": ("kg:stetter", "kg:milwaukee"),
+        "total_related": ("kg:santo", "kg:cubs"),
+        "weak_related": ("kg:streep", "kg:milwaukee"),
+    }
+    lake = DataLake()
+    mapping = EntityMapping()
+    for table_id, (a, b) in rows.items():
+        lake.add(Table(table_id, ["A", "B"], [[a, b]]))
+        mapping.link(table_id, 0, 0, a)
+        mapping.link(table_id, 0, 1, b)
+    return TableSearchEngine(lake, mapping, MappingTypeSimilarity(TYPES))
+
+
+QUERY = Query.single("kg:stetter", "kg:brewers")
+
+
+class TestAxiomsThroughTheEngine:
+    @pytest.fixture(scope="class")
+    def scores(self):
+        engine = _build_engine()
+        return {
+            table.table_id: engine.score_table(QUERY, table).score
+            for table in engine.lake
+        }
+
+    def test_axiom1_total_exact_is_top(self, scores):
+        """TE mappings outrank every non-TE table."""
+        assert scores["total_exact"] == pytest.approx(1.0)
+        for other in ("partial_exact", "total_related", "weak_related"):
+            assert scores["total_exact"] > scores[other], other
+
+    def test_axiom2_partial_exact_beats_weaker_partial(self, scores):
+        """An exact hit on one entity beats weak relations everywhere."""
+        assert scores["partial_exact"] > scores["weak_related"]
+
+    def test_axiom3_stronger_similarities_rank_higher(self, scores):
+        """TR with strong sigma beats a mapping with weaker sigma."""
+        assert scores["total_related"] > scores["weak_related"]
+
+    def test_full_ranking_order(self, scores):
+        engine = _build_engine()
+        ranking = engine.search(QUERY).table_ids()
+        assert ranking[0] == "total_exact"
+        assert ranking.index("total_related") < \
+            ranking.index("weak_related")
+
+    def test_axioms_hold_under_per_row_semantics(self):
+        from repro.core import TupleSemantics
+
+        engine = _build_engine()
+        engine.tuple_semantics = TupleSemantics.PER_ROW
+        scores = {
+            table.table_id: engine.score_table(QUERY, table).score
+            for table in engine.lake
+        }
+        assert scores["total_exact"] == pytest.approx(1.0)
+        assert scores["total_exact"] > scores["total_related"] > \
+            scores["weak_related"]
+
+    def test_axioms_hold_under_avg_row_aggregation(self):
+        from repro.core import RowAggregation
+
+        engine = _build_engine()
+        engine.row_aggregation = RowAggregation.AVG
+        scores = {
+            table.table_id: engine.score_table(QUERY, table).score
+            for table in engine.lake
+        }
+        assert scores["total_exact"] > scores["total_related"] > \
+            scores["weak_related"]

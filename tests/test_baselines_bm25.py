@@ -1,0 +1,98 @@
+"""Tests for the BM25 keyword-search baseline."""
+
+import pytest
+
+from repro.baselines import BM25TableSearch, text_query_from_labels
+from repro.core import Query
+from repro.datalake import DataLake, Table
+
+
+@pytest.fixture()
+def lake():
+    return DataLake(
+        [
+            Table("cubs", ["Player", "Team"],
+                  [["Ron Santo", "Chicago Cubs"],
+                   ["Ernie Banks", "Chicago Cubs"]]),
+            Table("brewers", ["Player", "Team"],
+                  [["Mitch Stetter", "Milwaukee Brewers"]]),
+            Table("cities", ["City"], [["Chicago"], ["Milwaukee"]],
+                  metadata={"caption": "US cities"}),
+        ]
+    )
+
+
+@pytest.fixture()
+def bm25(lake):
+    return BM25TableSearch(lake)
+
+
+class TestBM25:
+    def test_num_documents(self, bm25):
+        assert bm25.num_documents == 3
+
+    def test_exact_keyword_ranks_containing_table_first(self, bm25):
+        results = bm25.search(["santo"])
+        assert results.table_ids()[0] == "cubs"
+
+    def test_shared_keyword_matches_both(self, bm25):
+        results = bm25.search(["chicago"])
+        assert set(results.table_ids()) == {"cubs", "cities"}
+
+    def test_rare_term_gets_higher_idf_weight(self, bm25):
+        # "stetter" appears in 1 doc, "chicago" in 2: querying both must
+        # rank the stetter table at least as high as any chicago table.
+        results = bm25.search(["stetter", "chicago"])
+        assert results.table_ids()[0] == "brewers"
+
+    def test_metadata_indexed(self, bm25):
+        results = bm25.search(["cities"])
+        assert results.table_ids() == ["cities"]
+
+    def test_no_match(self, bm25):
+        assert len(bm25.search(["volleyball"])) == 0
+
+    def test_k_truncation(self, bm25):
+        assert len(bm25.search(["chicago"], k=1)) == 1
+
+    def test_candidates_restriction(self, bm25):
+        results = bm25.search(["chicago"], candidates=["cities"])
+        assert results.table_ids() == ["cities"]
+
+    def test_repeated_keywords_increase_score(self, bm25):
+        single = bm25.search(["chicago"]).score_of("cubs")
+        double = bm25.search(["chicago", "chicago"]).score_of("cubs")
+        assert double == pytest.approx(2 * single)
+
+    def test_score_method_matches_search(self, bm25):
+        keywords = ["ron", "santo"]
+        assert bm25.score(keywords, "cubs") == pytest.approx(
+            bm25.search(keywords).score_of("cubs")
+        )
+
+    def test_score_unknown_table(self, bm25):
+        assert bm25.score(["santo"], "ghost") == 0.0
+
+    def test_all_scores_positive(self, bm25):
+        for scored in bm25.search(["chicago", "milwaukee"]):
+            assert scored.score > 0.0
+
+
+class TestTextQueries:
+    def test_labels_tokenized(self, sports_graph):
+        query = Query.single("kg:player0", "kg:team0")
+        keywords = text_query_from_labels(query, sports_graph)
+        assert keywords == ["player", "0", "team", "0"]
+
+    def test_unknown_uri_falls_back_to_tail(self, sports_graph):
+        keywords = text_query_from_labels(
+            Query.single("kg:mystery"), sports_graph
+        )
+        assert keywords == ["mystery"]
+
+    def test_search_query_wrapper(self, bm25, sports_graph, lake):
+        # Labels of the sports graph don't appear in this lake.
+        results = bm25.search_query(
+            Query.single("kg:player0"), sports_graph, k=5
+        )
+        assert isinstance(len(results), int)

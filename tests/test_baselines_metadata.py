@@ -1,0 +1,60 @@
+"""Tests for the metadata-only keyword baseline."""
+
+import pytest
+
+from repro.baselines import MetadataKeywordSearch
+from repro.core import Query
+from repro.datalake import DataLake, Table
+
+
+@pytest.fixture()
+def lake():
+    return DataLake(
+        [
+            Table("rosters", ["Player"], [["Ron Santo"]],
+                  metadata={"caption": "Baseball rosters 1970",
+                            "source": "wiki"}),
+            Table("films", ["Actor"], [["Meryl Streep"]],
+                  metadata={"caption": "Famous film actors"}),
+            Table("bare", ["X"], [["baseball content but no metadata"]]),
+        ]
+    )
+
+
+class TestMetadataKeywordSearch:
+    def test_matches_only_metadata(self, lake):
+        searcher = MetadataKeywordSearch(lake)
+        results = searcher.search(["baseball"])
+        # 'bare' contains "baseball" in its CELLS but has no metadata:
+        # the restrictive-metadata assumption makes it unfindable.
+        assert results.table_ids() == ["rosters"]
+
+    def test_cell_content_invisible(self, lake):
+        searcher = MetadataKeywordSearch(lake)
+        assert len(searcher.search(["santo"])) == 0
+        assert len(searcher.search(["streep"])) == 0
+
+    def test_field_restriction(self, lake):
+        searcher = MetadataKeywordSearch(lake, fields=["caption"])
+        assert len(searcher.search(["wiki"])) == 0
+        assert searcher.search(["rosters"]).table_ids() == ["rosters"]
+
+    def test_num_documents(self, lake):
+        assert MetadataKeywordSearch(lake).num_documents == 3
+
+    def test_search_query_wrapper(self, lake, sports_graph):
+        searcher = MetadataKeywordSearch(lake)
+        results = searcher.search_query(
+            Query.single("kg:player0"), sports_graph, k=5
+        )
+        assert len(results) == 0  # sports labels absent from metadata
+
+    def test_benchmark_metadata_searchable(self, small_benchmark):
+        """Generated corpora carry captions, so the baseline works."""
+        searcher = MetadataKeywordSearch(small_benchmark.lake)
+        results = searcher.search(["baseball", "roster"], k=10)
+        assert len(results) > 0
+        for scored in results:
+            metadata = small_benchmark.lake.get(scored.table_id).metadata
+            caption = metadata.get("caption", "").lower()
+            assert "baseball" in caption or "roster" in caption

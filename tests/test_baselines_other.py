@@ -1,0 +1,172 @@
+"""Tests for the TURL-like, union-search, and join-search baselines."""
+
+import pytest
+
+from repro.baselines import JoinTableSearch, TurlLikeTableSearch, UnionTableSearch
+from repro.core import Query
+from repro.datalake import DataLake, Table
+from repro.exceptions import ConfigurationError
+from repro.linking import EntityMapping
+
+
+class TestTurlLike:
+    def test_tables_without_links_unrepresented(self, sports_lake,
+                                                sports_mapping,
+                                                sports_embeddings):
+        lake = DataLake(list(sports_lake))
+        lake.add(Table("unlinked", ["A"], [["no entities"]]))
+        searcher = TurlLikeTableSearch(lake, sports_mapping,
+                                       sports_embeddings)
+        assert searcher.num_represented_tables == len(sports_lake)
+
+    def test_ranking_by_cosine(self, sports_lake, sports_mapping,
+                               sports_embeddings):
+        searcher = TurlLikeTableSearch(sports_lake, sports_mapping,
+                                       sports_embeddings)
+        results = searcher.search(Query.single("kg:player0", "kg:team0"))
+        assert len(results) > 0
+        scores = [st.score for st in results]
+        assert scores == sorted(scores, reverse=True)
+        assert all(-1.0 - 1e-9 <= s <= 1.0 + 1e-9 for s in scores)
+
+    def test_unknown_query_entities_empty(self, sports_lake, sports_mapping,
+                                          sports_embeddings):
+        searcher = TurlLikeTableSearch(sports_lake, sports_mapping,
+                                       sports_embeddings)
+        assert len(searcher.search(Query.single("kg:ghost"))) == 0
+
+    def test_k_truncation(self, sports_lake, sports_mapping,
+                          sports_embeddings):
+        searcher = TurlLikeTableSearch(sports_lake, sports_mapping,
+                                       sports_embeddings)
+        assert len(searcher.search(Query.single("kg:player0"), k=2)) == 2
+
+
+class TestUnionSearch:
+    def test_encoder_validation(self, sports_lake, sports_mapping,
+                                sports_graph):
+        with pytest.raises(ConfigurationError):
+            UnionTableSearch(sports_lake, sports_mapping,
+                             column_encoder="bogus")
+        with pytest.raises(ConfigurationError):
+            UnionTableSearch(sports_lake, sports_mapping,
+                             column_encoder="types")  # graph missing
+        with pytest.raises(ConfigurationError):
+            UnionTableSearch(sports_lake, sports_mapping,
+                             column_encoder="embeddings")  # store missing
+
+    def test_types_encoder_ranks_same_schema_tables(self, sports_lake,
+                                                    sports_mapping,
+                                                    sports_graph):
+        searcher = UnionTableSearch(sports_lake, sports_mapping,
+                                    graph=sports_graph,
+                                    column_encoder="types")
+        query = Query.single("kg:player0", "kg:team0", "kg:city0")
+        results = searcher.search(query, k=5)
+        assert len(results) == 5
+        # All fixture tables share the roster schema, so scores are high
+        # and nearly uniform - exactly why union search cannot rank by
+        # topical relevance.
+        scores = [st.score for st in results]
+        assert max(scores) - min(scores) < 0.2
+
+    def test_embeddings_encoder(self, sports_lake, sports_mapping,
+                                sports_embeddings):
+        searcher = UnionTableSearch(sports_lake, sports_mapping,
+                                    store=sports_embeddings,
+                                    column_encoder="embeddings")
+        results = searcher.search(Query.single("kg:player0", "kg:team0"))
+        assert len(results) > 0
+
+    def test_unionability_normalized_by_width(self, sports_mapping,
+                                              sports_graph, sports_lake):
+        searcher = UnionTableSearch(sports_lake, sports_mapping,
+                                    graph=sports_graph,
+                                    column_encoder="types")
+        query = Query.single("kg:player0")
+        for table in sports_lake:
+            assert 0.0 <= searcher.unionability(query, table.table_id) <= 1.0
+
+
+class TestJoinSearch:
+    def test_exact_value_overlap_found(self, sports_lake, sports_graph):
+        searcher = JoinTableSearch(sports_lake)
+        query = Query.single("kg:player0", "kg:team0")
+        results = searcher.search(query, sports_graph)
+        # Tables containing the labels "Player 0"/"Team 0" are joinable.
+        assert "T00" in results.table_ids()
+        assert results.score_of("T00") == 1.0
+
+    def test_no_overlap_returns_nothing(self, sports_lake, sports_graph):
+        searcher = JoinTableSearch(sports_lake)
+        results = searcher.search(Query.single("kg:ghost"), sports_graph)
+        assert len(results) == 0
+
+    def test_joinability_is_containment(self, sports_lake):
+        searcher = JoinTableSearch(sports_lake)
+        assert searcher.joinability(
+            frozenset({"a", "b"}), frozenset({"a", "b", "c"})
+        ) == 1.0
+        assert searcher.joinability(
+            frozenset({"a", "b"}), frozenset({"a"})
+        ) == 0.5
+        assert searcher.joinability(frozenset(), frozenset({"a"})) == 0.0
+
+    def test_query_value_sets(self, sports_lake, sports_graph):
+        searcher = JoinTableSearch(sports_lake)
+        query = Query([("kg:player0", "kg:team0"),
+                       ("kg:player1", "kg:team1")])
+        value_sets = searcher.query_value_sets(query, sports_graph)
+        assert value_sets[0] == {"player 0", "player 1"}
+        assert value_sets[1] == {"team 0", "team 1"}
+
+    def test_k_truncation(self, sports_lake, sports_graph):
+        searcher = JoinTableSearch(sports_lake)
+        results = searcher.search(Query.single("kg:player0"), sports_graph,
+                                  k=2)
+        assert len(results) <= 2
+
+
+class TestSantosRelationships:
+    @pytest.fixture()
+    def searcher(self, sports_lake, sports_mapping, sports_graph):
+        return UnionTableSearch(sports_lake, sports_mapping,
+                                graph=sports_graph, column_encoder="types")
+
+    def test_column_pair_relationships_directional(self, searcher):
+        rels = searcher._column_pair_relationships(
+            ["kg:player0"], ["kg:team0"]
+        )
+        assert "playsFor" in rels
+        inverse = searcher._column_pair_relationships(
+            ["kg:team0"], ["kg:player0"]
+        )
+        assert "^playsFor" in inverse
+
+    def test_unconnected_columns_empty(self, searcher):
+        assert searcher._column_pair_relationships(
+            ["kg:player0"], ["kg:player1"]
+        ) == frozenset()
+
+    def test_relationship_unionability_full_match(self, searcher):
+        # Query (player, team) with a playsFor pair; every fixture
+        # roster table carries player->team playsFor relationships.
+        query = Query([("kg:player0", "kg:team0")])
+        score = searcher.relationship_unionability(query, "T00")
+        assert score == 1.0
+
+    def test_relationship_unionability_no_graph(self, sports_lake,
+                                                sports_mapping,
+                                                sports_embeddings):
+        searcher = UnionTableSearch(
+            sports_lake, sports_mapping, store=sports_embeddings,
+            column_encoder="embeddings",
+        )
+        query = Query([("kg:player0", "kg:team0")])
+        assert searcher.relationship_unionability(query, "T00") == 0.0
+
+    def test_relationship_unionability_no_relations_in_query(self,
+                                                             searcher):
+        # Two players share no KG edge: no relationships to match.
+        query = Query([("kg:player0", "kg:player1")])
+        assert searcher.relationship_unionability(query, "T00") == 0.0

@@ -1,0 +1,199 @@
+"""Tests for table generation, queries, synthetic expansion, workload."""
+
+import pytest
+
+from repro.benchgen import (
+    GITTABLES_PROFILE,
+    PROFILES,
+    SYNTHETIC_PROFILE,
+    WT2015_PROFILE,
+    CorpusProfile,
+    QueryGenerator,
+    TableGenerator,
+    WorldBuilder,
+    build_benchmark,
+    expand_lake,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def world():
+    return WorldBuilder(scale=0.3, seed=2).build()
+
+
+class TestCorpusProfile:
+    def test_paper_profiles_registered(self):
+        assert set(PROFILES) == {"wt2015", "wt2019", "gittables", "synthetic"}
+        assert PROFILES["gittables"].prelinked is False
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CorpusProfile("x", 1.0, 5.0, 0.3)
+        with pytest.raises(ConfigurationError):
+            CorpusProfile("x", 10.0, 5.0, 1.5)
+
+
+class TestTableGenerator:
+    def test_generate_counts_and_ids(self, world):
+        corpus = TableGenerator(world, WT2015_PROFILE, seed=0).generate(40)
+        assert len(corpus.lake) == 40
+        assert corpus.lake.table_ids()[0] == "wt2015-000000"
+        assert len(corpus.topics) == 40
+
+    def test_metadata_stamped(self, world):
+        corpus = TableGenerator(world, WT2015_PROFILE, seed=0).generate(10)
+        for table in corpus.lake:
+            assert "category" in table.metadata
+            assert "domain" in table.metadata
+            assert corpus.topics[table.table_id] == table.metadata["category"]
+
+    def test_prelinked_mapping_points_at_real_cells(self, world):
+        corpus = TableGenerator(world, WT2015_PROFILE, seed=1).generate(20)
+        assert corpus.mapping is not None
+        for (table_id, row, col), uri in corpus.mapping.all_links():
+            table = corpus.lake.get(table_id)
+            assert table.cell(row, col) == world.graph.get(uri).label
+
+    def test_gittables_has_no_mapping(self, world):
+        corpus = TableGenerator(world, GITTABLES_PROFILE, seed=1).generate(5)
+        assert corpus.mapping is None
+
+    def test_shape_targets_hit(self, world):
+        corpus = TableGenerator(world, SYNTHETIC_PROFILE, seed=3).generate(150)
+        rows = [t.num_rows for t in corpus.lake]
+        cols = [t.num_columns for t in corpus.lake]
+        assert abs(sum(rows) / len(rows) - SYNTHETIC_PROFILE.mean_rows) < 3.0
+        assert abs(sum(cols) / len(cols) - SYNTHETIC_PROFILE.mean_columns) < 1.0
+
+    def test_determinism(self, world):
+        a = TableGenerator(world, WT2015_PROFILE, seed=5).generate(10)
+        b = TableGenerator(world, WT2015_PROFILE, seed=5).generate(10)
+        for ta, tb in zip(a.lake, b.lake):
+            assert ta.rows == tb.rows
+
+
+class TestQueryGenerator:
+    def test_paired_queries(self, world):
+        queries = QueryGenerator(world, seed=0).generate(10)
+        assert len(queries.one_tuple) == 10
+        assert len(queries.five_tuple) == 10
+        assert len(queries) == 20
+
+    def test_one_tuple_contained_in_five(self, world):
+        queries = QueryGenerator(world, seed=1).generate(5)
+        for qid, one in queries.one_tuple.items():
+            five = queries.five_tuple[qid.replace("-1t", "-5t")]
+            assert one.tuples[0] == five.tuples[0]
+            assert len(five) == 5
+
+    def test_categories_assigned(self, world):
+        queries = QueryGenerator(world, seed=2).generate(5)
+        for qid in queries.all_queries():
+            assert "/" in queries.categories[qid]
+            assert queries.domains[qid]
+
+    def test_query_entities_exist_in_graph(self, world):
+        queries = QueryGenerator(world, seed=3).generate(5)
+        for query in queries.all_queries().values():
+            for uri in query.entities():
+                assert uri in world.graph
+
+    def test_invalid_count(self, world):
+        with pytest.raises(ConfigurationError):
+            QueryGenerator(world).generate(0)
+
+    def test_min_width_too_large(self, world):
+        with pytest.raises(ConfigurationError):
+            QueryGenerator(world, min_width=10)
+
+
+class TestExpandLake:
+    def test_expansion_size(self, world):
+        corpus = TableGenerator(world, WT2015_PROFILE, seed=4).generate(10)
+        expanded, mapping = expand_lake(
+            corpus.lake, corpus.mapping, 25, seed=0
+        )
+        assert len(expanded) == 35
+        assert mapping is not None
+
+    def test_exclude_base(self, world):
+        corpus = TableGenerator(world, WT2015_PROFILE, seed=4).generate(10)
+        expanded, _ = expand_lake(
+            corpus.lake, corpus.mapping, 7, include_base=False
+        )
+        assert len(expanded) == 7
+
+    def test_rows_come_from_one_source(self, world):
+        corpus = TableGenerator(world, WT2015_PROFILE, seed=4).generate(10)
+        expanded, _ = expand_lake(corpus.lake, corpus.mapping, 20, seed=1)
+        sources = {tuple(t.rows): t for t in corpus.lake}
+        for table in expanded:
+            if not table.table_id.startswith("syn-"):
+                continue
+            candidates = [
+                s for s in corpus.lake
+                if s.attributes == table.attributes
+                and all(row in s.rows for row in table.rows)
+            ]
+            assert candidates, f"no source table covers {table.table_id}"
+
+    def test_links_carried_over(self, world):
+        corpus = TableGenerator(world, WT2015_PROFILE, seed=4).generate(10)
+        expanded, mapping = expand_lake(corpus.lake, corpus.mapping, 30,
+                                        seed=2)
+        synthetic_links = [
+            (ref, uri) for ref, uri in mapping.all_links()
+            if ref[0].startswith("syn-")
+        ]
+        assert synthetic_links
+        for (table_id, row, col), uri in synthetic_links:
+            table = expanded.get(table_id)
+            assert table.cell(row, col) == world.graph.get(uri).label
+
+    def test_no_mapping_passthrough(self, world):
+        corpus = TableGenerator(world, GITTABLES_PROFILE, seed=4).generate(4)
+        _, mapping = expand_lake(corpus.lake, None, 5)
+        assert mapping is None
+
+    def test_validation(self, world):
+        corpus = TableGenerator(world, WT2015_PROFILE, seed=4).generate(2)
+        with pytest.raises(ConfigurationError):
+            expand_lake(corpus.lake, corpus.mapping, -1)
+        from repro.datalake import DataLake
+        with pytest.raises(ConfigurationError):
+            expand_lake(DataLake(), None, 5)
+
+
+class TestBuildBenchmark:
+    def test_bundle_complete(self, small_benchmark):
+        bench = small_benchmark
+        assert len(bench.lake) == 200
+        assert len(bench.queries.one_tuple) == 6
+        assert len(bench.mapping) > 0
+        stats = bench.statistics()
+        assert stats.num_tables == 200
+        assert 0.15 < stats.mean_coverage < 0.40
+
+    def test_ground_truth_nonempty_for_queries(self, small_benchmark):
+        for query_id in small_benchmark.queries.one_tuple:
+            truth = small_benchmark.ground_truth(query_id)
+            assert len(truth.relevant_ids()) > 0
+
+    def test_gittables_benchmark_links_via_label_index(self):
+        bench = build_benchmark(
+            GITTABLES_PROFILE, num_tables=20, num_query_pairs=2,
+            kg_scale=0.3, seed=5,
+        )
+        assert len(bench.mapping) > 0
+        # Linked cells hold the exact entity label.
+        for (table_id, row, col), uri in list(bench.mapping.all_links())[:50]:
+            cell = bench.lake.get(table_id).cell(row, col)
+            assert str(cell).lower() == bench.graph.get(uri).label.lower()
+
+    def test_world_reuse(self, small_benchmark):
+        bench2 = build_benchmark(
+            WT2015_PROFILE, num_tables=10, num_query_pairs=2,
+            world=small_benchmark.world, seed=99,
+        )
+        assert bench2.world is small_benchmark.world

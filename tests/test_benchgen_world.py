@@ -1,0 +1,128 @@
+"""Tests for the synthetic world: names, domains, KG builder."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import (
+    DEFAULT_DOMAINS,
+    NameFactory,
+    WorldBuilder,
+    all_topics,
+    build_taxonomy,
+    topic_id,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestNameFactory:
+    def test_uniqueness(self):
+        factory = NameFactory(np.random.default_rng(0))
+        names = [factory.person() for _ in range(500)]
+        assert len(set(names)) == 500
+
+    def test_kinds_produce_plausible_shapes(self):
+        factory = NameFactory(np.random.default_rng(1))
+        assert len(factory.person().split()) >= 2
+        assert factory.team("Brookdale").startswith("Brookdale")
+        assert factory.stadium("Brookdale").startswith("Brookdale")
+        assert factory.work().startswith("The ")
+        assert factory.country().split()[-1] in (
+            "Republic", "Kingdom", "Union", "Federation", "States",
+        )
+
+    def test_determinism(self):
+        a = NameFactory(np.random.default_rng(5))
+        b = NameFactory(np.random.default_rng(5))
+        assert [a.city() for _ in range(20)] == [b.city() for _ in range(20)]
+
+
+class TestDomains:
+    def test_default_world_domains(self):
+        assert {d.name for d in DEFAULT_DOMAINS} == {
+            "baseball", "basketball", "soccer", "film", "music",
+            "business", "politics",
+        }
+
+    def test_role_lookup(self):
+        baseball = DEFAULT_DOMAINS[0]
+        assert baseball.role("player").type_name == "BaseballPlayer"
+        with pytest.raises(KeyError):
+            baseball.role("ghost")
+
+    def test_all_topics_and_ids(self):
+        topics = all_topics()
+        assert len(topics) >= 10
+        domain, topic = topics[0]
+        assert topic_id(domain, topic) == f"{domain}/{topic.name}"
+
+    def test_taxonomy_builds(self):
+        taxonomy = build_taxonomy()
+        assert taxonomy.ancestors("BaseballPlayer") == [
+            "BaseballPlayer", "Athlete", "Person", "Agent", "Thing",
+        ]
+        assert "Album" in taxonomy
+
+
+class TestWorldBuilder:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return WorldBuilder(scale=0.3, seed=0).build()
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            WorldBuilder(scale=0.0)
+
+    def test_entities_typed_with_ancestors(self, world):
+        players = world.entities_for_role("baseball", "player")
+        assert players
+        entity = world.graph.get(players[0])
+        assert "BaseballPlayer" in entity.types
+        assert "Athlete" in entity.types
+        assert "Thing" in entity.types
+
+    def test_global_roles_shared(self, world):
+        baseball_cities = world.entities_for_role("baseball", "city")
+        film_cities = world.entities_for_role("film", "city")
+        assert baseball_cities == film_cities
+
+    def test_relations_exist(self, world):
+        players = world.entities_for_role("baseball", "player")
+        teams = set(world.entities_for_role("baseball", "team"))
+        linked = world.forward[("baseball", "player", "team")]
+        assert set(linked) == set(players)
+        for targets in linked.values():
+            assert set(targets) <= teams
+
+    def test_scale_changes_counts(self):
+        small = WorldBuilder(scale=0.2, seed=1).build()
+        large = WorldBuilder(scale=0.5, seed=1).build()
+        assert len(large.graph) > len(small.graph)
+
+    def test_sample_topic_row_is_connected(self, world):
+        rng = np.random.default_rng(3)
+        domain = world.domain("baseball")
+        topic = domain.topics[0]  # roster: player, team, city
+        for _ in range(20):
+            player, team, _city = world.sample_topic_row(
+                "baseball", topic, rng
+            )
+            assert team in world.forward[("baseball", "player", "team")][player]
+
+    def test_sample_with_anchor(self, world):
+        rng = np.random.default_rng(4)
+        domain = world.domain("baseball")
+        topic = domain.topics[0]
+        anchor = world.entities_for_role("baseball", "player")[0]
+        row = world.sample_topic_row("baseball", topic, rng, anchor=anchor)
+        assert row[0] == anchor
+
+    def test_determinism(self):
+        a = WorldBuilder(scale=0.2, seed=9).build()
+        b = WorldBuilder(scale=0.2, seed=9).build()
+        assert list(a.graph.uris()) == list(b.graph.uris())
+        assert a.graph.get(next(a.graph.uris())).label == \
+            b.graph.get(next(b.graph.uris())).label
+
+    def test_unknown_domain_raises(self, world):
+        with pytest.raises(KeyError):
+            world.domain("cooking")

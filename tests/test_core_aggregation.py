@@ -1,0 +1,61 @@
+"""Tests for row/query score aggregation policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import QueryAggregation, RowAggregation
+from repro.exceptions import ConfigurationError
+
+
+class TestRowAggregation:
+    def test_max(self):
+        assert RowAggregation.MAX.aggregate([0.1, 0.9, 0.5]) == 0.9
+
+    def test_avg(self):
+        assert RowAggregation.AVG.aggregate([0.0, 1.0]) == 0.5
+
+    def test_empty(self):
+        assert RowAggregation.MAX.aggregate([]) == 0.0
+        assert RowAggregation.AVG.aggregate([]) == 0.0
+
+    def test_aggregate_columns_max(self):
+        grid = [[0.1, 0.9], [0.8, 0.2]]
+        assert RowAggregation.MAX.aggregate_columns(grid) == [0.8, 0.9]
+
+    def test_aggregate_columns_avg(self):
+        grid = [[0.0, 1.0], [1.0, 0.0]]
+        assert RowAggregation.AVG.aggregate_columns(grid) == [0.5, 0.5]
+
+    def test_aggregate_columns_empty(self):
+        assert RowAggregation.MAX.aggregate_columns([]) == []
+
+    def test_ragged_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RowAggregation.MAX.aggregate_columns([[0.1], [0.1, 0.2]])
+
+    @given(st.lists(st.lists(st.floats(0, 1), min_size=3, max_size=3),
+                    min_size=1, max_size=10))
+    def test_max_dominates_avg(self, grid):
+        """Per coordinate, max aggregation never falls below avg."""
+        max_coords = RowAggregation.MAX.aggregate_columns(grid)
+        avg_coords = RowAggregation.AVG.aggregate_columns(grid)
+        for hi, lo in zip(max_coords, avg_coords):
+            assert hi >= lo - 1e-12
+
+
+class TestQueryAggregation:
+    def test_mean(self):
+        assert QueryAggregation.MEAN.aggregate([0.2, 0.4]) == \
+            pytest.approx(0.3)
+
+    def test_max(self):
+        assert QueryAggregation.MAX.aggregate([0.2, 0.4]) == 0.4
+
+    def test_empty(self):
+        assert QueryAggregation.MEAN.aggregate([]) == 0.0
+        assert QueryAggregation.MAX.aggregate([]) == 0.0
+
+    def test_single_value(self):
+        assert QueryAggregation.MEAN.aggregate([0.7]) == 0.7
+        assert QueryAggregation.MAX.aggregate([0.7]) == 0.7

@@ -1,0 +1,155 @@
+"""Executable verification of the Section 4.2 relevance axioms.
+
+The axioms constrain any valid SemRel score; these tests check both the
+mapping classification (TE/PE/TR/PR) and that the concrete Equation 2-3
+score satisfies every axiom, by construction and by property testing.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import MappingKind, best_mapping, semrel_tuple_score
+from repro.similarity import MappingTypeSimilarity, UniformInformativeness
+
+# A small universe of typed entities mirroring the paper's running
+# example (Section 4.2).
+# Every DBpedia entity carries owl:Thing, which is what makes the
+# paper's t1 ~PR t5 example a (weak) related mapping rather than an
+# irrelevant one.
+TYPES = {
+    "stetter": frozenset({"Thing", "Person", "Athlete", "BaseballPlayer"}),
+    "santo": frozenset({"Thing", "Person", "Athlete", "BaseballPlayer"}),
+    "brewers": frozenset({"Thing", "Organisation", "SportsTeam",
+                          "BaseballTeam"}),
+    "cubs": frozenset({"Thing", "Organisation", "SportsTeam",
+                       "BaseballTeam"}),
+    "milwaukee": frozenset({"Thing", "Place", "City"}),
+    "chicago": frozenset({"Thing", "Place", "City"}),
+    "streep": frozenset({"Thing", "Person", "Artist", "Actor"}),
+}
+
+SIGMA = MappingTypeSimilarity(TYPES)
+UNIFORM = UniformInformativeness()
+
+
+def score(query_tuple, target_tuple):
+    mapping = best_mapping(query_tuple, target_tuple, SIGMA)
+    coordinates = [
+        mapping.similarities.get(i, 0.0) for i in range(len(query_tuple))
+    ]
+    return semrel_tuple_score(query_tuple, coordinates, UNIFORM)
+
+
+class TestMappingClassification:
+    """The paper's examples: t1..t5 relationships hold as stated."""
+
+    T1 = ("stetter", "brewers")
+    T2 = ("stetter", "brewers", "milwaukee")
+    T3 = ("santo", "cubs")
+    T4 = ("santo", "chicago")
+    T5 = ("milwaukee",)
+
+    def test_t1_te_t2(self):
+        assert best_mapping(self.T1, self.T2, SIGMA).kind == MappingKind.TOTAL_EXACT
+
+    def test_t2_pe_t1(self):
+        assert best_mapping(self.T2, self.T1, SIGMA).kind == MappingKind.PARTIAL_EXACT
+
+    def test_t1_tr_t3(self):
+        assert best_mapping(self.T1, self.T3, SIGMA).kind == MappingKind.TOTAL_RELATED
+
+    def test_t2_tr_t4(self):
+        # (stetter, brewers, milwaukee) vs (santo, chicago): only two of
+        # three query entities can map injectively -> partial related.
+        assert best_mapping(self.T2, self.T4, SIGMA).kind == MappingKind.PARTIAL_RELATED
+
+    def test_t1_pr_t5(self):
+        assert best_mapping(self.T1, self.T5, SIGMA).kind == MappingKind.PARTIAL_RELATED
+
+    def test_irrelevant(self):
+        sigma = MappingTypeSimilarity(
+            {"a": frozenset({"X"}), "b": frozenset({"Y"})}
+        )
+        assert best_mapping(("a",), ("b",), sigma).kind == MappingKind.IRRELEVANT
+
+    def test_mixed_exact_and_related_is_total_related(self):
+        # stetter maps exactly, cubs maps related to brewers -> TR per
+        # the paper's note that mixed total mappings are total related.
+        assert best_mapping(
+            ("stetter", "brewers"), ("stetter", "cubs"), SIGMA
+        ).kind == MappingKind.TOTAL_RELATED
+
+    def test_none_targets_cannot_map(self):
+        mapping = best_mapping(("stetter",), (None, None), SIGMA)
+        assert mapping.kind == MappingKind.IRRELEVANT
+
+    def test_injectivity(self):
+        mapping = best_mapping(("stetter", "santo"), ("stetter",), SIGMA)
+        targets = list(mapping.assignment.values())
+        assert len(targets) == len(set(targets))
+
+    def test_total_score(self):
+        mapping = best_mapping(self.T1, self.T1, SIGMA)
+        assert mapping.total_score == pytest.approx(2.0)
+        assert mapping.is_total()
+
+
+class TestAxiom1:
+    """Total exact mappings outrank everything that is not total exact."""
+
+    def test_te_beats_tr(self):
+        te = score(("stetter", "brewers"), ("stetter", "brewers"))
+        tr = score(("stetter", "brewers"), ("santo", "cubs"))
+        assert te == 1.0
+        assert te > tr
+
+    def test_te_beats_pe(self):
+        te = score(("stetter", "brewers"), ("stetter", "brewers"))
+        pe = score(("stetter", "brewers"), ("stetter",))
+        assert te > pe
+
+    def test_te_beats_irrelevant(self):
+        te = score(("stetter",), ("stetter",))
+        ir = score(("stetter",), (None,))
+        assert te > ir
+
+
+class TestAxiom2:
+    """Larger exact mappings dominate mappings over fewer entities."""
+
+    def test_two_exact_beats_one_exact(self):
+        both = score(("stetter", "brewers"), ("stetter", "brewers", "chicago"))
+        one = score(("stetter", "brewers"), ("stetter", "milwaukee"))
+        # "stetter, milwaukee" maps stetter exactly, brewers only weakly.
+        assert both >= one
+
+    def test_exact_superset_dominates(self):
+        larger = score(("stetter", "brewers", "milwaukee"),
+                       ("stetter", "brewers", "milwaukee"))
+        smaller = score(("stetter", "brewers", "milwaukee"),
+                        ("stetter", "brewers"))
+        assert larger >= smaller
+
+
+class TestAxiom3:
+    """Pointwise higher similarity implies a strictly higher score."""
+
+    @given(
+        st.lists(st.floats(0.0, 0.99), min_size=1, max_size=6),
+        st.data(),
+    )
+    def test_monotone_in_coordinates(self, base, data):
+        bumped = [
+            data.draw(st.floats(min_value=min(x + 1e-6, 1.0), max_value=1.0))
+            for x in base
+        ]
+        entities = [f"e{i}" for i in range(len(base))]
+        low = semrel_tuple_score(entities, base, UNIFORM)
+        high = semrel_tuple_score(entities, bumped, UNIFORM)
+        assert high > low
+
+    def test_concrete(self):
+        related = score(("stetter", "brewers"), ("santo", "cubs"))
+        weaker = score(("stetter", "brewers"), ("streep", "milwaukee"))
+        assert related > weaker

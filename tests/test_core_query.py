@@ -1,0 +1,67 @@
+"""Tests for the entity-tuple query model."""
+
+import pytest
+
+from repro.core import Query
+from repro.exceptions import EmptyQueryError
+
+
+class TestConstruction:
+    def test_basic(self):
+        query = Query([("a", "b"), ("c",)])
+        assert len(query) == 2
+        assert query.max_width() == 2
+        assert query.entities() == {"a", "b", "c"}
+
+    def test_single_helper(self):
+        query = Query.single("a", "b", "c")
+        assert query.tuples == (("a", "b", "c"),)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyQueryError):
+            Query([])
+        with pytest.raises(EmptyQueryError):
+            Query([[], []])
+
+    def test_empty_strings_dropped(self):
+        query = Query([("a", "", "b")])
+        assert query.tuples == (("a", "b"),)
+
+    def test_equality_and_hash(self):
+        assert Query([("a",)]) == Query([("a",)])
+        assert Query([("a",)]) != Query([("b",)])
+        assert hash(Query([("a",)])) == hash(Query([("a",)]))
+
+    def test_repr(self):
+        assert "2 tuples" in repr(Query([("a", "b"), ("c", "d")]))
+
+
+class TestFromGraph:
+    def test_unknown_entities_dropped(self, sports_graph):
+        query = Query.from_graph(
+            [("kg:player0", "kg:nonexistent", "kg:team0")], sports_graph
+        )
+        assert query.tuples == (("kg:player0", "kg:team0"),)
+
+    def test_fully_unknown_raises(self, sports_graph):
+        with pytest.raises(EmptyQueryError):
+            Query.from_graph([("kg:ghost1", "kg:ghost2")], sports_graph)
+
+
+class TestTransforms:
+    def test_flattened_dedupes_preserving_order(self):
+        query = Query([("a", "b"), ("b", "c"), ("a", "d")])
+        flat = query.flattened()
+        assert flat.tuples == (("a", "b", "c", "d"),)
+
+    def test_restrict_to(self):
+        query = Query([("a", "b"), ("c",)])
+        restricted = query.restrict_to({"a", "c"})
+        assert restricted.tuples == (("a",), ("c",))
+
+    def test_restrict_to_nothing_returns_none(self):
+        assert Query([("a",)]).restrict_to({"z"}) is None
+
+    def test_iteration(self):
+        query = Query([("a",), ("b",)])
+        assert list(query) == [("a",), ("b",)]

@@ -1,0 +1,101 @@
+"""Tests for ranked result sets and the complementation combinator."""
+
+import pytest
+
+from repro.core import ResultSet, ScoredTable
+
+
+@pytest.fixture()
+def results():
+    return ResultSet(
+        [
+            ScoredTable(0.5, "T2"),
+            ScoredTable(0.9, "T1"),
+            ScoredTable(0.5, "T0"),
+            ScoredTable(0.1, "T3"),
+        ]
+    )
+
+
+class TestRanking:
+    def test_descending_with_id_tiebreak(self, results):
+        assert results.table_ids() == ["T1", "T0", "T2", "T3"]
+
+    def test_len_iter_contains(self, results):
+        assert len(results) == 4
+        assert "T1" in results
+        assert "TX" not in results
+        assert [st.table_id for st in results][0] == "T1"
+
+    def test_score_of(self, results):
+        assert results.score_of("T1") == 0.9
+        assert results.score_of("TX") is None
+
+    def test_top(self, results):
+        top = results.top(2)
+        assert top.table_ids() == ["T1", "T0"]
+        assert results.top(0).table_ids() == []
+        assert results.top(99).table_ids() == results.table_ids()
+
+    def test_table_ids_with_k(self, results):
+        assert results.table_ids(2) == ["T1", "T0"]
+
+    def test_from_scores(self):
+        rs = ResultSet.from_scores({"A": 0.1, "B": 0.9})
+        assert rs.table_ids() == ["B", "A"]
+
+    def test_scores_dict(self, results):
+        assert results.scores()["T3"] == 0.1
+
+
+class TestSetOperations:
+    def test_difference(self, results):
+        other = ResultSet([ScoredTable(1.0, "T1"), ScoredTable(0.9, "TX")])
+        assert results.difference(other, k=2) == {"T0"}
+
+    def test_difference_full(self, results):
+        other = ResultSet([])
+        assert results.difference(other) == {"T0", "T1", "T2", "T3"}
+
+
+class TestComplement:
+    def test_merges_heads_of_both(self):
+        semantic = ResultSet(
+            [ScoredTable(1.0 - i / 10, f"S{i}") for i in range(10)]
+        )
+        keyword = ResultSet(
+            [ScoredTable(1.0 - i / 10, f"K{i}") for i in range(10)]
+        )
+        merged = semantic.complement(keyword, k=10)
+        ids = merged.table_ids()
+        assert len(ids) == 10
+        # Top 50% of both rankings present.
+        for i in range(5):
+            assert f"S{i}" in ids
+            assert f"K{i}" in ids
+
+    def test_deduplicates_shared_tables(self):
+        a = ResultSet([ScoredTable(0.9, "X"), ScoredTable(0.8, "A")])
+        b = ResultSet([ScoredTable(0.9, "X"), ScoredTable(0.8, "B")])
+        merged = a.complement(b, k=4)
+        assert merged.table_ids().count("X") == 1
+        assert set(merged.table_ids()) == {"X", "A", "B"}
+
+    def test_respects_k(self):
+        a = ResultSet([ScoredTable(1.0 - i / 100, f"A{i}") for i in range(50)])
+        b = ResultSet([ScoredTable(1.0 - i / 100, f"B{i}") for i in range(50)])
+        assert len(a.complement(b, k=20)) == 20
+
+    def test_fills_from_tails_when_heads_small(self):
+        a = ResultSet([ScoredTable(0.9, "A0")])
+        b = ResultSet([ScoredTable(0.9, "B0"), ScoredTable(0.8, "B1"),
+                       ScoredTable(0.7, "B2")])
+        merged = a.complement(b, k=4)
+        assert set(merged.table_ids()) == {"A0", "B0", "B1", "B2"}
+
+    def test_merged_scores_preserve_rank_order(self):
+        a = ResultSet([ScoredTable(0.9, "A0"), ScoredTable(0.8, "A1")])
+        b = ResultSet([ScoredTable(0.9, "B0")])
+        merged = a.complement(b, k=3)
+        scores = [merged.score_of(tid) for tid in merged.table_ids()]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,240 @@
+"""Tests for the exact table search engine (Algorithm 1)."""
+
+import pytest
+
+from repro.core import (
+    Query,
+    QueryAggregation,
+    RowAggregation,
+    TableSearchEngine,
+)
+from repro.datalake import DataLake, Table
+from repro.linking import EntityMapping
+from repro.similarity import (
+    Informativeness,
+    MappingTypeSimilarity,
+    TypeJaccardSimilarity,
+)
+
+
+@pytest.fixture()
+def engine(sports_lake, sports_mapping, sports_graph):
+    return TableSearchEngine(
+        sports_lake,
+        sports_mapping,
+        TypeJaccardSimilarity(sports_graph),
+        informativeness=Informativeness.from_mapping(
+            sports_mapping, len(sports_lake)
+        ),
+    )
+
+
+class TestScoring:
+    def test_exact_match_table_scores_one(self, engine):
+        # T00 rows cover players 0..3 (teams 0..3, cities 0..3).
+        query = Query.single("kg:player0", "kg:team0", "kg:city0")
+        result = engine.score_table(query, engine.lake.get("T00"))
+        assert result.score == pytest.approx(1.0)
+        assert result.relevant
+
+    def test_semantically_related_table_scores_high(self, engine):
+        # T05 holds players 20..23 - same types, different entities.
+        query = Query.single("kg:player0", "kg:team0", "kg:city0")
+        related = engine.score_table(query, engine.lake.get("T05"))
+        assert 0.8 < related.score < 1.0
+
+    def test_exact_beats_related(self, engine):
+        query = Query.single("kg:player0", "kg:team0", "kg:city0")
+        exact = engine.score_table(query, engine.lake.get("T00")).score
+        related = engine.score_table(query, engine.lake.get("T05")).score
+        assert exact > related
+
+    def test_multi_tuple_query_averages(self, engine):
+        q1 = Query.single("kg:player0", "kg:team0")
+        q2 = Query([("kg:player0", "kg:team0"), ("kg:player4", "kg:team4")])
+        table = engine.lake.get("T00")
+        s1 = engine.score_table(q1, table)
+        s2 = engine.score_table(q2, table)
+        assert len(s2.tuple_scores) == 2
+        assert s2.score == pytest.approx(sum(s2.tuple_scores) / 2)
+        assert len(s1.tuple_scores) == 1
+
+    def test_column_mapping_assigns_distinct_columns(self, engine):
+        mapping = engine.column_mapping(
+            ("kg:player0", "kg:team0", "kg:city0"), engine.lake.get("T00")
+        )
+        real = [c for c in mapping if c >= 0]
+        assert len(real) == len(set(real)) == 3
+        # Player/Team/City columns are 0/1/2 in the fixture tables.
+        assert mapping == [0, 1, 2]
+
+    def test_profile_accumulates(self, engine):
+        engine.profile.reset()
+        query = Query.single("kg:player0", "kg:team0")
+        engine.score_table(query, engine.lake.get("T00"))
+        assert engine.profile.tables_scored == 1
+        assert engine.profile.total_seconds > 0.0
+        assert 0.0 < engine.profile.mapping_fraction < 1.0
+        assert engine.profile.mean_table_seconds > 0.0
+
+    def test_profile_reset(self, engine):
+        engine.profile.reset()
+        assert engine.profile.tables_scored == 0
+        assert engine.profile.mapping_fraction == 0.0
+        assert engine.profile.mean_table_seconds == 0.0
+
+
+class TestSearch:
+    def test_full_ranking_is_descending(self, engine):
+        query = Query.single("kg:player0", "kg:team0", "kg:city0")
+        results = engine.search(query)
+        scores = [st.score for st in results]
+        assert scores == sorted(scores, reverse=True)
+        assert results.table_ids()[0] == "T00"
+
+    def test_k_truncates(self, engine):
+        query = Query.single("kg:player0")
+        assert len(engine.search(query, k=3)) == 3
+
+    def test_candidates_restrict_search(self, engine):
+        query = Query.single("kg:player0", "kg:team0")
+        results = engine.search(query, candidates=["T01", "T02", "ghost"])
+        assert set(results.table_ids()) <= {"T01", "T02"}
+
+    def test_irrelevant_tables_dropped(self, sports_graph):
+        # A lake where one table has no typed-entity overlap at all.
+        lake = DataLake(
+            [
+                Table("good", ["A"], [["Player 0"]]),
+                Table("empty", ["A"], [["nothing here"]]),
+            ]
+        )
+        mapping = EntityMapping()
+        mapping.link("good", 0, 0, "kg:player0")
+        engine = TableSearchEngine(
+            lake, mapping, TypeJaccardSimilarity(sports_graph)
+        )
+        results = engine.search(Query.single("kg:player0"))
+        assert results.table_ids() == ["good"]
+
+    def test_drop_irrelevant_disabled_keeps_all_linked(self, sports_graph):
+        lake = DataLake([Table("t", ["A"], [["x"]])])
+        mapping = EntityMapping()
+        mapping.link("t", 0, 0, "kg:city0")
+        sigma = MappingTypeSimilarity({"kg:q": frozenset({"OnlyMine"})})
+        strict = TableSearchEngine(lake, mapping, sigma)
+        assert len(strict.search(Query.single("kg:q"))) == 0
+        lenient = TableSearchEngine(lake, mapping, sigma,
+                                    drop_irrelevant=False)
+        assert len(lenient.search(Query.single("kg:q"))) == 1
+
+    def test_row_aggregation_max_vs_avg(self, sports_lake, sports_mapping,
+                                        sports_graph):
+        sigma = TypeJaccardSimilarity(sports_graph)
+        query = Query.single("kg:player0", "kg:team0")
+        max_engine = TableSearchEngine(
+            sports_lake, sports_mapping, sigma,
+            row_aggregation=RowAggregation.MAX,
+        )
+        avg_engine = TableSearchEngine(
+            sports_lake, sports_mapping, sigma,
+            row_aggregation=RowAggregation.AVG,
+        )
+        table = sports_lake.get("T00")
+        # Only one row matches exactly; max amplifies it, avg dilutes.
+        assert max_engine.score_table(query, table).score > \
+            avg_engine.score_table(query, table).score
+
+    def test_query_aggregation_max(self, sports_lake, sports_mapping,
+                                   sports_graph):
+        sigma = TypeJaccardSimilarity(sports_graph)
+        engine = TableSearchEngine(
+            sports_lake, sports_mapping, sigma,
+            query_aggregation=QueryAggregation.MAX,
+        )
+        query = Query([("kg:player0",), ("kg:player20",)])
+        result = engine.score_table(query, sports_lake.get("T00"))
+        assert result.score == pytest.approx(max(result.tuple_scores))
+
+    def test_invalidate_cache(self, engine):
+        query = Query.single("kg:player0")
+        engine.search(query, k=1)
+        engine.invalidate_cache()
+        # Cache rebuild must not change results.
+        assert engine.search(query, k=1).table_ids() == \
+            engine.search(query, k=1).table_ids()
+
+    def test_deterministic_ranking(self, engine):
+        query = Query.single("kg:player3", "kg:team3")
+        first = engine.search(query, k=10).table_ids()
+        second = engine.search(query, k=10).table_ids()
+        assert first == second
+
+
+class TestTupleSemantics:
+    """Equation 1 (per-row) vs Algorithm 1 (per-entity) scoring."""
+
+    def _engines(self, sports_lake, sports_mapping, sports_graph):
+        from repro.core import TupleSemantics
+
+        sigma = TypeJaccardSimilarity(sports_graph)
+        per_entity = TableSearchEngine(
+            sports_lake, sports_mapping, sigma,
+            tuple_semantics=TupleSemantics.PER_ENTITY,
+        )
+        per_row = TableSearchEngine(
+            sports_lake, sports_mapping, sigma,
+            tuple_semantics=TupleSemantics.PER_ROW,
+        )
+        return per_entity, per_row
+
+    def test_per_entity_dominates_per_row_under_max(
+        self, sports_lake, sports_mapping, sports_graph
+    ):
+        per_entity, per_row = self._engines(
+            sports_lake, sports_mapping, sports_graph
+        )
+        query = Query.single("kg:player0", "kg:team1")
+        for table in sports_lake:
+            collective = per_entity.score_table(query, table).score
+            rowwise = per_row.score_table(query, table).score
+            assert collective >= rowwise - 1e-9, table.table_id
+
+    def test_exact_row_scores_one_in_both(self, sports_lake,
+                                          sports_mapping, sports_graph):
+        per_entity, per_row = self._engines(
+            sports_lake, sports_mapping, sports_graph
+        )
+        # (player0, team0) co-occur in row 0 of T00.
+        query = Query.single("kg:player0", "kg:team0")
+        table = sports_lake.get("T00")
+        assert per_entity.score_table(query, table).score == \
+            pytest.approx(1.0)
+        assert per_row.score_table(query, table).score == \
+            pytest.approx(1.0)
+
+    def test_cross_row_match_distinguishes_semantics(
+        self, sports_lake, sports_mapping, sports_graph
+    ):
+        per_entity, per_row = self._engines(
+            sports_lake, sports_mapping, sports_graph
+        )
+        # player0 (row 0 of T00) and team3 (row 3 of T00) never share a
+        # row: per-entity still sees a perfect collective match, the
+        # per-row (Eq. 1) semantics does not.
+        query = Query.single("kg:player0", "kg:team3")
+        table = sports_lake.get("T00")
+        collective = per_entity.score_table(query, table).score
+        rowwise = per_row.score_table(query, table).score
+        assert collective == pytest.approx(1.0)
+        assert rowwise < collective
+
+    def test_per_row_search_ranks_cooccurrence_first(
+        self, sports_lake, sports_mapping, sports_graph
+    ):
+        _, per_row = self._engines(
+            sports_lake, sports_mapping, sports_graph
+        )
+        query = Query.single("kg:player0", "kg:team0")
+        results = per_row.search(query, k=3)
+        assert results.table_ids()[0] == "T00"

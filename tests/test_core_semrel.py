@@ -1,0 +1,88 @@
+"""Tests for the SemRel distance/similarity machinery (Eq. 2-3)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    distance_to_similarity,
+    semrel_tuple_score,
+    weighted_distance,
+)
+from repro.exceptions import SearchError
+from repro.similarity import Informativeness, UniformInformativeness
+
+UNIFORM = UniformInformativeness()
+
+
+class TestWeightedDistance:
+    def test_perfect_match_is_zero(self):
+        assert weighted_distance(["a", "b"], [1.0, 1.0], UNIFORM) == 0.0
+
+    def test_total_miss_uniform(self):
+        assert weighted_distance(["a", "b"], [0.0, 0.0], UNIFORM) == \
+            pytest.approx(math.sqrt(2.0))
+
+    def test_weights_scale_residuals(self):
+        info = Informativeness({"rare": 1, "common": 100}, num_tables=100)
+        rare_miss = weighted_distance(["rare", "common"], [0.0, 1.0], info)
+        common_miss = weighted_distance(["rare", "common"], [1.0, 0.0], info)
+        # Missing the informative entity hurts more.
+        assert rare_miss > common_miss
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SearchError):
+            weighted_distance(["a"], [1.0, 0.5], UNIFORM)
+
+    def test_out_of_range_coordinate_rejected(self):
+        with pytest.raises(SearchError):
+            weighted_distance(["a"], [1.5], UNIFORM)
+        with pytest.raises(SearchError):
+            weighted_distance(["a"], [-0.1], UNIFORM)
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=8))
+    def test_non_negative_and_bounded(self, coords):
+        distance = weighted_distance(
+            [f"e{i}" for i in range(len(coords))], coords, UNIFORM
+        )
+        assert 0.0 <= distance <= math.sqrt(len(coords)) + 1e-9
+
+
+class TestDistanceToSimilarity:
+    def test_zero_distance_is_one(self):
+        assert distance_to_similarity(0.0) == 1.0
+
+    def test_monotone_decreasing(self):
+        assert distance_to_similarity(0.5) > distance_to_similarity(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SearchError):
+            distance_to_similarity(-0.1)
+
+    @given(st.floats(0.0, 1e6))
+    def test_range(self, distance):
+        sim = distance_to_similarity(distance)
+        assert 0.0 < sim <= 1.0
+
+
+class TestSemRelTupleScore:
+    def test_exact_match_scores_one(self):
+        assert semrel_tuple_score(["a"], [1.0], UNIFORM) == 1.0
+
+    def test_score_in_open_zero_one(self):
+        score = semrel_tuple_score(["a", "b"], [0.0, 0.0], UNIFORM)
+        assert 0.0 < score < 1.0
+
+    def test_wider_query_with_same_misses_scores_lower(self):
+        narrow = semrel_tuple_score(["a"], [0.0], UNIFORM)
+        wide = semrel_tuple_score(["a", "b", "c"], [0.0] * 3, UNIFORM)
+        assert wide < narrow
+
+    def test_weighting_downplays_common_entities(self):
+        info = Informativeness({"player": 1, "team": 80}, num_tables=100)
+        # Matching only the player beats matching only the team.
+        player_only = semrel_tuple_score(["player", "team"], [1.0, 0.0], info)
+        team_only = semrel_tuple_score(["player", "team"], [0.0, 1.0], info)
+        assert player_only > team_only

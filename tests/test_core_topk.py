@@ -1,0 +1,116 @@
+"""Tests for early-terminating top-k search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Query,
+    TableSearchEngine,
+    table_score_upper_bound,
+    topk_search,
+)
+from repro.similarity import Informativeness, TypeJaccardSimilarity
+
+
+@pytest.fixture()
+def engine(sports_lake, sports_mapping, sports_graph):
+    return TableSearchEngine(
+        sports_lake,
+        sports_mapping,
+        TypeJaccardSimilarity(sports_graph),
+        informativeness=Informativeness.from_mapping(
+            sports_mapping, len(sports_lake)
+        ),
+    )
+
+
+class TestUpperBound:
+    def test_bound_dominates_exact_score(self, engine, sports_lake):
+        """Soundness: bound >= exact score for every table."""
+        query = Query.single("kg:player0", "kg:team0", "kg:city0")
+        memo = {}
+        for table in sports_lake:
+            bound = table_score_upper_bound(engine, query, table, memo)
+            exact = engine.score_table(query, table).score
+            assert bound >= exact - 1e-9, table.table_id
+
+    def test_bound_for_unlinked_table_is_zero(self, engine, sports_graph):
+        from repro.datalake import Table
+
+        table = Table("empty", ["A"], [["no links"]])
+        assert table_score_upper_bound(
+            engine, Query.single("kg:player0"), table, {}
+        ) == 0.0
+
+    def test_bound_reaches_one_for_exact_tables(self, engine, sports_lake):
+        query = Query.single("kg:player0")
+        bound = table_score_upper_bound(
+            engine, query, sports_lake.get("T00"), {}
+        )
+        assert bound == pytest.approx(1.0)
+
+
+class TestTopKSearch:
+    def test_identical_to_brute_force(self, engine):
+        query = Query.single("kg:player0", "kg:team0", "kg:city0")
+        for k in (1, 3, 5, 12):
+            brute = engine.search(query, k=k)
+            fast = topk_search(engine, query, k)
+            assert fast.table_ids() == brute.table_ids(), k
+            for table_id in fast.table_ids():
+                assert fast.score_of(table_id) == pytest.approx(
+                    brute.score_of(table_id)
+                )
+
+    def test_multi_tuple_query(self, engine):
+        query = Query([("kg:player0", "kg:team0"), ("kg:player20",)])
+        assert topk_search(engine, query, 4).table_ids() == \
+            engine.search(query, k=4).table_ids()
+
+    def test_k_zero_and_negative(self, engine):
+        query = Query.single("kg:player0")
+        assert len(topk_search(engine, query, 0)) == 0
+        assert len(topk_search(engine, query, -3)) == 0
+
+    def test_candidates_restriction(self, engine):
+        query = Query.single("kg:player0", "kg:team0")
+        restricted = topk_search(engine, query, 5,
+                                 candidates=["T01", "T02", "ghost"])
+        assert set(restricted.table_ids()) <= {"T01", "T02"}
+
+    def test_facade_search_topk(self, sports_lake, sports_mapping,
+                                sports_graph):
+        from repro import Thetis
+
+        thetis = Thetis(sports_lake, sports_graph, sports_mapping)
+        query = Query.single("kg:player3", "kg:team3")
+        assert thetis.search_topk(query, k=5).table_ids() == \
+            thetis.search(query, k=5).table_ids()
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 31), st.integers(0, 7), st.integers(1, 8))
+def test_topk_equivalence_property(player, team, k):
+    """Random queries: top-k search always equals brute force."""
+    from tests.conftest import (
+        make_sports_graph,
+        make_sports_lake,
+    )
+    from repro.linking import LabelLinker
+
+    graph = test_topk_equivalence_property.__dict__.setdefault(
+        "_graph", make_sports_graph()
+    )
+    lake = test_topk_equivalence_property.__dict__.setdefault(
+        "_lake", make_sports_lake()
+    )
+    mapping = test_topk_equivalence_property.__dict__.setdefault(
+        "_mapping", LabelLinker(graph).link_lake(lake)
+    )
+    engine = test_topk_equivalence_property.__dict__.setdefault(
+        "_engine",
+        TableSearchEngine(lake, mapping, TypeJaccardSimilarity(graph)),
+    )
+    query = Query.single(f"kg:player{player}", f"kg:team{team}")
+    assert topk_search(engine, query, k).table_ids() == \
+        engine.search(query, k=k).table_ids()

@@ -1,0 +1,75 @@
+"""Round-trip tests for table/lake persistence."""
+
+import pytest
+
+from repro.datalake import (
+    DataLake,
+    Table,
+    lake_from_dict,
+    lake_to_dict,
+    load_lake,
+    load_lake_csv_dir,
+    load_table_csv,
+    save_lake,
+    save_table_csv,
+)
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        "players",
+        ["Player", "Team", "Avg", "Year"],
+        [
+            ["Ron Santo", "Chicago Cubs", 0.277, 1970],
+            ["Mitch Stetter", "Milwaukee Brewers", None, 2009],
+        ],
+        metadata={"caption": "batting"},
+    )
+
+
+class TestCsv:
+    def test_round_trip_types(self, tmp_path, table):
+        path = tmp_path / "players.csv"
+        save_table_csv(table, path)
+        loaded = load_table_csv(path)
+        assert loaded.table_id == "players"
+        assert loaded.attributes == table.attributes
+        assert loaded.rows[0] == ("Ron Santo", "Chicago Cubs", 0.277, 1970)
+        assert loaded.rows[1][2] is None  # null survives
+
+    def test_explicit_table_id(self, tmp_path, table):
+        path = tmp_path / "anything.csv"
+        save_table_csv(table, path)
+        assert load_table_csv(path, table_id="custom").table_id == "custom"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_table_csv(path)
+
+    def test_csv_directory_load(self, tmp_path, table):
+        save_table_csv(table, tmp_path / "b.csv")
+        save_table_csv(
+            Table("x", ["A"], [["v"]]), tmp_path / "a.csv"
+        )
+        lake = load_lake_csv_dir(tmp_path)
+        # Sorted file order, ids from stems.
+        assert lake.table_ids() == ["a", "b"]
+
+
+class TestJsonBundle:
+    def test_lake_round_trip(self, tmp_path, table):
+        lake = DataLake([table, Table("t2", ["X"], [[1], [None]])])
+        path = tmp_path / "lake.json"
+        save_lake(lake, path)
+        loaded = load_lake(path)
+        assert loaded.table_ids() == ["players", "t2"]
+        assert loaded.get("players").metadata == {"caption": "batting"}
+        assert loaded.get("t2").rows == [(1,), (None,)]
+
+    def test_dict_round_trip(self, table):
+        lake = DataLake([table])
+        clone = lake_from_dict(lake_to_dict(lake))
+        assert clone.get("players").rows == table.rows

@@ -1,0 +1,60 @@
+"""Unit tests for the data-lake repository."""
+
+import pytest
+
+from repro.datalake import DataLake, Table
+from repro.exceptions import DataLakeError, DuplicateTableError
+
+
+def _table(table_id, rows=2):
+    return Table(table_id, ["A", "B"], [[i, i * 2] for i in range(rows)])
+
+
+class TestDataLake:
+    def test_add_get_find(self):
+        lake = DataLake([_table("T1"), _table("T2")])
+        assert len(lake) == 2
+        assert lake.get("T1").table_id == "T1"
+        assert lake.find("T3") is None
+        with pytest.raises(DataLakeError):
+            lake.get("T3")
+
+    def test_duplicate_rejected(self):
+        lake = DataLake([_table("T1")])
+        with pytest.raises(DuplicateTableError):
+            lake.add(_table("T1"))
+
+    def test_contains_and_iteration_order(self):
+        lake = DataLake([_table("T2"), _table("T1")])
+        assert "T2" in lake
+        assert [t.table_id for t in lake] == ["T2", "T1"]
+        assert lake.table_ids() == ["T2", "T1"]
+
+    def test_remove(self):
+        lake = DataLake([_table("T1")])
+        removed = lake.remove("T1")
+        assert removed.table_id == "T1"
+        assert len(lake) == 0
+        with pytest.raises(DataLakeError):
+            lake.remove("T1")
+
+    def test_add_all(self):
+        lake = DataLake()
+        lake.add_all([_table("A"), _table("B")])
+        assert len(lake) == 2
+
+    def test_subset_ignores_unknown_and_duplicates(self):
+        lake = DataLake([_table("T1"), _table("T2"), _table("T3")])
+        subset = lake.subset(["T3", "T1", "T3", "missing"])
+        assert subset.table_ids() == ["T3", "T1"]
+
+    def test_totals(self):
+        lake = DataLake([_table("T1", rows=3), _table("T2", rows=5)])
+        assert lake.total_rows() == 8
+        assert lake.total_cells() == 16
+
+    def test_empty_lake(self):
+        lake = DataLake()
+        assert len(lake) == 0
+        assert lake.total_rows() == 0
+        assert list(lake) == []

@@ -1,0 +1,92 @@
+"""Tests for column/table profiling."""
+
+import pytest
+
+from repro.datalake import Table
+from repro.datalake.profiling import (
+    ColumnKind,
+    profile_column,
+    profile_table,
+)
+from repro.linking import EntityMapping
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        "T",
+        ["Player", "Year", "Mixed", "Nulls"],
+        [
+            ["Ron Santo", 1970, "x", None],
+            ["Ernie Banks", 1971, 2, None],
+            ["Billy Williams", 1972, 3, None],
+            [None, 1973, "y", None],
+        ],
+    )
+
+
+@pytest.fixture()
+def mapping():
+    m = EntityMapping()
+    m.link("T", 0, 0, "kg:santo")
+    m.link("T", 1, 0, "kg:banks")
+    return m
+
+
+class TestProfileColumn:
+    def test_text_column(self, table, mapping):
+        profile = profile_column(table, 0, mapping)
+        assert profile.kind is ColumnKind.TEXT
+        assert profile.name == "Player"
+        assert profile.null_fraction == 0.25
+        assert profile.distinct_values == 3
+        assert profile.entity_link_fraction == 0.5
+        assert profile.is_entity_candidate
+
+    def test_numeric_column(self, table):
+        profile = profile_column(table, 1)
+        assert profile.kind is ColumnKind.NUMERIC
+        assert not profile.is_entity_candidate
+        assert profile.entity_link_fraction == 0.0
+
+    def test_mixed_column(self, table):
+        assert profile_column(table, 2).kind is ColumnKind.MIXED
+
+    def test_empty_column(self, table):
+        profile = profile_column(table, 3)
+        assert profile.kind is ColumnKind.EMPTY
+        assert profile.null_fraction == 1.0
+        assert profile.distinct_values == 0
+
+    def test_zero_row_table(self):
+        empty = Table("E", ["A"], [])
+        profile = profile_column(empty, 0)
+        assert profile.kind is ColumnKind.EMPTY
+        assert profile.null_fraction == 0.0
+
+
+class TestProfileTable:
+    def test_partitions_columns(self, table, mapping):
+        profile = profile_table(table, mapping)
+        assert [c.name for c in profile.entity_columns] == [
+            "Player", "Mixed",
+        ]
+        assert [c.name for c in profile.numeric_columns] == ["Year"]
+
+    def test_report(self, table):
+        report = profile_table(table).format_report()
+        assert "Player" in report
+        assert "numeric" in report
+
+    def test_generated_tables_have_expected_shape(self, small_benchmark):
+        """Generator tables: entity columns text-ish, filler numeric."""
+        for table in list(small_benchmark.lake)[:20]:
+            profile = profile_table(table, small_benchmark.mapping)
+            assert profile.entity_columns, table.table_id
+            linked_fractions = [
+                c.entity_link_fraction for c in profile.columns
+            ]
+            # Links only ever appear in entity-candidate columns.
+            for column in profile.numeric_columns:
+                assert column.entity_link_fraction == 0.0
+            assert any(f > 0 for f in linked_fractions)

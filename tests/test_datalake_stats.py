@@ -1,0 +1,42 @@
+"""Tests for Table-2 style corpus statistics."""
+
+from repro.datalake import DataLake, Table, corpus_statistics
+from repro.linking import EntityMapping
+
+
+def _lake():
+    return DataLake(
+        [
+            Table("T1", ["A", "B"], [[1, 2], [3, 4]]),        # 2x2
+            Table("T2", ["A", "B", "C"], [[1, 2, 3]] * 4),     # 4x3
+        ]
+    )
+
+
+class TestCorpusStatistics:
+    def test_empty_lake(self):
+        stats = corpus_statistics(DataLake())
+        assert stats.num_tables == 0
+        assert stats.mean_rows == 0.0
+
+    def test_shape_means(self):
+        stats = corpus_statistics(_lake())
+        assert stats.num_tables == 2
+        assert stats.mean_rows == 3.0
+        assert stats.mean_columns == 2.5
+        assert stats.mean_coverage == 0.0  # no mapping supplied
+
+    def test_coverage_with_mapping(self):
+        lake = _lake()
+        mapping = EntityMapping()
+        mapping.link("T1", 0, 0, "kg:x")  # 1 of 4 cells
+        mapping.link("T2", 0, 0, "kg:x")
+        mapping.link("T2", 1, 1, "kg:y")
+        mapping.link("T2", 2, 2, "kg:z")  # 3 of 12 cells
+        stats = corpus_statistics(lake, mapping)
+        assert abs(stats.mean_coverage - (0.25 + 0.25) / 2) < 1e-12
+
+    def test_format_row(self):
+        row = corpus_statistics(_lake()).format_row("demo")
+        assert "demo" in row
+        assert "T=" in row and "Cov=" in row

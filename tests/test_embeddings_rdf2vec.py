@@ -1,0 +1,72 @@
+"""Tests for the RDF2Vec trainer on knowledge graphs."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import RDF2VecConfig, RDF2VecTrainer, train_rdf2vec
+from repro.kg import Entity, KnowledgeGraph
+
+
+def _cosine(store, a, b):
+    return store.cosine(a, b)
+
+
+class TestRDF2Vec:
+    def test_every_entity_gets_a_vector(self, sports_graph,
+                                        sports_embeddings):
+        for uri in sports_graph.uris():
+            assert uri in sports_embeddings
+
+    def test_dimensions_respected(self, sports_embeddings):
+        assert sports_embeddings.dimensions == 16
+
+    def test_same_team_players_closer_than_cross_domain(self, sports_graph):
+        store = train_rdf2vec(sports_graph, dimensions=24, epochs=8,
+                              walks_per_entity=25, walk_length=6, seed=0)
+        # Players i and i+8 share a team; cities 2 hops away are not in
+        # the player's neighborhood.  Compare means over several pairs so
+        # the assertion is robust to embedding noise.
+        same_team = np.mean(
+            [store.cosine(f"kg:player{i}", f"kg:player{i + 8}")
+             for i in range(8)]
+        )
+        cross = np.mean(
+            [store.cosine(f"kg:player{i}", f"kg:city{(i + 2) % 4}")
+             for i in range(8)]
+        )
+        assert same_team > cross
+
+    def test_predicates_excluded_from_store(self, sports_graph):
+        store = train_rdf2vec(
+            sports_graph, dimensions=8, epochs=1, include_predicates=True,
+            walks_per_entity=3,
+        )
+        assert "playsFor" not in store
+        assert "kg:player0" in store
+
+    def test_isolated_entities_still_embedded(self):
+        graph = KnowledgeGraph()
+        graph.add_entity(Entity("kg:a"))
+        graph.add_entity(Entity("kg:b"))
+        graph.add_edge("kg:a", "p", "kg:b")
+        graph.add_entity(Entity("kg:lonely"))
+        store = train_rdf2vec(graph, dimensions=4, epochs=1)
+        assert "kg:lonely" in store
+
+    def test_determinism(self, sports_graph):
+        s1 = train_rdf2vec(sports_graph, dimensions=8, epochs=1, seed=5)
+        s2 = train_rdf2vec(sports_graph, dimensions=8, epochs=1, seed=5)
+        assert np.allclose(s1.vector("kg:team0"), s2.vector("kg:team0"))
+
+    def test_config_defaults(self):
+        config = RDF2VecConfig()
+        assert config.dimensions == 32
+        assert config.walk_length == 4
+
+    def test_trainer_uses_config(self, sports_graph):
+        trainer = RDF2VecTrainer(
+            sports_graph, RDF2VecConfig(dimensions=6, epochs=1,
+                                        walks_per_entity=2)
+        )
+        store = trainer.train()
+        assert store.dimensions == 6

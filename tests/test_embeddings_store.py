@@ -1,0 +1,97 @@
+"""Tests for the embedding store and its cosine operations."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import EmbeddingStore
+from repro.exceptions import DimensionMismatchError, EmbeddingError
+
+
+@pytest.fixture()
+def store():
+    return EmbeddingStore(
+        {
+            "e1": np.array([1.0, 0.0, 0.0]),
+            "e2": np.array([2.0, 0.0, 0.0]),   # same direction as e1
+            "e3": np.array([0.0, 1.0, 0.0]),   # orthogonal
+            "e4": np.array([-1.0, 0.0, 0.0]),  # opposite
+            "e0": np.array([0.0, 0.0, 0.0]),   # zero vector edge case
+        }
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(EmbeddingError):
+            EmbeddingStore({})
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            EmbeddingStore({"a": np.zeros(3), "b": np.zeros(4)})
+
+    def test_basic_properties(self, store):
+        assert len(store) == 5
+        assert store.dimensions == 3
+        assert "e1" in store and "missing" not in store
+        assert set(store.uris()) == {"e0", "e1", "e2", "e3", "e4"}
+
+    def test_matrix_read_only(self, store):
+        matrix = store.matrix()
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 99.0
+
+
+class TestCosine:
+    def test_identity_direction(self, store):
+        assert abs(store.cosine("e1", "e2") - 1.0) < 1e-12
+
+    def test_orthogonal(self, store):
+        assert abs(store.cosine("e1", "e3")) < 1e-12
+
+    def test_opposite(self, store):
+        assert abs(store.cosine("e1", "e4") + 1.0) < 1e-12
+
+    def test_zero_vector_is_safe(self, store):
+        assert store.cosine("e0", "e1") == 0.0
+
+    def test_unknown_uri_raises(self, store):
+        with pytest.raises(EmbeddingError):
+            store.cosine("e1", "nope")
+        with pytest.raises(EmbeddingError):
+            store.vector("nope")
+
+    def test_cosine_to_all_matches_pairwise(self, store):
+        sims = store.cosine_to_all("e1")
+        for i, uri in enumerate(store.uris()):
+            assert abs(sims[i] - store.cosine("e1", uri)) < 1e-12
+
+    def test_nearest_excludes_self(self, store):
+        nearest = store.nearest("e1", top_k=2)
+        assert nearest[0][0] == "e2"
+        assert all(uri != "e1" for uri, _ in nearest)
+
+    def test_nearest_top_k_bound(self, store):
+        assert len(store.nearest("e1", top_k=100)) == 4
+
+
+class TestAggregation:
+    def test_mean_vector(self, store):
+        mean = store.mean_vector(["e1", "e3"])
+        assert np.allclose(mean, [0.5, 0.5, 0.0])
+
+    def test_mean_vector_skips_unknown(self, store):
+        mean = store.mean_vector(["e1", "missing"])
+        assert np.allclose(mean, [1.0, 0.0, 0.0])
+
+    def test_mean_vector_all_unknown(self, store):
+        assert store.mean_vector(["x", "y"]) is None
+
+
+class TestPersistence:
+    def test_round_trip(self, store, tmp_path):
+        path = tmp_path / "embeddings.json"
+        store.save(path)
+        loaded = EmbeddingStore.load(path)
+        assert set(loaded.uris()) == set(store.uris())
+        for uri in store.uris():
+            assert np.allclose(loaded.vector(uri), store.vector(uri))

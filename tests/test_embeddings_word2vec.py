@@ -1,0 +1,135 @@
+"""Tests for the from-scratch skip-gram implementation."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import SkipGramModel, Vocabulary
+from repro.exceptions import ConfigurationError, EmbeddingError
+
+
+def _cosine(a, b):
+    return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+
+
+@pytest.fixture(scope="module")
+def cluster_corpus():
+    """Two token clusters that co-occur internally but never across."""
+    rng = np.random.default_rng(0)
+    sentences = []
+    for _ in range(300):
+        group = ["a1", "a2", "a3"] if rng.random() < 0.5 else ["b1", "b2", "b3"]
+        sentences.append(list(rng.permutation(group)))
+    return sentences
+
+
+class TestVocabulary:
+    def test_indexing(self):
+        vocab = Vocabulary([["x", "y"], ["y", "z"]])
+        assert len(vocab) == 3
+        assert "y" in vocab
+        assert vocab.encode(["x", "missing", "z"]) == [
+            vocab.index["x"], vocab.index["z"],
+        ]
+
+    def test_min_count_filters(self):
+        vocab = Vocabulary([["x", "x", "y"]], min_count=2)
+        assert "x" in vocab
+        assert "y" not in vocab
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(EmbeddingError):
+            Vocabulary([["x"]], min_count=5)
+
+    def test_negative_distribution_sums_to_one(self):
+        vocab = Vocabulary([["x", "x", "x", "y"]])
+        dist = vocab.negative_sampling_distribution()
+        assert abs(dist.sum() - 1.0) < 1e-12
+        # x is more frequent, so it gets more negative-sampling mass.
+        assert dist[vocab.index["x"]] > dist[vocab.index["y"]]
+
+
+class TestSkipGramModel:
+    def test_parameter_validation(self):
+        for kwargs in ({"dimensions": 0}, {"window": 0}, {"negative": 0},
+                       {"epochs": 0}):
+            with pytest.raises(ConfigurationError):
+                SkipGramModel(**kwargs)
+
+    def test_untrained_access_raises(self):
+        model = SkipGramModel()
+        with pytest.raises(EmbeddingError):
+            model.vector("x")
+        with pytest.raises(EmbeddingError):
+            model.vectors()
+
+    def test_short_sentences_rejected(self):
+        model = SkipGramModel()
+        with pytest.raises(EmbeddingError):
+            model.train([["only"]])
+
+    def test_vector_shapes(self, cluster_corpus):
+        model = SkipGramModel(dimensions=12, epochs=1, seed=0)
+        model.train(cluster_corpus)
+        assert model.vector("a1").shape == (12,)
+        assert len(model.vectors()) == 6
+
+    def test_oov_vector_raises(self, cluster_corpus):
+        model = SkipGramModel(dimensions=8, epochs=1).train(cluster_corpus)
+        with pytest.raises(EmbeddingError):
+            model.vector("zzz")
+
+    def test_clusters_separate(self, cluster_corpus):
+        model = SkipGramModel(dimensions=16, epochs=5, learning_rate=0.1,
+                              seed=0)
+        model.train(cluster_corpus)
+        within = _cosine(model.vector("a1"), model.vector("a2"))
+        across = _cosine(model.vector("a1"), model.vector("b1"))
+        assert within > across
+
+    def test_determinism(self, cluster_corpus):
+        m1 = SkipGramModel(dimensions=8, epochs=1, seed=7).train(cluster_corpus)
+        m2 = SkipGramModel(dimensions=8, epochs=1, seed=7).train(cluster_corpus)
+        assert np.allclose(m1.vector("a1"), m2.vector("a1"))
+
+    def test_different_seeds_differ(self, cluster_corpus):
+        m1 = SkipGramModel(dimensions=8, epochs=1, seed=1).train(cluster_corpus)
+        m2 = SkipGramModel(dimensions=8, epochs=1, seed=2).train(cluster_corpus)
+        assert not np.allclose(m1.vector("a1"), m2.vector("a1"))
+
+
+class TestSubsampling:
+    def test_negative_subsample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SkipGramModel(subsample=-0.1)
+
+    def test_subsampling_drops_frequent_tokens(self):
+        rng = np.random.default_rng(0)
+        # 'the' dominates the corpus; content tokens are rare.
+        sentences = [
+            ["the", f"w{rng.integers(50)}", "the", f"w{rng.integers(50)}"]
+            for _ in range(400)
+        ]
+        model = SkipGramModel(dimensions=4, epochs=1, subsample=1e-3,
+                              seed=0)
+        model.vocabulary = Vocabulary(sentences)
+        encoded = [model.vocabulary.encode(s) for s in sentences]
+        kept = model._subsample(encoded, np.random.default_rng(1))
+        the_index = model.vocabulary.index["the"]
+        before = sum(s.count(the_index) for s in encoded)
+        after = sum(s.count(the_index) for s in kept)
+        assert after < before * 0.7
+
+    def test_subsampled_training_still_works(self):
+        sentences = [["a", "b", "c"]] * 200
+        model = SkipGramModel(dimensions=4, epochs=1, subsample=1e-2,
+                              seed=0)
+        model.train(sentences)
+        assert model.vector("a").shape == (4,)
+
+    def test_zero_subsample_is_identity(self, cluster_corpus):
+        plain = SkipGramModel(dimensions=4, epochs=1, seed=3)
+        explicit = SkipGramModel(dimensions=4, epochs=1, subsample=0.0,
+                                 seed=3)
+        plain.train(cluster_corpus)
+        explicit.train(cluster_corpus)
+        assert np.allclose(plain.vector("a1"), explicit.vector("a1"))

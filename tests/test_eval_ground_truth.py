@@ -1,0 +1,96 @@
+"""Tests for graded ground-truth construction."""
+
+import pytest
+
+from repro.core import Query
+from repro.datalake import DataLake, Table
+from repro.eval import (
+    build_ground_truth,
+    entity_jaccard_gains,
+    ground_truth_for_benchmark,
+)
+from repro.linking import EntityMapping
+
+
+@pytest.fixture()
+def setup():
+    lake = DataLake(
+        [
+            Table("exact", ["A"], [["x"]],
+                  metadata={"category": "c1", "domain": "d1"}),
+            Table("same_cat", ["A"], [["y"]],
+                  metadata={"category": "c1", "domain": "d1"}),
+            Table("same_domain", ["A"], [["z"]],
+                  metadata={"category": "c2", "domain": "d1"}),
+            Table("other", ["A"], [["w"]],
+                  metadata={"category": "c9", "domain": "d9"}),
+        ]
+    )
+    mapping = EntityMapping()
+    mapping.link("exact", 0, 0, "kg:q1")
+    mapping.link("same_cat", 0, 0, "kg:other")
+    mapping.link("same_domain", 0, 0, "kg:third")
+    return lake, mapping
+
+
+class TestEntityJaccardGains:
+    def test_overlapping_table_scored(self, setup):
+        lake, mapping = setup
+        gains = entity_jaccard_gains(lake, mapping, Query.single("kg:q1"))
+        assert gains == {"exact": 1.0}
+
+    def test_partial_overlap(self, setup):
+        lake, mapping = setup
+        gains = entity_jaccard_gains(
+            lake, mapping, Query.single("kg:q1", "kg:unseen")
+        )
+        assert gains["exact"] == pytest.approx(0.5)
+
+
+class TestBuildGroundTruth:
+    def test_category_grades(self, setup):
+        lake, mapping = setup
+        truth = build_ground_truth(
+            lake, mapping, Query.single("kg:q1"),
+            query_category="c1", query_domain="d1",
+        )
+        # exact: category (3) + entity overlap (2*1) = 5.
+        assert truth.gain("exact") == pytest.approx(5.0)
+        assert truth.gain("same_cat") == pytest.approx(3.0)
+        assert truth.gain("same_domain") == pytest.approx(1.0)
+        assert truth.gain("other") == 0.0
+
+    def test_ordering_exact_above_topical(self, setup):
+        lake, mapping = setup
+        truth = build_ground_truth(
+            lake, mapping, Query.single("kg:q1"),
+            query_category="c1", query_domain="d1",
+        )
+        assert truth.gain("exact") > truth.gain("same_cat") > \
+            truth.gain("same_domain") > truth.gain("other")
+
+    def test_without_topical_info(self, setup):
+        lake, mapping = setup
+        truth = build_ground_truth(lake, mapping, Query.single("kg:q1"))
+        assert truth.relevant_ids() == {"exact"}
+
+    def test_relevant_ids_and_len(self, setup):
+        lake, mapping = setup
+        truth = build_ground_truth(
+            lake, mapping, Query.single("kg:q1"), query_category="c1"
+        )
+        assert truth.relevant_ids() == {"exact", "same_cat"}
+        assert len(truth) == 2
+
+
+class TestBenchmarkHelper:
+    def test_keyed_by_query(self, setup):
+        lake, mapping = setup
+        queries = {"q1": Query.single("kg:q1"), "q2": Query.single("kg:none")}
+        truths = ground_truth_for_benchmark(
+            lake, mapping, queries,
+            categories={"q1": "c1"}, domains={"q1": "d1"},
+        )
+        assert set(truths) == {"q1", "q2"}
+        assert truths["q1"].gain("exact") > 0.0
+        assert len(truths["q2"]) == 0

@@ -1,0 +1,105 @@
+"""Tests for NDCG / recall / precision metrics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval import dcg, ndcg_at_k, precision_at_k, recall_at_k, summarize
+
+
+GAINS = {"A": 3.0, "B": 2.0, "C": 1.0}
+
+
+class TestDcg:
+    def test_empty(self):
+        assert dcg([]) == 0.0
+
+    def test_discounting(self):
+        assert dcg([3.0, 2.0]) == pytest.approx(3.0 + 2.0 / math.log2(3))
+
+    def test_zero_gains_skipped(self):
+        assert dcg([0.0, 0.0, 1.0]) == pytest.approx(1.0 / math.log2(4))
+
+
+class TestNdcg:
+    def test_perfect_ranking(self):
+        assert ndcg_at_k(["A", "B", "C"], GAINS, 3) == pytest.approx(1.0)
+
+    def test_reversed_ranking_below_one(self):
+        assert ndcg_at_k(["C", "B", "A"], GAINS, 3) < 1.0
+
+    def test_irrelevant_results_zero(self):
+        assert ndcg_at_k(["X", "Y"], GAINS, 2) == 0.0
+
+    def test_empty_ground_truth(self):
+        assert ndcg_at_k(["A"], {}, 10) == 0.0
+
+    def test_k_zero(self):
+        assert ndcg_at_k(["A"], GAINS, 0) == 0.0
+
+    def test_k_smaller_than_results(self):
+        # Only the top-k slice counts.
+        full = ndcg_at_k(["X", "A"], GAINS, 2)
+        cut = ndcg_at_k(["X", "A"], GAINS, 1)
+        assert cut == 0.0
+        assert full > 0.0
+
+    @given(st.lists(st.sampled_from(["A", "B", "C", "X", "Y"]), max_size=5,
+                    unique=True))
+    def test_bounds(self, ranking):
+        value = ndcg_at_k(ranking, GAINS, 5)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+
+class TestRecall:
+    def test_full_recall(self):
+        assert recall_at_k(["A", "B", "C"], GAINS, 3) == 1.0
+
+    def test_partial_recall(self):
+        assert recall_at_k(["A", "X", "Y"], GAINS, 3) == pytest.approx(1 / 3)
+
+    def test_ground_truth_truncated_to_top_k(self):
+        # k=1: only the single highest-gain table counts as relevant.
+        assert recall_at_k(["A"], GAINS, 1) == 1.0
+        assert recall_at_k(["B"], GAINS, 1) == 0.0
+
+    def test_empty_cases(self):
+        assert recall_at_k([], GAINS, 3) == 0.0
+        assert recall_at_k(["A"], {}, 3) == 0.0
+        assert recall_at_k(["A"], GAINS, 0) == 0.0
+
+
+class TestPrecision:
+    def test_all_relevant(self):
+        assert precision_at_k(["A", "B"], GAINS, 2) == 1.0
+
+    def test_half_relevant(self):
+        assert precision_at_k(["A", "X"], GAINS, 2) == 0.5
+
+    def test_empty(self):
+        assert precision_at_k([], GAINS, 5) == 0.0
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize([])
+        assert summary["mean"] == 0.0
+        assert summary["n"] == 0
+
+    def test_single_value(self):
+        summary = summarize([0.4])
+        assert summary["mean"] == summary["median"] == 0.4
+        assert summary["q1"] == summary["q3"] == 0.4
+
+    def test_quartiles(self):
+        summary = summarize([0.0, 1.0, 2.0, 3.0, 4.0])
+        assert summary["median"] == 2.0
+        assert summary["q1"] == 1.0
+        assert summary["q3"] == 3.0
+        assert summary["mean"] == 2.0
+        assert summary["n"] == 5
+
+    def test_unsorted_input(self):
+        assert summarize([3.0, 1.0, 2.0])["median"] == 2.0

@@ -1,0 +1,84 @@
+"""Tests for the experiment runner."""
+
+from repro.core import Query, ResultSet, ScoredTable
+from repro.eval import ExperimentRunner, GroundTruth
+
+
+def _constant_system(table_ids):
+    def system(query, k):
+        return ResultSet(
+            ScoredTable(1.0 - i / 100, tid)
+            for i, tid in enumerate(table_ids)
+        ).top(k)
+    return system
+
+
+class TestExperimentRunner:
+    def _runner(self):
+        queries = {
+            "q1": Query.single("kg:a"),
+            "q2": Query.single("kg:b"),
+        }
+        truths = {
+            "q1": GroundTruth({"T1": 3.0, "T2": 1.0}),
+            "q2": GroundTruth({"T9": 2.0}),
+        }
+        return ExperimentRunner(queries, truths)
+
+    def test_perfect_system(self):
+        runner = self._runner()
+        report = runner.run_system(
+            "perfect", _constant_system(["T1", "T2"]), k=2,
+            query_ids=["q1"],
+        )
+        assert report.ndcg_summary()["mean"] == 1.0
+        assert report.recall_summary()["mean"] == 1.0
+        assert len(report.outcomes) == 1
+
+    def test_wrong_system(self):
+        runner = self._runner()
+        report = runner.run_system(
+            "wrong", _constant_system(["X", "Y"]), k=2
+        )
+        assert report.ndcg_summary()["mean"] == 0.0
+
+    def test_all_queries_used_by_default(self):
+        runner = self._runner()
+        report = runner.run_system("s", _constant_system(["T1"]), k=5)
+        assert {o.query_id for o in report.outcomes} == {"q1", "q2"}
+
+    def test_missing_ground_truth_scores_zero(self):
+        runner = ExperimentRunner({"q": Query.single("kg:a")}, {})
+        report = runner.run_system("s", _constant_system(["T1"]), k=5)
+        assert report.outcomes[0].ndcg == 0.0
+
+    def test_timing_recorded(self):
+        runner = self._runner()
+        report = runner.run_system("s", _constant_system(["T1"]), k=5)
+        assert report.mean_seconds() >= 0.0
+        assert all(o.seconds >= 0.0 for o in report.outcomes)
+
+    def test_run_all(self):
+        runner = self._runner()
+        reports = runner.run_all(
+            {
+                "a": _constant_system(["T1"]),
+                "b": _constant_system(["T9"]),
+            },
+            k=3,
+        )
+        assert set(reports) == {"a", "b"}
+
+    def test_format_row(self):
+        runner = self._runner()
+        report = runner.run_system("name", _constant_system(["T1"]), k=3)
+        row = report.format_row()
+        assert "name" in row
+        assert "NDCG" in row
+
+    def test_empty_report_summaries(self):
+        runner = self._runner()
+        report = runner.run_system("s", _constant_system([]), k=3,
+                                   query_ids=[])
+        assert report.mean_seconds() == 0.0
+        assert report.ndcg_summary()["n"] == 0

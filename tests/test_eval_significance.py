@@ -1,0 +1,128 @@
+"""Tests for paired significance machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    bootstrap_ci,
+    compare_systems,
+    permutation_test,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestPermutationTest:
+    def test_identical_systems_not_significant(self):
+        values = [0.5, 0.6, 0.7, 0.8]
+        assert permutation_test(values, values) == 1.0
+
+    def test_clearly_better_system_significant(self):
+        rng = np.random.default_rng(0)
+        base = rng.uniform(0.2, 0.4, size=30)
+        better = base + 0.3 + rng.normal(0, 0.01, size=30)
+        assert permutation_test(better.tolist(), base.tolist()) < 0.01
+
+    def test_symmetry(self):
+        a = [0.9, 0.8, 0.7, 0.95, 0.85]
+        b = [0.5, 0.6, 0.4, 0.55, 0.45]
+        assert permutation_test(a, b) == pytest.approx(
+            permutation_test(b, a)
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            permutation_test([1.0], [1.0, 2.0])
+
+    def test_empty_input(self):
+        with pytest.raises(ConfigurationError):
+            permutation_test([], [])
+
+    @given(st.lists(st.floats(0, 1), min_size=2, max_size=20))
+    @settings(max_examples=20, deadline=None)
+    def test_p_value_in_range(self, values):
+        shifted = [v * 0.9 for v in values]
+        p = permutation_test(values, shifted, iterations=200)
+        assert 0.0 < p <= 1.0
+
+
+class TestBootstrapCI:
+    def test_interval_contains_zero_for_identical(self):
+        values = [0.5, 0.6, 0.7]
+        low, high = bootstrap_ci(values, values)
+        assert low == high == 0.0
+
+    def test_interval_ordering(self):
+        rng = np.random.default_rng(1)
+        a = rng.uniform(0, 1, 25).tolist()
+        b = rng.uniform(0, 1, 25).tolist()
+        low, high = bootstrap_ci(a, b)
+        assert low <= high
+
+    def test_clear_difference_excludes_zero(self):
+        a = [0.8, 0.9, 0.85, 0.95, 0.9, 0.88]
+        b = [0.1, 0.2, 0.15, 0.25, 0.2, 0.18]
+        low, high = bootstrap_ci(a, b)
+        assert low > 0.0
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], [0.5], confidence=1.5)
+
+
+class TestCompareSystems:
+    def test_full_report(self):
+        # n=8 one-sided wins: the permutation test can reach p < 0.05
+        # (with n=5 the floor is 1/2^4 = 0.0625).
+        a = [0.9, 0.8, 0.85, 0.95, 0.9, 0.88, 0.92, 0.87]
+        b = [0.5, 0.4, 0.45, 0.55, 0.5, 0.48, 0.52, 0.47]
+        result = compare_systems(a, b)
+        assert result.mean_difference == pytest.approx(0.4)
+        assert result.significant
+        assert result.ci_low <= result.mean_difference <= result.ci_high
+
+    def test_insignificant_noise(self):
+        rng = np.random.default_rng(2)
+        a = rng.uniform(0, 1, 10)
+        b = a + rng.normal(0, 0.001, 10)  # negligible difference
+        result = compare_systems(a.tolist(), b.tolist(), iterations=2000)
+        assert abs(result.mean_difference) < 0.01
+
+    def test_format_row(self):
+        result = compare_systems([0.9, 0.95], [0.1, 0.15])
+        row = result.format_row("STST vs BM25")
+        assert "STST vs BM25" in row
+        assert "p=" in row
+
+
+class TestPlots:
+    def test_box_plot_row_width_and_markers(self):
+        from repro.eval import box_plot_row
+
+        row = box_plot_row([0.1, 0.4, 0.5, 0.6, 0.9], width=40)
+        assert len(row) == 40
+        for marker in "|[]#":
+            assert marker in row
+
+    def test_box_plot_row_empty(self):
+        from repro.eval import box_plot_row
+
+        assert box_plot_row([], width=10) == " " * 10
+
+    def test_box_plot_single_value(self):
+        from repro.eval import box_plot_row
+
+        row = box_plot_row([0.5], width=20)
+        assert "#" in row
+
+    def test_box_plot_figure(self):
+        from repro.eval import box_plot_figure
+
+        figure = box_plot_figure(
+            {"STST": [0.8, 0.9, 0.85], "BM25": [0.5, 0.6, 0.55]},
+            title="NDCG@10",
+        )
+        assert "NDCG@10" in figure
+        assert "STST" in figure and "BM25" in figure
+        assert "med=" in figure

@@ -1,0 +1,53 @@
+"""Smoke tests: the fast examples must run end to end.
+
+The two heavier examples (`data_discovery.py`, `robust_linking.py`)
+build larger corpora and are exercised implicitly through the
+benchmarks; here the quick ones run for real so the README's first
+commands can never silently rot.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_module(name):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart_runs(self, capsys):
+        module = _load_module("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Type-based semantic search" in out
+        assert "rosters" in out
+        # The paper's point: transfers outranks the off-topic films.
+        lines = out.splitlines()
+        transfer_rank = next(i for i, l in enumerate(lines)
+                             if "transfers" in l)
+        films_rank = next(i for i, l in enumerate(lines) if "films" in l)
+        assert transfer_rank < films_rank
+
+    def test_quickstart_builders_are_consistent(self):
+        module = _load_module("quickstart")
+        graph = module.build_graph()
+        lake = module.build_lake()
+        assert "kg:santo" in graph
+        assert "rosters" in lake
+
+    def test_dynamic_lake_runs(self, capsys):
+        module = _load_module("dynamic_lake")
+        module.main()  # asserts internally
+        out = capsys.readouterr().out
+        assert "Ingested" in out
+        assert "no index rebuilds" in out

@@ -1,0 +1,81 @@
+"""Tests for the informativeness weighting I(e) of Section 5.2."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.similarity import (
+    Informativeness,
+    UniformInformativeness,
+    informativeness_or_uniform,
+)
+
+
+class TestInformativeness:
+    def test_rare_entities_weigh_more(self):
+        info = Informativeness({"rare": 1, "common": 90}, num_tables=100)
+        assert info("rare") > info("common")
+
+    def test_weight_bounds(self):
+        info = Informativeness({"a": 1, "b": 50, "c": 100}, num_tables=100)
+        for uri in ("a", "b", "c"):
+            assert 0.0 < info(uri) <= 1.0
+
+    def test_single_table_entity_gets_full_weight(self):
+        info = Informativeness({"a": 1}, num_tables=100)
+        assert info("a") == pytest.approx(1.0)
+
+    def test_unseen_entity_defaults_to_one(self):
+        info = Informativeness({"a": 5}, num_tables=10)
+        assert info("never-seen") == 1.0
+
+    def test_frequency_clamped_to_corpus_size(self):
+        info = Informativeness({"a": 1000}, num_tables=10)
+        assert 0.0 < info("a") <= 1.0
+
+    def test_zero_frequency_treated_as_one(self):
+        info = Informativeness({"a": 0}, num_tables=10)
+        assert info("a") == pytest.approx(1.0)
+
+    def test_container_protocol(self):
+        info = Informativeness({"a": 1}, num_tables=2)
+        assert "a" in info
+        assert "b" not in info
+        assert len(info) == 1
+
+    def test_from_mapping(self, sports_mapping, sports_lake):
+        info = Informativeness.from_mapping(sports_mapping, len(sports_lake))
+        # Teams appear in more tables than most players -> lower weight.
+        assert info("kg:player9") >= info("kg:team0")
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=4),
+            st.integers(min_value=1, max_value=500),
+            max_size=20,
+        ),
+        st.integers(min_value=1, max_value=500),
+    )
+    def test_monotone_in_frequency(self, freqs, num_tables):
+        info = Informativeness(freqs, num_tables)
+        items = sorted(freqs.items(), key=lambda kv: kv[1])
+        for (_, f1), (_, f2) in zip(items, items[1:]):
+            assert f1 <= f2
+        weights = [info(uri) for uri, _ in items]
+        for w1, w2 in zip(weights, weights[1:]):
+            assert w1 >= w2 - 1e-12  # weight non-increasing in frequency
+
+
+class TestUniform:
+    def test_always_one(self):
+        uniform = UniformInformativeness()
+        assert uniform("anything") == 1.0
+        assert uniform.weight("other") == 1.0
+
+    def test_helper_dispatch(self, sports_mapping):
+        assert isinstance(
+            informativeness_or_uniform(None, 10), UniformInformativeness
+        )
+        assert isinstance(
+            informativeness_or_uniform(sports_mapping, 10), Informativeness
+        )

@@ -1,0 +1,129 @@
+"""End-to-end integration tests over a generated benchmark corpus.
+
+These tests assert the *qualitative* findings of Section 7 at test
+scale: semantic search retrieves topically relevant tables, LSH
+prefiltering preserves quality while shrinking the search space, and
+complementing BM25 with semantic search improves recall.
+"""
+
+import pytest
+
+from repro import Thetis
+from repro.baselines import BM25TableSearch, text_query_from_labels
+from repro.eval import ExperimentRunner, ndcg_at_k, recall_at_k
+from repro.lsh import RECOMMENDED_CONFIG
+
+
+@pytest.fixture(scope="module")
+def thetis(small_benchmark):
+    system = Thetis(
+        small_benchmark.lake, small_benchmark.graph, small_benchmark.mapping
+    )
+    system.train_embeddings(dimensions=24, epochs=2, walks_per_entity=6,
+                            walk_length=4, seed=0)
+    return system
+
+
+@pytest.fixture(scope="module")
+def bm25(small_benchmark):
+    return BM25TableSearch(small_benchmark.lake)
+
+
+class TestSearchQuality:
+    def test_types_search_ndcg_positive(self, small_benchmark, thetis):
+        scores = []
+        for qid, query in small_benchmark.queries.one_tuple.items():
+            truth = small_benchmark.ground_truth(qid)
+            results = thetis.search(query, k=10, method="types")
+            scores.append(ndcg_at_k(results.table_ids(10), truth.gains, 10))
+        assert sum(scores) / len(scores) > 0.3
+
+    def test_embeddings_search_ndcg_positive(self, small_benchmark, thetis):
+        scores = []
+        for qid, query in small_benchmark.queries.one_tuple.items():
+            truth = small_benchmark.ground_truth(qid)
+            results = thetis.search(query, k=10, method="embeddings")
+            scores.append(ndcg_at_k(results.table_ids(10), truth.gains, 10))
+        assert sum(scores) / len(scores) > 0.2
+
+    def test_lsh_quality_close_to_exact(self, small_benchmark, thetis):
+        exact_scores, lsh_scores = [], []
+        for qid, query in small_benchmark.queries.one_tuple.items():
+            truth = small_benchmark.ground_truth(qid)
+            exact = thetis.search(query, k=10)
+            approx = thetis.search(query, k=10, use_lsh=True,
+                                   lsh_config=RECOMMENDED_CONFIG)
+            exact_scores.append(
+                ndcg_at_k(exact.table_ids(10), truth.gains, 10)
+            )
+            lsh_scores.append(
+                ndcg_at_k(approx.table_ids(10), truth.gains, 10)
+            )
+        mean_exact = sum(exact_scores) / len(exact_scores)
+        mean_lsh = sum(lsh_scores) / len(lsh_scores)
+        assert mean_lsh >= 0.7 * mean_exact
+
+    def test_lsh_reduces_search_space(self, small_benchmark, thetis):
+        prefilter = thetis.prefilter("types", RECOMMENDED_CONFIG)
+        reductions = []
+        for query in small_benchmark.queries.one_tuple.values():
+            candidates = prefilter.candidate_tables(query)
+            reductions.append(
+                prefilter.reduction(len(small_benchmark.lake), candidates)
+            )
+        assert sum(reductions) / len(reductions) > 0.2
+
+    def test_semantic_finds_tables_bm25_misses(self, small_benchmark,
+                                               thetis, bm25):
+        """The paper's disjointness finding: large result-set difference."""
+        differences = []
+        for qid, query in small_benchmark.queries.one_tuple.items():
+            semantic = thetis.search(query, k=100)
+            keyword = bm25.search(
+                text_query_from_labels(query, small_benchmark.graph), k=100
+            )
+            differences.append(len(semantic.difference(keyword, k=100)))
+        assert max(differences) > 10
+
+    def test_complement_holds_recall_of_bm25(self, small_benchmark,
+                                             thetis, bm25):
+        """STSTC recall stays close to BM25's at unit-test scale.
+
+        At 200 tables BM25 is nearly saturated (recall ~1), so the
+        *improvement* the paper reports only materializes at corpus
+        scale - the Figure 5 benchmark covers that; here we check the
+        merge does not damage a saturated baseline.
+        """
+        bm25_recalls, merged_recalls = [], []
+        k = 100
+        for qid, query in small_benchmark.queries.five_tuple.items():
+            truth = small_benchmark.ground_truth(qid)
+            keyword = bm25.search(
+                text_query_from_labels(query, small_benchmark.graph), k=k
+            )
+            semantic = thetis.search(query, k=k)
+            merged = semantic.complement(keyword, k=k)
+            bm25_recalls.append(recall_at_k(keyword.table_ids(k),
+                                            truth.gains, k))
+            merged_recalls.append(recall_at_k(merged.table_ids(k),
+                                              truth.gains, k))
+        assert sum(merged_recalls) >= 0.9 * sum(bm25_recalls)
+
+
+class TestRunnerIntegration:
+    def test_full_experiment_loop(self, small_benchmark, thetis, bm25):
+        queries = small_benchmark.queries.one_tuple
+        truths = {qid: small_benchmark.ground_truth(qid) for qid in queries}
+        runner = ExperimentRunner(queries, truths)
+        reports = runner.run_all(
+            {
+                "STST": lambda q, k: thetis.search(q, k=k),
+                "BM25": lambda q, k: bm25.search(
+                    text_query_from_labels(q, small_benchmark.graph), k=k
+                ),
+            },
+            k=10,
+        )
+        assert reports["STST"].ndcg_summary()["mean"] > 0.0
+        for report in reports.values():
+            assert len(report.outcomes) == len(queries)

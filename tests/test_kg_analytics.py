@@ -1,0 +1,83 @@
+"""Tests for knowledge-graph analytics."""
+
+import pytest
+
+from repro.kg import Entity, KnowledgeGraph
+from repro.kg.analytics import (
+    connected_components,
+    degree_histogram,
+    profile_graph,
+    top_types,
+    type_frequencies,
+)
+
+
+@pytest.fixture()
+def two_component_graph():
+    g = KnowledgeGraph()
+    for uri in ("a", "b", "c", "d", "e", "lonely"):
+        g.add_entity(Entity(uri, uri, frozenset({"T1"})))
+    g.add_entity(Entity("typed", "typed", frozenset({"T1", "T2"})))
+    g.add_edge("a", "p", "b")
+    g.add_edge("b", "p", "c")
+    g.add_edge("d", "q", "e")
+    return g
+
+
+class TestComponents:
+    def test_component_count_and_sizes(self, two_component_graph):
+        components = connected_components(two_component_graph)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 1, 2, 3]
+        assert len(components[0]) == 3  # largest first
+
+    def test_empty_graph(self):
+        assert connected_components(KnowledgeGraph()) == []
+
+
+class TestHistograms:
+    def test_degree_histogram(self, two_component_graph):
+        histogram = degree_histogram(two_component_graph)
+        assert histogram[0] == 2   # lonely + typed
+        assert histogram[2] == 1   # b
+        assert histogram[1] == 4   # a, c, d, e
+
+    def test_type_frequencies(self, two_component_graph):
+        frequencies = type_frequencies(two_component_graph)
+        assert frequencies["T1"] == 7
+        assert frequencies["T2"] == 1
+
+    def test_top_types(self, two_component_graph):
+        assert top_types(two_component_graph, k=1) == [("T1", 7)]
+        assert top_types(two_component_graph)[1] == ("T2", 1)
+
+
+class TestProfile:
+    def test_profile_fields(self, two_component_graph):
+        profile = profile_graph(two_component_graph)
+        assert profile.nodes == 7
+        assert profile.edges == 3
+        assert profile.distinct_types == 2
+        assert profile.distinct_predicates == 2
+        assert profile.isolated_nodes == 2
+        assert profile.connected_components == 4
+        assert profile.largest_component == 3
+        assert profile.max_degree == 2
+        assert profile.mean_degree == pytest.approx(6 / 7)
+
+    def test_profile_empty_graph(self):
+        profile = profile_graph(KnowledgeGraph())
+        assert profile.nodes == 0
+        assert profile.mean_degree == 0.0
+        assert profile.largest_component == 0
+
+    def test_format_report(self, two_component_graph):
+        report = profile_graph(two_component_graph).format_report()
+        assert "nodes:" in report
+        assert "connected components: 4" in report
+
+    def test_world_graph_is_connected_enough(self, small_benchmark):
+        """Generated worlds must be walkable: one dominant component."""
+        profile = profile_graph(small_benchmark.graph)
+        assert profile.largest_component > 0.95 * profile.nodes
+        assert profile.isolated_nodes == 0

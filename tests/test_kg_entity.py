@@ -1,0 +1,76 @@
+"""Unit tests for the entity/type/predicate value objects."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.kg import Entity, EntityType, Predicate
+
+
+class TestEntity:
+    def test_requires_uri(self):
+        with pytest.raises(ValueError):
+            Entity(uri="")
+
+    def test_types_coerced_to_frozenset(self):
+        entity = Entity("kg:a", "A", types={"Person", "Agent"})
+        assert isinstance(entity.types, frozenset)
+        assert entity.types == {"Person", "Agent"}
+
+    def test_equality_and_hash_on_uri_only(self):
+        a1 = Entity("kg:a", "First label", frozenset({"X"}))
+        a2 = Entity("kg:a", "Other label", frozenset({"Y"}))
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+        assert a1 != Entity("kg:b", "First label", frozenset({"X"}))
+
+    def test_equality_against_non_entity(self):
+        assert Entity("kg:a") != "kg:a"
+
+    def test_has_type(self):
+        entity = Entity("kg:a", types=frozenset({"Person"}))
+        assert entity.has_type("Person")
+        assert not entity.has_type("City")
+
+    def test_str_prefers_label(self):
+        assert str(Entity("kg:a", label="Alpha")) == "Alpha"
+        assert str(Entity("kg:a")) == "kg:a"
+
+    def test_default_types_empty(self):
+        assert Entity("kg:a").types == frozenset()
+
+    def test_aliases_default_empty(self):
+        assert Entity("kg:a").aliases == ()
+
+    def test_usable_in_sets(self):
+        entities = {Entity("kg:a"), Entity("kg:a", "dup"), Entity("kg:b")}
+        assert len(entities) == 2
+
+
+class TestEntityTypeAndPredicate:
+    def test_type_compares_on_name(self):
+        assert EntityType("Person", parent="Agent") == EntityType("Person")
+
+    def test_type_ordering(self):
+        assert EntityType("Agent") < EntityType("Person")
+
+    def test_str_forms(self):
+        assert str(EntityType("Person")) == "Person"
+        assert str(Predicate("playsFor")) == "playsFor"
+
+    def test_predicate_equality(self):
+        assert Predicate("a") == Predicate("a")
+        assert Predicate("a") != Predicate("b")
+
+
+def test_repro_error_is_base():
+    from repro.exceptions import (
+        DataLakeError,
+        EmbeddingError,
+        KnowledgeGraphError,
+        LinkingError,
+        SearchError,
+    )
+
+    for exc in (DataLakeError, EmbeddingError, KnowledgeGraphError,
+                LinkingError, SearchError):
+        assert issubclass(exc, ReproError)

@@ -1,0 +1,115 @@
+"""Unit tests for the knowledge-graph structure."""
+
+import pytest
+
+from repro.exceptions import KnowledgeGraphError, UnknownEntityError
+from repro.kg import Entity, KnowledgeGraph
+
+
+@pytest.fixture()
+def graph():
+    g = KnowledgeGraph()
+    g.add_entity(Entity("kg:a", "Alpha", frozenset({"Person"})))
+    g.add_entity(Entity("kg:b", "Beta", frozenset({"Person", "Athlete"})))
+    g.add_entity(Entity("kg:c", "Gamma", frozenset({"City"})))
+    g.add_edge("kg:a", "knows", "kg:b")
+    g.add_edge("kg:b", "livesIn", "kg:c")
+    g.add_edge("kg:a", "livesIn", "kg:c")
+    return g
+
+
+class TestNodes:
+    def test_len_and_contains(self, graph):
+        assert len(graph) == 3
+        assert "kg:a" in graph
+        assert "kg:z" not in graph
+
+    def test_get_and_find(self, graph):
+        assert graph.get("kg:a").label == "Alpha"
+        assert graph.find("kg:z") is None
+        with pytest.raises(UnknownEntityError):
+            graph.get("kg:z")
+
+    def test_iteration_orders(self, graph):
+        assert [e.uri for e in graph] == ["kg:a", "kg:b", "kg:c"]
+        assert list(graph.uris()) == ["kg:a", "kg:b", "kg:c"]
+
+    def test_replace_entity(self, graph):
+        graph2 = KnowledgeGraph()
+        graph2.add_entity(Entity("kg:x", "Old"))
+        graph2.add_entity(Entity("kg:x", "New"))
+        assert graph2.get("kg:x").label == "New"
+        assert len(graph2) == 1
+
+
+class TestEdges:
+    def test_edge_endpoints_must_exist(self, graph):
+        with pytest.raises(UnknownEntityError):
+            graph.add_edge("kg:a", "knows", "kg:zzz")
+        with pytest.raises(UnknownEntityError):
+            graph.add_edge("kg:zzz", "knows", "kg:a")
+
+    def test_empty_predicate_rejected(self, graph):
+        with pytest.raises(KnowledgeGraphError):
+            graph.add_edge("kg:a", "", "kg:b")
+
+    def test_out_and_in_edges(self, graph):
+        assert graph.out_edges("kg:a") == [("knows", "kg:b"),
+                                           ("livesIn", "kg:c")]
+        assert graph.in_edges("kg:c") == [("livesIn", "kg:b"),
+                                          ("livesIn", "kg:a")]
+
+    def test_neighbors_directions(self, graph):
+        assert graph.neighbors("kg:b", undirected=False) == ["kg:c"]
+        assert set(graph.neighbors("kg:b")) == {"kg:a", "kg:c"}
+
+    def test_degree(self, graph):
+        assert graph.degree("kg:a") == 2
+        assert graph.degree("kg:c") == 2
+
+    def test_num_edges_and_predicates(self, graph):
+        assert graph.num_edges == 3
+        assert graph.predicates == {"knows", "livesIn"}
+
+    def test_edges_iterator(self, graph):
+        assert set(graph.edges()) == {
+            ("kg:a", "knows", "kg:b"),
+            ("kg:b", "livesIn", "kg:c"),
+            ("kg:a", "livesIn", "kg:c"),
+        }
+
+    def test_parallel_edges_allowed(self, graph):
+        graph2 = KnowledgeGraph()
+        graph2.add_entity(Entity("kg:x"))
+        graph2.add_entity(Entity("kg:y"))
+        graph2.add_edge("kg:x", "p", "kg:y")
+        graph2.add_edge("kg:x", "p", "kg:y")
+        assert graph2.num_edges == 2
+        assert graph2.neighbors("kg:x", undirected=False) == ["kg:y", "kg:y"]
+
+
+class TestSemantics:
+    def test_types_of(self, graph):
+        assert graph.types_of("kg:b") == {"Person", "Athlete"}
+
+    def test_entities_of_type(self, graph):
+        assert {e.uri for e in graph.entities_of_type("Person")} == {
+            "kg:a", "kg:b",
+        }
+        assert graph.entities_of_type("Robot") == []
+
+    def test_label_of(self, graph):
+        assert graph.label_of("kg:c") == "Gamma"
+
+    def test_all_type_names(self, graph):
+        assert graph.all_type_names() == {"Person", "Athlete", "City"}
+
+    def test_stats(self, graph):
+        stats = graph.stats()
+        assert stats == {"nodes": 3, "edges": 3, "types": 3, "predicates": 2}
+
+    def test_unknown_entity_everywhere(self, graph):
+        for method in (graph.out_edges, graph.in_edges, graph.neighbors,
+                       graph.degree, graph.types_of, graph.label_of):
+            with pytest.raises(UnknownEntityError):
+                method("kg:missing")

@@ -1,0 +1,58 @@
+"""Round-trip tests for knowledge-graph serialization."""
+
+from repro.kg import (
+    Entity,
+    KnowledgeGraph,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+
+from tests.conftest import make_sports_graph
+
+
+class TestGraphRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        graph = make_sports_graph()
+        clone = graph_from_dict(graph_to_dict(graph))
+        assert len(clone) == len(graph)
+        assert clone.num_edges == graph.num_edges
+        assert set(clone.edges()) == set(graph.edges())
+        for entity in graph.entities():
+            restored = clone.get(entity.uri)
+            assert restored.label == entity.label
+            assert restored.types == entity.types
+            assert restored.aliases == entity.aliases
+
+    def test_taxonomy_round_trip(self):
+        graph = make_sports_graph()
+        clone = graph_from_dict(graph_to_dict(graph))
+        assert clone.taxonomy.ancestors("BaseballPlayer") == \
+            graph.taxonomy.ancestors("BaseballPlayer")
+        assert set(clone.taxonomy.roots()) == set(graph.taxonomy.roots())
+
+    def test_file_round_trip(self, tmp_path):
+        graph = make_sports_graph()
+        path = tmp_path / "graph.json"
+        save_graph(graph, path)
+        clone = load_graph(path)
+        assert len(clone) == len(graph)
+        assert clone.stats() == graph.stats()
+
+    def test_aliases_preserved(self, tmp_path):
+        graph = KnowledgeGraph()
+        graph.add_entity(
+            Entity("kg:x", "X Entity", frozenset({"T"}), aliases=("XE", "Xe"))
+        )
+        path = tmp_path / "g.json"
+        save_graph(graph, path)
+        assert load_graph(path).get("kg:x").aliases == ("XE", "Xe")
+
+    def test_empty_graph(self, tmp_path):
+        graph = KnowledgeGraph()
+        path = tmp_path / "empty.json"
+        save_graph(graph, path)
+        clone = load_graph(path)
+        assert len(clone) == 0
+        assert clone.num_edges == 0

@@ -1,0 +1,125 @@
+"""Unit and property tests for the type taxonomy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import KnowledgeGraphError, UnknownTypeError
+from repro.kg import TypeTaxonomy
+
+from tests.conftest import make_sports_taxonomy
+
+
+class TestBasics:
+    def test_add_and_contains(self):
+        taxonomy = TypeTaxonomy()
+        taxonomy.add_type("Thing")
+        taxonomy.add_type("Agent", "Thing")
+        assert "Thing" in taxonomy
+        assert "Agent" in taxonomy
+        assert "Ghost" not in taxonomy
+        assert len(taxonomy) == 2
+
+    def test_parent_registered_implicitly(self):
+        taxonomy = TypeTaxonomy()
+        taxonomy.add_type("Agent", "Thing")
+        assert "Thing" in taxonomy
+        assert taxonomy.parent("Thing") is None
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(KnowledgeGraphError):
+            TypeTaxonomy().add_type("")
+
+    def test_reassigning_parent_conflicts(self):
+        taxonomy = TypeTaxonomy()
+        taxonomy.add_type("A")
+        taxonomy.add_type("B")
+        taxonomy.add_type("C", "A")
+        with pytest.raises(KnowledgeGraphError):
+            taxonomy.add_type("C", "B")
+
+    def test_late_parent_assignment_for_root(self):
+        taxonomy = TypeTaxonomy()
+        taxonomy.add_type("B")
+        taxonomy.add_type("A")
+        taxonomy.add_type("B", "A")  # promote root B under A
+        assert taxonomy.parent("B") == "A"
+
+    def test_readd_same_parent_is_noop(self):
+        taxonomy = TypeTaxonomy()
+        taxonomy.add_type("A")
+        taxonomy.add_type("B", "A")
+        taxonomy.add_type("B", "A")
+        assert taxonomy.children("A") == ["B"]
+
+    def test_cycle_detection(self):
+        taxonomy = TypeTaxonomy()
+        taxonomy.add_type("A")
+        taxonomy.add_type("B", "A")
+        with pytest.raises(KnowledgeGraphError):
+            taxonomy.add_type("A", "B")
+
+    def test_unknown_type_errors(self):
+        taxonomy = TypeTaxonomy()
+        for method in (taxonomy.parent, taxonomy.children,
+                       taxonomy.ancestors, taxonomy.descendants,
+                       taxonomy.depth):
+            with pytest.raises(UnknownTypeError):
+                method("Nope")
+
+
+class TestQueries:
+    @pytest.fixture()
+    def taxonomy(self):
+        return make_sports_taxonomy()
+
+    def test_ancestors_chain(self, taxonomy):
+        assert taxonomy.ancestors("BaseballPlayer") == [
+            "BaseballPlayer", "Athlete", "Person", "Agent", "Thing",
+        ]
+
+    def test_ancestors_exclude_self(self, taxonomy):
+        assert taxonomy.ancestors("Athlete", include_self=False) == [
+            "Person", "Agent", "Thing",
+        ]
+
+    def test_descendants(self, taxonomy):
+        assert taxonomy.descendants("Athlete") == {
+            "BaseballPlayer", "VolleyballPlayer",
+        }
+        assert "Athlete" in taxonomy.descendants("Athlete", include_self=True)
+
+    def test_roots(self, taxonomy):
+        assert taxonomy.roots() == ["Thing"]
+
+    def test_depth(self, taxonomy):
+        assert taxonomy.depth("Thing") == 0
+        assert taxonomy.depth("BaseballPlayer") == 4
+
+    def test_expand_known_and_unknown(self, taxonomy):
+        expanded = taxonomy.expand(["City", "CustomType"])
+        assert {"City", "Place", "Thing", "CustomType"} == expanded
+
+    def test_lowest_common_ancestor(self, taxonomy):
+        assert taxonomy.lowest_common_ancestor(
+            "BaseballPlayer", "VolleyballPlayer") == "Athlete"
+        assert taxonomy.lowest_common_ancestor(
+            "BaseballPlayer", "City") == "Thing"
+        assert taxonomy.lowest_common_ancestor(
+            "Athlete", "BaseballPlayer") == "Athlete"
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                max_size=30))
+def test_chain_taxonomy_ancestors_are_consistent(depths):
+    """Ancestors of any node in a generated chain end at the root."""
+    taxonomy = TypeTaxonomy()
+    taxonomy.add_type("n0")
+    for i in range(1, len(depths) + 1):
+        taxonomy.add_type(f"n{i}", f"n{i - 1}")
+    for i in range(len(depths) + 1):
+        chain = taxonomy.ancestors(f"n{i}")
+        assert chain[0] == f"n{i}"
+        assert chain[-1] == "n0"
+        assert len(chain) == i + 1
+        assert taxonomy.depth(f"n{i}") == i

@@ -1,0 +1,79 @@
+"""Unit tests for random-walk extraction."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.kg import Entity, KnowledgeGraph, RandomWalker
+
+
+@pytest.fixture()
+def chain_graph():
+    g = KnowledgeGraph()
+    for i in range(5):
+        g.add_entity(Entity(f"kg:n{i}"))
+    for i in range(4):
+        g.add_edge(f"kg:n{i}", "next", f"kg:n{i + 1}")
+    return g
+
+
+class TestRandomWalker:
+    def test_invalid_parameters(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            RandomWalker(chain_graph, walk_length=0)
+        with pytest.raises(ConfigurationError):
+            RandomWalker(chain_graph, walks_per_entity=0)
+
+    def test_walk_length_bound(self, chain_graph):
+        walker = RandomWalker(chain_graph, walk_length=3, undirected=False)
+        walk = walker.walk_from("kg:n0")
+        assert walk[0] == "kg:n0"
+        assert len(walk) <= 4
+
+    def test_directed_walk_follows_edges(self, chain_graph):
+        walker = RandomWalker(chain_graph, walk_length=10, undirected=False)
+        walk = walker.walk_from("kg:n0")
+        # On a directed chain, the only walk is the chain itself.
+        assert walk == [f"kg:n{i}" for i in range(5)]
+
+    def test_sink_node_stops_directed_walk(self, chain_graph):
+        walker = RandomWalker(chain_graph, walk_length=10, undirected=False)
+        assert walker.walk_from("kg:n4") == ["kg:n4"]
+
+    def test_undirected_walk_never_stops_early_on_chain(self, chain_graph):
+        walker = RandomWalker(chain_graph, walk_length=6, undirected=True,
+                              seed=3)
+        walk = walker.walk_from("kg:n4")
+        assert len(walk) == 7
+
+    def test_isolated_node_yields_single_token(self):
+        g = KnowledgeGraph()
+        g.add_entity(Entity("kg:solo"))
+        walker = RandomWalker(g, walk_length=5)
+        assert walker.walk_from("kg:solo") == ["kg:solo"]
+
+    def test_corpus_size(self, chain_graph):
+        walker = RandomWalker(chain_graph, walks_per_entity=3)
+        corpus = walker.walks()
+        assert len(corpus) == 3 * 5
+
+    def test_corpus_with_seed_subset(self, chain_graph):
+        walker = RandomWalker(chain_graph, walks_per_entity=2)
+        corpus = walker.walks(seeds=["kg:n1", "kg:n2"])
+        assert len(corpus) == 4
+        assert all(w[0] in ("kg:n1", "kg:n2") for w in corpus)
+
+    def test_determinism(self, chain_graph):
+        a = RandomWalker(chain_graph, seed=42).walks()
+        b = RandomWalker(chain_graph, seed=42).walks()
+        assert a == b
+
+    def test_different_seeds_differ(self, chain_graph):
+        a = RandomWalker(chain_graph, seed=1, walk_length=8).walks()
+        b = RandomWalker(chain_graph, seed=2, walk_length=8).walks()
+        assert a != b
+
+    def test_predicates_interleaved(self, chain_graph):
+        walker = RandomWalker(chain_graph, walk_length=2,
+                              include_predicates=True, undirected=False)
+        walk = walker.walk_from("kg:n0")
+        assert walk == ["kg:n0", "next", "kg:n1", "next", "kg:n2"]

@@ -1,0 +1,95 @@
+"""Tests for column-coherence entity disambiguation."""
+
+import pytest
+
+from repro.datalake import DataLake, Table
+from repro.kg import Entity, KnowledgeGraph
+from repro.linking.contextual import ContextualLinker
+
+
+@pytest.fixture()
+def graph():
+    g = KnowledgeGraph()
+    # "Springfield" is ambiguous: a city and a baseball team share it.
+    g.add_entity(Entity("kg:springfield-city", "Springfield",
+                        frozenset({"Thing", "Place", "City"})))
+    g.add_entity(Entity("kg:springfield-team", "Springfield",
+                        frozenset({"Thing", "Org", "BaseballTeam"})))
+    g.add_entity(Entity("kg:boston", "Boston",
+                        frozenset({"Thing", "Place", "City"})))
+    g.add_entity(Entity("kg:cubs", "Chicago Cubs",
+                        frozenset({"Thing", "Org", "BaseballTeam"})))
+    g.add_entity(Entity("kg:santo", "Ron Santo",
+                        frozenset({"Thing", "Person", "BaseballPlayer"})))
+    return g
+
+
+class TestCandidates:
+    def test_candidates_for(self, graph):
+        linker = ContextualLinker(graph)
+        assert set(linker.candidates_for("Springfield")) == {
+            "kg:springfield-city", "kg:springfield-team",
+        }
+        assert linker.candidates_for("Boston") == ["kg:boston"]
+        assert linker.candidates_for(42) == []
+        assert linker.candidates_for("nothing") == []
+
+
+class TestDisambiguation:
+    def test_city_column_pulls_city_sense(self, graph):
+        table = Table("cities", ["City"],
+                      [["Boston"], ["Springfield"]])
+        mapping = ContextualLinker(graph).link_table(table)
+        assert mapping.entity_at("cities", 1, 0) == "kg:springfield-city"
+
+    def test_team_column_pulls_team_sense(self, graph):
+        table = Table("teams", ["Team"],
+                      [["Chicago Cubs"], ["Springfield"]])
+        mapping = ContextualLinker(graph).link_table(table)
+        assert mapping.entity_at("teams", 1, 0) == "kg:springfield-team"
+
+    def test_same_label_different_columns_different_senses(self, graph):
+        table = Table(
+            "mixed", ["Team", "City"],
+            [["Chicago Cubs", "Boston"],
+             ["Springfield", "Springfield"]],
+        )
+        mapping = ContextualLinker(graph).link_table(table)
+        assert mapping.entity_at("mixed", 1, 0) == "kg:springfield-team"
+        assert mapping.entity_at("mixed", 1, 1) == "kg:springfield-city"
+
+    def test_empty_column_profile_falls_back_to_first(self, graph):
+        # No unambiguous anchors: earliest-registered candidate wins.
+        table = Table("bare", ["X"], [["Springfield"]])
+        mapping = ContextualLinker(graph).link_table(table)
+        assert mapping.entity_at("bare", 0, 0) == "kg:springfield-city"
+
+    def test_min_agreement_gate(self, graph):
+        # With an impossible agreement bar, disambiguation falls back.
+        table = Table("teams", ["Team"],
+                      [["Chicago Cubs"], ["Springfield"]])
+        strict = ContextualLinker(graph, min_agreement=1.1)
+        mapping = strict.link_table(table)
+        assert mapping.entity_at("teams", 1, 0) == "kg:springfield-city"
+
+    def test_link_lake(self, graph):
+        lake = DataLake(
+            [
+                Table("a", ["City"], [["Boston"], ["Springfield"]]),
+                Table("b", ["Team"],
+                      [["Chicago Cubs"], ["Springfield"]]),
+            ]
+        )
+        mapping = ContextualLinker(graph).link_lake(lake)
+        assert mapping.entity_at("a", 1, 0) == "kg:springfield-city"
+        assert mapping.entity_at("b", 1, 0) == "kg:springfield-team"
+
+    def test_matches_label_linker_on_unambiguous_corpus(
+        self, sports_graph, sports_lake
+    ):
+        """Without ambiguity, contextual == plain label linking."""
+        from repro.linking import LabelLinker
+
+        contextual = ContextualLinker(sports_graph).link_lake(sports_lake)
+        plain = LabelLinker(sports_graph).link_lake(sports_lake)
+        assert dict(contextual.all_links()) == dict(plain.all_links())

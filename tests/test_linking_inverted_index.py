@@ -1,0 +1,86 @@
+"""Unit tests for the inverted index and tokenizer."""
+
+from repro.linking import InvertedIndex, tokenize
+
+
+class TestTokenize:
+    def test_lowercase_alnum(self):
+        assert tokenize("Tony Giarratano (2005)") == [
+            "tony", "giarratano", "2005",
+        ]
+
+    def test_empty_and_punctuation_only(self):
+        assert tokenize("") == []
+        assert tokenize("--- !!!") == []
+
+    def test_numbers_kept(self):
+        assert tokenize("route 66") == ["route", "66"]
+
+
+class TestInvertedIndex:
+    def _index(self):
+        index = InvertedIndex()
+        index.add_many(
+            [
+                ("e1", "Milwaukee Brewers"),
+                ("e2", "Milwaukee"),
+                ("e3", "Chicago Cubs"),
+                ("e4", "Chicago"),
+            ]
+        )
+        return index
+
+    def test_num_documents(self):
+        assert self._index().num_documents == 4
+
+    def test_document_frequency(self):
+        index = self._index()
+        assert index.document_frequency("milwaukee") == 2
+        assert index.document_frequency("cubs") == 1
+        assert index.document_frequency("zzz") == 0
+
+    def test_postings(self):
+        postings = self._index().postings("chicago")
+        assert postings == {"e3": 1, "e4": 1}
+
+    def test_candidates(self):
+        assert set(self._index().candidates("Milwaukee Cubs")) == {
+            "e1", "e2", "e3",
+        }
+
+    def test_search_prefers_exact_short_document(self):
+        index = self._index()
+        hits = index.search("Milwaukee")
+        assert hits[0][0] == "e2"  # shorter doc ranks above "Milwaukee Brewers"
+
+    def test_search_full_label(self):
+        index = self._index()
+        assert index.search("Milwaukee Brewers", top_k=1)[0][0] == "e1"
+
+    def test_search_no_match(self):
+        assert self._index().search("volleyball") == []
+
+    def test_search_empty_query(self):
+        assert self._index().search("") == []
+
+    def test_search_empty_index(self):
+        assert InvertedIndex().search("anything") == []
+
+    def test_additive_indexing(self):
+        index = InvertedIndex()
+        index.add("d", "alpha")
+        index.add("d", "beta")
+        assert index.document_frequency("alpha") == 1
+        assert index.document_frequency("beta") == 1
+        assert index.num_documents == 1
+
+    def test_deterministic_tie_break(self):
+        index = InvertedIndex()
+        index.add("b", "same text")
+        index.add("a", "same text")
+        hits = index.search("same text")
+        assert [h[0] for h in hits] == ["a", "b"]
+
+    def test_top_k_limit(self):
+        index = self._index()
+        assert len(index.search("Milwaukee Chicago", top_k=2)) == 2

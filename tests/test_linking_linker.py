@@ -1,0 +1,93 @@
+"""Unit tests for the label-based entity linker."""
+
+import pytest
+
+from repro.datalake import DataLake, Table
+from repro.kg import Entity, KnowledgeGraph
+from repro.linking import LabelLinker
+
+
+@pytest.fixture()
+def graph():
+    g = KnowledgeGraph()
+    g.add_entity(Entity("kg:santo", "Ron Santo", frozenset({"BaseballPlayer"})))
+    g.add_entity(Entity("kg:cubs", "Chicago Cubs", frozenset({"BaseballTeam"})))
+    g.add_entity(
+        Entity("kg:chicago", "Chicago", frozenset({"City"}),
+               aliases=("Chi-Town",))
+    )
+    return g
+
+
+class TestLinkValue:
+    def test_exact_match_case_insensitive(self, graph):
+        linker = LabelLinker(graph)
+        assert linker.link_value("ron santo") == "kg:santo"
+        assert linker.link_value("RON SANTO") == "kg:santo"
+
+    def test_alias_match(self, graph):
+        assert LabelLinker(graph).link_value("Chi-Town") == "kg:chicago"
+
+    def test_non_strings_never_link(self, graph):
+        linker = LabelLinker(graph)
+        assert linker.link_value(42) is None
+        assert linker.link_value(None) is None
+        assert linker.link_value(3.14) is None
+
+    def test_whitespace_and_empty(self, graph):
+        linker = LabelLinker(graph)
+        assert linker.link_value("   ") is None
+        assert linker.link_value("") is None
+
+    def test_fuzzy_match_above_threshold(self, graph):
+        linker = LabelLinker(graph, min_score=0.3)
+        assert linker.link_value("Santo") == "kg:santo"
+
+    def test_fuzzy_disabled(self, graph):
+        linker = LabelLinker(graph, fuzzy=False)
+        assert linker.link_value("Santo") is None
+        assert linker.link_value("Ron Santo") == "kg:santo"
+
+    def test_unknown_mention(self, graph):
+        assert LabelLinker(graph).link_value("Meryl Streep xyzzy") is None
+
+
+class TestLinkTables:
+    def test_link_table(self, graph):
+        table = Table(
+            "T1",
+            ["Player", "Team", "Year"],
+            [["Ron Santo", "Chicago Cubs", 1970],
+             ["Unknown Guy", "Chicago Cubs", 1971]],
+        )
+        mapping = LabelLinker(graph).link_table(table)
+        assert mapping.entity_at("T1", 0, 0) == "kg:santo"
+        assert mapping.entity_at("T1", 0, 1) == "kg:cubs"
+        assert mapping.entity_at("T1", 0, 2) is None  # number
+        assert mapping.entity_at("T1", 1, 0) is None  # unknown mention
+        assert mapping.entity_at("T1", 1, 1) == "kg:cubs"
+
+    def test_link_lake(self, graph):
+        lake = DataLake(
+            [
+                Table("A", ["X"], [["Ron Santo"]]),
+                Table("B", ["X"], [["Chicago"]]),
+            ]
+        )
+        mapping = LabelLinker(graph).link_lake(lake)
+        assert mapping.tables_with_entity("kg:santo") == {"A"}
+        assert mapping.tables_with_entity("kg:chicago") == {"B"}
+
+    def test_sports_fixture_coverage(self, sports_graph, sports_lake,
+                                     sports_mapping):
+        # Every entity cell of the fixture lake is exactly linkable:
+        # 3 entity columns x 4 rows per table.
+        for table in sports_lake:
+            assert sports_mapping.linked_cell_count(table.table_id) == 12
+
+    def test_duplicate_labels_resolve_deterministically(self):
+        g = KnowledgeGraph()
+        g.add_entity(Entity("kg:first", "Springfield", frozenset({"City"})))
+        g.add_entity(Entity("kg:second", "Springfield", frozenset({"City"})))
+        # First writer wins, always the earliest-inserted entity.
+        assert LabelLinker(g).link_value("Springfield") == "kg:first"

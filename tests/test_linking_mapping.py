@@ -1,0 +1,101 @@
+"""Unit tests for the bidirectional entity mapping Phi."""
+
+import pytest
+
+from repro.exceptions import LinkingError
+from repro.linking import EntityMapping
+
+
+@pytest.fixture()
+def mapping():
+    m = EntityMapping()
+    m.link("T1", 0, 0, "kg:a")
+    m.link("T1", 0, 1, "kg:b")
+    m.link("T1", 1, 0, "kg:a")
+    m.link("T2", 0, 0, "kg:a")
+    return m
+
+
+class TestForward:
+    def test_entity_at(self, mapping):
+        assert mapping.entity_at("T1", 0, 0) == "kg:a"
+        assert mapping.entity_at("T1", 5, 5) is None
+
+    def test_entity_row(self, mapping):
+        assert mapping.entity_row("T1", 0, 3) == ["kg:a", "kg:b", None]
+        assert mapping.entity_row("T9", 0, 2) == [None, None]
+
+    def test_entities_in_table(self, mapping):
+        assert mapping.entities_in_table("T1") == {"kg:a", "kg:b"}
+        assert mapping.entities_in_table("T9") == frozenset()
+
+    def test_entities_in_column(self, mapping):
+        assert mapping.entities_in_column("T1", 0) == ["kg:a", "kg:a"]
+        assert mapping.entities_in_column("T1", 2) == []
+
+
+class TestInverse:
+    def test_cells_of(self, mapping):
+        assert mapping.cells_of("kg:a") == {
+            ("T1", 0, 0), ("T1", 1, 0), ("T2", 0, 0),
+        }
+        assert mapping.cells_of("kg:z") == frozenset()
+
+    def test_tables_with_entity(self, mapping):
+        assert mapping.tables_with_entity("kg:a") == {"T1", "T2"}
+        assert mapping.tables_with_entity("kg:b") == {"T1"}
+
+    def test_table_frequency(self, mapping):
+        assert mapping.table_frequency("kg:a") == 2
+        assert mapping.table_frequency("kg:b") == 1
+        assert mapping.table_frequency("kg:z") == 0
+
+
+class TestMutation:
+    def test_relink_same_entity_idempotent(self, mapping):
+        mapping.link("T1", 0, 0, "kg:a")
+        assert len(mapping) == 4
+
+    def test_relink_conflict_rejected(self, mapping):
+        with pytest.raises(LinkingError):
+            mapping.link("T1", 0, 0, "kg:other")
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(LinkingError):
+            EntityMapping().link("T", -1, 0, "kg:a")
+
+    def test_unlink(self, mapping):
+        assert mapping.unlink("T2", 0, 0) == "kg:a"
+        assert mapping.entity_at("T2", 0, 0) is None
+        assert mapping.tables_with_entity("kg:a") == {"T1"}
+        assert mapping.unlink("T2", 0, 0) is None
+
+    def test_unlink_keeps_entity_if_still_in_table(self, mapping):
+        mapping.unlink("T1", 0, 0)
+        # kg:a still linked at (T1, 1, 0)
+        assert "kg:a" in mapping.entities_in_table("T1")
+
+    def test_linked_cell_count(self, mapping):
+        assert mapping.linked_cell_count("T1") == 3
+        assert mapping.linked_cell_count("T9") == 0
+
+    def test_copy_is_independent(self, mapping):
+        clone = mapping.copy()
+        clone.link("T3", 0, 0, "kg:new")
+        assert len(clone) == len(mapping) + 1
+        assert mapping.entity_at("T3", 0, 0) is None
+
+    def test_merge(self):
+        a = EntityMapping()
+        a.link("T1", 0, 0, "kg:a")
+        b = EntityMapping()
+        b.link("T2", 0, 0, "kg:b")
+        a.merge(b)
+        assert len(a) == 2
+        assert a.entity_at("T2", 0, 0) == "kg:b"
+
+    def test_contains_and_iteration(self, mapping):
+        assert ("T1", 0, 0) in mapping
+        assert ("T1", 9, 9) not in mapping
+        assert set(mapping.all_entities()) == {"kg:a", "kg:b"}
+        assert len(list(mapping.all_links())) == 4

@@ -1,0 +1,97 @@
+"""Tests for coverage reduction and the noisy-linker simulator."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.linking import NoisyLinker, coverage_of, reduce_coverage
+
+
+@pytest.fixture()
+def cell_counts(sports_lake):
+    return {t.table_id: t.num_cells for t in sports_lake}
+
+
+class TestReduceCoverage:
+    def test_caps_every_table(self, sports_mapping, cell_counts):
+        reduced = reduce_coverage(sports_mapping, 0.25, cell_counts, seed=1)
+        for table_id, count in cell_counts.items():
+            assert reduced.linked_cell_count(table_id) <= 0.25 * count
+
+    def test_zero_cap_removes_all(self, sports_mapping, cell_counts):
+        reduced = reduce_coverage(sports_mapping, 0.0, cell_counts)
+        assert len(reduced) == 0
+
+    def test_full_cap_keeps_all(self, sports_mapping, cell_counts):
+        reduced = reduce_coverage(sports_mapping, 1.0, cell_counts)
+        assert len(reduced) == len(sports_mapping)
+
+    def test_kept_links_are_correct(self, sports_mapping, cell_counts):
+        reduced = reduce_coverage(sports_mapping, 0.5, cell_counts, seed=2)
+        for ref, uri in reduced.all_links():
+            assert sports_mapping.entity_at(*ref) == uri
+
+    def test_invalid_cap(self, sports_mapping, cell_counts):
+        with pytest.raises(ConfigurationError):
+            reduce_coverage(sports_mapping, 1.5, cell_counts)
+
+    def test_deterministic(self, sports_mapping, cell_counts):
+        a = reduce_coverage(sports_mapping, 0.3, cell_counts, seed=7)
+        b = reduce_coverage(sports_mapping, 0.3, cell_counts, seed=7)
+        assert dict(a.all_links()) == dict(b.all_links())
+
+    def test_coverage_of(self, sports_mapping, cell_counts):
+        fractions = coverage_of(sports_mapping, cell_counts)
+        # Fixture tables: 12 linked cells of 16.
+        assert all(abs(f - 0.75) < 1e-12 for f in fractions.values())
+
+
+class TestNoisyLinker:
+    def test_parameter_validation(self, sports_graph):
+        with pytest.raises(ConfigurationError):
+            NoisyLinker(sports_graph, recall=1.5)
+        with pytest.raises(ConfigurationError):
+            NoisyLinker(sports_graph, precision=-0.1)
+
+    def test_recall_zero_drops_everything(self, sports_graph, sports_mapping):
+        noisy = NoisyLinker(sports_graph, recall=0.0).corrupt(sports_mapping)
+        assert len(noisy) == 0
+
+    def test_perfect_linker_is_identity(self, sports_graph, sports_mapping):
+        linker = NoisyLinker(sports_graph, recall=1.0, precision=1.0)
+        noisy = linker.corrupt(sports_mapping)
+        assert dict(noisy.all_links()) == dict(sports_mapping.all_links())
+        assert linker.f1(sports_mapping, noisy) == 1.0
+
+    def test_low_precision_introduces_wrong_links(self, sports_graph,
+                                                  sports_mapping):
+        linker = NoisyLinker(sports_graph, recall=1.0, precision=0.0, seed=5)
+        noisy = linker.corrupt(sports_mapping)
+        gold = dict(sports_mapping.all_links())
+        wrong = sum(1 for ref, uri in noisy.all_links() if gold[ref] != uri)
+        assert wrong == len(noisy) > 0
+
+    def test_f1_matches_configuration_roughly(self, sports_graph,
+                                              sports_mapping):
+        linker = NoisyLinker(sports_graph, recall=0.6, precision=0.35, seed=3)
+        noisy = linker.corrupt(sports_mapping)
+        f1 = linker.f1(sports_mapping, noisy)
+        # Expected F1 ~ 2*p*r'/(p+r') with r' = recall*precision = 0.21.
+        assert 0.05 < f1 < 0.55
+
+    def test_f1_empty_noisy(self, sports_graph, sports_mapping):
+        linker = NoisyLinker(sports_graph, recall=0.0)
+        noisy = linker.corrupt(sports_mapping)
+        assert linker.f1(sports_mapping, noisy) == 0.0
+
+    def test_wrong_links_prefer_same_type(self, sports_graph, sports_mapping):
+        linker = NoisyLinker(sports_graph, recall=1.0, precision=0.0, seed=9)
+        noisy = linker.corrupt(sports_mapping)
+        gold = dict(sports_mapping.all_links())
+        same_type = 0
+        total = 0
+        for ref, uri in noisy.all_links():
+            total += 1
+            gold_types = sports_graph.get(gold[ref]).types
+            if sports_graph.get(uri).types & gold_types:
+                same_type += 1
+        assert same_type / total > 0.9

@@ -1,0 +1,34 @@
+"""Tests for LSH configuration validation."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lsh import PAPER_CONFIGS, RECOMMENDED_CONFIG, LSHConfig
+
+
+class TestLSHConfig:
+    def test_num_bands(self):
+        assert LSHConfig(32, 8).num_bands == 4
+        assert LSHConfig(128, 8).num_bands == 16
+        assert LSHConfig(30, 10).num_bands == 3
+
+    def test_divisibility_required(self):
+        with pytest.raises(ConfigurationError):
+            LSHConfig(30, 8)
+
+    def test_positive_required(self):
+        with pytest.raises(ConfigurationError):
+            LSHConfig(0, 1)
+        with pytest.raises(ConfigurationError):
+            LSHConfig(8, 0)
+
+    def test_paper_configs(self):
+        assert len(PAPER_CONFIGS) == 3
+        assert RECOMMENDED_CONFIG == LSHConfig(30, 10)
+        assert RECOMMENDED_CONFIG in PAPER_CONFIGS
+
+    def test_str(self):
+        assert str(LSHConfig(32, 8)) == "(32, 8)"
+
+    def test_hashable(self):
+        assert len({LSHConfig(32, 8), LSHConfig(32, 8)}) == 1

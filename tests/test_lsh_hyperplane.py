@@ -1,0 +1,72 @@
+"""Tests for random-hyperplane signatures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.lsh import HyperplaneHasher
+
+
+class TestHyperplaneHasher:
+    def test_signature_is_bits(self):
+        hasher = HyperplaneHasher(16, 4, seed=0)
+        sig = hasher.signature(np.array([1.0, -1.0, 0.5, 2.0]))
+        assert sig.shape == (16,)
+        assert set(np.unique(sig)) <= {0, 1}
+
+    def test_zero_vector_returns_none(self):
+        hasher = HyperplaneHasher(8, 3)
+        assert hasher.signature(np.zeros(3)) is None
+
+    def test_dimension_mismatch(self):
+        hasher = HyperplaneHasher(8, 3)
+        with pytest.raises(DimensionMismatchError):
+            hasher.signature(np.zeros(4))
+        with pytest.raises(DimensionMismatchError):
+            hasher.signatures(np.zeros((2, 4)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            HyperplaneHasher(0, 3)
+        with pytest.raises(ConfigurationError):
+            HyperplaneHasher(3, 0)
+
+    def test_scale_invariance(self):
+        hasher = HyperplaneHasher(32, 4, seed=1)
+        v = np.array([0.3, -0.7, 1.0, 0.1])
+        assert np.array_equal(hasher.signature(v), hasher.signature(10 * v))
+
+    def test_opposite_vectors_flip_all_bits(self):
+        hasher = HyperplaneHasher(32, 4, seed=2)
+        v = np.array([0.3, -0.7, 1.0, 0.1])
+        assert np.array_equal(
+            hasher.signature(-v), 1 - hasher.signature(v)
+        )
+
+    def test_batched_matches_single(self):
+        hasher = HyperplaneHasher(16, 5, seed=3)
+        rng = np.random.default_rng(0)
+        matrix = rng.standard_normal((10, 5))
+        batched = hasher.signatures(matrix)
+        for i in range(10):
+            assert np.array_equal(batched[i], hasher.signature(matrix[i]))
+
+    def test_estimate_cosine_shape_mismatch(self):
+        hasher = HyperplaneHasher(8, 3)
+        with pytest.raises(ConfigurationError):
+            hasher.estimate_cosine(np.zeros(8), np.zeros(4))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_estimate_tracks_true_cosine(self, seed):
+        """Many hyperplanes estimate cosine within a loose tolerance."""
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(16)
+        b = rng.standard_normal(16)
+        truth = float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+        hasher = HyperplaneHasher(512, 16, seed=1)
+        estimate = hasher.estimate_cosine(hasher.signature(a),
+                                          hasher.signature(b))
+        assert abs(estimate - truth) < 0.3

@@ -1,0 +1,91 @@
+"""Tests for MinHash signatures and type shingling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.lsh import MinHasher, TypeShingler, pair_shingles
+from repro.similarity import jaccard
+
+
+class TestPairShingles:
+    def test_includes_diagonal(self):
+        shingles = pair_shingles([3], num_types=10)
+        assert shingles == {33}
+
+    def test_pairs_encoded(self):
+        shingles = pair_shingles([1, 2], num_types=10)
+        assert shingles == {11, 12, 22}
+
+    def test_duplicates_ignored(self):
+        assert pair_shingles([1, 1, 2], 10) == pair_shingles([1, 2], 10)
+
+    def test_empty(self):
+        assert pair_shingles([], 10) == frozenset()
+
+    def test_count_is_triangular(self):
+        shingles = pair_shingles(range(5), num_types=10)
+        assert len(shingles) == 5 * 6 // 2
+
+
+class TestMinHasher:
+    def test_signature_shape_and_determinism(self):
+        hasher = MinHasher(16, seed=1)
+        sig = hasher.signature({1, 2, 3})
+        assert sig.shape == (16,)
+        assert np.array_equal(sig, MinHasher(16, seed=1).signature({1, 2, 3}))
+
+    def test_empty_set_returns_none(self):
+        assert MinHasher(8).signature(set()) is None
+
+    def test_identical_sets_identical_signatures(self):
+        hasher = MinHasher(32)
+        assert np.array_equal(
+            hasher.signature({5, 9}), hasher.signature({9, 5})
+        )
+
+    def test_invalid_num_hashes(self):
+        with pytest.raises(ConfigurationError):
+            MinHasher(0)
+
+    def test_estimate_jaccard_bounds(self):
+        hasher = MinHasher(64, seed=2)
+        a = hasher.signature({1, 2, 3, 4})
+        b = hasher.signature({3, 4, 5, 6})
+        estimate = hasher.estimate_jaccard(a, b)
+        assert 0.0 <= estimate <= 1.0
+
+    def test_estimate_jaccard_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            MinHasher(8).estimate_jaccard(np.zeros(8), np.zeros(4))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.frozensets(st.integers(0, 200), min_size=1, max_size=40),
+        st.frozensets(st.integers(0, 200), min_size=1, max_size=40),
+    )
+    def test_estimate_tracks_true_jaccard(self, a, b):
+        """With many hashes, the estimate approximates true Jaccard."""
+        hasher = MinHasher(256, seed=0)
+        estimate = hasher.estimate_jaccard(hasher.signature(a),
+                                           hasher.signature(b))
+        truth = jaccard(a, b)
+        assert abs(estimate - truth) < 0.25
+
+
+class TestTypeShingler:
+    def test_excluded_types_removed(self):
+        shingler = TypeShingler(["A", "B", "C"], excluded=["A"])
+        assert "A" not in shingler
+        assert shingler.shingles(["A"]) == frozenset()
+        assert shingler.shingles(["A", "B"]) == shingler.shingles(["B"])
+
+    def test_unknown_types_ignored(self):
+        shingler = TypeShingler(["A", "B"])
+        assert shingler.shingles(["Z"]) == frozenset()
+
+    def test_same_types_same_shingles(self):
+        shingler = TypeShingler(["A", "B", "C"])
+        assert shingler.shingles(["A", "C"]) == shingler.shingles(["C", "A"])

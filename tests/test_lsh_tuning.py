@@ -1,0 +1,75 @@
+"""Tests for the LSH configuration auto-tuner."""
+
+import pytest
+
+from repro.core import Query, TableSearchEngine
+from repro.exceptions import ConfigurationError
+from repro.lsh import LSHConfig, LSHTuner, TypeSignatureScheme
+from repro.similarity import TypeJaccardSimilarity
+
+
+@pytest.fixture()
+def tuner(sports_lake, sports_mapping, sports_graph):
+    engine = TableSearchEngine(
+        sports_lake, sports_mapping, TypeJaccardSimilarity(sports_graph)
+    )
+    return LSHTuner(
+        engine,
+        scheme_factory=lambda n: TypeSignatureScheme(sports_graph, n, seed=1),
+        k=5,
+    )
+
+
+QUERIES = [
+    Query.single("kg:player0", "kg:team0"),
+    Query.single("kg:player9", "kg:team1"),
+    Query.single("kg:city2",),
+]
+
+
+class TestLSHTuner:
+    def test_invalid_k(self, sports_lake, sports_mapping, sports_graph):
+        engine = TableSearchEngine(
+            sports_lake, sports_mapping, TypeJaccardSimilarity(sports_graph)
+        )
+        with pytest.raises(ConfigurationError):
+            LSHTuner(engine, lambda n: None, k=0)
+
+    def test_evaluate_returns_bounded_metrics(self, tuner):
+        outcome = tuner.evaluate(LSHConfig(32, 8), QUERIES)
+        assert 0.0 <= outcome.mean_reduction <= 1.0
+        assert 0.0 <= outcome.ndcg_retention <= 1.0 + 1e-9
+        assert outcome.config == LSHConfig(32, 8)
+        assert outcome.votes == 1
+
+    def test_sweep_covers_grid_sorted_by_reduction(self, tuner):
+        configs = (LSHConfig(32, 8), LSHConfig(16, 8))
+        outcomes = tuner.sweep(QUERIES, configs, votes_options=(1, 2))
+        assert len(outcomes) == 4
+        reductions = [o.mean_reduction for o in outcomes]
+        assert reductions == sorted(reductions, reverse=True)
+
+    def test_sweep_requires_queries(self, tuner):
+        with pytest.raises(ConfigurationError):
+            tuner.sweep([])
+
+    def test_recommend_prefers_quality_floor(self, tuner):
+        outcome = tuner.recommend(
+            QUERIES,
+            configs=(LSHConfig(32, 8), LSHConfig(30, 10)),
+            min_retention=0.5,
+        )
+        assert outcome.ndcg_retention >= 0.5
+
+    def test_recommend_falls_back_to_best_retention(self, tuner):
+        # An impossible retention floor falls back gracefully.
+        outcome = tuner.recommend(
+            QUERIES, configs=(LSHConfig(32, 8),), min_retention=2.0
+        )
+        assert outcome.config == LSHConfig(32, 8)
+
+    def test_format_row(self, tuner):
+        outcome = tuner.evaluate(LSHConfig(32, 8), QUERIES)
+        row = outcome.format_row()
+        assert "(32, 8)" in row
+        assert "reduction" in row

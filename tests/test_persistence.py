@@ -1,0 +1,125 @@
+"""Round-trip tests for mapping and LSEI persistence."""
+
+import pytest
+
+from repro.core import Query
+from repro.linking import (
+    EntityMapping,
+    load_mapping,
+    mapping_from_dict,
+    mapping_to_dict,
+    save_mapping,
+)
+from repro.lsh import LSHConfig, TablePrefilter, TypeSignatureScheme
+
+
+class TestMappingPersistence:
+    def test_dict_round_trip(self, sports_mapping):
+        clone = mapping_from_dict(mapping_to_dict(sports_mapping))
+        assert dict(clone.all_links()) == dict(sports_mapping.all_links())
+
+    def test_file_round_trip(self, sports_mapping, tmp_path):
+        path = tmp_path / "mapping.json"
+        save_mapping(sports_mapping, path)
+        loaded = load_mapping(path)
+        assert len(loaded) == len(sports_mapping)
+        assert loaded.tables_with_entity("kg:player0") == \
+            sports_mapping.tables_with_entity("kg:player0")
+
+    def test_empty_mapping(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_mapping(EntityMapping(), path)
+        assert len(load_mapping(path)) == 0
+
+
+class TestPrefilterPersistence:
+    @pytest.fixture()
+    def built(self, sports_graph, sports_mapping):
+        scheme = TypeSignatureScheme(sports_graph, 32, seed=7)
+        prefilter = TablePrefilter(
+            scheme, LSHConfig(32, 8), sports_mapping
+        )
+        return scheme, prefilter
+
+    def test_round_trip_preserves_candidates(self, built, sports_graph,
+                                             sports_mapping, tmp_path):
+        scheme, prefilter = built
+        path = tmp_path / "lsei.json"
+        prefilter.save(path)
+        # Reload with an *equivalent* scheme (same seed and width).
+        loaded = TablePrefilter.load(
+            path, TypeSignatureScheme(sports_graph, 32, seed=7),
+            sports_mapping,
+        )
+        for query in (
+            Query.single("kg:player0", "kg:team0"),
+            Query.single("kg:city1"),
+        ):
+            assert loaded.candidate_tables(query) == \
+                prefilter.candidate_tables(query)
+            assert loaded.candidate_tables(query, votes=3) == \
+                prefilter.candidate_tables(query, votes=3)
+
+    def test_round_trip_preserves_structure(self, built, sports_graph,
+                                            sports_mapping, tmp_path):
+        scheme, prefilter = built
+        path = tmp_path / "lsei.json"
+        prefilter.save(path)
+        loaded = TablePrefilter.load(
+            path, TypeSignatureScheme(sports_graph, 32, seed=7),
+            sports_mapping,
+        )
+        assert loaded.num_indexed_keys() == prefilter.num_indexed_keys()
+        assert loaded.indexed_tables == prefilter.indexed_tables
+        assert loaded.config == prefilter.config
+
+    def test_loaded_index_supports_dynamic_updates(self, built,
+                                                   sports_graph,
+                                                   sports_mapping,
+                                                   tmp_path):
+        scheme, prefilter = built
+        path = tmp_path / "lsei.json"
+        prefilter.save(path)
+        loaded = TablePrefilter.load(
+            path, TypeSignatureScheme(sports_graph, 32, seed=7),
+            sports_mapping,
+        )
+        loaded.remove_table("T00")
+        assert "T00" not in loaded.candidate_tables(
+            Query.single("kg:player0")
+        )
+
+    def test_column_aggregation_flag_round_trips(self, sports_graph,
+                                                 sports_mapping, tmp_path):
+        scheme = TypeSignatureScheme(sports_graph, 32, seed=7)
+        prefilter = TablePrefilter(
+            scheme, LSHConfig(32, 8), sports_mapping,
+            column_aggregation=True,
+        )
+        path = tmp_path / "lsei.json"
+        prefilter.save(path)
+        loaded = TablePrefilter.load(path, scheme, sports_mapping)
+        assert loaded.column_aggregation is True
+        assert loaded.num_indexed_keys() == prefilter.num_indexed_keys()
+
+
+class TestQuerySetPersistence:
+    def test_round_trip(self, small_benchmark, tmp_path):
+        from repro.benchgen import load_queries, save_queries
+
+        path = tmp_path / "queries.json"
+        save_queries(small_benchmark.queries, path)
+        loaded = load_queries(path)
+        original = small_benchmark.queries
+        assert set(loaded.one_tuple) == set(original.one_tuple)
+        assert set(loaded.five_tuple) == set(original.five_tuple)
+        for qid, query in original.all_queries().items():
+            assert loaded.all_queries()[qid] == query
+        assert loaded.categories == original.categories
+        assert loaded.domains == original.domains
+
+    def test_dict_round_trip(self, small_benchmark):
+        from repro.benchgen import queries_from_dict, queries_to_dict
+
+        clone = queries_from_dict(queries_to_dict(small_benchmark.queries))
+        assert len(clone) == len(small_benchmark.queries)

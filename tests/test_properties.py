@@ -1,0 +1,213 @@
+"""Cross-cutting property-based tests over the core invariants.
+
+Each property here encodes a contract the paper's formalization
+promises — score ranges, axiom monotonicity, serialization fidelity,
+LSH candidate soundness — checked over randomized inputs.
+"""
+
+import string
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Query,
+    ResultSet,
+    ScoredTable,
+    TableSearchEngine,
+    best_mapping,
+    semrel_tuple_score,
+)
+from repro.datalake import DataLake, Table, lake_from_dict, lake_to_dict
+from repro.similarity import (
+    MappingTypeSimilarity,
+    TypeJaccardSimilarity,
+    UniformInformativeness,
+)
+
+UNIFORM = UniformInformativeness()
+
+# ---------------------------------------------------------------------------
+# Table serialization fuzzing
+# ---------------------------------------------------------------------------
+
+_cell = st.one_of(
+    st.none(),
+    st.integers(-10**9, 10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(alphabet=string.printable, max_size=20),
+)
+
+
+@st.composite
+def tables(draw):
+    num_cols = draw(st.integers(1, 5))
+    attributes = [f"col{i}" for i in range(num_cols)]
+    rows = draw(
+        st.lists(
+            st.lists(_cell, min_size=num_cols, max_size=num_cols),
+            max_size=8,
+        )
+    )
+    return Table(draw(st.text(string.ascii_lowercase, min_size=1,
+                              max_size=8)), attributes, rows)
+
+
+@settings(max_examples=50, deadline=None)
+@given(tables())
+def test_lake_json_round_trip_is_lossless(table):
+    lake = DataLake([table])
+    clone = lake_from_dict(lake_to_dict(lake))
+    restored = clone.get(table.table_id)
+    assert restored.attributes == table.attributes
+    assert len(restored.rows) == len(table.rows)
+    for original, loaded in zip(table.rows, restored.rows):
+        for a, b in zip(original, loaded):
+            if isinstance(a, float):
+                assert b == pytest.approx(a, nan_ok=False)
+            else:
+                assert a == b
+
+
+# ---------------------------------------------------------------------------
+# SemRel score contracts
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=6))
+def test_semrel_always_in_unit_interval(coords):
+    entities = [f"e{i}" for i in range(len(coords))]
+    score = semrel_tuple_score(entities, coords, UNIFORM)
+    assert 0.0 < score <= 1.0
+    if all(c == 1.0 for c in coords):
+        assert score == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d", "e"]),
+        st.frozensets(st.sampled_from(["T1", "T2", "T3", "T4"]),
+                      min_size=1),
+        min_size=2,
+    ),
+    st.data(),
+)
+def test_best_mapping_is_injective_and_scored_in_range(types, data):
+    sigma = MappingTypeSimilarity(types)
+    uris = sorted(types)
+    query = tuple(
+        data.draw(st.lists(st.sampled_from(uris), min_size=1, max_size=3))
+    )
+    target = tuple(
+        data.draw(st.lists(st.sampled_from(uris), min_size=1, max_size=4))
+    )
+    mapping = best_mapping(query, target, sigma)
+    targets = list(mapping.assignment.values())
+    assert len(targets) == len(set(targets))
+    for position, score in mapping.similarities.items():
+        assert 0.0 < score <= 1.0
+        assert 0 <= position < len(query)
+        assert mapping.assignment[position] < len(target)
+
+
+# ---------------------------------------------------------------------------
+# Result set contracts
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.dictionaries(
+        st.text(string.ascii_lowercase, min_size=1, max_size=6),
+        st.floats(0.0, 1.0),
+        max_size=15,
+    ),
+    st.integers(0, 20),
+)
+def test_result_set_ordering_and_top(scores, k):
+    results = ResultSet.from_scores(scores)
+    values = [st_.score for st_ in results]
+    assert values == sorted(values, reverse=True)
+    top = results.top(k)
+    assert len(top) == min(k, len(scores))
+    assert top.table_ids() == results.table_ids()[:k]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.text(string.ascii_lowercase, min_size=1, max_size=4),
+             unique=True, max_size=10),
+    st.lists(st.text(string.ascii_uppercase, min_size=1, max_size=4),
+             unique=True, max_size=10),
+    st.integers(1, 12),
+)
+def test_complement_is_deduplicated_and_bounded(ours, theirs, k):
+    a = ResultSet(ScoredTable(1.0 - i / 100, t) for i, t in enumerate(ours))
+    b = ResultSet(ScoredTable(1.0 - i / 100, t) for i, t in enumerate(theirs))
+    merged = a.complement(b, k=k)
+    ids = merged.table_ids()
+    assert len(ids) == len(set(ids))
+    assert len(ids) <= k
+    assert set(ids) <= set(ours) | set(theirs)
+
+
+# ---------------------------------------------------------------------------
+# Engine + LSH soundness on the fixture world
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 31), st.integers(0, 7))
+def test_search_scores_bounded_and_sorted(player, team):
+    from tests.conftest import make_sports_graph, make_sports_lake
+    from repro.linking import LabelLinker
+
+    cache = test_search_scores_bounded_and_sorted.__dict__
+    graph = cache.setdefault("_graph", make_sports_graph())
+    lake = cache.setdefault("_lake", make_sports_lake())
+    mapping = cache.setdefault(
+        "_mapping", LabelLinker(graph).link_lake(lake)
+    )
+    engine = cache.setdefault(
+        "_engine",
+        TableSearchEngine(lake, mapping, TypeJaccardSimilarity(graph)),
+    )
+    query = Query.single(f"kg:player{player}", f"kg:team{team}")
+    results = engine.search(query)
+    scores = [st_.score for st_ in results]
+    assert all(0.0 < s <= 1.0 for s in scores)
+    assert scores == sorted(scores, reverse=True)
+    # The table containing the player exactly must score higher than
+    # (or equal to) every table that does not contain it.
+    containing = mapping.tables_with_entity(f"kg:player{player}")
+    best_containing = max(
+        results.score_of(t) or 0.0 for t in containing
+    )
+    assert best_containing == pytest.approx(max(scores))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 31), st.integers(1, 4))
+def test_lsh_candidates_subset_of_linked_tables(player, votes):
+    from tests.conftest import make_sports_graph, make_sports_lake
+    from repro.linking import LabelLinker
+    from repro.lsh import LSHConfig, TablePrefilter, TypeSignatureScheme
+
+    cache = test_lsh_candidates_subset_of_linked_tables.__dict__
+    graph = cache.setdefault("_graph", make_sports_graph())
+    lake = cache.setdefault("_lake", make_sports_lake())
+    mapping = cache.setdefault(
+        "_mapping", LabelLinker(graph).link_lake(lake)
+    )
+    prefilter = cache.setdefault(
+        "_prefilter",
+        TablePrefilter(
+            TypeSignatureScheme(graph, 32), LSHConfig(32, 8), mapping
+        ),
+    )
+    query = Query.single(f"kg:player{player}")
+    candidates = prefilter.candidate_tables(query, votes=votes)
+    assert candidates <= set(lake.table_ids())
+    stricter = prefilter.candidate_tables(query, votes=votes + 1)
+    assert stricter <= candidates

@@ -1,0 +1,207 @@
+"""Tests for entity similarity functions sigma (types and embeddings)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.embeddings import EmbeddingStore
+from repro.exceptions import ConfigurationError
+from repro.similarity import (
+    EmbeddingCosineSimilarity,
+    ExactMatchSimilarity,
+    MappingTypeSimilarity,
+    TypeJaccardSimilarity,
+    WeightedCombination,
+    jaccard,
+)
+
+
+class TestJaccard:
+    def test_basic(self):
+        assert jaccard(frozenset("ab"), frozenset("bc")) == pytest.approx(1 / 3)
+
+    def test_identical(self):
+        assert jaccard(frozenset("ab"), frozenset("ab")) == 1.0
+
+    def test_disjoint_and_empty(self):
+        assert jaccard(frozenset("a"), frozenset("b")) == 0.0
+        assert jaccard(frozenset(), frozenset()) == 0.0
+        assert jaccard(frozenset("a"), frozenset()) == 0.0
+
+    @given(
+        st.frozensets(st.integers(0, 20), max_size=10),
+        st.frozensets(st.integers(0, 20), max_size=10),
+    )
+    def test_properties(self, a, b):
+        value = jaccard(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard(b, a)  # symmetric
+        if a and a == b:
+            assert value == 1.0
+
+
+class TestTypeJaccardSimilarity:
+    def test_identity_is_one(self, sports_graph):
+        sigma = TypeJaccardSimilarity(sports_graph)
+        assert sigma.similarity("kg:player0", "kg:player0") == 1.0
+
+    def test_same_type_entities_capped(self, sports_graph):
+        sigma = TypeJaccardSimilarity(sports_graph)
+        # Two baseball players share the full type set -> capped at 0.95.
+        assert sigma.similarity("kg:player0", "kg:player1") == 0.95
+
+    def test_related_types_partial(self, sports_graph):
+        sigma = TypeJaccardSimilarity(sports_graph)
+        # Player vs team share {Thing, Agent} of 8 total types.
+        score = sigma.similarity("kg:player0", "kg:team0")
+        assert 0.0 < score < 0.95
+
+    def test_unrelated_types_low(self, sports_graph):
+        sigma = TypeJaccardSimilarity(sports_graph)
+        player_city = sigma.similarity("kg:player0", "kg:city0")
+        player_team = sigma.similarity("kg:player0", "kg:team0")
+        assert player_city < player_team
+
+    def test_unknown_entity_scores_zero(self, sports_graph):
+        sigma = TypeJaccardSimilarity(sports_graph)
+        assert sigma.similarity("kg:player0", "kg:ghost") == 0.0
+        assert sigma.similarity("kg:ghost", "kg:ghost") == 1.0  # identity
+
+    def test_type_filter_changes_score(self, sports_graph):
+        plain = TypeJaccardSimilarity(sports_graph)
+        filtered = TypeJaccardSimilarity(
+            sports_graph, type_filter=frozenset({"Thing", "Agent"})
+        )
+        pair = ("kg:player0", "kg:city0")
+        # City shares only {Thing} with players; filtering Thing removes
+        # the overlap entirely.
+        assert plain.similarity(*pair) > 0.0
+        assert filtered.similarity(*pair) == 0.0
+
+    def test_name(self, sports_graph):
+        assert TypeJaccardSimilarity(sports_graph).name == "types"
+
+
+class TestMappingTypeSimilarity:
+    def test_backed_by_mapping(self):
+        sigma = MappingTypeSimilarity(
+            {"a": frozenset({"X", "Y"}), "b": frozenset({"Y", "Z"})}
+        )
+        assert sigma.similarity("a", "b") == pytest.approx(1 / 3)
+        assert sigma.similarity("a", "a") == 1.0
+        assert sigma.similarity("a", "unknown") == 0.0
+
+    def test_cap_applies(self):
+        sigma = MappingTypeSimilarity(
+            {"a": frozenset({"X"}), "b": frozenset({"X"})}, cap=0.9
+        )
+        assert sigma.similarity("a", "b") == 0.9
+
+
+class TestEmbeddingCosineSimilarity:
+    @pytest.fixture()
+    def sigma(self):
+        store = EmbeddingStore(
+            {
+                "e1": np.array([1.0, 0.0]),
+                "e2": np.array([1.0, 0.1]),
+                "e3": np.array([-1.0, 0.0]),
+            }
+        )
+        return EmbeddingCosineSimilarity(store)
+
+    def test_identity(self, sigma):
+        assert sigma.similarity("e1", "e1") == 1.0
+
+    def test_close_vectors_high(self, sigma):
+        assert sigma.similarity("e1", "e2") > 0.9
+
+    def test_negative_cosine_clamped(self, sigma):
+        assert sigma.similarity("e1", "e3") == 0.0
+
+    def test_missing_embedding_zero(self, sigma):
+        assert sigma.similarity("e1", "ghost") == 0.0
+        assert sigma.similarity("ghost", "ghost") == 1.0
+
+    def test_name(self, sigma):
+        assert sigma.name == "embeddings"
+
+
+class TestCombinators:
+    def test_exact_match(self):
+        sigma = ExactMatchSimilarity()
+        assert sigma("a", "a") == 1.0
+        assert sigma("a", "b") == 0.0
+
+    def test_weighted_combination(self, sports_graph):
+        types = TypeJaccardSimilarity(sports_graph)
+        exact = ExactMatchSimilarity()
+        combo = WeightedCombination([types, exact], [1.0, 1.0])
+        pair = ("kg:player0", "kg:player1")
+        assert combo.similarity(*pair) == pytest.approx(
+            0.5 * types.similarity(*pair)
+        )
+        assert combo.similarity("kg:player0", "kg:player0") == 1.0
+
+    def test_combination_validation(self):
+        exact = ExactMatchSimilarity()
+        with pytest.raises(ConfigurationError):
+            WeightedCombination([], [])
+        with pytest.raises(ConfigurationError):
+            WeightedCombination([exact], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            WeightedCombination([exact], [-1.0])
+        with pytest.raises(ConfigurationError):
+            WeightedCombination([exact], [0.0])
+
+    def test_combination_name(self, sports_graph):
+        combo = WeightedCombination(
+            [TypeJaccardSimilarity(sports_graph), ExactMatchSimilarity()],
+            [1, 1],
+        )
+        assert combo.name == "combo(types+exact)"
+
+
+class TestDepthWeightedTypeSimilarity:
+    def test_identity(self, sports_graph):
+        from repro.similarity.types import DepthWeightedTypeSimilarity
+
+        sigma = DepthWeightedTypeSimilarity(sports_graph)
+        assert sigma.similarity("kg:player0", "kg:player0") == 1.0
+
+    def test_leaf_agreement_beats_root_agreement(self, sports_graph):
+        from repro.similarity.types import DepthWeightedTypeSimilarity
+
+        sigma = DepthWeightedTypeSimilarity(sports_graph)
+        plain = TypeJaccardSimilarity(sports_graph)
+        # Player vs player: full type-set agreement, capped for both.
+        assert sigma.similarity("kg:player0", "kg:player1") == 0.95
+        # Player vs city share only shallow types {Thing}: the
+        # depth-weighted score penalizes that more than plain Jaccard.
+        assert sigma.similarity("kg:player0", "kg:city0") <= \
+            plain.similarity("kg:player0", "kg:city0")
+
+    def test_player_vs_team_ordering_preserved(self, sports_graph):
+        from repro.similarity.types import DepthWeightedTypeSimilarity
+
+        sigma = DepthWeightedTypeSimilarity(sports_graph)
+        assert sigma.similarity("kg:player0", "kg:team0") > \
+            sigma.similarity("kg:player0", "kg:city0")
+
+    def test_unknown_entity_zero(self, sports_graph):
+        from repro.similarity.types import DepthWeightedTypeSimilarity
+
+        sigma = DepthWeightedTypeSimilarity(sports_graph)
+        assert sigma.similarity("kg:player0", "kg:ghost") == 0.0
+
+    def test_name_and_engine_compatibility(self, sports_graph, sports_lake,
+                                           sports_mapping):
+        from repro.core import Query, TableSearchEngine
+        from repro.similarity.types import DepthWeightedTypeSimilarity
+
+        sigma = DepthWeightedTypeSimilarity(sports_graph)
+        assert sigma.name == "types-depth"
+        engine = TableSearchEngine(sports_lake, sports_mapping, sigma)
+        results = engine.search(Query.single("kg:player0", "kg:team0"), k=3)
+        assert len(results) == 3

@@ -1,0 +1,60 @@
+"""Extra tests for the SemanticBenchmark bundle and profiles."""
+
+import pytest
+
+from repro.benchgen import (
+    SYNTHETIC_PROFILE,
+    WT2015_PROFILE,
+    build_benchmark,
+)
+
+
+class TestBenchmarkBundle:
+    def test_graph_property_delegates(self, small_benchmark):
+        assert small_benchmark.graph is small_benchmark.world.graph
+
+    def test_ground_truths_cover_every_query(self, small_benchmark):
+        truths = small_benchmark.ground_truths()
+        assert set(truths) == set(small_benchmark.queries.all_queries())
+
+    def test_topics_consistent_with_metadata(self, small_benchmark):
+        for table_id, topic in list(small_benchmark.topics.items())[:30]:
+            table = small_benchmark.lake.get(table_id)
+            assert table.metadata["category"] == topic
+
+    def test_query_categories_exist_in_corpus(self, small_benchmark):
+        corpus_categories = {
+            t.metadata["category"] for t in small_benchmark.lake
+        }
+        hit = sum(
+            1 for category in small_benchmark.queries.categories.values()
+            if category in corpus_categories
+        )
+        # Queries are sampled independently of tables, but at 200 tables
+        # nearly every topic has at least one table.
+        assert hit >= 0.7 * len(small_benchmark.queries.categories)
+
+    def test_different_seeds_different_corpora(self):
+        a = build_benchmark(SYNTHETIC_PROFILE, num_tables=30,
+                            num_query_pairs=2, kg_scale=0.3, seed=1)
+        b = build_benchmark(SYNTHETIC_PROFILE, num_tables=30,
+                            num_query_pairs=2, kg_scale=0.3, seed=2)
+        rows_a = a.lake.get(a.lake.table_ids()[0]).rows
+        rows_b = b.lake.get(b.lake.table_ids()[0]).rows
+        assert rows_a != rows_b
+
+    def test_same_seed_identical_corpora(self):
+        a = build_benchmark(WT2015_PROFILE, num_tables=25,
+                            num_query_pairs=2, kg_scale=0.3, seed=5)
+        b = build_benchmark(WT2015_PROFILE, num_tables=25,
+                            num_query_pairs=2, kg_scale=0.3, seed=5)
+        assert a.lake.table_ids() == b.lake.table_ids()
+        for table_id in a.lake.table_ids():
+            assert a.lake.get(table_id).rows == b.lake.get(table_id).rows
+        assert dict(a.mapping.all_links()) == dict(b.mapping.all_links())
+        assert a.queries.all_queries() == b.queries.all_queries()
+
+    def test_statistics_shortcut(self, small_benchmark):
+        stats = small_benchmark.statistics()
+        assert stats.num_tables == len(small_benchmark.lake)
+        assert stats.mean_coverage > 0.0
