@@ -10,6 +10,14 @@ Paper shape to reproduce:
 * embedding-LSH reduces less and is therefore slower than type-LSH;
 * 3 votes is at least as fast as 1 vote;
 * (30, 10) is the best or near-best configuration.
+
+Beyond the paper's table, ``test_table3_parallel_cache_speedup``
+measures the scaling layer this repo adds on top: sequential search
+with the seed's per-query similarity memo vs sharded parallel search
+over the persistent similarity cache at steady state (``--workers``
+selects the pool size).  On a multi-core box both sharding and caching
+contribute; on a single core the speedup is the cache amortization
+alone, so the assertion holds either way.
 """
 
 import time
@@ -17,6 +25,7 @@ import time
 import pytest
 
 from benchmarks.conftest import print_header
+from repro.core import ParallelSearchEngine
 from repro.lsh import LSHConfig
 
 LSH_CONFIGS = (LSHConfig(32, 8), LSHConfig(128, 8), LSHConfig(30, 10))
@@ -82,3 +91,86 @@ def test_table3_runtime(wt_bench, wt_thetis, benchmark):
     print(f"\n  headline speedup (types, (30,10), 3 votes, 5-tuple): "
           f"{speedup:.1f}x")
     assert speedup > 2.0
+
+
+def test_table3_parallel_cache_speedup(wt_bench, wt_thetis, request,
+                                       benchmark):
+    """Sequential cold cache vs sharded workers over a warm cache.
+
+    Uses the embeddings engine: cosine similarity is the expensive
+    sigma (one numpy reduction per entity pair), so it is where the
+    Section 7.3 similarity cost — and hence the cache's amortization —
+    actually shows up in wall-clock time.
+    """
+    workers = request.config.getoption("--workers")
+    engine = wt_thetis.engine("embeddings")
+    queries = (
+        list(wt_bench.queries.one_tuple.values())
+        + list(wt_bench.queries.five_tuple.values())
+    )
+
+    def phase_sequential_percall():
+        # The seed engine's behavior: the similarity memo is dropped
+        # before every query, so each query re-pays the full Section
+        # 7.3 similarity cost.
+        start = time.perf_counter()
+        for query in queries:
+            engine.similarity_cache.clear()
+            engine.search(query, k=10)
+        return time.perf_counter() - start
+
+    def phase_parallel_persistent(parallel):
+        start = time.perf_counter()
+        for query in queries:
+            parallel.search(query, k=10)
+        return time.perf_counter() - start
+
+    def run():
+        # Warm the table-view caches once so both phases measure
+        # scoring cost, not grid construction.
+        engine.search(queries[0], k=10)
+
+        # Interleave the phases and keep the per-phase minimum: single
+        # back-to-back timings on a shared box flip on scheduler noise,
+        # while minima of alternating reps compare best-case to
+        # best-case.  Phase A clears the cache per query (seed
+        # behavior); phase B is the steady state of the new substrate —
+        # persistent cache, warmed by its own first pass, + sharded
+        # workers.
+        sequential_times, parallel_times = [], []
+        with ParallelSearchEngine(engine, workers=workers) as parallel:
+            for _ in range(3):
+                sequential_times.append(phase_sequential_percall())
+                # Phase A's per-query clears emptied the shared cache;
+                # re-warm so phase B measures steady state.
+                engine.similarity_cache.clear()
+                engine.similarity_cache.reset_stats()
+                engine.profile.reset()
+                phase_parallel_persistent(parallel)
+                parallel_times.append(phase_parallel_persistent(parallel))
+
+        sequential_percall = min(sequential_times)
+        parallel_persistent = min(parallel_times)
+        stats = engine.cache_stats()["similarity"]
+        speedup = sequential_percall / parallel_persistent
+        print_header(
+            "Table 3 extension - parallel sharding + persistent cache"
+        )
+        print(f"  queries                          {len(queries)}")
+        print(f"  workers                          {workers}")
+        print(f"  sequential, per-query memo       "
+              f"{sequential_percall * 1000:8.1f} ms")
+        print(f"  parallel,   persistent cache     "
+              f"{parallel_persistent * 1000:8.1f} ms")
+        print(f"  speedup                          {speedup:8.2f}x")
+        print(f"  similarity cache                 {stats.format_row()}")
+        print(f"  profile hit rate                 "
+              f"{engine.profile.similarity_hit_rate:5.1%}")
+        return speedup, stats.hit_rate
+
+    speedup, hit_rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The persistent cache plus sharding must beat the seed's
+    # per-query-memo search; the cache alone guarantees this even on
+    # one core.
+    assert speedup > 1.0
+    assert hit_rate > 0.5

@@ -33,14 +33,38 @@ WT_TABLES = 2000
 GIT_TABLES = 250
 NUM_QUERY_PAIRS = 10
 
+#: Reduced scale used by the --quick smoke run (scripts/ci.sh).
+QUICK_WT_TABLES = 400
+QUICK_GIT_TABLES = 80
+QUICK_QUERY_PAIRS = 4
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers", type=int, default=4,
+        help="worker count for the parallel-search benchmarks",
+    )
+    parser.addoption(
+        "--quick", action="store_true",
+        help="shrink benchmark corpora for a CI smoke run",
+    )
+
+
+def _scale(request):
+    """(wt_tables, git_tables, query_pairs) for the selected mode."""
+    if request.config.getoption("--quick"):
+        return QUICK_WT_TABLES, QUICK_GIT_TABLES, QUICK_QUERY_PAIRS
+    return WT_TABLES, GIT_TABLES, NUM_QUERY_PAIRS
+
 
 @pytest.fixture(scope="session")
-def wt_bench():
+def wt_bench(request):
     """The primary WT2015-profile benchmark corpus."""
+    wt_tables, _, query_pairs = _scale(request)
     return build_benchmark(
         WT2015_PROFILE,
-        num_tables=WT_TABLES,
-        num_query_pairs=NUM_QUERY_PAIRS,
+        num_tables=wt_tables,
+        num_query_pairs=query_pairs,
         seed=SEED,
     )
 
@@ -68,24 +92,26 @@ def wt_bm25(wt_bench):
 
 
 @pytest.fixture(scope="session")
-def wt2019_bench(wt_bench):
+def wt2019_bench(request, wt_bench):
     """WT2019-profile corpus sharing the primary world (lower coverage)."""
+    wt_tables, _, query_pairs = _scale(request)
     return build_benchmark(
         WT2019_PROFILE,
-        num_tables=WT_TABLES,
-        num_query_pairs=NUM_QUERY_PAIRS,
+        num_tables=wt_tables,
+        num_query_pairs=query_pairs,
         seed=SEED + 1,
         world=wt_bench.world,
     )
 
 
 @pytest.fixture(scope="session")
-def git_bench(wt_bench):
+def git_bench(request, wt_bench):
     """GitTables-profile corpus (large tables, label-linked at load)."""
+    _, git_tables, query_pairs = _scale(request)
     return build_benchmark(
         GITTABLES_PROFILE,
-        num_tables=GIT_TABLES,
-        num_query_pairs=NUM_QUERY_PAIRS,
+        num_tables=git_tables,
+        num_query_pairs=query_pairs,
         seed=SEED + 2,
         world=wt_bench.world,
     )

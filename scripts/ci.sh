@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 tests plus a quick perf smoke of the parallel/cache
+# layer, so regressions in the scoring substrate surface without
+# running the full benchmark harness.
+#
+# Usage: scripts/ci.sh [workers]   (default: 2)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORKERS="${1:-2}"
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo
+echo "== perf smoke: parallel sharding + persistent cache (workers=$WORKERS) =="
+python -m pytest -x -q -s \
+    "benchmarks/bench_table3_runtime.py::test_table3_parallel_cache_speedup" \
+    --quick --workers "$WORKERS" \
+    --benchmark-disable
+
+echo
+echo "ci.sh: all checks passed"

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.benchgen import PROFILES, build_benchmark
+from repro.core.cache import DEFAULT_SIMILARITY_CACHE_SIZE
 from repro.core.query import Query
 from repro.datalake.io import load_lake, save_lake
 from repro.datalake.stats import corpus_statistics
@@ -150,24 +151,36 @@ def _cmd_search(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     lake = load_lake(args.lake)
     mapping = load_mapping(args.mapping)
-    thetis = Thetis(lake, graph, mapping)
-    if args.method == "embeddings":
-        thetis.train_embeddings(
-            dimensions=args.dimensions, seed=args.seed
+    with Thetis(
+        lake, graph, mapping,
+        workers=args.workers,
+        search_backend=args.backend,
+        cache_size=args.cache_size,
+    ) as thetis:
+        if args.method == "embeddings":
+            thetis.train_embeddings(
+                dimensions=args.dimensions, seed=args.seed
+            )
+        query = _parse_tuples(args.tuple)
+        results = thetis.search(
+            query, k=args.k, method=args.method, use_lsh=args.lsh,
+            votes=args.votes,
         )
-    query = _parse_tuples(args.tuple)
-    results = thetis.search(
-        query, k=args.k, method=args.method, use_lsh=args.lsh,
-        votes=args.votes,
-    )
-    for rank, scored in enumerate(results, start=1):
-        caption = lake.get(scored.table_id).metadata.get("caption", "")
-        print(f"{rank:>3}. {scored.table_id:<24} "
-              f"{scored.score:.4f}  {caption}")
-    if args.explain and len(results) > 0:
-        best = results.table_ids(1)[0]
-        print()
-        print(thetis.explain(query, best, method=args.method).render(graph))
+        for rank, scored in enumerate(results, start=1):
+            caption = lake.get(scored.table_id).metadata.get("caption", "")
+            print(f"{rank:>3}. {scored.table_id:<24} "
+                  f"{scored.score:.4f}  {caption}")
+        if args.explain and len(results) > 0:
+            best = results.table_ids(1)[0]
+            print()
+            print(thetis.explain(query, best,
+                                 method=args.method).render(graph))
+        if args.cache_stats:
+            from repro.core.cache import format_cache_stats
+
+            print()
+            print("cache statistics:")
+            print(format_cache_stats(thetis.cache_stats(args.method)))
     return 0
 
 
@@ -185,7 +198,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     lake = load_lake(args.lake)
     mapping = load_mapping(args.mapping)
     query_set = load_queries(args.queries)
-    thetis = Thetis(lake, graph, mapping)
+    thetis = Thetis(
+        lake, graph, mapping,
+        workers=args.workers,
+        cache_size=args.cache_size,
+    )
     bm25 = BM25TableSearch(lake)
     queries = query_set.all_queries()
     truths = {
@@ -231,6 +248,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         ],
     )
     print(f"report written to {path}")
+    thetis.close()
     return 0
 
 
@@ -306,6 +324,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--queries", required=True)
     bench.add_argument("--out", required=True, help="markdown report path")
     bench.add_argument("-k", type=int, default=10)
+    bench.add_argument("--workers", type=int, default=1,
+                       help="shard exact scoring across N workers")
+    bench.add_argument("--cache-size", type=int,
+                       default=DEFAULT_SIMILARITY_CACHE_SIZE,
+                       help="similarity-cache entry bound")
     bench.set_defaults(func=_cmd_bench)
 
     search = sub.add_parser("search", help="semantic table search")
@@ -324,6 +347,18 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--lsh", action="store_true",
                         help="enable LSH prefiltering")
     search.add_argument("--votes", type=int, default=1)
+    search.add_argument("--workers", type=int, default=1,
+                        help="shard exact scoring across N workers "
+                             "(1 = sequential)")
+    search.add_argument("--backend", choices=["thread", "process"],
+                        default="thread",
+                        help="worker-pool backend when --workers > 1")
+    search.add_argument("--cache-size", type=int,
+                        default=DEFAULT_SIMILARITY_CACHE_SIZE,
+                        help="similarity-cache entry bound")
+    search.add_argument("--cache-stats", action="store_true",
+                        help="print cache hit/miss statistics after "
+                             "searching")
     search.add_argument("--explain", action="store_true",
                         help="explain the top result")
     search.add_argument("--seed", type=int, default=0)

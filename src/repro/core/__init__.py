@@ -6,6 +6,14 @@ from repro.core.aggregation import (
     TupleSemantics,
 )
 from repro.core.assignment import assignment_score, max_assignment
+from repro.core.cache import (
+    DEFAULT_SIMILARITY_CACHE_SIZE,
+    DEFAULT_VIEW_CACHE_SIZE,
+    CacheStats,
+    LRUCache,
+    SimilarityCache,
+    format_cache_stats,
+)
 from repro.core.explain import (
     EntityExplanation,
     TableExplanation,
@@ -25,6 +33,7 @@ from repro.core.relaxation import (
     drop_least_informative,
     split_tuples,
 )
+from repro.core.parallel import ParallelSearchEngine
 from repro.core.topk import table_score_upper_bound, topk_search
 from repro.core.query import EntityTuple, Query
 from repro.core.result import ResultSet, ScoredTable
@@ -39,6 +48,13 @@ __all__ = [
     "Query",
     "EntityTuple",
     "TableSearchEngine",
+    "ParallelSearchEngine",
+    "LRUCache",
+    "SimilarityCache",
+    "CacheStats",
+    "format_cache_stats",
+    "DEFAULT_SIMILARITY_CACHE_SIZE",
+    "DEFAULT_VIEW_CACHE_SIZE",
     "TableScore",
     "ScoringProfile",
     "ResultSet",

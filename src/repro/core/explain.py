@@ -97,10 +97,9 @@ def explain_table(
     while exposing the full decision trail.
     """
     grid = engine._entity_grid(table)
-    memo: dict = {}
     tuple_explanations: List[TupleExplanation] = []
     for query_tuple in query:
-        assignment = engine.column_mapping(query_tuple, table, memo)
+        assignment = engine.column_mapping(query_tuple, table)
         entities: List[EntityExplanation] = []
         coordinates: List[float] = []
         for position, query_entity in enumerate(query_tuple):
@@ -112,9 +111,7 @@ def explain_table(
                 if target is None:
                     per_row.append(0.0)
                     continue
-                similarity = engine._memo_similarity(
-                    memo, query_entity, target
-                )
+                similarity = engine.similarity(query_entity, target)
                 per_row.append(similarity)
                 if similarity > best_sim:
                     best_row, best_uri, best_sim = (

@@ -10,9 +10,12 @@ For every table the engine:
    ideal point into the tuple's SemRel score (line 14, Eq. 2-3);
 5. averages tuple scores into the table score (line 15, Eq. 1).
 
-The engine memoizes pairwise similarities per search call and records a
-timing profile separating the column-mapping cost from total scoring
-cost (the Section 7.3 measurement).
+Pairwise similarities are memoized in a persistent, bounded, thread-safe
+:class:`~repro.core.cache.SimilarityCache` that survives across
+``search()`` / ``search_many()`` / ``topk_search()`` calls, so repeated
+queries over the same corpus amortize the dominant Section 7.3 cost.
+The engine also records a timing profile separating the column-mapping
+cost from total scoring cost (the Section 7.3 measurement).
 """
 
 from __future__ import annotations
@@ -27,6 +30,13 @@ from repro.core.aggregation import (
     TupleSemantics,
 )
 from repro.core.assignment import max_assignment
+from repro.core.cache import (
+    DEFAULT_SIMILARITY_CACHE_SIZE,
+    DEFAULT_VIEW_CACHE_SIZE,
+    CacheStats,
+    LRUCache,
+    SimilarityCache,
+)
 from repro.core.query import Query
 from repro.core.result import ResultSet, ScoredTable
 from repro.core.semrel import semrel_tuple_score
@@ -45,13 +55,18 @@ class ScoringProfile:
 
     ``mapping_seconds`` covers building the column-relevance matrix and
     solving the assignment (the cost of ``mu_{T,Q}``); ``total_seconds``
-    covers full table scoring.
+    covers full table scoring.  ``similarity_calls`` counts every
+    pairwise-similarity *lookup* while ``similarity_misses`` counts only
+    the lookups the cache could not answer (the ones that actually ran
+    ``sigma``), so the cost report states similarity work accurately in
+    the presence of caching.
     """
 
     mapping_seconds: float = 0.0
     total_seconds: float = 0.0
     tables_scored: int = 0
     similarity_calls: int = 0
+    similarity_misses: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -59,6 +74,15 @@ class ScoringProfile:
         self.total_seconds = 0.0
         self.tables_scored = 0
         self.similarity_calls = 0
+        self.similarity_misses = 0
+
+    def merge(self, other: "ScoringProfile") -> None:
+        """Accumulate another profile (per-shard profiles of a parallel run)."""
+        self.mapping_seconds += other.mapping_seconds
+        self.total_seconds += other.total_seconds
+        self.tables_scored += other.tables_scored
+        self.similarity_calls += other.similarity_calls
+        self.similarity_misses += other.similarity_misses
 
     @property
     def mapping_fraction(self) -> float:
@@ -73,6 +97,13 @@ class ScoringProfile:
         if self.tables_scored == 0:
             return 0.0
         return self.total_seconds / self.tables_scored
+
+    @property
+    def similarity_hit_rate(self) -> float:
+        """Fraction of similarity lookups answered by the cache."""
+        if self.similarity_calls == 0:
+            return 0.0
+        return 1.0 - self.similarity_misses / self.similarity_calls
 
 
 @dataclass
@@ -111,6 +142,11 @@ class TableSearchEngine:
         any positive similarity is treated as irrelevant (SemRel = 0)
         and omitted from results, per Problem 2.2's requirement that
         only tables with positive relevance be returned.
+    cache_size:
+        Entry bound of the persistent pairwise-similarity cache.
+    view_cache_size:
+        Entry bound of the per-table view caches (entity grids and
+        column counters); each cache holds at most this many tables.
     """
 
     def __init__(
@@ -123,6 +159,8 @@ class TableSearchEngine:
         query_aggregation: QueryAggregation = QueryAggregation.MEAN,
         tuple_semantics: TupleSemantics = TupleSemantics.PER_ENTITY,
         drop_irrelevant: bool = True,
+        cache_size: int = DEFAULT_SIMILARITY_CACHE_SIZE,
+        view_cache_size: int = DEFAULT_VIEW_CACHE_SIZE,
     ):
         self.lake = lake
         self.mapping = mapping
@@ -135,8 +173,9 @@ class TableSearchEngine:
         self.tuple_semantics = tuple_semantics
         self.drop_irrelevant = drop_irrelevant
         self.profile = ScoringProfile()
-        self._grids: Dict[str, EntityGrid] = {}
-        self._column_counts: Dict[str, List[Dict[str, int]]] = {}
+        self.similarity_cache = SimilarityCache(sigma, maxsize=cache_size)
+        self._grids: LRUCache = LRUCache(view_cache_size)
+        self._column_counts: LRUCache = LRUCache(view_cache_size)
 
     # ------------------------------------------------------------------
     # Table views
@@ -149,7 +188,7 @@ class TableSearchEngine:
                 self.mapping.entity_row(table.table_id, row, table.num_columns)
                 for row in range(table.num_rows)
             ]
-            self._grids[table.table_id] = grid
+            self._grids.put(table.table_id, grid)
         return grid
 
     def _column_entity_counts(self, table: Table) -> List[Dict[str, int]]:
@@ -163,32 +202,54 @@ class TableSearchEngine:
                     if uri is not None:
                         counter = counts[column]
                         counter[uri] = counter.get(uri, 0) + 1
-            self._column_counts[table.table_id] = counts
+            self._column_counts.put(table.table_id, counts)
         return counts
 
-    def invalidate_cache(self) -> None:
-        """Drop cached table views (call after mutating lake or mapping)."""
+    def invalidate_cache(self, include_similarities: bool = False) -> None:
+        """Drop cached table views (call after mutating lake or mapping).
+
+        Pairwise similarities depend only on ``sigma`` — not on the
+        lake — so they survive by default; pass
+        ``include_similarities=True`` when the similarity itself (its
+        graph or embedding store) changed.
+        """
         self._grids.clear()
         self._column_counts.clear()
+        if include_similarities:
+            self.similarity_cache.clear()
 
     def invalidate_table(self, table_id: str) -> None:
         """Drop the cached view of one table (dynamic-lake updates)."""
         self._grids.pop(table_id, None)
         self._column_counts.pop(table_id, None)
 
+    def cache_stats(self) -> Dict[str, CacheStats]:
+        """Snapshot every cache the engine owns (sizes, hit rates)."""
+        return {
+            "similarity": self.similarity_cache.stats(),
+            "grids": self._grids.stats(),
+            "column_counts": self._column_counts.stats(),
+        }
+
     # ------------------------------------------------------------------
-    # Similarity with memoization
+    # Similarity through the persistent cache
     # ------------------------------------------------------------------
-    def _memo_similarity(
-        self, memo: Dict[Tuple[str, str], float], a: str, b: str
+    def similarity(
+        self,
+        a: str,
+        b: str,
+        profile: Optional[ScoringProfile] = None,
     ) -> float:
-        key = (a, b)
-        cached = memo.get(key)
-        if cached is None:
-            cached = self.sigma.similarity(a, b)
-            memo[key] = cached
-            self.profile.similarity_calls += 1
-        return cached
+        """``sigma(a, b)`` through the persistent bounded cache.
+
+        ``profile`` receives the call/miss accounting; it defaults to
+        the engine's own profile.  Parallel shard workers pass their
+        private per-shard profile instead, keeping accumulation
+        race-free.
+        """
+        return self.similarity_cache.similarity(
+            a, b, profile if profile is not None else self.profile
+        )
 
     # ------------------------------------------------------------------
     # Column mapping (Section 5.1)
@@ -197,7 +258,7 @@ class TableSearchEngine:
         self,
         query_tuple: Tuple[str, ...],
         table: Table,
-        memo: Optional[Dict[Tuple[str, str], float]] = None,
+        profile: Optional[ScoringProfile] = None,
     ) -> List[int]:
         """Return ``tau``: per query entity, the assigned column (-1 = none).
 
@@ -205,13 +266,11 @@ class TableSearchEngine:
         sigma(e_i, cell entity)`` is maximized by the Hungarian method
         under the one-entity-per-column constraint.
         """
-        if memo is None:
-            memo = {}
         counts = self._column_entity_counts(table)
         scores = [
             [
                 sum(
-                    count * self._memo_similarity(memo, query_entity, uri)
+                    count * self.similarity(query_entity, uri, profile)
                     for uri, count in counter.items()
                 )
                 for counter in counts
@@ -228,19 +287,24 @@ class TableSearchEngine:
         self,
         query: Query,
         table: Table,
-        memo: Optional[Dict[Tuple[str, str], float]] = None,
+        profile: Optional[ScoringProfile] = None,
     ) -> TableScore:
-        """Compute SemRel(Q, T) with full per-tuple breakdown."""
+        """Compute SemRel(Q, T) with full per-tuple breakdown.
+
+        ``profile`` collects the timing/similarity accounting and
+        defaults to the engine's own; the parallel engine passes one
+        private profile per shard and merges them afterwards.
+        """
+        if profile is None:
+            profile = self.profile
         start = time.perf_counter()
-        if memo is None:
-            memo = {}
         grid = self._entity_grid(table)
         tuple_scores: List[float] = []
         any_signal = False
         for query_tuple in query:
             map_start = time.perf_counter()
-            assignment = self.column_mapping(query_tuple, table, memo)
-            self.profile.mapping_seconds += time.perf_counter() - map_start
+            assignment = self.column_mapping(query_tuple, table, profile)
+            profile.mapping_seconds += time.perf_counter() - map_start
             row_scores: List[List[float]] = []
             for row in grid:
                 entity_scores: List[float] = []
@@ -251,7 +315,7 @@ class TableSearchEngine:
                         entity_scores.append(0.0)
                     else:
                         entity_scores.append(
-                            self._memo_similarity(memo, query_entity, target)
+                            self.similarity(query_entity, target, profile)
                         )
                 row_scores.append(entity_scores)
             if self.tuple_semantics is TupleSemantics.PER_ROW:
@@ -281,8 +345,8 @@ class TableSearchEngine:
         relevant = any_signal or not self.drop_irrelevant
         if not relevant:
             score = 0.0
-        self.profile.total_seconds += time.perf_counter() - start
-        self.profile.tables_scored += 1
+        profile.total_seconds += time.perf_counter() - start
+        profile.tables_scored += 1
         return TableScore(table.table_id, score, tuple_scores, relevant)
 
     def search(
@@ -292,6 +356,9 @@ class TableSearchEngine:
         candidates: Optional[Iterable[str]] = None,
     ) -> ResultSet:
         """Rank (a subset of) the lake by SemRel against ``query``.
+
+        Similarities evaluated here stay in the persistent cache, so
+        follow-up queries over the same corpus skip the dominant cost.
 
         Parameters
         ----------
@@ -304,7 +371,6 @@ class TableSearchEngine:
             Optional iterable of table ids to restrict scoring to — this
             is how the LSH prefilter plugs in.
         """
-        memo: Dict[Tuple[str, str], float] = {}
         if candidates is None:
             tables: Iterable[Table] = self.lake
         else:
@@ -320,7 +386,7 @@ class TableSearchEngine:
                 table.table_id
             ):
                 continue
-            result = self.score_table(query, table, memo)
+            result = self.score_table(query, table)
             if result.relevant and result.score > 0.0:
                 scored.append(ScoredTable(result.score, result.table_id))
         results = ResultSet(scored)
@@ -334,12 +400,13 @@ class TableSearchEngine:
         k: Optional[int] = None,
         candidates: Optional[Dict[str, Iterable[str]]] = None,
     ) -> Dict[str, ResultSet]:
-        """Run a batch of queries sharing one similarity memo.
+        """Run a batch of queries over the shared similarity cache.
 
         Queries over the same corpus repeat most pairwise similarity
-        evaluations; sharing the memo across the batch amortizes them
-        (the experiment-harness access pattern).  Results are identical
-        to per-query :meth:`search` calls.
+        evaluations; the engine's persistent cache amortizes them both
+        within this batch and across separate calls (the
+        experiment-harness access pattern).  Results are identical to
+        per-query :meth:`search` calls.
 
         Parameters
         ----------
@@ -351,31 +418,10 @@ class TableSearchEngine:
             Optional per-query candidate restriction keyed like
             ``queries`` (missing keys search the whole lake).
         """
-        shared_memo: Dict[Tuple[str, str], float] = {}
         results: Dict[str, ResultSet] = {}
         for query_id, query in queries.items():
             restriction = (
                 candidates.get(query_id) if candidates is not None else None
             )
-            if restriction is None:
-                tables: Iterable[Table] = self.lake
-            else:
-                tables = (
-                    self.lake.get(tid)
-                    for tid in dict.fromkeys(restriction)
-                    if tid in self.lake
-                )
-            scored: List[ScoredTable] = []
-            for table in tables:
-                if self.drop_irrelevant and not (
-                    self.mapping.entities_in_table(table.table_id)
-                ):
-                    continue
-                outcome = self.score_table(query, table, shared_memo)
-                if outcome.relevant and outcome.score > 0.0:
-                    scored.append(
-                        ScoredTable(outcome.score, outcome.table_id)
-                    )
-            ranked = ResultSet(scored)
-            results[query_id] = ranked.top(k) if k is not None else ranked
+            results[query_id] = self.search(query, k=k, candidates=restriction)
         return results

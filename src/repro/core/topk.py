@@ -14,7 +14,9 @@ optimization on top of the exact engine:
 
 The result is *identical* to the brute-force ranking (property-tested),
 only cheaper: hopeless tables never pay the Hungarian mapping or the
-row scan.
+row scan.  All similarity evaluations go through the engine's
+persistent :class:`~repro.core.cache.SimilarityCache`, so bound
+computation shares work with past and future searches.
 """
 
 from __future__ import annotations
@@ -33,7 +35,7 @@ def table_score_upper_bound(
     engine: TableSearchEngine,
     query: Query,
     table: Table,
-    memo: Dict[Tuple[str, str], float],
+    memo: Optional[Dict[Tuple[str, str], float]] = None,
 ) -> float:
     """A sound, cheap upper bound on ``SemRel(query, table)``.
 
@@ -43,7 +45,11 @@ def table_score_upper_bound(
     only raises the bound.  The bound needs one similarity evaluation
     per (query entity, distinct table entity) pair — no Hungarian
     solve, no row scan.
+
+    ``memo`` is deprecated and ignored: similarities are served by the
+    engine's persistent cache, which outlives any per-call dict.
     """
+    del memo  # kept for backward signature compatibility only
     table_entities = engine.mapping.entities_in_table(table.table_id)
     if not table_entities:
         return 0.0
@@ -57,9 +63,7 @@ def table_score_upper_bound(
             if best is None:
                 best = 0.0
                 for target in entity_list:
-                    similarity = engine._memo_similarity(
-                        memo, query_entity, target
-                    )
+                    similarity = engine.similarity(query_entity, target)
                     if similarity > best:
                         best = similarity
                         if best >= 1.0:
@@ -101,7 +105,6 @@ def topk_search(
     """
     if k < 1:
         return ResultSet([])
-    memo: Dict[Tuple[str, str], float] = {}
     if candidates is None:
         tables: List[Table] = list(engine.lake)
     else:
@@ -117,7 +120,7 @@ def topk_search(
             table.table_id
         ):
             continue
-        bound = table_score_upper_bound(engine, query, table, memo)
+        bound = table_score_upper_bound(engine, query, table)
         if bound > 0.0:
             bounded.append((bound, table.table_id, table))
     # Phase 2: exact scoring in descending bound order with cut-off.
@@ -130,7 +133,7 @@ def topk_search(
         # tie-break, so it gets scored.
         if len(heap) == k and bound < heap[0][0]:
             break  # nothing below can displace the current top-k
-        outcome = engine.score_table(query, table, memo)
+        outcome = engine.score_table(query, table)
         if not outcome.relevant or outcome.score <= 0.0:
             continue
         results.append(ScoredTable(outcome.score, outcome.table_id))

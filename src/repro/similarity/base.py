@@ -36,6 +36,19 @@ class EntitySimilarity(ABC):
         """Short identifier used in benchmark reports."""
         return type(self).__name__
 
+    @property
+    def is_symmetric(self) -> bool:
+        """Whether ``sigma(a, b) == sigma(b, a)`` for all pairs.
+
+        Symmetric similarities let the engine's
+        :class:`~repro.core.cache.SimilarityCache` canonicalize the
+        memo key to the unordered pair, halving the evaluations.  The
+        base class conservatively answers ``False``; every built-in
+        similarity overrides it, and custom subclasses should too when
+        the property holds.
+        """
+        return False
+
 
 class ExactMatchSimilarity(EntitySimilarity):
     """Degenerate similarity: 1 on identity, 0 otherwise.
@@ -50,6 +63,10 @@ class ExactMatchSimilarity(EntitySimilarity):
     @property
     def name(self) -> str:
         return "exact"
+
+    @property
+    def is_symmetric(self) -> bool:
+        return True
 
 
 class WeightedCombination(EntitySimilarity):
@@ -82,3 +99,8 @@ class WeightedCombination(EntitySimilarity):
     def name(self) -> str:
         inner = "+".join(part.name for part in self.parts)
         return f"combo({inner})"
+
+    @property
+    def is_symmetric(self) -> bool:
+        """Symmetric exactly when every combined part is."""
+        return all(part.is_symmetric for part in self.parts)

@@ -31,3 +31,7 @@ class EmbeddingCosineSimilarity(EntitySimilarity):
     @property
     def name(self) -> str:
         return "embeddings"
+
+    @property
+    def is_symmetric(self) -> bool:
+        return True

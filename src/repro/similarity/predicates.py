@@ -74,3 +74,7 @@ class PredicateJaccardSimilarity(EntitySimilarity):
     @property
     def name(self) -> str:
         return "predicates"
+
+    @property
+    def is_symmetric(self) -> bool:
+        return True

@@ -75,6 +75,10 @@ class TypeJaccardSimilarity(EntitySimilarity):
     def name(self) -> str:
         return "types"
 
+    @property
+    def is_symmetric(self) -> bool:
+        return True
+
 
 class DepthWeightedTypeSimilarity(EntitySimilarity):
     """Weighted Jaccard over type sets, specific types weighing more.
@@ -123,6 +127,10 @@ class DepthWeightedTypeSimilarity(EntitySimilarity):
     def name(self) -> str:
         return "types-depth"
 
+    @property
+    def is_symmetric(self) -> bool:
+        return True
+
 
 class MappingTypeSimilarity(EntitySimilarity):
     """Adjusted Jaccard backed by an explicit ``uri -> types`` mapping.
@@ -134,6 +142,10 @@ class MappingTypeSimilarity(EntitySimilarity):
     def __init__(self, types: Mapping[str, FrozenSet[str]], cap: float = DEFAULT_CAP):
         self._types = {uri: frozenset(t) for uri, t in types.items()}
         self.cap = cap
+
+    @property
+    def is_symmetric(self) -> bool:
+        return True
 
     def similarity(self, a: str, b: str) -> float:
         if a == b:

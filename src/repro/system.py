@@ -11,6 +11,8 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.core.aggregation import QueryAggregation, RowAggregation
+from repro.core.cache import DEFAULT_SIMILARITY_CACHE_SIZE, CacheStats
+from repro.core.parallel import ParallelSearchEngine
 from repro.core.query import Query
 from repro.core.result import ResultSet
 from repro.core.search import TableSearchEngine
@@ -46,6 +48,15 @@ class Thetis:
     embeddings:
         Optional pre-trained entity embeddings; required for the
         ``"embeddings"`` method (train with :meth:`train_embeddings`).
+    workers:
+        When > 1, :meth:`search` shards candidate tables across this
+        many workers (see :class:`~repro.core.parallel.ParallelSearchEngine`);
+        rankings are identical to the sequential engine.
+    search_backend:
+        Worker-pool backend, ``"thread"`` (default) or ``"process"``.
+    cache_size:
+        Entry bound of each engine's persistent pairwise-similarity
+        cache.
 
     Example
     -------
@@ -61,6 +72,9 @@ class Thetis:
         embeddings: Optional[EmbeddingStore] = None,
         row_aggregation: RowAggregation = RowAggregation.MAX,
         query_aggregation: QueryAggregation = QueryAggregation.MEAN,
+        workers: int = 1,
+        search_backend: str = "thread",
+        cache_size: int = DEFAULT_SIMILARITY_CACHE_SIZE,
     ):
         self.lake = lake
         self.graph = graph
@@ -68,8 +82,12 @@ class Thetis:
         self.embeddings = embeddings
         self.row_aggregation = row_aggregation
         self.query_aggregation = query_aggregation
+        self.workers = workers
+        self.search_backend = search_backend
+        self.cache_size = cache_size
         self.informativeness = Informativeness.from_mapping(mapping, len(lake))
         self._engines: Dict[str, TableSearchEngine] = {}
+        self._parallel: Dict[str, ParallelSearchEngine] = {}
         self._prefilters: Dict[Tuple[str, LSHConfig, bool], TablePrefilter] = {}
 
     # ------------------------------------------------------------------
@@ -82,6 +100,9 @@ class Thetis:
         config = RDF2VecConfig(**overrides)
         self.embeddings = RDF2VecTrainer(self.graph, config).train()
         self._engines.pop("embeddings", None)
+        parallel = self._parallel.pop("embeddings", None)
+        if parallel is not None:
+            parallel.close()
         return self.embeddings
 
     # ------------------------------------------------------------------
@@ -110,9 +131,47 @@ class Thetis:
             informativeness=self.informativeness,
             row_aggregation=self.row_aggregation,
             query_aggregation=self.query_aggregation,
+            cache_size=self.cache_size,
         )
         self._engines[method] = engine
         return engine
+
+    def parallel_engine(self, method: str = "types") -> ParallelSearchEngine:
+        """Return (and cache) the sharded parallel engine for ``method``.
+
+        Wraps :meth:`engine`'s exact engine with the configured
+        ``workers`` / ``search_backend``; rankings are identical.
+        """
+        parallel = self._parallel.get(method)
+        if parallel is None:
+            parallel = ParallelSearchEngine(
+                self.engine(method),
+                workers=max(1, self.workers),
+                backend=self.search_backend,
+            )
+            self._parallel[method] = parallel
+        return parallel
+
+    def cache_stats(self, method: str = "types") -> Dict[str, CacheStats]:
+        """Cache statistics of the engine serving ``method``."""
+        return self.engine(method).cache_stats()
+
+    def close(self) -> None:
+        """Release every worker pool (idempotent; engines stay usable).
+
+        Call when done searching — a lingering process pool otherwise
+        trips ``concurrent.futures``' atexit hook at interpreter
+        shutdown, after the pool's pipes are already closed.
+        """
+        for parallel in self._parallel.values():
+            parallel.close()
+        self._parallel.clear()
+
+    def __enter__(self) -> "Thetis":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def prefilter(
         self,
@@ -175,6 +234,8 @@ class Thetis:
             created = len(self.mapping) - before
         for engine in self._engines.values():
             engine.invalidate_table(table.table_id)
+        for parallel in self._parallel.values():
+            parallel.reset_workers()
         for prefilter in self._prefilters.values():
             prefilter.add_table(table.table_id)
         self._refresh_informativeness()
@@ -186,6 +247,8 @@ class Thetis:
         self.mapping.unlink_table(table_id)
         for engine in self._engines.values():
             engine.invalidate_table(table_id)
+        for parallel in self._parallel.values():
+            parallel.reset_workers()
         for prefilter in self._prefilters.values():
             prefilter.remove_table(table_id)
         self._refresh_informativeness()
@@ -211,14 +274,19 @@ class Thetis:
 
         With ``use_lsh`` the LSEI prefilter reduces the search space
         before exact scoring (Section 6); quality is preserved while
-        runtime drops with the search-space reduction.
+        runtime drops with the search-space reduction.  With
+        ``workers > 1`` (constructor) the exact scoring is sharded
+        across the worker pool — the ranking is identical either way.
         """
-        engine = self.engine(method)
         candidates = None
         if use_lsh:
             prefilter = self.prefilter(method, lsh_config)
             candidates = prefilter.candidate_tables(query, votes=votes)
-        return engine.search(query, k=k, candidates=candidates)
+        if self.workers > 1:
+            return self.parallel_engine(method).search(
+                query, k=k, candidates=candidates
+            )
+        return self.engine(method).search(query, k=k, candidates=candidates)
 
     def search_topk(self, query: Query, k: int = 10,
                     method: str = "types") -> ResultSet:
