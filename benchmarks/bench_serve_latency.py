@@ -1,0 +1,138 @@
+"""Serving-layer latency/throughput benchmark.
+
+Boots a real :class:`~repro.serve.server.ServerThread` over the
+WT2015-profile corpus and drives it with the closed-loop load
+generator, reporting end-to-end throughput and p50/p95/p99 latency
+through the full path (HTTP parse -> admission -> micro-batch ->
+engine -> JSON response).  An open-loop run at a modest arrival rate
+is included because it is the model that exposes queueing delay.
+
+Before measuring, the bench asserts the serving invariant: a response
+from ``POST /search`` is bit-identical to a direct ``Thetis.search``
+over the same corpus.
+
+The report is written to ``BENCH_serve.json`` in the working
+directory (scripts/ci.sh runs this with ``--quick``).
+"""
+
+import http.client
+import json
+
+from benchmarks.conftest import print_header
+from repro import Thetis
+from repro.serve import LoadGenerator, ServeConfig, ServerThread
+
+#: Closed-loop request volume (full / --quick).
+TOTAL_REQUESTS = 400
+QUICK_TOTAL_REQUESTS = 80
+CONCURRENCY = 8
+
+#: Open-loop arrival schedule (full / --quick).
+OPEN_RATE = 40.0
+OPEN_DURATION = 4.0
+QUICK_OPEN_DURATION = 1.0
+
+REPORT_PATH = "BENCH_serve.json"
+
+
+def _query_payloads(bench, k=10):
+    """Rotating /search payloads: all 1-tuple and 5-tuple queries."""
+    payloads = []
+    for queries in (bench.queries.one_tuple, bench.queries.five_tuple):
+        for query in queries.values():
+            payloads.append({
+                "tuples": [list(t) for t in query.tuples],
+                "k": k,
+            })
+    return payloads
+
+
+def _assert_parity(port, reference, payloads):
+    """POST /search must match direct Thetis.search bit-for-bit."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        for payload in payloads[:4]:
+            connection.request(
+                "POST", "/search",
+                body=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 200, body
+            from repro.core.query import Query
+            query = Query(tuple(tuple(t) for t in payload["tuples"]))
+            direct = reference.search(query, k=payload["k"])
+            served = [(r["table_id"], r["score"]) for r in body["results"]]
+            expected = [(s.table_id, s.score) for s in direct]
+            assert served == expected, (
+                f"served ranking diverged from direct search: "
+                f"{served[:3]} vs {expected[:3]}"
+            )
+    finally:
+        connection.close()
+
+
+def test_serve_latency(wt_bench, benchmark, request):
+    quick = request.config.getoption("--quick")
+    total = QUICK_TOTAL_REQUESTS if quick else TOTAL_REQUESTS
+    open_duration = QUICK_OPEN_DURATION if quick else OPEN_DURATION
+
+    reference = Thetis(wt_bench.lake, wt_bench.graph, wt_bench.mapping)
+    lake, mapping = reference.snapshot_inputs()
+    served = Thetis(lake, wt_bench.graph, mapping)
+    payloads = _query_payloads(wt_bench)
+
+    handle = ServerThread(
+        served,
+        ServeConfig(port=0, max_batch_size=8, flush_interval=0.002),
+    )
+    handle.start().wait_ready(timeout=300)
+    try:
+        _assert_parity(handle.port, reference, payloads)
+        generator = LoadGenerator("127.0.0.1", handle.port, payloads,
+                                  timeout=120)
+
+        def run():
+            closed = generator.run_closed(
+                concurrency=CONCURRENCY, total_requests=total
+            )
+            open_loop = generator.run_open(
+                rate=OPEN_RATE, duration=open_duration
+            )
+            return closed, open_loop
+
+        closed, open_loop = benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        handle.stop(timeout=120)
+
+    print_header(
+        f"Serving latency (closed loop, {CONCURRENCY} workers, "
+        f"{total} requests)"
+    )
+    print(closed.format_report())
+    print_header(f"Serving latency (open loop, {OPEN_RATE:.0f} req/s)")
+    print(open_loop.format_report())
+
+    report = {
+        "corpus_tables": len(wt_bench.lake),
+        "concurrency": CONCURRENCY,
+        "closed": closed.to_json(),
+        "open": open_loop.to_json(),
+    }
+    with open(REPORT_PATH, "w", encoding="utf-8") as out:
+        json.dump(report, out, indent=2)
+    print(f"  report -> {REPORT_PATH}")
+
+    # The serving path must complete the whole closed-loop run without
+    # shedding load (the queue bound is far above CONCURRENCY).
+    assert closed.sent == total
+    assert closed.ok == total, (
+        f"closed loop lost requests: {closed.to_json()}"
+    )
+    assert closed.throughput > 0
+    assert closed.percentile_ms(0.50) <= closed.percentile_ms(0.95) \
+        <= closed.percentile_ms(0.99)
+    # Open loop may legitimately shed (503) under queueing, but the
+    # server must keep answering.
+    assert open_loop.ok > 0

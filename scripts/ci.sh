@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 tests plus a quick perf smoke of the parallel/cache
-# layer, so regressions in the scoring substrate surface without
-# running the full benchmark harness.
+# CI gate: tier-1 tests plus quick perf smokes of the parallel/cache
+# layer and the online serving layer, so regressions in the scoring
+# substrate or the query service surface without running the full
+# benchmark harness.
 #
 # Usage: scripts/ci.sh [workers]   (default: 2)
 
@@ -19,6 +20,17 @@ echo "== perf smoke: parallel sharding + persistent cache (workers=$WORKERS) =="
 python -m pytest -x -q -s \
     "benchmarks/bench_table3_runtime.py::test_table3_parallel_cache_speedup" \
     --quick --workers "$WORKERS" \
+    --benchmark-disable
+
+echo
+echo "== serve smoke: HTTP service end-to-end on an ephemeral port =="
+python scripts/serve_smoke.py
+
+echo
+echo "== serve perf smoke: throughput + latency percentiles =="
+python -m pytest -x -q -s \
+    "benchmarks/bench_serve_latency.py" \
+    --quick \
     --benchmark-disable
 
 echo

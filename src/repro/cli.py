@@ -6,7 +6,8 @@ Four subcommands cover the end-to-end workflow on files:
   + queries) and write it to a directory;
 * ``link``     — entity-link a data lake against a knowledge graph;
 * ``stats``    — print Table-2 style corpus statistics;
-* ``search``   — run semantic table search for an entity-tuple query.
+* ``search``   — run semantic table search for an entity-tuple query;
+* ``serve``    — run the online HTTP/JSON query service.
 
 Example session::
 
@@ -184,6 +185,59 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import ServeConfig, ThetisServer
+
+    graph = load_graph(args.graph)
+    lake = load_lake(args.lake)
+    mapping = load_mapping(args.mapping)
+    thetis = Thetis(
+        lake, graph, mapping,
+        workers=args.workers,
+        search_backend=args.backend,
+        cache_size=args.cache_size,
+    )
+    if args.method == "embeddings":
+        thetis.train_embeddings(dimensions=args.dimensions, seed=args.seed)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        default_method=args.method,
+        max_batch_size=args.max_batch,
+        flush_interval=args.flush_interval,
+        max_queue_depth=args.queue_depth,
+        request_timeout=args.timeout,
+        batch_workers=args.batch_workers,
+        warm_on_start=not args.no_warm,
+    )
+
+    async def run() -> None:
+        server = ThetisServer(thetis, config)
+        await server.start()
+        print(f"serving {len(lake)} tables on "
+              f"http://{config.host}:{server.port} "
+              f"(method={args.method}, batch<= {config.max_batch_size}, "
+              f"queue<= {config.max_queue_depth})")
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover (non-POSIX)
+                pass
+        try:
+            await stop.wait()
+        finally:
+            print("draining and shutting down ...", file=sys.stderr)
+            await server.shutdown()
+
+    asyncio.run(run())
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.baselines import BM25TableSearch, text_query_from_labels
     from repro.benchgen.io import load_queries
@@ -330,6 +384,40 @@ def build_parser() -> argparse.ArgumentParser:
                        default=DEFAULT_SIMILARITY_CACHE_SIZE,
                        help="similarity-cache entry bound")
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="run the online HTTP/JSON query service"
+    )
+    serve.add_argument("--graph", required=True)
+    serve.add_argument("--lake", required=True)
+    serve.add_argument("--mapping", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="0 picks an ephemeral port")
+    serve.add_argument("--method", choices=["types", "embeddings"],
+                       default="types")
+    serve.add_argument("--dimensions", type=int, default=32,
+                       help="embedding width when --method embeddings")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="shard exact scoring across N workers")
+    serve.add_argument("--backend", choices=["thread", "process"],
+                       default="thread")
+    serve.add_argument("--cache-size", type=int,
+                       default=DEFAULT_SIMILARITY_CACHE_SIZE)
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="queries coalesced per engine pass")
+    serve.add_argument("--flush-interval", type=float, default=0.002,
+                       help="micro-batch coalescing window (seconds)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="admission bound; 503 beyond it")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="per-request deadline (seconds; 504 past it)")
+    serve.add_argument("--batch-workers", type=int, default=1,
+                       help="threads executing query batches")
+    serve.add_argument("--no-warm", action="store_true",
+                       help="skip index warm-up (readyz flips immediately)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=_cmd_serve)
 
     search = sub.add_parser("search", help="semantic table search")
     search.add_argument("--graph", required=True)

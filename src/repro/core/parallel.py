@@ -35,6 +35,7 @@ import math
 import os
 import pickle
 import sys
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -62,6 +63,31 @@ THREAD_SWITCH_INTERVAL = 0.05
 
 # Engine copy held by each process-pool worker (set by the initializer).
 _WORKER_ENGINE: Optional[TableSearchEngine] = None
+
+# The switch interval is process-global state; concurrent searches from
+# multiple caller threads (the serving layer) must not trample each
+# other's save/restore.  A depth counter widens it on the first entry
+# and restores the original value only when the last search leaves.
+_SWITCH_LOCK = threading.Lock()
+_SWITCH_DEPTH = 0
+_SWITCH_SAVED = 0.0
+
+
+def _widen_switch_interval() -> None:
+    global _SWITCH_DEPTH, _SWITCH_SAVED
+    with _SWITCH_LOCK:
+        if _SWITCH_DEPTH == 0:
+            _SWITCH_SAVED = sys.getswitchinterval()
+            sys.setswitchinterval(THREAD_SWITCH_INTERVAL)
+        _SWITCH_DEPTH += 1
+
+
+def _restore_switch_interval() -> None:
+    global _SWITCH_DEPTH
+    with _SWITCH_LOCK:
+        _SWITCH_DEPTH -= 1
+        if _SWITCH_DEPTH == 0:
+            sys.setswitchinterval(_SWITCH_SAVED)
 
 
 def _init_process_worker(engine_pickle: bytes) -> None:
@@ -138,6 +164,10 @@ class ParallelSearchEngine:
         self.backend = backend
         self.chunk_size = chunk_size
         self._pool: Optional[Executor] = None
+        # Guards pool creation/teardown and the profile merge, so that
+        # concurrent searches from multiple caller threads neither leak
+        # a raced pool nor corrupt the shared profile accumulation.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     @property
@@ -153,19 +183,20 @@ class ParallelSearchEngine:
     # Pool lifecycle
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> Executor:
-        if self._pool is None:
-            if self.backend == "thread":
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.workers,
-                    thread_name_prefix="thetis-search",
-                )
-            else:
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    initializer=_init_process_worker,
-                    initargs=(pickle.dumps(self.engine),),
-                )
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                if self.backend == "thread":
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix="thetis-search",
+                    )
+                else:
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        initializer=_init_process_worker,
+                        initargs=(pickle.dumps(self.engine),),
+                    )
+            return self._pool
 
     def reset_workers(self) -> None:
         """Tear down the pool; the next search builds a fresh one.
@@ -173,9 +204,10 @@ class ParallelSearchEngine:
         Required after lake/mapping mutations on the process backend,
         whose workers hold an engine snapshot from pool start-up.
         """
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def close(self) -> None:
         """Release the worker pool (idempotent)."""
@@ -232,8 +264,7 @@ class ParallelSearchEngine:
             outcomes = [_score_shard(self.engine, query, ids)] if ids else []
         elif self.backend == "thread":
             pool = self._ensure_pool()
-            previous_interval = sys.getswitchinterval()
-            sys.setswitchinterval(THREAD_SWITCH_INTERVAL)
+            _widen_switch_interval()
             try:
                 futures = [
                     pool.submit(_score_shard, self.engine, query, shard)
@@ -241,7 +272,7 @@ class ParallelSearchEngine:
                 ]
                 outcomes = [future.result() for future in futures]
             finally:
-                sys.setswitchinterval(previous_interval)
+                _restore_switch_interval()
         else:
             pool = self._ensure_pool()
             futures = [
@@ -249,10 +280,11 @@ class ParallelSearchEngine:
                 for shard in shards
             ]
             outcomes = [future.result() for future in futures]
-        for shard_scored, shard_profile in outcomes:
-            for score, table_id in shard_scored:
-                scored.append(ScoredTable(score, table_id))
-            self.engine.profile.merge(shard_profile)
+        with self._lock:
+            for shard_scored, shard_profile in outcomes:
+                for score, table_id in shard_scored:
+                    scored.append(ScoredTable(score, table_id))
+                self.engine.profile.merge(shard_profile)
         results = ResultSet(scored)
         if k is not None:
             results = results.top(k)

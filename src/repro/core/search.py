@@ -147,6 +147,21 @@ class TableSearchEngine:
     view_cache_size:
         Entry bound of the per-table view caches (entity grids and
         column counters); each cache holds at most this many tables.
+
+    Notes
+    -----
+    *Thread safety.*  :meth:`search`, :meth:`search_many`,
+    :meth:`score_table`, and :meth:`warm` are safe for concurrent
+    reader threads over an unchanging lake/mapping: every shared cache
+    (similarity, grids, column counters) is internally synchronized and
+    scoring itself is pure.  The shared :attr:`profile` is the one
+    exception — its counters are accumulated without a lock, so under
+    concurrent readers they are best-effort (they may undercount, never
+    corrupt).  Callers that need exact accounting pass a private
+    :class:`ScoringProfile` per thread and merge, as the parallel
+    engine does.  Mutations (``invalidate_table`` and friends) require
+    external coordination — the serving layer swaps whole engine
+    snapshots instead of mutating a live one.
     """
 
     def __init__(
@@ -204,6 +219,24 @@ class TableSearchEngine:
                         counter[uri] = counter.get(uri, 0) + 1
             self._column_counts.put(table.table_id, counts)
         return counts
+
+    def warm(self, table_ids: Optional[Iterable[str]] = None) -> int:
+        """Materialize the per-table views ahead of the first query.
+
+        Builds the entity grid and column counters for every table (or
+        the given subset), so a serving layer can finish its warm-up —
+        and flip ``/readyz`` — before the first client query pays the
+        view-construction cost.  Returns the number of tables warmed.
+        """
+        warmed = 0
+        ids = self.lake.table_ids() if table_ids is None else table_ids
+        for table_id in ids:
+            table = self.lake.find(table_id)
+            if table is None:
+                continue
+            self._column_entity_counts(table)  # builds the grid too
+            warmed += 1
+        return warmed
 
     def invalidate_cache(self, include_similarities: bool = False) -> None:
         """Drop cached table views (call after mutating lake or mapping).

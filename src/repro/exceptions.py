@@ -65,6 +65,53 @@ class SearchError(ReproError):
     """Raised for invalid search queries or engine configuration."""
 
 
+class ThetisClosedError(ReproError):
+    """Raised when a closed :class:`~repro.system.Thetis` is used.
+
+    ``Thetis.close()`` releases the worker pools for good; a serving
+    layer that keeps references to retired engine snapshots must get a
+    clear error — not a crash on a dead pool — if a stray call slips
+    through after the swap.
+    """
+
+    def __init__(self, operation: str = "operation"):
+        super().__init__(
+            f"Thetis instance is closed; {operation} is no longer available"
+        )
+        self.operation = operation
+
+
+class ServeError(ReproError):
+    """Base class for errors raised by the online serving layer."""
+
+
+class ProtocolError(ServeError):
+    """Raised for malformed serving requests (HTTP 400)."""
+
+
+class ServerOverloadedError(ServeError):
+    """Raised when the admission queue is full (HTTP 503).
+
+    The server fast-fails instead of queueing unboundedly, so clients
+    can back off while in-flight queries still complete.
+    """
+
+    def __init__(self, depth: int, limit: int):
+        super().__init__(
+            f"server overloaded: queue depth {depth} at limit {limit}"
+        )
+        self.depth = depth
+        self.limit = limit
+
+
+class RequestTimeoutError(ServeError):
+    """Raised when a request exceeds its per-request deadline (HTTP 504)."""
+
+    def __init__(self, timeout: float):
+        super().__init__(f"request timed out after {timeout:.3f}s")
+        self.timeout = timeout
+
+
 class EmptyQueryError(SearchError):
     """Raised when a query contains no usable entity tuples."""
 

@@ -1,0 +1,52 @@
+"""Online serving layer: an asyncio HTTP/JSON query service.
+
+Turns a warm :class:`~repro.system.Thetis` into a standing network
+service (stdlib-only — no framework dependencies):
+
+* :class:`~repro.serve.server.ThetisServer` — the asyncio HTTP server
+  (``/search``, ``/topk``, ``/explain``, ``/tables``, ``/healthz``,
+  ``/readyz``, ``/metrics``);
+* :class:`~repro.serve.batching.MicroBatcher` — coalesces concurrent
+  queries into ``search_many`` passes with bounded admission (503) and
+  per-request deadlines (504);
+* :class:`~repro.serve.snapshot.SnapshotManager` — versioned engine
+  snapshots with copy-and-swap lake updates; in-flight queries finish
+  on the generation they started with;
+* :class:`~repro.serve.metrics.ServerMetrics` — counters, latency
+  histograms, queue depth, cache hit rates for ``/metrics``;
+* :class:`~repro.serve.loadgen.LoadGenerator` — closed-/open-loop load
+  generation reporting throughput and p50/p95/p99 latency.
+
+See ``docs/serving.md`` for the wire format and tuning guide.
+"""
+
+from repro.serve.batching import MicroBatcher
+from repro.serve.loadgen import LoadGenerator, LoadReport
+from repro.serve.metrics import LatencyHistogram, ServerMetrics
+from repro.serve.protocol import (
+    ExplainRequest,
+    SearchRequest,
+    TableUpsertRequest,
+    error_to_json,
+    result_to_json,
+)
+from repro.serve.server import ServeConfig, ServerThread, ThetisServer
+from repro.serve.snapshot import EngineSnapshot, SnapshotManager
+
+__all__ = [
+    "ThetisServer",
+    "ServerThread",
+    "ServeConfig",
+    "MicroBatcher",
+    "SnapshotManager",
+    "EngineSnapshot",
+    "ServerMetrics",
+    "LatencyHistogram",
+    "SearchRequest",
+    "ExplainRequest",
+    "TableUpsertRequest",
+    "result_to_json",
+    "error_to_json",
+    "LoadGenerator",
+    "LoadReport",
+]

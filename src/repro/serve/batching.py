@@ -1,0 +1,266 @@
+"""Micro-batching queue with admission control and per-request timeouts.
+
+Concurrent clients each submit one query; the batcher coalesces
+whatever is waiting (up to ``max_batch_size``, waiting at most
+``flush_interval`` for stragglers) and hands the batch to a runner that
+executes it against the warm engine in a worker thread.  Batching keeps
+the engine's similarity cache hot across neighbouring requests and
+bounds context-switching under load, while the coalescing window is
+short enough that a lone request barely notices it.
+
+Backpressure is explicit and fast: the admission queue is bounded, and
+a submit against a full queue raises
+:class:`~repro.exceptions.ServerOverloadedError` immediately (the
+server turns that into a 503) instead of queueing unboundedly.  Each
+accepted request carries a deadline; expiry raises
+:class:`~repro.exceptions.RequestTimeoutError` (a 504) and the batcher
+discards the request's result when it eventually materializes, so one
+slow query cannot wedge its neighbours' connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, List, Optional, Sequence
+
+from repro.exceptions import RequestTimeoutError, ServeError, \
+    ServerOverloadedError
+
+#: Defaults tuned for an interactive service: a small coalescing window
+#: (2 ms) keeps single-client latency flat while a burst of concurrent
+#: clients still folds into few engine passes.
+DEFAULT_MAX_BATCH_SIZE = 8
+DEFAULT_FLUSH_INTERVAL = 0.002
+DEFAULT_MAX_QUEUE_DEPTH = 64
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+#: Sentinel that asks the worker loop to finish draining and exit.
+_SHUTDOWN = object()
+
+
+class _Pending:
+    """One enqueued request with its completion future."""
+
+    __slots__ = ("item", "future")
+
+    def __init__(self, item: Any, future: "asyncio.Future[Any]"):
+        self.item = item
+        self.future = future
+
+    def resolve(self, outcome: Any) -> None:
+        """Deliver ``outcome`` unless the waiter already gave up."""
+        if self.future.done():
+            return  # timed out or cancelled; drop the late result
+        if isinstance(outcome, BaseException):
+            self.future.set_exception(outcome)
+        else:
+            self.future.set_result(outcome)
+
+
+BatchRunner = Callable[[Sequence[Any]], Awaitable[List[Any]]]
+
+
+class MicroBatcher:
+    """Coalesce concurrent submissions into batched runner calls.
+
+    Parameters
+    ----------
+    runner:
+        ``async`` callable receiving the list of batched items and
+        returning one outcome per item, aligned by position.  An
+        outcome may be an exception instance, which is raised to that
+        item's submitter only.  (The server's runner dispatches the
+        batch to a thread-pool executor so the event loop stays free.)
+    max_batch_size:
+        Hard cap on items per runner call.
+    flush_interval:
+        Seconds the batcher waits for more items after the first one.
+    max_queue_depth:
+        Admission bound; submissions beyond it fast-fail with
+        :class:`ServerOverloadedError`.
+    request_timeout:
+        Default per-request deadline in seconds (overridable per
+        submission).
+    """
+
+    def __init__(
+        self,
+        runner: BatchRunner,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        flush_interval: float = DEFAULT_FLUSH_INTERVAL,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if flush_interval < 0:
+            raise ValueError("flush_interval must be >= 0")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.runner = runner
+        self.max_batch_size = max_batch_size
+        self.flush_interval = flush_interval
+        self.max_queue_depth = max_queue_depth
+        self.request_timeout = request_timeout
+        self._queue: Optional["asyncio.Queue[Any]"] = None
+        self._worker: Optional["asyncio.Task[None]"] = None
+        self._accepting = False
+        self.batches_executed = 0
+        self.items_executed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet dispatched to a batch."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    @property
+    def running(self) -> bool:
+        return self._worker is not None and not self._worker.done()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Create the queue and worker task on the running loop."""
+        if self.running:
+            return
+        self._queue = asyncio.Queue(maxsize=self.max_queue_depth)
+        self._worker = asyncio.get_running_loop().create_task(
+            self._worker_loop(), name="thetis-batcher"
+        )
+        self._accepting = True
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop admissions, flush or fail queued work, join the worker.
+
+        With ``drain`` (the graceful path) everything already admitted
+        is still executed; without it, queued requests fail with
+        :class:`ServerOverloadedError`.
+        """
+        if self._queue is None:
+            return
+        self._accepting = False
+        if not drain:
+            while True:
+                try:
+                    pending = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if pending is not _SHUTDOWN:
+                    pending.resolve(
+                        ServerOverloadedError(
+                            self.queue_depth, self.max_queue_depth
+                        )
+                    )
+        # A full queue must not block shutdown: admissions are closed,
+        # so the worker only ever shrinks the queue from here on.
+        while True:
+            try:
+                self._queue.put_nowait(_SHUTDOWN)
+                break
+            except asyncio.QueueFull:
+                await asyncio.sleep(0.001)
+        if self._worker is not None:
+            await self._worker
+            self._worker = None
+        self._queue = None
+
+    # ------------------------------------------------------------------
+    async def submit(self, item: Any,
+                     timeout: Optional[float] = None) -> Any:
+        """Admit ``item``, await its batched outcome.
+
+        Raises
+        ------
+        ServerOverloadedError
+            If the admission queue is full or the batcher is stopped.
+        RequestTimeoutError
+            If no outcome arrives within the deadline.
+        """
+        if self._queue is None or not self._accepting:
+            raise ServeError("batcher is not accepting requests")
+        future: "asyncio.Future[Any]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        pending = _Pending(item, future)
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            raise ServerOverloadedError(
+                self._queue.qsize(), self.max_queue_depth
+            ) from None
+        deadline = timeout if timeout is not None else self.request_timeout
+        try:
+            return await asyncio.wait_for(future, deadline)
+        except asyncio.TimeoutError:
+            raise RequestTimeoutError(deadline) from None
+
+    # ------------------------------------------------------------------
+    async def _collect_batch(self, first: Any) -> tuple:
+        """Gather up to ``max_batch_size`` items within the flush window.
+
+        Returns ``(batch, saw_shutdown)``.
+        """
+        assert self._queue is not None
+        batch = [first]
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.flush_interval
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                # Full window elapsed; take whatever is already queued
+                # without waiting further.
+                try:
+                    nxt = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+            else:
+                try:
+                    nxt = await asyncio.wait_for(
+                        self._queue.get(), remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+            if nxt is _SHUTDOWN:
+                return batch, True
+            batch.append(nxt)
+        return batch, False
+
+    async def _run_batch(self, batch: List[_Pending]) -> None:
+        try:
+            outcomes = await self.runner([p.item for p in batch])
+            if len(outcomes) != len(batch):
+                raise ServeError(
+                    f"batch runner returned {len(outcomes)} outcomes "
+                    f"for {len(batch)} items"
+                )
+        except Exception as exc:  # runner blew up: fail the whole batch
+            for pending in batch:
+                pending.resolve(exc)
+            return
+        self.batches_executed += 1
+        self.items_executed += len(batch)
+        for pending, outcome in zip(batch, outcomes):
+            pending.resolve(outcome)
+
+    async def _worker_loop(self) -> None:
+        assert self._queue is not None
+        shutdown = False
+        while not shutdown:
+            first = await self._queue.get()
+            if first is _SHUTDOWN:
+                break
+            batch, shutdown = await self._collect_batch(first)
+            await self._run_batch(batch)
+        # Drain whatever was admitted before the sentinel.
+        remainder: List[_Pending] = []
+        while True:
+            try:
+                pending = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if pending is not _SHUTDOWN:
+                remainder.append(pending)
+        for start in range(0, len(remainder), self.max_batch_size):
+            await self._run_batch(
+                remainder[start:start + self.max_batch_size]
+            )

@@ -1,0 +1,170 @@
+"""Minimal HTTP/1.1 plumbing over asyncio streams (stdlib only).
+
+The serving layer deliberately avoids web frameworks: the wire needs of
+a JSON query service are a request line, a handful of headers, a
+``Content-Length`` body, and keep-alive — small enough to implement
+directly on :mod:`asyncio` streams and keep the whole stack
+dependency-free.  Requests that violate the subset (chunked bodies,
+oversized headers) are rejected with the appropriate 4xx rather than
+guessed at.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import ProtocolError
+
+#: Hard limits keeping one client from exhausting server memory.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+STATUS_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive") != "close"
+
+    def json(self) -> Any:
+        """Decode the body as JSON; raises :class:`ProtocolError` on 400s."""
+        if not self.body:
+            raise ProtocolError("request body is empty, expected JSON")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"invalid JSON body: {exc}") from exc
+
+
+@dataclass
+class HttpResponse:
+    """One response; ``payload`` dicts are serialized as JSON."""
+
+    status: int
+    payload: Optional[Any] = None
+    content_type: str = "application/json"
+
+    def encode(self, keep_alive: bool = True) -> bytes:
+        if self.payload is None:
+            body = b""
+        elif isinstance(self.payload, (bytes, bytearray)):
+            body = bytes(self.payload)
+        elif isinstance(self.payload, str):
+            body = self.payload.encode("utf-8")
+        else:
+            body = json.dumps(self.payload).encode("utf-8")
+        reason = STATUS_REASONS.get(self.status, "Unknown")
+        head = (
+            f"HTTP/1.1 {self.status} {reason}\r\n"
+            f"Content-Type: {self.content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        )
+        return head.encode("ascii") + body
+
+
+class BadRequest(Exception):
+    """Raised while parsing; carries the status to respond with."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[HttpRequest]:
+    """Parse one request off the stream.
+
+    Returns ``None`` on a clean EOF (client closed between requests);
+    raises :class:`BadRequest` on protocol violations.
+    """
+    try:
+        request_line = await reader.readline()
+    except (ConnectionResetError, asyncio.IncompleteReadError):
+        return None
+    if not request_line:
+        return None
+    if len(request_line) > MAX_HEADER_BYTES:
+        raise BadRequest(413, "request line too long")
+    parts = request_line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(400, "malformed request line")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise BadRequest(400, "connection closed inside headers")
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise BadRequest(413, "headers too large")
+        if line in (b"\r\n", b"\n"):
+            break
+        text = line.decode("latin-1").rstrip("\r\n")
+        name, separator, value = text.partition(":")
+        if not separator:
+            raise BadRequest(400, f"malformed header line: {text!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "transfer-encoding" in headers:
+        raise BadRequest(501, "chunked transfer encoding not supported")
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise BadRequest(400, "invalid Content-Length") from None
+        if length < 0:
+            raise BadRequest(400, "negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise BadRequest(413, "request body too large")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise BadRequest(
+                    400, "connection closed inside body"
+                ) from None
+    elif method in ("POST", "PUT", "PATCH"):
+        raise BadRequest(411, "Content-Length required")
+
+    return HttpRequest(method=method.upper(), path=target, headers=headers,
+                       body=body)
+
+
+def split_path(path: str) -> Tuple[str, ...]:
+    """``/tables/T01?x=1`` -> ``("tables", "T01")`` (query string dropped)."""
+    path = path.split("?", 1)[0]
+    return tuple(segment for segment in path.split("/") if segment)

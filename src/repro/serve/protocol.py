@@ -1,0 +1,277 @@
+"""Request model and JSON codec of the online serving layer.
+
+The wire format is plain JSON over HTTP.  A search request looks like::
+
+    POST /search
+    {"tuples": [["kg:player0", "kg:team0"]],
+     "k": 10, "method": "types", "use_lsh": false, "votes": 1}
+
+and its response::
+
+    {"results": [{"rank": 1, "table_id": "T00", "score": 0.93}, ...],
+     "count": 10, "k": 10, "method": "types", "snapshot_version": 0}
+
+Parsing is strict: unknown fields, wrong types, or out-of-range values
+raise :class:`~repro.exceptions.ProtocolError`, which the server maps
+to HTTP 400 — a malformed request must never reach the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.query import Query
+from repro.core.result import ResultSet
+from repro.exceptions import EmptyQueryError, ProtocolError
+
+#: Search methods the service accepts.
+METHODS = ("types", "embeddings")
+
+#: Execution modes of a query request: full ranking vs early-terminated
+#: top-k (Section 5.4's upper-bound pruning).
+MODES = ("search", "topk")
+
+#: Upper bound on ``k`` accepted over the wire: a page of results, not
+#: a corpus dump — unbounded ``k`` would let one client monopolize a
+#: batch slot with serialization work.
+MAX_K = 1000
+
+#: Upper bounds on query shape, mirroring the paper's largest workload
+#: (5-tuple queries) with generous headroom.
+MAX_TUPLES = 64
+MAX_TUPLE_WIDTH = 64
+
+
+def _expect_mapping(payload: Any) -> Dict[str, Any]:
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _check_fields(payload: Dict[str, Any], allowed: Tuple[str, ...]) -> None:
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise ProtocolError(f"unknown request fields: {', '.join(unknown)}")
+
+
+def _parse_tuples(payload: Dict[str, Any]) -> Tuple[Tuple[str, ...], ...]:
+    raw = payload.get("tuples")
+    if raw is None:
+        raise ProtocolError("missing required field 'tuples'")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError("'tuples' must be a non-empty list of lists")
+    if len(raw) > MAX_TUPLES:
+        raise ProtocolError(
+            f"too many query tuples: {len(raw)} > {MAX_TUPLES}"
+        )
+    tuples: List[Tuple[str, ...]] = []
+    for i, entry in enumerate(raw):
+        if not isinstance(entry, list) or not entry:
+            raise ProtocolError(
+                f"tuple {i} must be a non-empty list of entity URIs"
+            )
+        if len(entry) > MAX_TUPLE_WIDTH:
+            raise ProtocolError(
+                f"tuple {i} too wide: {len(entry)} > {MAX_TUPLE_WIDTH}"
+            )
+        for uri in entry:
+            if not isinstance(uri, str) or not uri:
+                raise ProtocolError(
+                    f"tuple {i} contains a non-string or empty entity URI"
+                )
+        tuples.append(tuple(entry))
+    return tuple(tuples)
+
+
+def _parse_int(payload: Dict[str, Any], name: str, default: int,
+               low: int, high: int) -> int:
+    value = payload.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"'{name}' must be an integer")
+    if not low <= value <= high:
+        raise ProtocolError(
+            f"'{name}' must be in [{low}, {high}], got {value}"
+        )
+    return value
+
+
+def _parse_bool(payload: Dict[str, Any], name: str, default: bool) -> bool:
+    value = payload.get(name, default)
+    if not isinstance(value, bool):
+        raise ProtocolError(f"'{name}' must be a boolean")
+    return value
+
+
+def _parse_choice(payload: Dict[str, Any], name: str, default: str,
+                  choices: Tuple[str, ...]) -> str:
+    value = payload.get(name, default)
+    if value not in choices:
+        raise ProtocolError(
+            f"'{name}' must be one of {choices}, got {value!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One parsed, validated query request.
+
+    ``mode`` selects the execution path: ``"search"`` ranks with the
+    (optionally LSH-prefiltered, optionally sharded) exact engine,
+    ``"topk"`` uses the early-terminating top-k search.
+    """
+
+    tuples: Tuple[Tuple[str, ...], ...]
+    k: int = 10
+    method: str = "types"
+    mode: str = "search"
+    use_lsh: bool = False
+    votes: int = 1
+
+    @classmethod
+    def from_json(cls, payload: Any, mode: str = "search") -> "SearchRequest":
+        """Parse and validate a JSON payload; raises :class:`ProtocolError`."""
+        payload = _expect_mapping(payload)
+        _check_fields(payload, ("tuples", "k", "method", "use_lsh", "votes"))
+        return cls(
+            tuples=_parse_tuples(payload),
+            k=_parse_int(payload, "k", 10, 1, MAX_K),
+            method=_parse_choice(payload, "method", "types", METHODS),
+            mode=mode if mode in MODES else "search",
+            use_lsh=_parse_bool(payload, "use_lsh", False),
+            votes=_parse_int(payload, "votes", 1, 1, 64),
+        )
+
+    def query(self) -> Query:
+        """Materialize the :class:`Query`; empty queries become 400s."""
+        try:
+            return Query(self.tuples)
+        except EmptyQueryError as exc:
+            raise ProtocolError(str(exc)) from exc
+
+    def batch_key(self) -> Tuple[str, str, int, bool, int]:
+        """Requests sharing this key may run in one ``search_many`` call."""
+        return (self.mode, self.method, self.k, self.use_lsh, self.votes)
+
+
+@dataclass(frozen=True)
+class ExplainRequest:
+    """A request to explain one table's score for a query."""
+
+    tuples: Tuple[Tuple[str, ...], ...]
+    table_id: str
+    method: str = "types"
+
+    @classmethod
+    def from_json(cls, payload: Any) -> "ExplainRequest":
+        payload = _expect_mapping(payload)
+        _check_fields(payload, ("tuples", "table_id", "method"))
+        table_id = payload.get("table_id")
+        if not isinstance(table_id, str) or not table_id:
+            raise ProtocolError("'table_id' must be a non-empty string")
+        return cls(
+            tuples=_parse_tuples(payload),
+            table_id=table_id,
+            method=_parse_choice(payload, "method", "types", METHODS),
+        )
+
+    def query(self) -> Query:
+        try:
+            return Query(self.tuples)
+        except EmptyQueryError as exc:
+            raise ProtocolError(str(exc)) from exc
+
+
+@dataclass(frozen=True)
+class TableUpsertRequest:
+    """A request to add (and entity-link) one table to the lake."""
+
+    table_id: str
+    attributes: Tuple[str, ...]
+    rows: Tuple[Tuple[Any, ...], ...]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    link: bool = True
+
+    @classmethod
+    def from_json(cls, payload: Any) -> "TableUpsertRequest":
+        payload = _expect_mapping(payload)
+        _check_fields(payload, ("table", "link"))
+        record = payload.get("table")
+        if not isinstance(record, dict):
+            raise ProtocolError("missing required object field 'table'")
+        _check_fields(record, ("id", "attributes", "rows", "metadata"))
+        table_id = record.get("id")
+        if not isinstance(table_id, str) or not table_id:
+            raise ProtocolError("'table.id' must be a non-empty string")
+        attributes = record.get("attributes")
+        if (not isinstance(attributes, list) or not attributes
+                or not all(isinstance(a, str) for a in attributes)):
+            raise ProtocolError(
+                "'table.attributes' must be a non-empty list of strings"
+            )
+        rows = record.get("rows")
+        if not isinstance(rows, list):
+            raise ProtocolError("'table.rows' must be a list of rows")
+        parsed_rows: List[Tuple[Any, ...]] = []
+        for i, row in enumerate(rows):
+            if not isinstance(row, list) or len(row) != len(attributes):
+                raise ProtocolError(
+                    f"'table.rows[{i}]' must be a list of "
+                    f"{len(attributes)} cells"
+                )
+            parsed_rows.append(tuple(row))
+        metadata = record.get("metadata") or {}
+        if not isinstance(metadata, dict):
+            raise ProtocolError("'table.metadata' must be an object")
+        return cls(
+            table_id=table_id,
+            attributes=tuple(attributes),
+            rows=tuple(parsed_rows),
+            metadata=dict(metadata),
+            link=_parse_bool(payload, "link", True),
+        )
+
+    def table(self):
+        """Build the :class:`~repro.datalake.table.Table` (may raise 400)."""
+        from repro.datalake.table import Table
+        from repro.exceptions import DataLakeError
+
+        try:
+            return Table(
+                self.table_id,
+                list(self.attributes),
+                [list(row) for row in self.rows],
+                metadata=self.metadata or None,
+            )
+        except DataLakeError as exc:
+            raise ProtocolError(str(exc)) from exc
+
+
+def result_to_json(
+    results: ResultSet,
+    request: SearchRequest,
+    snapshot_version: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Serialize a :class:`ResultSet` for one request."""
+    payload: Dict[str, Any] = {
+        "results": [
+            {"rank": rank, "table_id": scored.table_id,
+             "score": scored.score}
+            for rank, scored in enumerate(results, start=1)
+        ],
+        "count": len(results),
+        "k": request.k,
+        "method": request.method,
+        "mode": request.mode,
+    }
+    if snapshot_version is not None:
+        payload["snapshot_version"] = snapshot_version
+    return payload
+
+
+def error_to_json(message: str, status: int) -> Dict[str, Any]:
+    """Uniform error envelope for non-200 responses."""
+    return {"error": message, "status": status}

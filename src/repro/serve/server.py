@@ -1,0 +1,618 @@
+"""The asyncio HTTP query service wrapping a warm Thetis instance.
+
+Request path::
+
+    connection -> parse -> validate (400) -> admission (503 on full
+    queue) -> micro-batch -> engine pass in a worker thread -> JSON
+    response (504 past the deadline)
+
+Control plane::
+
+    GET  /healthz      liveness (always 200 while the loop runs)
+    GET  /readyz       readiness (200 only after index warm-up)
+    GET  /metrics      counters, latency histograms, queue depth,
+                       cache hit rates
+    POST /search       full ranking (optionally LSH-prefiltered)
+    POST /topk         early-terminating top-k search
+    POST /explain      per-table score explanation
+    POST /tables       add + entity-link a table (snapshot swap)
+    DELETE /tables/ID  remove a table (snapshot swap)
+
+Mutations never touch the engine a query might be reading: the
+:class:`~repro.serve.snapshot.SnapshotManager` builds the next
+generation off the request path and swaps it in atomically; in-flight
+batches finish on the generation they started with.
+
+Shutdown is graceful by default: stop accepting connections, drain the
+admitted queue, then close the engine (releasing worker pools).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Set
+
+from repro.core.query import Query
+from repro.exceptions import (
+    DataLakeError,
+    DuplicateTableError,
+    ProtocolError,
+    ReproError,
+    RequestTimeoutError,
+    ServeError,
+    ServerOverloadedError,
+    ThetisClosedError,
+)
+from repro.serve.batching import (
+    DEFAULT_FLUSH_INTERVAL,
+    DEFAULT_MAX_BATCH_SIZE,
+    DEFAULT_MAX_QUEUE_DEPTH,
+    DEFAULT_REQUEST_TIMEOUT,
+    MicroBatcher,
+)
+from repro.serve.http import (
+    BadRequest,
+    HttpRequest,
+    HttpResponse,
+    read_request,
+    split_path,
+)
+from repro.serve.metrics import ServerMetrics
+from repro.serve.protocol import (
+    ExplainRequest,
+    SearchRequest,
+    TableUpsertRequest,
+    error_to_json,
+    result_to_json,
+)
+from repro.serve.snapshot import SnapshotManager
+from repro.system import Thetis
+
+
+@dataclass
+class ServeConfig:
+    """Tuning knobs of one server instance (see ``docs/serving.md``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    #: Engine warmed at start-up and after every snapshot swap.
+    default_method: str = "types"
+    #: Queries coalesced per engine pass.
+    max_batch_size: int = DEFAULT_MAX_BATCH_SIZE
+    #: Seconds the batcher waits for stragglers after the first query.
+    flush_interval: float = DEFAULT_FLUSH_INTERVAL
+    #: Admission bound; beyond it requests fast-fail with 503.
+    max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH
+    #: Per-request deadline in seconds (504 past it).
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT
+    #: Worker threads executing query batches (1 preserves strict
+    #: batch ordering; more overlap batches on multi-core machines).
+    batch_workers: int = 1
+    #: Build engine + per-table views before flipping /readyz.
+    warm_on_start: bool = True
+    #: Re-warm a freshly built snapshot before swapping it in.
+    warm_on_swap: bool = True
+    #: Seconds shutdown waits for open connections before cancelling.
+    drain_timeout: float = 10.0
+
+
+@dataclass
+class _QueryJob:
+    """One admitted query: the parsed request plus materialized query."""
+
+    request: SearchRequest
+    query: Query
+
+
+@dataclass
+class _QueryOutcome:
+    """A successful batched result with its snapshot generation."""
+
+    results: Any
+    snapshot_version: int
+
+
+class ThetisServer:
+    """HTTP/JSON search service over hot-swappable engine snapshots."""
+
+    def __init__(self, thetis: Thetis, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.metrics = ServerMetrics()
+        self.snapshots = SnapshotManager(
+            thetis,
+            warm_method=(self.config.default_method
+                         if self.config.warm_on_swap else None),
+            on_swap=lambda _version: self.metrics.snapshot_swapped(),
+        )
+        self.batcher = MicroBatcher(
+            runner=self._run_batch,
+            max_batch_size=self.config.max_batch_size,
+            flush_interval=self.config.flush_interval,
+            max_queue_depth=self.config.max_queue_depth,
+            request_timeout=self.config.request_timeout,
+        )
+        self._batch_executor = ThreadPoolExecutor(
+            max_workers=max(1, self.config.batch_workers),
+            thread_name_prefix="thetis-serve-batch",
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set["asyncio.Task[None]"] = set()
+        self._busy: Set["asyncio.Task[None]"] = set()
+        self._warmup_task: Optional["asyncio.Task[None]"] = None
+        self._ready = threading.Event()
+        self._started_at = 0.0
+        self._shut_down = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        return self._ready.is_set()
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` for an ephemeral one)."""
+        if self._server is None or not self._server.sockets:
+            raise ServeError("server is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind, start the batcher, and kick off index warm-up."""
+        if self._server is not None:
+            raise ServeError("server already started")
+        self._started_at = time.monotonic()
+        await self.batcher.start()
+        loop = asyncio.get_running_loop()
+        if self.config.warm_on_start:
+            self._warmup_task = loop.create_task(
+                self._warm_up(), name="thetis-warmup"
+            )
+        else:
+            self._ready.set()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    async def _warm_up(self) -> None:
+        loop = asyncio.get_running_loop()
+        method = self.config.default_method
+
+        def warm() -> None:
+            with self.snapshots.checkout() as snapshot:
+                snapshot.thetis.warm(method)
+
+        await loop.run_in_executor(None, warm)
+        self._ready.set()
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (the CLI wraps this with signal handling)."""
+        if self._server is None:
+            raise ServeError("call start() first")
+        await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: quiesce, drain, release the engine.
+
+        1. stop accepting new connections;
+        2. wait (bounded) for open connections to finish their
+           request/response cycles — their queued queries still run;
+        3. drain the batcher;
+        4. close the snapshot manager, which drains and closes the
+           engine's worker pools via ``Thetis.close()``.
+        """
+        if self._shut_down:
+            return
+        self._shut_down = True
+        self._ready.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._warmup_task is not None:
+            try:
+                await self._warmup_task
+            except Exception:
+                pass
+        # Idle keep-alive connections are parked in read_request with no
+        # request in progress — cancel them outright; only connections
+        # with a request mid-flight get the drain window.
+        for task in list(self._connections - self._busy):
+            task.cancel()
+        if self._busy:
+            _done, pending = await asyncio.wait(
+                set(self._busy), timeout=self.config.drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+        if self._connections:
+            await asyncio.wait(
+                set(self._connections), timeout=1.0
+            )
+        await self.batcher.stop(drain=True)
+        self._batch_executor.shutdown(wait=True)
+        self.snapshots.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while not self._shut_down:
+                try:
+                    request = await read_request(reader)
+                except BadRequest as exc:
+                    response = HttpResponse(
+                        exc.status, error_to_json(str(exc), exc.status)
+                    )
+                    writer.write(response.encode(keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                if task is not None:
+                    self._busy.add(task)
+                try:
+                    response = await self._dispatch(request)
+                    keep_alive = request.keep_alive and not self._shut_down
+                    writer.write(response.encode(keep_alive=keep_alive))
+                    await writer.drain()
+                finally:
+                    if task is not None:
+                        self._busy.discard(task)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        segments = split_path(request.path)
+        endpoint = "/" + "/".join(segments[:1]) if segments else "/"
+        self.metrics.request_started()
+        start = time.perf_counter()
+        try:
+            response = await self._route(request, segments)
+        except Exception as exc:  # the handler itself must never leak
+            response = HttpResponse(
+                500, error_to_json(f"internal error: {exc}", 500)
+            )
+        elapsed = time.perf_counter() - start
+        self.metrics.request_finished(
+            endpoint, response.status,
+            elapsed if request.method == "POST" or endpoint == "/tables"
+            else None,
+        )
+        return response
+
+    async def _route(self, request: HttpRequest,
+                     segments: Sequence[str]) -> HttpResponse:
+        if segments == ("healthz",):
+            if request.method != "GET":
+                return self._method_not_allowed()
+            return HttpResponse(200, {
+                "status": "ok",
+                "uptime_seconds": time.monotonic() - self._started_at,
+            })
+        if segments == ("readyz",):
+            if request.method != "GET":
+                return self._method_not_allowed()
+            if self.ready:
+                return HttpResponse(200, {"status": "ready"})
+            return HttpResponse(
+                503, error_to_json("index warm-up in progress", 503)
+            )
+        if segments == ("metrics",):
+            if request.method != "GET":
+                return self._method_not_allowed()
+            return HttpResponse(200, self._metrics_payload())
+        if segments == ("search",):
+            if request.method != "POST":
+                return self._method_not_allowed()
+            return await self._handle_query(request, mode="search")
+        if segments == ("topk",):
+            if request.method != "POST":
+                return self._method_not_allowed()
+            return await self._handle_query(request, mode="topk")
+        if segments == ("explain",):
+            if request.method != "POST":
+                return self._method_not_allowed()
+            return await self._handle_explain(request)
+        if segments == ("tables",):
+            if request.method != "POST":
+                return self._method_not_allowed()
+            return await self._handle_add_table(request)
+        if len(segments) == 2 and segments[0] == "tables":
+            if request.method != "DELETE":
+                return self._method_not_allowed()
+            return await self._handle_remove_table(segments[1])
+        return HttpResponse(
+            404, error_to_json(f"no such endpoint: {request.path}", 404)
+        )
+
+    @staticmethod
+    def _method_not_allowed() -> HttpResponse:
+        return HttpResponse(405, error_to_json("method not allowed", 405))
+
+    def _metrics_payload(self) -> dict:
+        cache_stats = None
+        try:
+            with self.snapshots.checkout() as snapshot:
+                cache_stats = snapshot.thetis.cache_stats(
+                    self.config.default_method
+                )
+        except (ServeError, ReproError):
+            pass  # mid-shutdown scrape: serve counters without cache view
+        return self.metrics.to_json(
+            queue_depth=self.batcher.queue_depth,
+            queue_limit=self.batcher.max_queue_depth,
+            snapshot_version=self.snapshots.version,
+            cache_stats=cache_stats,
+            uptime_seconds=time.monotonic() - self._started_at,
+        )
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    async def _handle_query(self, request: HttpRequest,
+                            mode: str) -> HttpResponse:
+        try:
+            parsed = SearchRequest.from_json(request.json(), mode=mode)
+            job = _QueryJob(parsed, parsed.query())
+        except ProtocolError as exc:
+            return HttpResponse(400, error_to_json(str(exc), 400))
+        try:
+            outcome = await self.batcher.submit(
+                job, timeout=self.config.request_timeout
+            )
+        except ServerOverloadedError as exc:
+            return HttpResponse(503, error_to_json(str(exc), 503))
+        except RequestTimeoutError as exc:
+            return HttpResponse(504, error_to_json(str(exc), 504))
+        except ThetisClosedError as exc:
+            return HttpResponse(503, error_to_json(str(exc), 503))
+        except ServeError as exc:
+            return HttpResponse(503, error_to_json(str(exc), 503))
+        except ReproError as exc:
+            return HttpResponse(400, error_to_json(str(exc), 400))
+        return HttpResponse(
+            200,
+            result_to_json(
+                outcome.results, parsed,
+                snapshot_version=outcome.snapshot_version,
+            ),
+        )
+
+    async def _run_batch(self, jobs: Sequence[_QueryJob]) -> List[Any]:
+        loop = asyncio.get_running_loop()
+        outcomes = await loop.run_in_executor(
+            self._batch_executor, self._run_batch_sync, list(jobs)
+        )
+        self.metrics.batch_executed(len(jobs))
+        return outcomes
+
+    def _run_batch_sync(self, jobs: List[_QueryJob]) -> List[Any]:
+        """Execute one coalesced batch against the pinned snapshot.
+
+        Jobs sharing ``(mode, method, k, use_lsh, votes)`` run through
+        one ``search_many`` pass; rankings are bit-identical to
+        per-request ``Thetis.search`` calls (property-tested).  An
+        exception is confined to the jobs of its group.
+        """
+        outcomes: List[Any] = [None] * len(jobs)
+        with self.snapshots.checkout() as snapshot:
+            thetis = snapshot.thetis
+            groups: dict = {}
+            for index, job in enumerate(jobs):
+                groups.setdefault(job.request.batch_key(), []).append(index)
+            for key, indices in groups.items():
+                mode, method, k, use_lsh, votes = key
+                try:
+                    if mode == "topk":
+                        for index in indices:
+                            outcomes[index] = _QueryOutcome(
+                                thetis.search_topk(
+                                    jobs[index].query, k=k, method=method
+                                ),
+                                snapshot.version,
+                            )
+                    else:
+                        results = thetis.search_many(
+                            {str(i): jobs[i].query for i in indices},
+                            k=k, method=method, use_lsh=use_lsh, votes=votes,
+                        )
+                        for index in indices:
+                            outcomes[index] = _QueryOutcome(
+                                results[str(index)], snapshot.version
+                            )
+                except Exception as exc:
+                    for index in indices:
+                        if outcomes[index] is None:
+                            outcomes[index] = exc
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Explain
+    # ------------------------------------------------------------------
+    async def _handle_explain(self, request: HttpRequest) -> HttpResponse:
+        try:
+            parsed = ExplainRequest.from_json(request.json())
+            query = parsed.query()
+        except ProtocolError as exc:
+            return HttpResponse(400, error_to_json(str(exc), 400))
+
+        def run() -> dict:
+            with self.snapshots.checkout() as snapshot:
+                thetis = snapshot.thetis
+                explanation = thetis.explain(
+                    query, parsed.table_id, method=parsed.method
+                )
+                return {
+                    "table_id": parsed.table_id,
+                    "method": parsed.method,
+                    "score": explanation.score,
+                    "report": explanation.render(thetis.graph),
+                    "snapshot_version": snapshot.version,
+                }
+
+        loop = asyncio.get_running_loop()
+        try:
+            payload = await asyncio.wait_for(
+                loop.run_in_executor(None, run),
+                self.config.request_timeout,
+            )
+        except asyncio.TimeoutError:
+            return HttpResponse(
+                504,
+                error_to_json(
+                    str(RequestTimeoutError(self.config.request_timeout)),
+                    504,
+                ),
+            )
+        except DataLakeError as exc:
+            return HttpResponse(404, error_to_json(str(exc), 404))
+        except ReproError as exc:
+            return HttpResponse(400, error_to_json(str(exc), 400))
+        return HttpResponse(200, payload)
+
+    # ------------------------------------------------------------------
+    # Mutations (snapshot swaps)
+    # ------------------------------------------------------------------
+    async def _handle_add_table(self, request: HttpRequest) -> HttpResponse:
+        try:
+            parsed = TableUpsertRequest.from_json(request.json())
+            table = parsed.table()
+        except ProtocolError as exc:
+            return HttpResponse(400, error_to_json(str(exc), 400))
+        loop = asyncio.get_running_loop()
+        try:
+            links = await loop.run_in_executor(
+                None,
+                lambda: self.snapshots.apply(
+                    lambda thetis: thetis.add_table(table, link=parsed.link)
+                ),
+            )
+        except DuplicateTableError as exc:
+            return HttpResponse(400, error_to_json(str(exc), 400))
+        except ReproError as exc:
+            return HttpResponse(400, error_to_json(str(exc), 400))
+        return HttpResponse(200, {
+            "table_id": parsed.table_id,
+            "links_created": links,
+            "snapshot_version": self.snapshots.version,
+        })
+
+    async def _handle_remove_table(self, table_id: str) -> HttpResponse:
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(
+                None,
+                lambda: self.snapshots.apply(
+                    lambda thetis: thetis.remove_table(table_id)
+                ),
+            )
+        except DataLakeError as exc:
+            return HttpResponse(404, error_to_json(str(exc), 404))
+        except ReproError as exc:
+            return HttpResponse(400, error_to_json(str(exc), 400))
+        return HttpResponse(200, {
+            "table_id": table_id,
+            "removed": True,
+            "snapshot_version": self.snapshots.version,
+        })
+
+
+class ServerThread:
+    """Run a :class:`ThetisServer` on a dedicated event-loop thread.
+
+    The synchronous harness the tests, the CI smoke script, and the
+    latency benchmark all share::
+
+        handle = ServerThread(thetis, ServeConfig(port=0)).start()
+        handle.wait_ready()
+        ... issue HTTP requests against handle.port ...
+        handle.stop()      # graceful: drains, closes the engine
+    """
+
+    def __init__(self, thetis: Thetis, config: Optional[ServeConfig] = None):
+        self.server = ThetisServer(thetis, config or ServeConfig(port=0))
+        self._thread = threading.Thread(
+            target=self._run, name="thetis-serve", daemon=True
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._listening = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._listening.set()
+            loop.close()
+            return
+        self._listening.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = 30.0) -> "ServerThread":
+        self._thread.start()
+        if not self._listening.wait(timeout):
+            raise ServeError("server did not start listening in time")
+        if self._startup_error is not None:
+            raise ServeError(
+                f"server failed to start: {self._startup_error}"
+            )
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def wait_ready(self, timeout: float = 60.0) -> "ServerThread":
+        """Block until warm-up finished (``/readyz`` would return 200)."""
+        if not self.server._ready.wait(timeout):
+            raise ServeError("server did not become ready in time")
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown, then stop and join the loop thread."""
+        if self._loop is None or not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(), self._loop
+        )
+        future.result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

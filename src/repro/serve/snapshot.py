@@ -1,0 +1,189 @@
+"""Versioned engine snapshots with copy-and-swap updates.
+
+The serving layer never mutates the engine a query might be reading.
+Instead, every lake mutation (``add_table`` / ``remove_table``) builds
+a *new* :class:`~repro.system.Thetis` over copied lake/mapping
+containers off the request path, applies the mutation there, optionally
+re-warms it, and atomically swaps it in as the current snapshot.
+Queries check out the snapshot that is current when their batch starts
+and keep it alive by refcount; a retired snapshot is closed (worker
+pools released) only when its last in-flight query finishes.
+
+This gives the server three properties the dynamic-lake API of
+``Thetis`` alone cannot: mutations are invisible to in-flight queries,
+a failed mutation leaves the serving state untouched, and readers never
+block on writers (writers pay the copy).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from repro.exceptions import ServeError
+from repro.system import Thetis
+
+
+class EngineSnapshot:
+    """One immutable serving generation: a Thetis plus a version tag."""
+
+    def __init__(self, thetis: Thetis, version: int):
+        self.thetis = thetis
+        self.version = version
+        self._active = 0
+        self._retired = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> "EngineSnapshot":
+        with self._lock:
+            if self._retired and self._active == 0:
+                # Already closed; the manager never hands these out.
+                raise ServeError(
+                    f"snapshot v{self.version} is retired and drained"
+                )
+            self._active += 1
+        return self
+
+    def release(self) -> None:
+        close = False
+        with self._lock:
+            self._active -= 1
+            close = self._retired and self._active == 0
+        if close:
+            self.thetis.close()
+
+    def retire(self) -> None:
+        """Mark superseded; closes immediately if nothing is in flight."""
+        close = False
+        with self._lock:
+            if self._retired:
+                return
+            self._retired = True
+            close = self._active == 0
+        if close:
+            self.thetis.close()
+
+    @property
+    def active(self) -> int:
+        return self._active
+
+    @property
+    def retired(self) -> bool:
+        return self._retired
+
+
+class SnapshotManager:
+    """Owns the current :class:`EngineSnapshot` and the swap protocol.
+
+    Parameters
+    ----------
+    thetis:
+        The initial engine; the manager takes ownership (it will close
+        it when the snapshot is superseded or the manager shuts down).
+    warm_method:
+        When set, every freshly built snapshot is warmed for this
+        method (engine + per-table views) *before* the swap, so the
+        first query after an update does not pay cold-start costs.
+    on_swap:
+        Optional callback ``(new_version) -> None`` fired after each
+        swap (the server bumps its swap counter here).
+    """
+
+    def __init__(
+        self,
+        thetis: Thetis,
+        warm_method: Optional[str] = None,
+        on_swap: Optional[Callable[[int], None]] = None,
+    ):
+        self._current = EngineSnapshot(thetis, version=0)
+        self._warm_method = warm_method
+        self._on_swap = on_swap
+        # One writer at a time; readers never take this lock.
+        self._swap_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> EngineSnapshot:
+        return self._current
+
+    @property
+    def version(self) -> int:
+        return self._current.version
+
+    @contextmanager
+    def checkout(self) -> Iterator[EngineSnapshot]:
+        """Pin the current snapshot for the duration of a query batch.
+
+        Yields the :class:`EngineSnapshot` so callers can stamp results
+        with ``snapshot.version``; the engine is ``snapshot.thetis``.
+        """
+        while True:
+            if self._closed:
+                raise ServeError("snapshot manager is closed")
+            try:
+                snapshot = self._current.acquire()
+                break
+            except ServeError:
+                # Lost a race with a swap that retired-and-drained the
+                # snapshot between our read and the acquire; the fresh
+                # current is one retry away.
+                continue
+        try:
+            yield snapshot
+        finally:
+            snapshot.release()
+
+    # ------------------------------------------------------------------
+    def _clone_current(self) -> Thetis:
+        current = self._current.thetis
+        lake, mapping = current.snapshot_inputs()
+        return Thetis(
+            lake,
+            current.graph,
+            mapping,
+            embeddings=current.embeddings,
+            row_aggregation=current.row_aggregation,
+            query_aggregation=current.query_aggregation,
+            workers=current.workers,
+            search_backend=current.search_backend,
+            cache_size=current.cache_size,
+        )
+
+    def apply(self, mutate: Callable[[Thetis], object]) -> object:
+        """Run ``mutate`` on a fresh clone, then atomically swap it in.
+
+        The clone/mutate/warm work happens while queries keep flowing
+        against the old snapshot; only the reference swap itself is the
+        "cut-over", and it is a single attribute store.  If ``mutate``
+        raises, the half-built clone is closed and the serving state is
+        unchanged.
+        """
+        if self._closed:
+            raise ServeError("snapshot manager is closed")
+        with self._swap_lock:
+            old = self._current
+            replacement = self._clone_current()
+            try:
+                result = mutate(replacement)
+                if self._warm_method is not None:
+                    replacement.warm(self._warm_method)
+            except Exception:
+                replacement.close()
+                raise
+            fresh = EngineSnapshot(replacement, old.version + 1)
+            self._current = fresh  # the atomic cut-over
+            old.retire()
+        if self._on_swap is not None:
+            self._on_swap(fresh.version)
+        return result
+
+    def close(self) -> None:
+        """Retire the current snapshot; drains then closes its engine."""
+        with self._swap_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._current.retire()

@@ -8,7 +8,8 @@ tuples with or without LSH prefiltering.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import threading
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.aggregation import QueryAggregation, RowAggregation
 from repro.core.cache import DEFAULT_SIMILARITY_CACHE_SIZE, CacheStats
@@ -19,7 +20,7 @@ from repro.core.search import TableSearchEngine
 from repro.datalake.lake import DataLake
 from repro.embeddings.rdf2vec import RDF2VecConfig, RDF2VecTrainer
 from repro.embeddings.store import EmbeddingStore
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ThetisClosedError
 from repro.kg.graph import KnowledgeGraph
 from repro.linking.mapping import EntityMapping
 from repro.lsh.config import LSHConfig, RECOMMENDED_CONFIG
@@ -62,6 +63,25 @@ class Thetis:
     -------
     >>> thetis = Thetis(lake, graph, mapping)          # doctest: +SKIP
     >>> results = thetis.search(Query.single("kg:x"))  # doctest: +SKIP
+
+    Notes
+    -----
+    *Thread safety.*  :meth:`search`, :meth:`search_many`,
+    :meth:`search_topk`, and :meth:`explain` are safe for concurrent
+    reader threads: lazy engine/prefilter construction is serialized on
+    an internal lock and the engines' shared caches are internally
+    synchronized (see :class:`~repro.core.search.TableSearchEngine`).
+    The mutating calls (:meth:`add_table`, :meth:`remove_table`,
+    :meth:`train_embeddings`) are *not* safe to interleave with
+    readers — an online service should mutate a fresh copy and swap it
+    in atomically, which is exactly what
+    :class:`repro.serve.SnapshotManager` does.
+
+    *Lifecycle.*  :meth:`close` is idempotent and terminal: it releases
+    every worker pool and marks the instance closed; any subsequent
+    search or mutation raises
+    :class:`~repro.exceptions.ThetisClosedError` instead of crashing on
+    a dead pool.
     """
 
     def __init__(
@@ -89,6 +109,23 @@ class Thetis:
         self._engines: Dict[str, TableSearchEngine] = {}
         self._parallel: Dict[str, ParallelSearchEngine] = {}
         self._prefilters: Dict[Tuple[str, LSHConfig, bool], TablePrefilter] = {}
+        self._linker = None
+        self._closed = False
+        # Serializes lazy engine/prefilter construction and lifecycle
+        # transitions so concurrent reader threads are safe.
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _check_open(self, operation: str) -> None:
+        if self._closed:
+            raise ThetisClosedError(operation)
 
     # ------------------------------------------------------------------
     def train_embeddings(self, **overrides) -> EmbeddingStore:
@@ -97,10 +134,12 @@ class Thetis:
         Keyword overrides go to :class:`RDF2VecConfig` (``dimensions``,
         ``epochs``, ...).
         """
+        self._check_open("train_embeddings")
         config = RDF2VecConfig(**overrides)
         self.embeddings = RDF2VecTrainer(self.graph, config).train()
-        self._engines.pop("embeddings", None)
-        parallel = self._parallel.pop("embeddings", None)
+        with self._lock:
+            self._engines.pop("embeddings", None)
+            parallel = self._parallel.pop("embeddings", None)
         if parallel is not None:
             parallel.close()
         return self.embeddings
@@ -111,30 +150,35 @@ class Thetis:
         engine = self._engines.get(method)
         if engine is not None:
             return engine
-        if method == "types":
-            sigma = TypeJaccardSimilarity(self.graph)
-        elif method == "embeddings":
-            if self.embeddings is None:
+        with self._lock:
+            self._check_open("engine")
+            engine = self._engines.get(method)
+            if engine is not None:
+                return engine
+            if method == "types":
+                sigma = TypeJaccardSimilarity(self.graph)
+            elif method == "embeddings":
+                if self.embeddings is None:
+                    raise ConfigurationError(
+                        "no embeddings attached; call train_embeddings() or "
+                        "pass an EmbeddingStore"
+                    )
+                sigma = EmbeddingCosineSimilarity(self.embeddings)
+            else:
                 raise ConfigurationError(
-                    "no embeddings attached; call train_embeddings() or "
-                    "pass an EmbeddingStore"
+                    f"unknown method {method!r}: use 'types' or 'embeddings'"
                 )
-            sigma = EmbeddingCosineSimilarity(self.embeddings)
-        else:
-            raise ConfigurationError(
-                f"unknown method {method!r}: use 'types' or 'embeddings'"
+            engine = TableSearchEngine(
+                self.lake,
+                self.mapping,
+                sigma,
+                informativeness=self.informativeness,
+                row_aggregation=self.row_aggregation,
+                query_aggregation=self.query_aggregation,
+                cache_size=self.cache_size,
             )
-        engine = TableSearchEngine(
-            self.lake,
-            self.mapping,
-            sigma,
-            informativeness=self.informativeness,
-            row_aggregation=self.row_aggregation,
-            query_aggregation=self.query_aggregation,
-            cache_size=self.cache_size,
-        )
-        self._engines[method] = engine
-        return engine
+            self._engines[method] = engine
+            return engine
 
     def parallel_engine(self, method: str = "types") -> ParallelSearchEngine:
         """Return (and cache) the sharded parallel engine for ``method``.
@@ -143,29 +187,51 @@ class Thetis:
         ``workers`` / ``search_backend``; rankings are identical.
         """
         parallel = self._parallel.get(method)
-        if parallel is None:
-            parallel = ParallelSearchEngine(
-                self.engine(method),
-                workers=max(1, self.workers),
-                backend=self.search_backend,
-            )
-            self._parallel[method] = parallel
-        return parallel
+        if parallel is not None:
+            return parallel
+        with self._lock:
+            self._check_open("parallel_engine")
+            parallel = self._parallel.get(method)
+            if parallel is None:
+                parallel = ParallelSearchEngine(
+                    self.engine(method),
+                    workers=max(1, self.workers),
+                    backend=self.search_backend,
+                )
+                self._parallel[method] = parallel
+            return parallel
 
     def cache_stats(self, method: str = "types") -> Dict[str, CacheStats]:
         """Cache statistics of the engine serving ``method``."""
         return self.engine(method).cache_stats()
 
-    def close(self) -> None:
-        """Release every worker pool (idempotent; engines stay usable).
+    def warm(self, method: str = "types") -> int:
+        """Build ``method``'s engine and all per-table views eagerly.
 
-        Call when done searching — a lingering process pool otherwise
-        trips ``concurrent.futures``' atexit hook at interpreter
-        shutdown, after the pool's pipes are already closed.
+        A serving layer calls this during start-up so its readiness
+        probe only flips once the first query would hit warm caches.
+        Returns the number of tables warmed.
         """
-        for parallel in self._parallel.values():
+        self._check_open("warm")
+        return self.engine(method).warm()
+
+    def close(self) -> None:
+        """Release every worker pool and mark the instance closed.
+
+        Idempotent.  Call when done searching — a lingering process
+        pool otherwise trips ``concurrent.futures``' atexit hook at
+        interpreter shutdown, after the pool's pipes are already
+        closed.  After ``close()`` any search or mutation raises
+        :class:`~repro.exceptions.ThetisClosedError`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pools = list(self._parallel.values())
+            self._parallel.clear()
+        for parallel in pools:
             parallel.close()
-        self._parallel.clear()
 
     def __enter__(self) -> "Thetis":
         return self
@@ -184,6 +250,17 @@ class Thetis:
         cached = self._prefilters.get(key)
         if cached is not None:
             return cached
+        with self._lock:
+            self._check_open("prefilter")
+            cached = self._prefilters.get(key)
+            if cached is not None:
+                return cached
+            return self._build_prefilter(key)
+
+    def _build_prefilter(
+        self, key: Tuple[str, LSHConfig, bool]
+    ) -> TablePrefilter:
+        method, config, column_aggregation = key
         if method == "types":
             excluded = frequent_types(
                 self.mapping, self.graph, self.lake.table_ids()
@@ -208,6 +285,17 @@ class Thetis:
         return prefilter
 
     # ------------------------------------------------------------------
+    def snapshot_inputs(self) -> Tuple[DataLake, EntityMapping]:
+        """Deep-enough copies of the mutable inputs for a new instance.
+
+        Tables are immutable-by-convention and shared; the lake and
+        mapping containers are copied, so mutating the copy never
+        disturbs searches running against this instance.  This is the
+        building block of the serving layer's copy-and-swap updates.
+        """
+        return DataLake(iter(self.lake)), self.mapping.copy()
+
+    # ------------------------------------------------------------------
     # Dynamic data lake support
     # ------------------------------------------------------------------
     def add_table(self, table, link: bool = True) -> int:
@@ -222,12 +310,13 @@ class Thetis:
         from repro.datalake.table import Table
         from repro.linking.linker import LabelLinker
 
+        self._check_open("add_table")
         if not isinstance(table, Table):
             raise ConfigurationError("add_table expects a Table")
         self.lake.add(table)
         created = 0
         if link:
-            if not hasattr(self, "_linker") or self._linker is None:
+            if self._linker is None:
                 self._linker = LabelLinker(self.graph, fuzzy=False)
             before = len(self.mapping)
             self._linker.link_table(table, self.mapping)
@@ -243,6 +332,7 @@ class Thetis:
 
     def remove_table(self, table_id: str) -> None:
         """Remove a table and every trace of it from the search stack."""
+        self._check_open("remove_table")
         self.lake.remove(table_id)
         self.mapping.unlink_table(table_id)
         for engine in self._engines.values():
@@ -278,6 +368,7 @@ class Thetis:
         ``workers > 1`` (constructor) the exact scoring is sharded
         across the worker pool — the ranking is identical either way.
         """
+        self._check_open("search")
         candidates = None
         if use_lsh:
             prefilter = self.prefilter(method, lsh_config)
@@ -287,6 +378,38 @@ class Thetis:
                 query, k=k, candidates=candidates
             )
         return self.engine(method).search(query, k=k, candidates=candidates)
+
+    def search_many(
+        self,
+        queries: Dict[str, Query],
+        k: int = 10,
+        method: str = "types",
+        use_lsh: bool = False,
+        lsh_config: LSHConfig = RECOMMENDED_CONFIG,
+        votes: int = 1,
+    ) -> Dict[str, ResultSet]:
+        """Run a batch of queries; identical to per-query :meth:`search`.
+
+        This is the entry point the serving layer's micro-batcher uses:
+        coalesced concurrent requests share one warm pass over the
+        engine (and its persistent similarity cache) while every
+        ranking stays bit-identical to a sequential :meth:`search`.
+        """
+        self._check_open("search_many")
+        candidates: Optional[Dict[str, Iterable[str]]] = None
+        if use_lsh:
+            prefilter = self.prefilter(method, lsh_config)
+            candidates = {
+                query_id: prefilter.candidate_tables(query, votes=votes)
+                for query_id, query in queries.items()
+            }
+        if self.workers > 1:
+            return self.parallel_engine(method).search_many(
+                queries, k=k, candidates=candidates
+            )
+        return self.engine(method).search_many(
+            queries, k=k, candidates=candidates
+        )
 
     def search_topk(self, query: Query, k: int = 10,
                     method: str = "types") -> ResultSet:
@@ -298,6 +421,7 @@ class Thetis:
         """
         from repro.core.topk import topk_search
 
+        self._check_open("search_topk")
         return topk_search(self.engine(method), query, k)
 
     def explain(self, query: Query, table_id: str, method: str = "types"):
@@ -308,6 +432,7 @@ class Thetis:
         """
         from repro.core.explain import explain_table
 
+        self._check_open("explain")
         return explain_table(
             self.engine(method), query, self.lake.get(table_id)
         )

@@ -32,6 +32,33 @@ class TestParser:
         assert args.profile == "wt2015"
         assert args.tables == 500
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args([
+            "serve", "--graph", "g", "--lake", "l", "--mapping", "m",
+        ])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.method == "types"
+        assert args.max_batch == 8
+        assert args.flush_interval == pytest.approx(0.002)
+        assert args.queue_depth == 64
+        assert args.timeout == pytest.approx(30.0)
+        assert args.batch_workers == 1
+        assert not args.no_warm
+
+    def test_serve_custom_knobs(self):
+        args = build_parser().parse_args([
+            "serve", "--graph", "g", "--lake", "l", "--mapping", "m",
+            "--port", "0", "--max-batch", "16", "--queue-depth", "8",
+            "--timeout", "2.5", "--no-warm", "--workers", "4",
+        ])
+        assert args.port == 0
+        assert args.max_batch == 16
+        assert args.queue_depth == 8
+        assert args.timeout == pytest.approx(2.5)
+        assert args.no_warm
+        assert args.workers == 4
+
 
 class TestGenerate(object):
     def test_writes_all_artifacts(self, corpus_dir):

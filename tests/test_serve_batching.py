@@ -1,0 +1,372 @@
+"""Tests for the micro-batching queue: coalescing, backpressure, timeouts.
+
+These drive :class:`~repro.serve.batching.MicroBatcher` directly with
+synthetic runners (no HTTP, no engine) so each property is isolated:
+batched outcomes align with submissions, a full queue fast-fails with
+503 semantics instead of hanging, deadlines expire into 504 semantics,
+and shutdown drains admitted work.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import (
+    RequestTimeoutError,
+    ServeError,
+    ServerOverloadedError,
+)
+from repro.serve.batching import MicroBatcher
+
+
+def run(coro):
+    """Run an async test body on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+class TestBatchingCorrectness:
+    def test_single_item_roundtrip(self):
+        async def body():
+            async def runner(items):
+                return [item * 2 for item in items]
+
+            batcher = MicroBatcher(runner, flush_interval=0.001)
+            await batcher.start()
+            try:
+                assert await batcher.submit(21) == 42
+            finally:
+                await batcher.stop()
+
+        run(body())
+
+    def test_concurrent_submissions_coalesce(self):
+        """A burst of concurrent submits folds into few runner calls,
+        and every submitter still receives exactly its own outcome."""
+        async def body():
+            sizes = []
+
+            async def runner(items):
+                sizes.append(len(items))
+                return [item + 100 for item in items]
+
+            batcher = MicroBatcher(
+                runner, max_batch_size=8, flush_interval=0.02
+            )
+            await batcher.start()
+            try:
+                results = await asyncio.gather(
+                    *(batcher.submit(i) for i in range(8))
+                )
+            finally:
+                await batcher.stop()
+            assert results == [i + 100 for i in range(8)]
+            # Fewer runner calls than submissions, and at least one
+            # call actually batched multiple items.
+            assert sum(sizes) == 8
+            assert len(sizes) < 8
+            assert max(sizes) >= 2
+            assert batcher.items_executed == 8
+
+        run(body())
+
+    def test_batch_size_cap_respected(self):
+        async def body():
+            sizes = []
+
+            async def runner(items):
+                sizes.append(len(items))
+                return list(items)
+
+            batcher = MicroBatcher(
+                runner, max_batch_size=3, flush_interval=0.02
+            )
+            await batcher.start()
+            try:
+                await asyncio.gather(
+                    *(batcher.submit(i) for i in range(10))
+                )
+            finally:
+                await batcher.stop()
+            assert max(sizes) <= 3
+
+        run(body())
+
+    def test_per_item_exception_outcomes(self):
+        """An exception outcome fails only its own submitter."""
+        async def body():
+            async def runner(items):
+                return [
+                    ValueError("odd") if item % 2 else item
+                    for item in items
+                ]
+
+            batcher = MicroBatcher(
+                runner, max_batch_size=4, flush_interval=0.02
+            )
+            await batcher.start()
+            try:
+                outcomes = await asyncio.gather(
+                    *(batcher.submit(i) for i in range(4)),
+                    return_exceptions=True,
+                )
+            finally:
+                await batcher.stop()
+            assert outcomes[0] == 0
+            assert isinstance(outcomes[1], ValueError)
+            assert outcomes[2] == 2
+            assert isinstance(outcomes[3], ValueError)
+
+        run(body())
+
+    def test_runner_failure_fails_whole_batch(self):
+        async def body():
+            async def runner(items):
+                raise RuntimeError("engine exploded")
+
+            batcher = MicroBatcher(runner, flush_interval=0.001)
+            await batcher.start()
+            try:
+                with pytest.raises(RuntimeError, match="engine exploded"):
+                    await batcher.submit(1)
+            finally:
+                await batcher.stop()
+
+        run(body())
+
+    def test_misaligned_runner_output_rejected(self):
+        async def body():
+            async def runner(items):
+                return []  # wrong length
+
+            batcher = MicroBatcher(runner, flush_interval=0.001)
+            await batcher.start()
+            try:
+                with pytest.raises(ServeError, match="outcomes"):
+                    await batcher.submit(1)
+            finally:
+                await batcher.stop()
+
+        run(body())
+
+
+class TestBackpressure:
+    def test_overload_fast_fails(self):
+        """With the worker wedged and the queue full, the next submit
+        raises ServerOverloadedError immediately instead of hanging."""
+        async def body():
+            gate = asyncio.Event()
+
+            async def runner(items):
+                await gate.wait()
+                return list(items)
+
+            batcher = MicroBatcher(
+                runner, max_batch_size=1, flush_interval=0.0,
+                max_queue_depth=2, request_timeout=5.0,
+            )
+            await batcher.start()
+            # First submission is picked up by the worker and blocks
+            # on the gate; the next two fill the admission queue.
+            inflight = asyncio.ensure_future(batcher.submit("a"))
+            await asyncio.sleep(0.02)
+            queued = [
+                asyncio.ensure_future(batcher.submit(x))
+                for x in ("b", "c")
+            ]
+            await asyncio.sleep(0.02)
+            with pytest.raises(ServerOverloadedError):
+                await batcher.submit("overflow")
+            # Release the gate: everything admitted still completes —
+            # overload rejects new work without dropping accepted work.
+            gate.set()
+            assert await inflight == "a"
+            assert await asyncio.gather(*queued) == ["b", "c"]
+            await batcher.stop()
+
+        run(body())
+
+    def test_overload_error_is_immediate(self):
+        async def body():
+            gate = asyncio.Event()
+
+            async def runner(items):
+                await gate.wait()
+                return list(items)
+
+            batcher = MicroBatcher(
+                runner, max_batch_size=1, flush_interval=0.0,
+                max_queue_depth=1,
+            )
+            await batcher.start()
+            inflight = asyncio.ensure_future(batcher.submit("a"))
+            await asyncio.sleep(0.02)
+            queued = asyncio.ensure_future(batcher.submit("b"))
+            await asyncio.sleep(0.02)
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            with pytest.raises(ServerOverloadedError):
+                await batcher.submit("overflow")
+            # The rejection must not wait out the request timeout.
+            assert loop.time() - started < 1.0
+            gate.set()
+            await inflight
+            await queued
+            await batcher.stop()
+
+        run(body())
+
+    def test_submit_after_stop_rejected(self):
+        async def body():
+            async def runner(items):
+                return list(items)
+
+            batcher = MicroBatcher(runner)
+            await batcher.start()
+            await batcher.stop()
+            with pytest.raises(ServeError):
+                await batcher.submit(1)
+
+        run(body())
+
+
+class TestTimeouts:
+    def test_slow_batch_times_out(self):
+        async def body():
+            async def runner(items):
+                await asyncio.sleep(0.5)
+                return list(items)
+
+            batcher = MicroBatcher(
+                runner, flush_interval=0.0, request_timeout=0.05
+            )
+            await batcher.start()
+            try:
+                with pytest.raises(RequestTimeoutError):
+                    await batcher.submit(1)
+            finally:
+                await batcher.stop()
+
+        run(body())
+
+    def test_late_result_dropped_not_crashed(self):
+        """After a timeout the batch still finishes; its late result is
+        discarded silently and the batcher keeps serving."""
+        async def body():
+            async def runner(items):
+                await asyncio.sleep(0.1)
+                return [item * 2 for item in items]
+
+            batcher = MicroBatcher(
+                runner, flush_interval=0.0, request_timeout=0.02
+            )
+            await batcher.start()
+            try:
+                with pytest.raises(RequestTimeoutError):
+                    await batcher.submit(1)
+                # A generous per-call timeout shows the worker survived.
+                assert await batcher.submit(2, timeout=5.0) == 4
+            finally:
+                await batcher.stop()
+
+        run(body())
+
+    def test_per_submit_timeout_overrides_default(self):
+        async def body():
+            async def runner(items):
+                await asyncio.sleep(0.2)
+                return list(items)
+
+            batcher = MicroBatcher(
+                runner, flush_interval=0.0, request_timeout=10.0
+            )
+            await batcher.start()
+            try:
+                with pytest.raises(RequestTimeoutError):
+                    await batcher.submit(1, timeout=0.02)
+            finally:
+                await batcher.stop()
+
+        run(body())
+
+
+class TestShutdown:
+    def test_stop_drains_admitted_work(self):
+        async def body():
+            async def runner(items):
+                await asyncio.sleep(0.02)
+                return [item + 1 for item in items]
+
+            batcher = MicroBatcher(
+                runner, max_batch_size=4, flush_interval=0.005
+            )
+            await batcher.start()
+            tasks = [
+                asyncio.ensure_future(batcher.submit(i))
+                for i in range(10)
+            ]
+            await asyncio.sleep(0)  # let the submissions enqueue
+            await batcher.stop(drain=True)
+            assert await asyncio.gather(*tasks) == list(range(1, 11))
+            assert not batcher.running
+
+        run(body())
+
+    def test_stop_without_drain_fails_queued(self):
+        async def body():
+            gate = asyncio.Event()
+
+            async def runner(items):
+                await gate.wait()
+                return list(items)
+
+            batcher = MicroBatcher(
+                runner, max_batch_size=1, flush_interval=0.0,
+                max_queue_depth=8,
+            )
+            await batcher.start()
+            inflight = asyncio.ensure_future(batcher.submit("a"))
+            await asyncio.sleep(0.02)
+            queued = [
+                asyncio.ensure_future(batcher.submit(x))
+                for x in ("b", "c")
+            ]
+            await asyncio.sleep(0.02)
+            stopper = asyncio.ensure_future(batcher.stop(drain=False))
+            await asyncio.sleep(0.02)
+            gate.set()
+            await stopper
+            # The in-flight item finishes; queued ones are failed fast.
+            assert await inflight == "a"
+            outcomes = await asyncio.gather(
+                *queued, return_exceptions=True
+            )
+            assert all(
+                isinstance(o, ServerOverloadedError) for o in outcomes
+            )
+
+        run(body())
+
+    def test_stop_idempotent(self):
+        async def body():
+            async def runner(items):
+                return list(items)
+
+            batcher = MicroBatcher(runner)
+            await batcher.start()
+            await batcher.stop()
+            await batcher.stop()  # second stop is a no-op
+
+        run(body())
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        async def runner(items):
+            return list(items)
+
+        with pytest.raises(ValueError):
+            MicroBatcher(runner, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(runner, flush_interval=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(runner, max_queue_depth=0)

@@ -1,0 +1,156 @@
+"""Tests for the serving wire protocol: parsing, validation, codec."""
+
+import pytest
+
+from repro.core.result import ResultSet, ScoredTable
+from repro.exceptions import ProtocolError
+from repro.serve.protocol import (
+    MAX_K,
+    MAX_TUPLES,
+    ExplainRequest,
+    SearchRequest,
+    TableUpsertRequest,
+    error_to_json,
+    result_to_json,
+)
+
+
+class TestSearchRequest:
+    def test_minimal_defaults(self):
+        req = SearchRequest.from_json({"tuples": [["kg:a", "kg:b"]]})
+        assert req.tuples == (("kg:a", "kg:b"),)
+        assert req.k == 10
+        assert req.method == "types"
+        assert req.mode == "search"
+        assert not req.use_lsh
+        assert req.votes == 1
+
+    def test_all_fields(self):
+        req = SearchRequest.from_json(
+            {"tuples": [["kg:a"], ["kg:b", "kg:c"]], "k": 3,
+             "method": "embeddings", "use_lsh": True, "votes": 3},
+            mode="topk",
+        )
+        assert req.k == 3
+        assert req.method == "embeddings"
+        assert req.mode == "topk"
+        assert req.use_lsh
+        assert req.votes == 3
+
+    def test_non_object_body(self):
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_json([["kg:a"]])
+
+    def test_missing_tuples(self):
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_json({"k": 5})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request fields"):
+            SearchRequest.from_json(
+                {"tuples": [["kg:a"]], "tupels": [["kg:b"]]}
+            )
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_json({"tuples": [[]]})
+
+    def test_non_string_entity_rejected(self):
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_json({"tuples": [["kg:a", 7]]})
+
+    def test_too_many_tuples_rejected(self):
+        tuples = [["kg:a"]] * (MAX_TUPLES + 1)
+        with pytest.raises(ProtocolError, match="too many"):
+            SearchRequest.from_json({"tuples": tuples})
+
+    def test_k_bounds(self):
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_json({"tuples": [["kg:a"]], "k": 0})
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_json({"tuples": [["kg:a"]], "k": MAX_K + 1})
+
+    def test_k_boolean_rejected(self):
+        # bool is an int subclass; the codec must not accept it.
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_json({"tuples": [["kg:a"]], "k": True})
+
+    def test_bad_method(self):
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_json(
+                {"tuples": [["kg:a"]], "method": "magic"}
+            )
+
+    def test_query_materializes(self):
+        req = SearchRequest.from_json({"tuples": [["kg:a", "kg:b"]]})
+        assert req.query().tuples == (("kg:a", "kg:b"),)
+
+    def test_batch_key_groups_compatible_requests(self):
+        a = SearchRequest.from_json({"tuples": [["kg:a"]], "k": 5})
+        b = SearchRequest.from_json({"tuples": [["kg:z"]], "k": 5})
+        c = SearchRequest.from_json({"tuples": [["kg:z"]], "k": 7})
+        assert a.batch_key() == b.batch_key()
+        assert a.batch_key() != c.batch_key()
+
+
+class TestExplainRequest:
+    def test_roundtrip(self):
+        req = ExplainRequest.from_json(
+            {"tuples": [["kg:a"]], "table_id": "T01"}
+        )
+        assert req.table_id == "T01"
+        assert req.method == "types"
+
+    def test_missing_table_id(self):
+        with pytest.raises(ProtocolError):
+            ExplainRequest.from_json({"tuples": [["kg:a"]]})
+
+
+class TestTableUpsertRequest:
+    def test_roundtrip(self):
+        req = TableUpsertRequest.from_json({
+            "table": {"id": "TX", "attributes": ["A", "B"],
+                      "rows": [["x", 1], ["y", None]],
+                      "metadata": {"caption": "c"}},
+        })
+        table = req.table()
+        assert table.table_id == "TX"
+        assert table.num_rows == 2
+        assert req.link
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ProtocolError):
+            TableUpsertRequest.from_json({
+                "table": {"id": "TX", "attributes": ["A", "B"],
+                          "rows": [["only-one"]]},
+            })
+
+    def test_missing_table_object(self):
+        with pytest.raises(ProtocolError):
+            TableUpsertRequest.from_json({"link": True})
+
+    def test_duplicate_attributes_rejected_at_build(self):
+        req = TableUpsertRequest.from_json({
+            "table": {"id": "TX", "attributes": ["A", "A"],
+                      "rows": []},
+        })
+        with pytest.raises(ProtocolError):
+            req.table()
+
+
+class TestResponseCodec:
+    def test_result_to_json_ranks_and_scores(self):
+        results = ResultSet([
+            ScoredTable(0.9, "T1"), ScoredTable(0.5, "T2"),
+        ])
+        req = SearchRequest.from_json({"tuples": [["kg:a"]], "k": 2})
+        payload = result_to_json(results, req, snapshot_version=4)
+        assert payload["count"] == 2
+        assert payload["snapshot_version"] == 4
+        assert payload["results"][0] == {
+            "rank": 1, "table_id": "T1", "score": 0.9,
+        }
+
+    def test_error_envelope(self):
+        assert error_to_json("boom", 503) == {"error": "boom",
+                                              "status": 503}

@@ -1,0 +1,274 @@
+"""Tests for versioned engine snapshots and copy-and-swap updates."""
+
+import threading
+
+import pytest
+
+from repro import Query, Thetis
+from repro.datalake import Table
+from repro.exceptions import ServeError
+from repro.serve.snapshot import EngineSnapshot, SnapshotManager
+
+
+class FakeEngine:
+    """Stands in for Thetis where only close() matters."""
+
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+def fresh_thetis(sports_lake, sports_graph, sports_mapping) -> Thetis:
+    """A private Thetis over copies of the session fixtures.
+
+    Snapshot managers take ownership and close their engine, and
+    mutations must never leak into the shared session corpus.
+    """
+    reference = Thetis(sports_lake, sports_graph, sports_mapping)
+    lake, mapping = reference.snapshot_inputs()
+    return Thetis(lake, sports_graph, mapping)
+
+
+def extra_table(table_id: str = "TX") -> Table:
+    return Table(
+        table_id,
+        ["Player", "Team"],
+        [["Player 0", "Team 0"], ["Player 8", "Team 0"]],
+        metadata={"caption": "extra"},
+    )
+
+
+QUERY = Query.single("kg:player0", "kg:team0", "kg:city0")
+
+
+class TestEngineSnapshot:
+    def test_refcount_close_after_drain(self):
+        engine = FakeEngine()
+        snapshot = EngineSnapshot(engine, version=0)
+        snapshot.acquire()
+        snapshot.acquire()
+        snapshot.retire()
+        assert not engine.closed  # two readers still on it
+        snapshot.release()
+        assert not engine.closed
+        snapshot.release()
+        assert engine.closed  # retired AND drained
+
+    def test_retire_with_no_readers_closes_immediately(self):
+        engine = FakeEngine()
+        snapshot = EngineSnapshot(engine, version=0)
+        snapshot.retire()
+        assert engine.closed
+
+    def test_retire_idempotent(self):
+        engine = FakeEngine()
+        snapshot = EngineSnapshot(engine, version=0)
+        snapshot.retire()
+        snapshot.retire()
+        assert engine.closed
+
+    def test_acquire_after_drain_rejected(self):
+        snapshot = EngineSnapshot(FakeEngine(), version=0)
+        snapshot.retire()
+        with pytest.raises(ServeError):
+            snapshot.acquire()
+
+
+class TestSnapshotManager:
+    def test_checkout_yields_current(self, sports_lake, sports_graph,
+                                     sports_mapping):
+        manager = SnapshotManager(
+            fresh_thetis(sports_lake, sports_graph, sports_mapping)
+        )
+        try:
+            with manager.checkout() as snapshot:
+                assert snapshot.version == 0
+                results = snapshot.thetis.search(QUERY, k=3)
+                assert results.table_ids()[0] == "T00"
+        finally:
+            manager.close()
+
+    def test_apply_swaps_version_and_contents(self, sports_lake,
+                                              sports_graph,
+                                              sports_mapping):
+        manager = SnapshotManager(
+            fresh_thetis(sports_lake, sports_graph, sports_mapping)
+        )
+        try:
+            old_engine = manager.current.thetis
+            manager.apply(
+                lambda thetis: thetis.add_table(extra_table(), link=True)
+            )
+            assert manager.version == 1
+            # The retired generation had no readers, so it closed.
+            assert old_engine.closed
+            with manager.checkout() as snapshot:
+                assert "TX" in snapshot.thetis.lake
+                assert snapshot.version == 1
+        finally:
+            manager.close()
+
+    def test_inflight_reader_finishes_on_old_generation(
+            self, sports_lake, sports_graph, sports_mapping):
+        manager = SnapshotManager(
+            fresh_thetis(sports_lake, sports_graph, sports_mapping)
+        )
+        try:
+            with manager.checkout() as snapshot:
+                manager.apply(
+                    lambda thetis: thetis.add_table(extra_table(),
+                                                    link=True)
+                )
+                # The swap happened, but this reader's pinned engine is
+                # still the pre-mutation generation and still open.
+                assert manager.version == 1
+                assert snapshot.version == 0
+                assert "TX" not in snapshot.thetis.lake
+                assert not snapshot.thetis.closed
+                results = snapshot.thetis.search(QUERY, k=3)
+                assert results.table_ids()[0] == "T00"
+                old_engine = snapshot.thetis
+            # Released: the retired generation drains and closes.
+            assert old_engine.closed
+        finally:
+            manager.close()
+
+    def test_failed_mutation_leaves_state_unchanged(
+            self, sports_lake, sports_graph, sports_mapping):
+        manager = SnapshotManager(
+            fresh_thetis(sports_lake, sports_graph, sports_mapping)
+        )
+        try:
+            current = manager.current.thetis
+            with pytest.raises(RuntimeError, match="bad mutation"):
+                manager.apply(
+                    lambda thetis: (_ for _ in ()).throw(
+                        RuntimeError("bad mutation")
+                    )
+                )
+            assert manager.version == 0
+            assert manager.current.thetis is current
+            assert not current.closed
+            with manager.checkout() as snapshot:
+                assert snapshot.thetis.search(QUERY, k=1)
+        finally:
+            manager.close()
+
+    def test_mutations_do_not_touch_session_fixtures(
+            self, sports_lake, sports_graph, sports_mapping):
+        manager = SnapshotManager(
+            fresh_thetis(sports_lake, sports_graph, sports_mapping)
+        )
+        try:
+            manager.apply(
+                lambda thetis: thetis.add_table(extra_table(), link=True)
+            )
+            assert "TX" not in sports_lake
+            assert len(sports_lake) == 12
+        finally:
+            manager.close()
+
+    def test_close_then_checkout_rejected(self, sports_lake, sports_graph,
+                                          sports_mapping):
+        engine = fresh_thetis(sports_lake, sports_graph, sports_mapping)
+        manager = SnapshotManager(engine)
+        manager.close()
+        assert engine.closed
+        with pytest.raises(ServeError):
+            with manager.checkout():
+                pass
+        with pytest.raises(ServeError):
+            manager.apply(lambda thetis: None)
+
+    def test_close_idempotent(self, sports_lake, sports_graph,
+                              sports_mapping):
+        manager = SnapshotManager(
+            fresh_thetis(sports_lake, sports_graph, sports_mapping)
+        )
+        manager.close()
+        manager.close()
+
+    def test_on_swap_callback(self, sports_lake, sports_graph,
+                              sports_mapping):
+        versions = []
+        manager = SnapshotManager(
+            fresh_thetis(sports_lake, sports_graph, sports_mapping),
+            on_swap=versions.append,
+        )
+        try:
+            manager.apply(
+                lambda thetis: thetis.add_table(extra_table("TA"),
+                                                link=True)
+            )
+            manager.apply(
+                lambda thetis: thetis.add_table(extra_table("TB"),
+                                                link=True)
+            )
+            assert versions == [1, 2]
+        finally:
+            manager.close()
+
+    def test_warm_on_swap(self, sports_lake, sports_graph,
+                          sports_mapping):
+        manager = SnapshotManager(
+            fresh_thetis(sports_lake, sports_graph, sports_mapping),
+            warm_method="types",
+        )
+        try:
+            manager.apply(
+                lambda thetis: thetis.add_table(extra_table(), link=True)
+            )
+            engine = manager.current.thetis.engine("types")
+            # warm() pre-built the per-table views, TX included.
+            assert "TX" in engine._column_counts
+        finally:
+            manager.close()
+
+
+class TestSwapUnderConcurrentReaders:
+    def test_queries_never_fail_during_swaps(self, sports_lake,
+                                             sports_graph,
+                                             sports_mapping):
+        """Reader threads hammer checkout+search while the main thread
+        applies a series of mutations; every search must succeed and
+        return a coherent result for its pinned generation."""
+        manager = SnapshotManager(
+            fresh_thetis(sports_lake, sports_graph, sports_mapping)
+        )
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    with manager.checkout() as snapshot:
+                        results = snapshot.thetis.search(QUERY, k=3)
+                        assert results.table_ids()[0] == "T00"
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for index in range(5):
+                table_id = f"TZ{index}"
+                manager.apply(
+                    lambda thetis, tid=table_id: thetis.add_table(
+                        extra_table(tid), link=True
+                    )
+                )
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+        try:
+            assert not errors
+            assert manager.version == 5
+            with manager.checkout() as snapshot:
+                for index in range(5):
+                    assert f"TZ{index}" in snapshot.thetis.lake
+        finally:
+            manager.close()
