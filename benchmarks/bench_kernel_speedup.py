@@ -1,0 +1,145 @@
+"""Vectorized scoring kernel vs the scalar engine: speedup + parity.
+
+Scores the Table 3 benchmark lake (the WT2015-profile corpus behind
+Section 7.3) twice per similarity method — once with the scalar
+per-cell engine, once with the vectorized kernel — on single-worker
+brute-force search, and reports:
+
+* the *cold* speedup: fresh engines, empty caches; the vectorized side
+  pays its corpus-index compilation inside the measured window.  This
+  is the Section 7.3 first-query cost the kernel attacks, and the
+  headline assertion requires >= 5x;
+* the *warm* speedup: the same engines re-running the same queries, so
+  the scalar engine answers from its persistent similarity cache and
+  the kernel from its row memo — the steady-state comparison;
+* the max per-table score delta between the two engines across every
+  query (must stay within the 1e-9 parity budget).
+
+The report is written to ``BENCH_kernel.json`` in the working
+directory (scripts/ci.sh runs this with ``--quick``).
+"""
+
+import json
+import time
+
+from benchmarks.conftest import print_header
+from repro.core.kernel import VectorizedTableSearchEngine
+from repro.core.search import TableSearchEngine
+
+TOLERANCE = 1e-9
+REQUIRED_COLD_SPEEDUP = 5.0
+
+REPORT_PATH = "BENCH_kernel.json"
+
+
+def _queries(bench):
+    return (
+        list(bench.queries.one_tuple.values())
+        + list(bench.queries.five_tuple.values())
+    )
+
+
+def _build(engine_cls, thetis, method):
+    """A fresh, cold engine sharing the corpus and sigma of ``thetis``."""
+    reference = thetis.engine(method)
+    return engine_cls(
+        thetis.lake,
+        thetis.mapping,
+        reference.sigma,
+        informativeness=thetis.informativeness,
+        row_aggregation=thetis.row_aggregation,
+        query_aggregation=thetis.query_aggregation,
+    )
+
+
+def _timed_search(engine, queries):
+    """Full brute-force rankings for every query, plus wall seconds."""
+    rankings = []
+    start = time.perf_counter()
+    for query in queries:
+        rankings.append(engine.search(query, k=None))
+    return rankings, time.perf_counter() - start
+
+
+def _max_delta(scalar_rankings, vector_rankings):
+    """Largest per-table score difference across all rankings."""
+    worst = 0.0
+    for a, b in zip(scalar_rankings, vector_rankings):
+        scores_a = {s.table_id: s.score for s in a}
+        scores_b = {s.table_id: s.score for s in b}
+        for table_id in scores_a.keys() | scores_b.keys():
+            delta = abs(
+                scores_a.get(table_id, 0.0) - scores_b.get(table_id, 0.0)
+            )
+            worst = max(worst, delta)
+    return worst
+
+
+def test_kernel_speedup(wt_bench, wt_thetis, benchmark):
+    queries = _queries(wt_bench)
+
+    def run():
+        report = {}
+        for method in ("types", "embeddings"):
+            scalar = _build(TableSearchEngine, wt_thetis, method)
+            vector = _build(VectorizedTableSearchEngine, wt_thetis, method)
+            scalar_rankings, scalar_cold = _timed_search(scalar, queries)
+            vector_rankings, vector_cold = _timed_search(vector, queries)
+            _, scalar_warm = _timed_search(scalar, queries)
+            _, vector_warm = _timed_search(vector, queries)
+            report[method] = {
+                "scalar_cold_seconds": scalar_cold,
+                "vectorized_cold_seconds": vector_cold,
+                "scalar_warm_seconds": scalar_warm,
+                "vectorized_warm_seconds": vector_warm,
+                "cold_speedup": scalar_cold / vector_cold,
+                "warm_speedup": scalar_warm / vector_warm,
+                "max_score_delta": _max_delta(
+                    scalar_rankings, vector_rankings
+                ),
+                "corpus_entities": vector.index().num_entities,
+            }
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header(
+        f"Vectorized kernel vs scalar engine "
+        f"({len(wt_bench.lake)} tables, {len(queries)} queries)"
+    )
+    for method, row in report.items():
+        print(f"  {method}:")
+        print(f"    scalar cold     {row['scalar_cold_seconds']:8.2f} s")
+        print(f"    vectorized cold {row['vectorized_cold_seconds']:8.2f} s"
+              f"   -> {row['cold_speedup']:6.1f}x")
+        print(f"    scalar warm     {row['scalar_warm_seconds']:8.2f} s")
+        print(f"    vectorized warm {row['vectorized_warm_seconds']:8.2f} s"
+              f"   -> {row['warm_speedup']:6.1f}x")
+        print(f"    max score delta {row['max_score_delta']:.3e}")
+
+    payload = {
+        "corpus_tables": len(wt_bench.lake),
+        "queries": len(queries),
+        "tolerance": TOLERANCE,
+        "methods": report,
+    }
+    with open(REPORT_PATH, "w", encoding="utf-8") as out:
+        json.dump(payload, out, indent=2)
+    print(f"  report -> {REPORT_PATH}")
+
+    for method, row in report.items():
+        # Parity is the contract: the kernel is an optimization, not an
+        # approximation.
+        assert row["max_score_delta"] <= TOLERANCE, (
+            f"{method}: parity broken ({row['max_score_delta']:.3e})"
+        )
+        # The headline claim: >= 5x on the cold brute-force pass, per
+        # method, even with index compilation inside the window.
+        assert row["cold_speedup"] >= REQUIRED_COLD_SPEEDUP, (
+            f"{method}: cold speedup {row['cold_speedup']:.1f}x < "
+            f"{REQUIRED_COLD_SPEEDUP}x"
+        )
+        # Warm steady state must never regress behind the scalar cache.
+        assert row["warm_speedup"] >= 1.0, (
+            f"{method}: warm regression {row['warm_speedup']:.2f}x"
+        )

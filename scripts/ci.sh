@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests plus quick perf smokes of the parallel/cache
-# layer and the online serving layer, so regressions in the scoring
-# substrate or the query service surface without running the full
-# benchmark harness.
+# layer, the vectorized scoring kernel (score parity + speedup floor),
+# and the online serving layer, so regressions in the scoring substrate
+# or the query service surface without running the full benchmark
+# harness.
 #
 # Usage: scripts/ci.sh [workers]   (default: 2)
 
@@ -20,6 +21,13 @@ echo "== perf smoke: parallel sharding + persistent cache (workers=$WORKERS) =="
 python -m pytest -x -q -s \
     "benchmarks/bench_table3_runtime.py::test_table3_parallel_cache_speedup" \
     --quick --workers "$WORKERS" \
+    --benchmark-disable
+
+echo
+echo "== kernel smoke: vectorized-vs-scalar parity + speedup =="
+python -m pytest -x -q -s \
+    "benchmarks/bench_kernel_speedup.py" \
+    --quick \
     --benchmark-disable
 
 echo

@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence
 
 from repro.benchgen import PROFILES, build_benchmark
 from repro.core.cache import DEFAULT_SIMILARITY_CACHE_SIZE
+from repro.core.kernel import ENGINE_KINDS
 from repro.core.query import Query
 from repro.datalake.io import load_lake, save_lake
 from repro.datalake.stats import corpus_statistics
@@ -157,6 +158,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         workers=args.workers,
         search_backend=args.backend,
         cache_size=args.cache_size,
+        engine_kind=args.engine,
     ) as thetis:
         if args.method == "embeddings":
             thetis.train_embeddings(
@@ -199,6 +201,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         search_backend=args.backend,
         cache_size=args.cache_size,
+        engine_kind=args.engine,
     )
     if args.method == "embeddings":
         thetis.train_embeddings(dimensions=args.dimensions, seed=args.seed)
@@ -256,6 +259,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         lake, graph, mapping,
         workers=args.workers,
         cache_size=args.cache_size,
+        engine_kind=args.engine,
     )
     bm25 = BM25TableSearch(lake)
     queries = query_set.all_queries()
@@ -383,6 +387,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--cache-size", type=int,
                        default=DEFAULT_SIMILARITY_CACHE_SIZE,
                        help="similarity-cache entry bound")
+    bench.add_argument("--engine", choices=ENGINE_KINDS, default="scalar",
+                       help="scoring engine implementation")
     bench.set_defaults(func=_cmd_bench)
 
     serve = sub.add_parser(
@@ -404,6 +410,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="thread")
     serve.add_argument("--cache-size", type=int,
                        default=DEFAULT_SIMILARITY_CACHE_SIZE)
+    serve.add_argument("--engine", choices=ENGINE_KINDS, default="scalar",
+                       help="scoring engine implementation (vectorized = "
+                            "batched numpy kernel over a compiled corpus "
+                            "index)")
     serve.add_argument("--max-batch", type=int, default=8,
                        help="queries coalesced per engine pass")
     serve.add_argument("--flush-interval", type=float, default=0.002,
@@ -444,6 +454,10 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--cache-size", type=int,
                         default=DEFAULT_SIMILARITY_CACHE_SIZE,
                         help="similarity-cache entry bound")
+    search.add_argument("--engine", choices=ENGINE_KINDS, default="scalar",
+                        help="scoring engine implementation (vectorized = "
+                             "batched numpy kernel over a compiled corpus "
+                             "index; identical rankings)")
     search.add_argument("--cache-stats", action="store_true",
                         help="print cache hit/miss statistics after "
                              "searching")

@@ -26,6 +26,12 @@ from repro.core.fusion import (
     comb_sum,
     reciprocal_rank_fusion,
 )
+from repro.core.kernel import (
+    ENGINE_KINDS,
+    CorpusIndex,
+    VectorizedTableSearchEngine,
+    engine_class,
+)
 from repro.core.mappings import MappingKind, RelevantMapping, best_mapping
 from repro.core.relaxation import (
     RelaxationOutcome,
@@ -48,6 +54,10 @@ __all__ = [
     "Query",
     "EntityTuple",
     "TableSearchEngine",
+    "VectorizedTableSearchEngine",
+    "CorpusIndex",
+    "ENGINE_KINDS",
+    "engine_class",
     "ParallelSearchEngine",
     "LRUCache",
     "SimilarityCache",

@@ -1,0 +1,41 @@
+"""Vectorized scoring kernel: columnar corpus index + batched SemRel.
+
+The package has two halves:
+
+* :mod:`repro.core.kernel.index` — the compiled, read-only
+  :class:`CorpusIndex` (interned entity ids, columnar per-table entity
+  grids, type bitmaps for popcount Jaccard, stacked unit embeddings for
+  matmul cosine, memoized similarity rows);
+* :mod:`repro.core.kernel.engine` — the
+  :class:`VectorizedTableSearchEngine`, a drop-in scalar-engine
+  replacement evaluating Algorithm 1 with array reductions, score-parity
+  to <= 1e-9.
+
+Select it with ``Thetis(..., engine_kind="vectorized")`` or
+``--engine vectorized`` on the CLI; see ``docs/performance.md`` for the
+memory layout and when each engine wins.
+"""
+
+from repro.core.kernel.engine import (
+    ENGINE_KINDS,
+    VectorizedTableSearchEngine,
+    engine_class,
+)
+from repro.core.kernel.index import (
+    DEFAULT_ROW_CACHE_SIZE,
+    CorpusIndex,
+    SimilarityKernel,
+    TableView,
+    compile_kernel,
+)
+
+__all__ = [
+    "ENGINE_KINDS",
+    "CorpusIndex",
+    "DEFAULT_ROW_CACHE_SIZE",
+    "SimilarityKernel",
+    "TableView",
+    "VectorizedTableSearchEngine",
+    "compile_kernel",
+    "engine_class",
+]

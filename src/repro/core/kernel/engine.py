@@ -1,0 +1,662 @@
+"""The vectorized scoring engine: Algorithm 1 as array programs.
+
+:class:`VectorizedTableSearchEngine` keeps the scalar engine's entire
+contract — same constructor, same ``search`` / ``search_many`` /
+``score_table`` semantics, same caches and profile — but replaces the
+per-cell Python hot loop with batched numpy passes over a compiled
+:class:`~repro.core.kernel.index.CorpusIndex`:
+
+1. per query entity, one kernel pass yields its similarity against
+   every corpus entity (matmul for embeddings, bitmap popcount for
+   type Jaccard);
+2. the Section 5.1 column-relevance matrix is one ``bincount``
+   reduction per query entity over the table's flattened column
+   multiset, then solved by the same Hungarian implementation;
+3. per-row SemRel (Equations 2-3, both tuple semantics and both
+   aggregations) is evaluated with numpy reductions over the table's
+   id grid instead of nested Python loops.
+
+Scores are parity-checked against the scalar engine to <= 1e-9 (bit
+equal for type similarity, BLAS-summation-order noise for cosine); the
+randomized suite in ``tests/test_core_kernel.py`` pins this across
+tuple semantics, aggregation modes, nulls, unlinked cells, and
+entities missing embeddings.
+
+The compiled index is built lazily and shared read-only: thread shards
+of the parallel engine reuse one instance, process workers receive it
+inside their pickled engine copy (:meth:`prepare` compiles it before
+the pool forks), and lake mutations invalidate it for a lazy rebuild —
+the serving layer's snapshot swap triggers that rebuild off the
+request path while warming the next generation.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.aggregation import RowAggregation, TupleSemantics
+from repro.core.assignment import max_assignment
+from repro.core.cache import (
+    DEFAULT_SIMILARITY_CACHE_SIZE,
+    DEFAULT_VIEW_CACHE_SIZE,
+    CacheStats,
+    LRUCache,
+)
+from repro.core.kernel.index import DEFAULT_ROW_CACHE_SIZE, CorpusIndex
+from repro.core.query import Query
+from repro.core.result import ResultSet, ScoredTable
+from repro.core.search import ScoringProfile, TableScore, TableSearchEngine
+from repro.datalake.table import Table
+
+#: Minimum gap between the best and second-best assignment total before
+#: the enumerated small-width assignment is trusted over the Hungarian
+#: solver.  Well above the ~1e-13 rounding the solver's potentials can
+#: accumulate, so a margin-clearing optimum is provably the solver's
+#: answer too; anything closer falls back to the exact solver.
+ASSIGNMENT_MARGIN = 1e-9
+
+#: Widths the batched search solves by exhaustive enumeration (the
+#: tensor has ``columns ** width`` cells; beyond 3 the solver wins).
+MAX_ENUM_WIDTH = 3
+
+#: ``(n, n, n)`` boolean masks marking option triples that repeat a real
+#: column, keyed by ``n = columns + 1`` — the last option index is the
+#: conflict-exempt null slot, so only repeats below it clash.  Shared by
+#: every width-3 enumeration.
+_CLASH_MASKS: Dict[int, np.ndarray] = {}
+
+
+def _clash_mask(options: int) -> np.ndarray:
+    mask = _CLASH_MASKS.get(options)
+    if mask is None:
+        null = options - 1
+        i, j, k = np.ix_(*[np.arange(options)] * 3)
+        mask = (
+            ((i == j) & (i != null))
+            | ((i == k) & (i != null))
+            | ((j == k) & (j != null))
+        )
+        _CLASH_MASKS[options] = mask
+    return mask
+
+
+class VectorizedTableSearchEngine(TableSearchEngine):
+    """Drop-in :class:`~repro.core.search.TableSearchEngine` with a
+    batched scoring kernel.
+
+    Additional parameter
+    --------------------
+    row_cache_size:
+        Entry bound of the per-query-entity similarity-row memo held
+        by the compiled index.
+
+    Notes
+    -----
+    The scalar machinery stays fully functional underneath: ``explain``
+    and the top-k bound computation keep using the inherited pairwise
+    path (and its :class:`~repro.core.cache.SimilarityCache`), while
+    every ``score_table`` goes through the kernel.  A table missing
+    from the index (mutated lake without invalidation) triggers one
+    rebuild, then falls back to the scalar path if still unknown, so
+    the engine never answers wrong — only slower.
+    """
+
+    #: Engine selector name (the ``--engine`` CLI value).
+    kind = "vectorized"
+
+    def __init__(self, *args, row_cache_size: int = DEFAULT_ROW_CACHE_SIZE,
+                 **kwargs):
+        super().__init__(*args, **kwargs)
+        self.row_cache_size = row_cache_size
+        self._index: Optional[CorpusIndex] = None
+        self._index_lock = threading.Lock()
+        # Informativeness weights per query tuple; entries carry the
+        # informativeness object they were computed from, so swapping
+        # the weight function (Thetis does on lake mutations) never
+        # serves stale weights.
+        self._tuple_weights_cache = LRUCache(256)
+
+    # ------------------------------------------------------------------
+    # Index lifecycle
+    # ------------------------------------------------------------------
+    def index(self) -> CorpusIndex:
+        """The compiled corpus index, built on first use."""
+        index = self._index
+        if index is None:
+            with self._index_lock:
+                if self._index is None:
+                    self._index = CorpusIndex(
+                        self.lake, self.mapping, self.sigma,
+                        row_cache_size=self.row_cache_size,
+                    )
+                index = self._index
+        return index
+
+    def prepare(self) -> None:
+        """Compile the index eagerly.
+
+        The parallel engine calls this before pickling the engine into
+        a process pool, so every worker inherits the compiled arrays
+        instead of rebuilding them.
+        """
+        self.index()
+
+    def _invalidate_index(self) -> None:
+        with self._index_lock:
+            self._index = None
+
+    def invalidate_cache(self, include_similarities: bool = False) -> None:
+        super().invalidate_cache(include_similarities)
+        self._invalidate_index()
+
+    def invalidate_table(self, table_id: str) -> None:
+        super().invalidate_table(table_id)
+        self._invalidate_index()
+
+    def warm(self, table_ids: Optional[Iterable[str]] = None) -> int:
+        """Compile the index, then materialize the scalar-path views.
+
+        A serving snapshot calls this before the swap, so the index
+        rebuild triggered by a table add/remove happens off the
+        request path.
+        """
+        self.index()
+        return super().warm(table_ids)
+
+    def cache_stats(self) -> Dict[str, CacheStats]:
+        stats = super().cache_stats()
+        index = self._index
+        if index is not None:
+            stats["kernel_rows"] = index.row_cache_stats()
+            stats["kernel_tuples"] = index.tuple_cache_stats()
+        return stats
+
+    # Locks are not picklable; process-pool workers rebuild it (the
+    # compiled index itself travels with the engine).
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_index_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._index_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Vectorized Algorithm 1
+    # ------------------------------------------------------------------
+    def _tuple_weights(self, query_tuple) -> np.ndarray:
+        """Informativeness weights of a tuple, memoized per tuple."""
+        entry = self._tuple_weights_cache.get(query_tuple)
+        if entry is not None and entry[0] is self.informativeness:
+            return entry[1]
+        weights = np.array(
+            [self.informativeness(uri) for uri in query_tuple]
+        )
+        self._tuple_weights_cache.put(
+            query_tuple, (self.informativeness, weights)
+        )
+        return weights
+
+    @staticmethod
+    def _fast_assignment(relevance: np.ndarray) -> Optional[np.ndarray]:
+        """Greedy column assignment when it is provably solver-equal.
+
+        When every positive-relevance query entity has a *strictly*
+        unique best column and those columns are pairwise distinct, the
+        sum of row maxima is attainable and every optimal assignment
+        must realize it, so the Hungarian solver's answer produces the
+        same downstream scores as the greedy one.  Zero-relevance
+        entities map to ``-1``: whatever real column the solver would
+        hand them contributes only zero similarities (a zero
+        column-relevance bounds every cell similarity in that column at
+        zero), so the scores are identical there too.  Any tie or
+        column conflict returns ``None`` and the caller falls back to
+        the exact solver.
+        """
+        maxima = relevance.max(axis=1)
+        best = relevance.argmax(axis=1)
+        positive = maxima > 0.0
+        active = best[positive]
+        if len(set(active.tolist())) != active.size:
+            return None
+        ties = (relevance == maxima[:, None]).sum(axis=1)
+        if np.any(ties[positive] > 1):
+            return None
+        return np.where(positive, best, -1)
+
+    # ------------------------------------------------------------------
+    # Whole-lake batched search
+    # ------------------------------------------------------------------
+    def _enumerate_assignments(self, index, relevance, rows, selection):
+        """Exact column assignments by null-augmented enumeration.
+
+        For ``p = len(rows)`` positive query entities and tables
+        ``selection``, each entity's options are its *positive-relevance*
+        columns plus one conflict-exempt null slot worth ``0.0``
+        (zero-relevance columns are demoted to ``-inf``: a zero column
+        relevance means every cell similarity in that column is zero, so
+        taking such a column, the null slot, or the solver's padding all
+        produce identical downstream scores).  The ``(columns + 1) ** p``
+        tensor of totals therefore enumerates exactly one cell per
+        distinct *positive support* — the set of (entity, column) picks
+        that actually contribute — and its maximum equals the Hungarian
+        optimum for any ``columns``-vs-``width`` shape.
+
+        Returns ``(chosen, ok)``: the option per row (the null slot
+        decodes to ``-1``), and whether the optimum cleared
+        :data:`ASSIGNMENT_MARGIN` over the runner-up.  A margin-clearing
+        optimum is provably what the solver's answer scores to: every
+        other positive support loses by more than either method's float
+        rounding, so the solver's assignment shares the optimum's
+        support, and non-support picks are score-free.  Tables failing
+        the margin fall back to the solver.
+        """
+        columns = index.table_columns[selection]
+        cmax = int(columns.max())
+        options = cmax + 1
+        gather = index.col_offset[selection][:, None] + np.arange(cmax)
+        np.minimum(gather, index.total_columns - 1, out=gather)
+        valid = np.arange(cmax) < columns[:, None]
+        real = relevance[rows][:, gather]
+        blocks = np.concatenate(
+            [
+                np.where(valid[None, :, :] & (real > 0.0), real, -np.inf),
+                np.zeros((len(rows), len(selection), 1)),
+            ],
+            axis=2,
+        )
+        size = len(selection)
+        if len(rows) == 1:
+            flat = blocks[0]
+        elif len(rows) == 2:
+            flat = blocks[0][:, :, None] + blocks[1][:, None, :]
+            diagonal = np.arange(cmax)
+            flat[:, diagonal, diagonal] = -np.inf
+            flat = flat.reshape(size, -1)
+        else:
+            totals = (
+                blocks[0][:, :, None, None]
+                + blocks[1][:, None, :, None]
+                + blocks[2][:, None, None, :]
+            )
+            totals[:, _clash_mask(options)] = -np.inf
+            flat = totals.reshape(size, -1)
+        best = flat.argmax(axis=1)
+        # Runner-up via masking the winner (cheaper than a partition).
+        # The all-null cell keeps the optimum finite, so the margin is
+        # +inf against a -inf runner-up, never NaN.
+        lanes = np.arange(size)
+        best_totals = flat[lanes, best]
+        flat[lanes, best] = -np.inf
+        ok = best_totals - flat.max(axis=1) >= ASSIGNMENT_MARGIN
+        if len(rows) == 1:
+            chosen = best[:, None]
+        elif len(rows) == 2:
+            chosen = np.stack(np.divmod(best, options), axis=1)
+        else:
+            chosen = np.stack(
+                np.unravel_index(best, (options, options, options)), axis=1
+            )
+        chosen = chosen.astype(np.int64)
+        return np.where(chosen == cmax, -1, chosen), ok
+
+    def _batched_assignments(
+        self, index, relevance: np.ndarray, width: int
+    ) -> np.ndarray:
+        """Section 5.1 column assignments for *every* table at once.
+
+        ``relevance`` is the ``(width, total_columns)`` global
+        column-relevance matrix.  Tables whose every query entity has
+        zero relevance keep ``-1`` everywhere (provably score-equal to
+        whatever the solver would pick).  Small widths go through the
+        enumerated exact assignment grouped by positive-entity pattern;
+        margin failures and wide tuples fall back to the scalar
+        engine's Hungarian solver per table.
+        """
+        num_tables = len(index.table_ids)
+        assignment = np.full((num_tables, width), -1, dtype=np.int64)
+        maxima = np.maximum.reduceat(
+            relevance, index.col_offset[:-1], axis=1
+        )
+        positive = maxima > 0.0
+        need = positive.any(axis=0)
+        fallback: List[int] = []
+        if width <= MAX_ENUM_WIDTH:
+            codes = (
+                positive
+                * (1 << np.arange(width, dtype=np.int64))[:, None]
+            ).sum(axis=0)
+            codes = np.where(need, codes, 0)
+            for code in np.unique(codes):
+                if code == 0:
+                    continue
+                rows = np.flatnonzero((int(code) >> np.arange(width)) & 1)
+                selection = np.flatnonzero(codes == code)
+                chosen, ok = self._enumerate_assignments(
+                    index, relevance, rows, selection
+                )
+                resolved = selection[ok]
+                assignment[resolved[:, None], rows[None, :]] = chosen[ok]
+                fallback.extend(selection[~ok].tolist())
+        else:
+            fallback.extend(np.flatnonzero(need).tolist())
+        for table_index in fallback:
+            start = index.col_offset[table_index]
+            stop = index.col_offset[table_index + 1]
+            block = np.ascontiguousarray(relevance[:, start:stop])
+            resolved = self._fast_assignment(block)
+            if resolved is None:
+                resolved, _ = max_assignment(block)
+                resolved = np.asarray(resolved)
+            assignment[table_index] = resolved
+        return assignment
+
+    def _search_batch(self, query: Query) -> Optional[List[TableScore]]:
+        """Score the whole lake in one batched pass per query tuple.
+
+        Returns ``None`` when the compiled index no longer mirrors the
+        lake even after one rebuild (the caller then takes the
+        per-table path, which copes table by table).  Otherwise returns
+        exactly what per-table :meth:`score_table` calls would, in lake
+        order, with the same profile accounting.
+        """
+        index = self.index()
+        lake_ids = [table.table_id for table in self.lake]
+        if index.table_ids != lake_ids:
+            self._invalidate_index()
+            index = self.index()
+            if index.table_ids != lake_ids:
+                return None
+        profile = self.profile
+        start = time.perf_counter()
+        num_tables = len(lake_ids)
+        if not num_tables:
+            return []
+        total_columns = index.total_columns
+        table_rows = index.table_rows
+        total_rows = int(index.row_offset[-1])
+        row_agg_max = self.row_aggregation is RowAggregation.MAX
+        per_row_semantics = self.tuple_semantics is TupleSemantics.PER_ROW
+        any_signal = np.zeros(num_tables, dtype=bool)
+        tuple_columns: List[np.ndarray] = []
+        for query_tuple in query:
+            width = len(query_tuple)
+            sims = index.tuple_rows(query_tuple, profile)
+            map_start = time.perf_counter()
+            if index.nnz_gids.size:
+                keys = (
+                    index.nnz_gcolumns
+                    + (np.arange(width) * total_columns)[:, None]
+                )
+                relevance = np.bincount(
+                    keys.ravel(),
+                    weights=(sims[:, index.nnz_gids]
+                             * index.nnz_gcounts).ravel(),
+                    minlength=width * total_columns,
+                ).reshape(width, total_columns)
+            else:
+                relevance = np.zeros((width, total_columns))
+            assignment = self._batched_assignments(index, relevance, width)
+            profile.mapping_seconds += time.perf_counter() - map_start
+            # One gather serves every (table, assigned position): the
+            # column-major flat_ids slice of each assigned column,
+            # pushed through the tuple's similarity rows.
+            active = (assignment >= 0) & (table_rows > 0)[:, None]
+            sel_table, sel_pos = np.nonzero(active)
+            if sel_table.size:
+                global_cols = (
+                    index.col_offset[sel_table]
+                    + assignment[sel_table, sel_pos]
+                )
+                lengths = table_rows[sel_table]
+                bounds = np.cumsum(lengths)
+                seg_starts = bounds - lengths
+                within = (
+                    np.arange(int(bounds[-1]))
+                    - np.repeat(seg_starts, lengths)
+                )
+                ids = index.flat_ids[
+                    np.repeat(index.col_start[global_cols], lengths)
+                    + within
+                ]
+                positions = np.repeat(sel_pos, lengths)
+                linked = ids >= 0
+                gathered = np.where(
+                    linked,
+                    sims[positions, np.where(linked, ids, 0)],
+                    0.0,
+                )
+            weights = self._tuple_weights(query_tuple)
+            if per_row_semantics:
+                scores = np.zeros((total_rows, width))
+                if sel_table.size:
+                    scores[
+                        np.repeat(index.row_offset[sel_table], lengths)
+                        + within,
+                        positions,
+                    ] = gathered
+                    segment_max = np.maximum.reduceat(gathered, seg_starts)
+                    signal = np.zeros(num_tables)
+                    np.maximum.at(signal, sel_table, segment_max)
+                    any_signal |= signal > 0.0
+                residual = 1.0 - np.minimum(scores, 1.0)
+                per_row = 1.0 / (
+                    np.sqrt((residual * residual) @ weights) + 1.0
+                )
+                column = np.zeros(num_tables)
+                populated = np.flatnonzero(table_rows > 0)
+                if populated.size:
+                    offsets = index.row_offset[populated]
+                    if row_agg_max:
+                        column[populated] = np.maximum.reduceat(
+                            per_row, offsets
+                        )
+                    else:
+                        column[populated] = (
+                            np.add.reduceat(per_row, offsets)
+                            / table_rows[populated]
+                        )
+                tuple_columns.append(column)
+                continue
+            coordinates = np.zeros((num_tables, width))
+            if sel_table.size:
+                if row_agg_max:
+                    values = np.maximum.reduceat(gathered, seg_starts)
+                else:
+                    values = np.add.reduceat(gathered, seg_starts) / lengths
+                coordinates[sel_table, sel_pos] = values
+            any_signal |= coordinates.max(axis=1) > 0.0
+            residual = 1.0 - np.minimum(coordinates, 1.0)
+            distances = np.sqrt((residual * residual) @ weights)
+            tuple_columns.append(1.0 / (distances + 1.0))
+        results: List[TableScore] = []
+        drop = self.drop_irrelevant
+        entities_in_table = self.mapping.entities_in_table
+        for position, table_id in enumerate(lake_ids):
+            if drop and not entities_in_table(table_id):
+                continue
+            tuple_scores = [
+                float(column[position]) for column in tuple_columns
+            ]
+            score = self.query_aggregation.aggregate(tuple_scores)
+            relevant = bool(any_signal[position]) or not drop
+            if not relevant:
+                score = 0.0
+            results.append(
+                TableScore(table_id, score, tuple_scores, relevant)
+            )
+            profile.tables_scored += 1
+        profile.total_seconds += time.perf_counter() - start
+        return results
+
+    def search(
+        self,
+        query: Query,
+        k: Optional[int] = None,
+        candidates: Optional[Iterable[str]] = None,
+    ):
+        """Batched whole-lake ranking (same results as the scalar loop).
+
+        Candidate-restricted searches (the LSH prefilter path) and
+        lakes the index cannot mirror keep the inherited per-table
+        loop, which itself scores through the kernel.
+        """
+        if candidates is not None:
+            return super().search(query, k=k, candidates=candidates)
+        outcomes = self._search_batch(query)
+        if outcomes is None:
+            return super().search(query, k=k)
+        scored = [
+            ScoredTable(outcome.score, outcome.table_id)
+            for outcome in outcomes
+            if outcome.relevant and outcome.score > 0.0
+        ]
+        results = ResultSet(scored)
+        if k is not None:
+            results = results.top(k)
+        return results
+
+    def score_table(
+        self,
+        query: Query,
+        table: Table,
+        profile: Optional[ScoringProfile] = None,
+    ) -> TableScore:
+        """Compute SemRel(Q, T) through the batched kernel.
+
+        Same contract (and, to <= 1e-9, same scores) as the scalar
+        :meth:`TableSearchEngine.score_table`.
+        """
+        if profile is None:
+            profile = self.profile
+        index = self.index()
+        view = index.view(table.table_id)
+        if view is None:
+            # The lake gained this table without an invalidation; one
+            # rebuild picks it up, and anything still unknown (a table
+            # outside the lake entirely) scores through the scalar path.
+            self._invalidate_index()
+            index = self.index()
+            view = index.view(table.table_id)
+            if view is None:
+                return super().score_table(query, table, profile)
+        start = time.perf_counter()
+        row_agg_max = self.row_aggregation is RowAggregation.MAX
+        per_row_semantics = self.tuple_semantics is TupleSemantics.PER_ROW
+        num_rows = view.num_rows
+        tuple_scores: List[float] = []
+        any_signal = False
+        for query_tuple in query:
+            width = len(query_tuple)
+            columns = view.num_columns
+            sims = index.tuple_rows(query_tuple, profile)
+            # --- column mapping (Section 5.1): one fused bincount
+            # builds the whole relevance matrix the scalar engine
+            # assembles cell by cell.  Offsetting each tuple position
+            # into its own bin range keeps one bincount for all
+            # positions; within a bin the raveled row-major order
+            # preserves the per-column nnz order, so every sum
+            # accumulates in the scalar engine's IEEE order.
+            map_start = time.perf_counter()
+            if view.nnz_ids.size:
+                keys = (
+                    view.nnz_columns
+                    + (np.arange(width) * columns)[:, None]
+                )
+                relevance = np.bincount(
+                    keys.ravel(),
+                    weights=(sims[:, view.nnz_ids]
+                             * view.nnz_counts).ravel(),
+                    minlength=width * columns,
+                ).reshape(width, columns)
+            else:
+                relevance = np.zeros((width, columns))
+            assignment = self._fast_assignment(relevance)
+            if assignment is None:
+                assignment, _ = max_assignment(relevance)
+                assignment = np.asarray(assignment)
+            profile.mapping_seconds += time.perf_counter() - map_start
+            # --- row scores: gather every assigned column's entity ids
+            # through its query entity's similarity row in one fancy
+            # index.
+            scores = np.zeros((num_rows, width))
+            if num_rows:
+                active = np.flatnonzero(assignment >= 0)
+                if active.size:
+                    ids = view.ids[:, assignment[active]]
+                    linked = ids >= 0
+                    gathered = sims[
+                        active[None, :], np.where(linked, ids, 0)
+                    ]
+                    scores[:, active] = np.where(linked, gathered, 0.0)
+            weights = self._tuple_weights(query_tuple)
+            if per_row_semantics:
+                # Equation 1: every row is its own tuple-to-tuple
+                # SemRel, then rows aggregate.
+                if num_rows:
+                    if float(scores.max()) > 0.0:
+                        any_signal = True
+                    residual = 1.0 - np.minimum(scores, 1.0)
+                    distances = np.sqrt((residual * residual) @ weights)
+                    per_row = 1.0 / (distances + 1.0)
+                    tuple_scores.append(
+                        float(per_row.max()) if row_agg_max
+                        else float(per_row.sum() / num_rows)
+                    )
+                else:
+                    tuple_scores.append(0.0)
+                continue
+            # Algorithm 1 line 13-14: aggregate per entity, then one
+            # weighted distance from the ideal point.
+            if num_rows:
+                coordinates = (
+                    scores.max(axis=0) if row_agg_max
+                    else scores.sum(axis=0) / num_rows
+                )
+            else:
+                coordinates = np.zeros(width)
+            if float(coordinates.max()) > 0.0:
+                any_signal = True
+            residual = 1.0 - np.minimum(coordinates, 1.0)
+            distance = math.sqrt(float((residual * residual) @ weights))
+            tuple_scores.append(1.0 / (distance + 1.0))
+        score = self.query_aggregation.aggregate(tuple_scores)
+        relevant = any_signal or not self.drop_irrelevant
+        if not relevant:
+            score = 0.0
+        profile.total_seconds += time.perf_counter() - start
+        profile.tables_scored += 1
+        return TableScore(table.table_id, score, tuple_scores, relevant)
+
+
+#: Engine-kind registry used by the system facade and the CLI.
+ENGINE_KINDS = ("scalar", "vectorized")
+
+
+def engine_class(kind: str):
+    """Map an ``--engine`` value to the engine class implementing it."""
+    from repro.exceptions import ConfigurationError
+
+    if kind == "scalar":
+        return TableSearchEngine
+    if kind == "vectorized":
+        return VectorizedTableSearchEngine
+    raise ConfigurationError(
+        f"unknown engine kind {kind!r}: use one of {ENGINE_KINDS}"
+    )
+
+
+__all__ = [
+    "ENGINE_KINDS",
+    "VectorizedTableSearchEngine",
+    "engine_class",
+    "DEFAULT_ROW_CACHE_SIZE",
+    "DEFAULT_SIMILARITY_CACHE_SIZE",
+    "DEFAULT_VIEW_CACHE_SIZE",
+]

@@ -15,7 +15,10 @@ Two backends are available:
     engine — and, crucially, its persistent
     :class:`~repro.core.cache.SimilarityCache` — across workers.  Best
     when ``sigma`` releases the GIL (numpy-backed embedding batches) or
-    when the cache is warm and queries are dominated by lookups.
+    when the cache is warm and queries are dominated by lookups.  The
+    vectorized engine's compiled corpus index is likewise shared
+    read-only across all thread shards, and its batched numpy passes
+    release the GIL, so thread sharding composes with the kernel.
 
 ``process``
     A :class:`~concurrent.futures.ProcessPoolExecutor` with chunked
@@ -191,6 +194,13 @@ class ParallelSearchEngine:
                         thread_name_prefix="thetis-search",
                     )
                 else:
+                    # Engines with a compiled substrate (the vectorized
+                    # kernel's corpus index) build it once here, so every
+                    # worker inherits the compiled arrays in its pickled
+                    # copy instead of recompiling per process.
+                    prepare = getattr(self.engine, "prepare", None)
+                    if prepare is not None:
+                        prepare()
                     self._pool = ProcessPoolExecutor(
                         max_workers=self.workers,
                         initializer=_init_process_worker,

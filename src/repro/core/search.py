@@ -60,6 +60,13 @@ class ScoringProfile:
     the lookups the cache could not answer (the ones that actually ran
     ``sigma``), so the cost report states similarity work accurately in
     the presence of caching.
+
+    The vectorized engine reports through the same counters: each
+    batched similarity-row lookup counts as one pairwise call per
+    corpus entity (and, on a row-memo miss, one miss per corpus
+    entity), so the call/miss split and ``--cache-stats`` stay
+    meaningful under ``--engine vectorized`` even though no per-pair
+    ``sigma`` call runs on the hot path.
     """
 
     mapping_seconds: float = 0.0

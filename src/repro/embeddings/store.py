@@ -84,9 +84,23 @@ class EmbeddingStore:
         return self._unit @ self.unit_vector(uri)
 
     def nearest(self, uri: str, top_k: int = 10) -> List[Tuple[str, float]]:
-        """Return the ``top_k`` most cosine-similar entities (excl. self)."""
+        """Return the ``top_k`` most cosine-similar entities (excl. self).
+
+        Selects the ``top_k + 1`` candidates with ``np.argpartition``
+        (O(n) instead of the full O(n log n) argsort over every stored
+        entity) and only sorts that bucket.  Ties break by ascending
+        URI-insertion index, deterministically.
+        """
+        if top_k <= 0:
+            return []
         sims = self.cosine_to_all(uri)
-        order = np.argsort(-sims)
+        total = len(self._uris)
+        take = min(top_k + 1, total)  # +1 absorbs dropping ``uri`` itself
+        if take < total:
+            candidates = np.argpartition(-sims, take - 1)[:take]
+        else:
+            candidates = np.arange(total)
+        order = candidates[np.lexsort((candidates, -sims[candidates]))]
         results: List[Tuple[str, float]] = []
         for index in order:
             candidate = self._uris[int(index)]

@@ -150,6 +150,7 @@ class SnapshotManager:
             workers=current.workers,
             search_backend=current.search_backend,
             cache_size=current.cache_size,
+            engine_kind=current.engine_kind,
         )
 
     def apply(self, mutate: Callable[[Thetis], object]) -> object:

@@ -147,6 +147,14 @@ class MappingTypeSimilarity(EntitySimilarity):
     def is_symmetric(self) -> bool:
         return True
 
+    def types_of(self, uri: str) -> FrozenSet[str]:
+        """Return the type set used for comparison (empty if unknown).
+
+        Shared accessor with :class:`TypeJaccardSimilarity`; the
+        vectorized kernel packs these sets into bitmaps.
+        """
+        return self._types.get(uri, frozenset())
+
     def similarity(self, a: str, b: str) -> float:
         if a == b:
             return 1.0

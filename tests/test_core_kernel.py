@@ -1,0 +1,605 @@
+"""Tests for the vectorized scoring kernel (corpus index + engine).
+
+The load-bearing property is *parity*: the vectorized engine must score
+every table within 1e-9 of the scalar engine across tuple semantics,
+aggregation modes, similarity families, nulls, unlinked cells, tables
+without rows, and entities missing embeddings.  The randomized suite
+here pins that, plus the index lifecycle under dynamic lakes, snapshot
+swaps, parallel sharding, and pickling.
+"""
+
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import RowAggregation, TupleSemantics
+from repro.core.kernel import (
+    ENGINE_KINDS,
+    CorpusIndex,
+    VectorizedTableSearchEngine,
+    compile_kernel,
+    engine_class,
+)
+from repro.core.kernel.index import (
+    EmbeddingMatmulKernel,
+    ScalarLoopKernel,
+    TypeBitmapKernel,
+)
+from repro.core.parallel import ParallelSearchEngine
+from repro.core.query import Query
+from repro.core.search import ScoringProfile, TableSearchEngine
+from repro.core.topk import topk_search
+from repro.datalake import DataLake, Table
+from repro.embeddings import EmbeddingStore
+from repro.exceptions import ConfigurationError
+from repro.linking import EntityMapping
+from repro.serve.snapshot import SnapshotManager
+from repro.similarity.base import (
+    EntitySimilarity,
+    ExactMatchSimilarity,
+    WeightedCombination,
+)
+from repro.similarity.embedding import EmbeddingCosineSimilarity
+from repro.similarity.types import MappingTypeSimilarity
+from repro.system import Thetis
+
+TOLERANCE = 1e-9
+
+ENTITIES = [f"kg:e{i}" for i in range(40)]
+
+
+class SuffixSimilarity(EntitySimilarity):
+    """Custom sigma with no batched form (exercises ScalarLoopKernel)."""
+
+    def similarity(self, a: str, b: str) -> float:
+        if a == b:
+            return 1.0
+        return 0.5 if a[-1] == b[-1] else 0.0
+
+    @property
+    def is_symmetric(self) -> bool:
+        return True
+
+
+def make_types(rng):
+    pool = [f"Type{i}" for i in range(12)]
+    types = {}
+    for uri in ENTITIES:
+        if rng.random() < 0.15:
+            types[uri] = frozenset()  # typeless entity
+        else:
+            types[uri] = frozenset(rng.sample(pool, rng.randint(1, 5)))
+    return types
+
+
+def make_store(rng):
+    npr = np.random.default_rng(rng.randint(0, 2**31))
+    vectors = {
+        uri: npr.normal(size=8)
+        for uri in ENTITIES
+        if rng.random() >= 0.2  # ~20% of entities miss an embedding
+    }
+    vectors["kg:anchor"] = npr.normal(size=8)  # store is never empty
+    return EmbeddingStore(vectors)
+
+
+def make_sigma(kind, rng):
+    if kind == "exact":
+        return ExactMatchSimilarity()
+    if kind == "types":
+        return MappingTypeSimilarity(make_types(rng))
+    if kind == "embeddings":
+        return EmbeddingCosineSimilarity(make_store(rng))
+    if kind == "combo":
+        return WeightedCombination(
+            [MappingTypeSimilarity(make_types(rng)),
+             EmbeddingCosineSimilarity(make_store(rng))],
+            [0.6, 0.4],
+        )
+    assert kind == "custom"
+    return SuffixSimilarity()
+
+
+def make_lake(rng, num_tables=8):
+    """Random lake with nulls, unlinked cells, a rowless table (T3),
+    and a table with no links at all (T5)."""
+    lake, mapping = DataLake(), EntityMapping()
+    for t in range(num_tables):
+        columns = rng.randint(1, 5)
+        num_rows = 0 if t == 3 else rng.randint(1, 6)
+        rows = [
+            [f"v{r}.{c}" if rng.random() < 0.8 else None
+             for c in range(columns)]
+            for r in range(num_rows)
+        ]
+        table_id = f"T{t}"
+        lake.add(Table(table_id, [f"a{c}" for c in range(columns)], rows))
+        if t == 5:
+            continue
+        for r in range(num_rows):
+            for c in range(columns):
+                if rows[r][c] is not None and rng.random() < 0.6:
+                    mapping.link(table_id, r, c, rng.choice(ENTITIES))
+    return lake, mapping
+
+
+def make_queries(rng):
+    return [
+        Query.single(rng.choice(ENTITIES)),
+        Query([rng.sample(ENTITIES, 3), rng.sample(ENTITIES, 2)]),
+        Query([rng.sample(ENTITIES, 7)]),  # wider than any table
+        Query([[rng.choice(ENTITIES), "kg:not-in-the-corpus"]]),
+    ]
+
+
+def engine_pair(lake, mapping, sigma, **kwargs):
+    scalar = TableSearchEngine(lake, mapping, sigma, **kwargs)
+    vector = VectorizedTableSearchEngine(lake, mapping, sigma, **kwargs)
+    return scalar, vector
+
+
+def assert_score_parity(scalar, vector, queries, lake):
+    for query in queries:
+        for table in lake:
+            a = scalar.score_table(query, table)
+            b = vector.score_table(query, table)
+            assert a.relevant == b.relevant, table.table_id
+            assert abs(a.score - b.score) <= TOLERANCE, table.table_id
+            assert len(a.tuple_scores) == len(b.tuple_scores)
+            for x, y in zip(a.tuple_scores, b.tuple_scores):
+                assert abs(x - y) <= TOLERANCE, table.table_id
+
+
+# ----------------------------------------------------------------------
+# Randomized scalar-vs-vectorized parity
+# ----------------------------------------------------------------------
+class TestScoreParity:
+    @pytest.mark.parametrize("sigma_kind", ["exact", "types", "embeddings",
+                                            "combo", "custom"])
+    @pytest.mark.parametrize("semantics", [TupleSemantics.PER_ENTITY,
+                                           TupleSemantics.PER_ROW])
+    @pytest.mark.parametrize("row_agg", [RowAggregation.MAX,
+                                         RowAggregation.AVG])
+    def test_score_table_parity(self, sigma_kind, semantics, row_agg):
+        seeds = {"exact": 3, "types": 5, "embeddings": 7, "combo": 11,
+                 "custom": 13}
+        rng = random.Random(seeds[sigma_kind])
+        lake, mapping = make_lake(rng)
+        sigma = make_sigma(sigma_kind, rng)
+        scalar, vector = engine_pair(
+            lake, mapping, sigma,
+            tuple_semantics=semantics, row_aggregation=row_agg,
+        )
+        assert_score_parity(scalar, vector, make_queries(rng), lake)
+
+    @pytest.mark.parametrize("drop_irrelevant", [True, False])
+    def test_parity_without_dropping_irrelevant(self, drop_irrelevant):
+        rng = random.Random(23)
+        lake, mapping = make_lake(rng)
+        scalar, vector = engine_pair(
+            lake, mapping, make_sigma("types", rng),
+            drop_irrelevant=drop_irrelevant,
+        )
+        assert_score_parity(scalar, vector, make_queries(rng), lake)
+
+    def test_parity_on_fully_unlinked_lake(self):
+        lake, mapping = DataLake(), EntityMapping()
+        lake.add(Table("T0", ["a"], [["x"], ["y"]]))
+        scalar, vector = engine_pair(
+            lake, mapping, ExactMatchSimilarity(), drop_irrelevant=False
+        )
+        query = Query.single(ENTITIES[0])
+        a = scalar.score_table(query, lake.get("T0"))
+        b = vector.score_table(query, lake.get("T0"))
+        assert abs(a.score - b.score) <= TOLERANCE
+
+    def test_search_ranking_parity(self):
+        rng = random.Random(29)
+        lake, mapping = make_lake(rng, num_tables=10)
+        scalar, vector = engine_pair(lake, mapping, make_sigma("combo", rng))
+        for query in make_queries(rng):
+            a = scalar.search(query)
+            b = vector.search(query)
+            assert {s.table_id: s.score for s in a}.keys() == \
+                {s.table_id: s.score for s in b}.keys()
+            scores_a = {s.table_id: s.score for s in a}
+            for scored in b:
+                assert abs(scores_a[scored.table_id] - scored.score) \
+                    <= TOLERANCE
+
+    def test_search_ranking_bit_identical_for_types(self):
+        # The bitmap Jaccard path is integer arithmetic end to end, so
+        # even the ranking order must match the scalar engine exactly.
+        rng = random.Random(31)
+        lake, mapping = make_lake(rng, num_tables=10)
+        sigma = make_sigma("types", rng)
+        scalar, vector = engine_pair(lake, mapping, sigma)
+        for query in make_queries(rng):
+            a = scalar.search(query)
+            b = vector.search(query)
+            assert [(s.table_id, s.score) for s in a] == \
+                [(s.table_id, s.score) for s in b]
+
+    def test_topk_search_parity(self):
+        rng = random.Random(37)
+        lake, mapping = make_lake(rng, num_tables=10)
+        scalar, vector = engine_pair(lake, mapping, make_sigma("types", rng))
+        query = Query([rng.sample(ENTITIES, 3)])
+        a = topk_search(scalar, query, 4)
+        b = topk_search(vector, query, 4)
+        assert [(s.table_id, s.score) for s in a] == \
+            [(s.table_id, s.score) for s in b]
+
+    @pytest.mark.parametrize("sigma_kind", ["exact", "types", "embeddings",
+                                            "combo"])
+    @pytest.mark.parametrize("semantics", [TupleSemantics.PER_ENTITY,
+                                           TupleSemantics.PER_ROW])
+    def test_batched_search_parity(self, sigma_kind, semantics):
+        # search() takes the whole-lake batched path (one relevance
+        # bincount + enumerated assignments for every table at once);
+        # it must rank exactly like the scalar per-table loop across
+        # semantics, tie-heavy sigmas (exact-match relevance is all 0/1
+        # sums), and the wide tuple that skips enumeration entirely.
+        rng = random.Random(41)
+        lake, mapping = make_lake(rng, num_tables=12)
+        scalar, vector = engine_pair(
+            lake, mapping, make_sigma(sigma_kind, rng),
+            tuple_semantics=semantics,
+            row_aggregation=RowAggregation.AVG,
+        )
+        for query in make_queries(rng):
+            a = {s.table_id: s.score for s in scalar.search(query)}
+            b = {s.table_id: s.score for s in vector.search(query)}
+            assert a.keys() == b.keys()
+            for table_id, score in b.items():
+                assert abs(a[table_id] - score) <= TOLERANCE, table_id
+
+    def test_candidate_restricted_search_parity(self):
+        # The LSH-prefilter path (candidates=...) bypasses the batch
+        # and scores per table through the kernel.
+        rng = random.Random(43)
+        lake, mapping = make_lake(rng, num_tables=10)
+        scalar, vector = engine_pair(lake, mapping, make_sigma("types", rng))
+        query = Query([rng.sample(ENTITIES, 2)])
+        candidates = [table.table_id for table in lake][::2]
+        a = scalar.search(query, candidates=candidates)
+        b = vector.search(query, candidates=candidates)
+        assert [(s.table_id, s.score) for s in a] == \
+            [(s.table_id, s.score) for s in b]
+
+    def test_search_on_empty_lake(self):
+        scalar, vector = engine_pair(
+            DataLake(), EntityMapping(), ExactMatchSimilarity()
+        )
+        query = Query.single(ENTITIES[0])
+        assert list(vector.search(query)) == list(scalar.search(query)) == []
+
+
+# ----------------------------------------------------------------------
+# The compiled index and its kernels
+# ----------------------------------------------------------------------
+class TestCorpusIndex:
+    def test_interning_and_views(self):
+        rng = random.Random(41)
+        lake, mapping = make_lake(rng)
+        index = CorpusIndex(lake, mapping, ExactMatchSimilarity())
+        assert index.uris == sorted(index.uris)
+        assert index.num_entities == len(index.uris)
+        assert len(index) == len(lake)
+        assert "T0" in index and "nope" not in index
+        assert index.view("nope") is None
+        view = index.view("T0")
+        table = lake.get("T0")
+        assert view.ids.shape == (table.num_rows, table.num_columns)
+        # Every non-negative id round-trips through the interning.
+        for r in range(table.num_rows):
+            for c in range(table.num_columns):
+                uri = mapping.entity_at("T0", r, c)
+                if uri is None:
+                    assert view.ids[r, c] == -1
+                else:
+                    assert index.uris[view.ids[r, c]] == uri
+
+    def test_nnz_multiset_matches_mapping(self):
+        rng = random.Random(43)
+        lake, mapping = make_lake(rng)
+        index = CorpusIndex(lake, mapping, ExactMatchSimilarity())
+        for table in lake:
+            view = index.view(table.table_id)
+            for column in range(table.num_columns):
+                expected = {}
+                for uri in mapping.entities_in_column(
+                    table.table_id, column
+                ):
+                    expected[uri] = expected.get(uri, 0) + 1
+                mask = view.nnz_columns == column
+                got = {
+                    index.uris[i]: c
+                    for i, c in zip(view.nnz_ids[mask],
+                                    view.nnz_counts[mask])
+                }
+                assert got == expected
+
+    def test_sims_row_memoized_and_read_only(self):
+        rng = random.Random(47)
+        lake, mapping = make_lake(rng)
+        index = CorpusIndex(lake, mapping, make_sigma("types", rng))
+        row = index.sims_row(ENTITIES[0])
+        assert row is index.sims_row(ENTITIES[0])
+        with pytest.raises(ValueError):
+            row[0] = 99.0
+        stats = index.row_cache_stats()
+        assert stats.hits >= 1 and stats.misses >= 1
+
+    def test_sims_row_profile_accounting(self):
+        rng = random.Random(53)
+        lake, mapping = make_lake(rng)
+        index = CorpusIndex(lake, mapping, make_sigma("types", rng))
+        profile = ScoringProfile()
+        index.sims_row(ENTITIES[1], profile)
+        assert profile.similarity_calls == index.num_entities
+        assert profile.similarity_misses == index.num_entities
+        index.sims_row(ENTITIES[1], profile)  # memo hit: calls only
+        assert profile.similarity_calls == 2 * index.num_entities
+        assert profile.similarity_misses == index.num_entities
+
+
+class TestKernels:
+    def test_dispatch(self):
+        rng = random.Random(59)
+        uris = list(ENTITIES)
+        id_of = {uri: i for i, uri in enumerate(uris)}
+        assert isinstance(
+            compile_kernel(make_sigma("types", rng), uris, id_of),
+            TypeBitmapKernel,
+        )
+        assert isinstance(
+            compile_kernel(make_sigma("embeddings", rng), uris, id_of),
+            EmbeddingMatmulKernel,
+        )
+        assert isinstance(
+            compile_kernel(SuffixSimilarity(), uris, id_of),
+            ScalarLoopKernel,
+        )
+
+    @pytest.mark.parametrize("kind", ["exact", "types", "embeddings",
+                                      "combo", "custom"])
+    def test_kernel_row_matches_scalar_sigma(self, kind):
+        rng = random.Random(61)
+        uris = sorted(rng.sample(ENTITIES, 25))
+        id_of = {uri: i for i, uri in enumerate(uris)}
+        sigma = make_sigma(kind, rng)
+        kernel = compile_kernel(sigma, uris, id_of)
+        for uri in uris[:5] + ["kg:not-in-the-corpus"]:
+            row = kernel.row(uri)
+            for other, index in id_of.items():
+                assert abs(row[index] - sigma.similarity(uri, other)) \
+                    <= TOLERANCE, (uri, other)
+
+    def test_type_bitmap_exact_across_word_boundary(self):
+        # >64 distinct types forces multi-word uint64 bitmaps; the
+        # integer popcount Jaccard must stay bit-equal to the scalar.
+        rng = random.Random(67)
+        pool = [f"Wide{i}" for i in range(130)]
+        types = {
+            uri: frozenset(rng.sample(pool, rng.randint(1, 40)))
+            for uri in ENTITIES
+        }
+        sigma = MappingTypeSimilarity(types)
+        uris = sorted(ENTITIES)
+        id_of = {uri: i for i, uri in enumerate(uris)}
+        kernel = compile_kernel(sigma, uris, id_of)
+        assert isinstance(kernel, TypeBitmapKernel)
+        for uri in uris[:10]:
+            row = kernel.row(uri)
+            for other, index in id_of.items():
+                assert row[index] == sigma.similarity(uri, other)
+
+
+# ----------------------------------------------------------------------
+# Engine lifecycle: invalidation, pickling, sharding, serving
+# ----------------------------------------------------------------------
+class TestEngineLifecycle:
+    def test_engine_class_registry(self):
+        assert engine_class("scalar") is TableSearchEngine
+        assert engine_class("vectorized") is VectorizedTableSearchEngine
+        assert set(ENGINE_KINDS) == {"scalar", "vectorized"}
+        with pytest.raises(ConfigurationError):
+            engine_class("quantum")
+
+    def test_prepare_and_cache_stats(self):
+        rng = random.Random(71)
+        lake, mapping = make_lake(rng)
+        engine = VectorizedTableSearchEngine(
+            lake, mapping, make_sigma("types", rng)
+        )
+        assert "kernel_rows" not in engine.cache_stats()  # index unbuilt
+        engine.prepare()
+        assert engine._index is not None
+        assert "kernel_rows" in engine.cache_stats()
+
+    def test_invalidate_rebuilds_index(self):
+        rng = random.Random(73)
+        lake, mapping = make_lake(rng)
+        engine = VectorizedTableSearchEngine(
+            lake, mapping, make_sigma("types", rng)
+        )
+        first = engine.index()
+        engine.invalidate_table("T0")
+        assert engine._index is None
+        assert engine.index() is not first
+        engine.invalidate_cache()
+        assert engine._index is None
+
+    def test_stale_view_triggers_rebuild(self):
+        rng = random.Random(79)
+        lake, mapping = make_lake(rng)
+        sigma = make_sigma("types", rng)
+        scalar, vector = engine_pair(lake, mapping, sigma)
+        vector.prepare()
+        # Mutate the lake behind the engine's back: the next score of
+        # the unknown table must rebuild the index once and agree.
+        lake.add(Table("T99", ["a"], [["x"], ["y"]]))
+        mapping.link("T99", 0, 0, ENTITIES[0])
+        mapping.link("T99", 1, 0, ENTITIES[1])
+        scalar.invalidate_table("T99")
+        query = Query.single(ENTITIES[0], ENTITIES[1])
+        a = scalar.score_table(query, lake.get("T99"))
+        b = vector.score_table(query, lake.get("T99"))
+        assert abs(a.score - b.score) <= TOLERANCE
+        assert "T99" in vector.index()
+
+    def test_foreign_table_falls_back_to_scalar_path(self):
+        rng = random.Random(83)
+        lake, mapping = make_lake(rng)
+        sigma = make_sigma("types", rng)
+        scalar, vector = engine_pair(lake, mapping, sigma)
+        # A table that is not in the lake at all: the vectorized engine
+        # rebuilds once, still misses it, and answers via the scalar
+        # path — never wrongly, only slower.
+        foreign = Table("GHOST", ["a"], [["x"]])
+        mapping.link("GHOST", 0, 0, ENTITIES[2])
+        scalar.invalidate_cache()
+        vector.invalidate_cache()
+        query = Query.single(ENTITIES[2])
+        a = scalar.score_table(query, foreign)
+        b = vector.score_table(query, foreign)
+        assert abs(a.score - b.score) <= TOLERANCE
+
+    def test_pickle_round_trip_preserves_index_and_scores(self):
+        rng = random.Random(89)
+        lake, mapping = make_lake(rng)
+        engine = VectorizedTableSearchEngine(
+            lake, mapping, make_sigma("types", rng)
+        )
+        engine.prepare()
+        clone = pickle.loads(pickle.dumps(engine))
+        assert clone._index is not None  # compiled arrays travelled
+        query = Query.single(ENTITIES[0])
+        for table in lake:
+            a = engine.score_table(query, table)
+            b = clone.score_table(query, table)
+            assert a.score == b.score
+
+    def test_thread_sharded_parity(self):
+        rng = random.Random(97)
+        lake, mapping = make_lake(rng, num_tables=10)
+        sigma = make_sigma("combo", rng)
+        scalar, vector = engine_pair(lake, mapping, sigma)
+        query = Query([rng.sample(ENTITIES, 3)])
+        sequential = scalar.search(query)
+        with ParallelSearchEngine(vector, workers=2,
+                                  backend="thread") as parallel:
+            sharded = parallel.search(query)
+        scores = {s.table_id: s.score for s in sequential}
+        assert scores.keys() == {s.table_id for s in sharded}
+        for scored in sharded:
+            assert abs(scores[scored.table_id] - scored.score) <= TOLERANCE
+
+
+class TestThetisIntegration:
+    def test_engine_kind_selection(self, sports_lake, sports_graph,
+                                   sports_mapping):
+        thetis = Thetis(sports_lake, sports_graph, sports_mapping,
+                        engine_kind="vectorized")
+        assert isinstance(thetis.engine("types"),
+                          VectorizedTableSearchEngine)
+        default = Thetis(sports_lake, sports_graph, sports_mapping)
+        assert type(default.engine("types")) is TableSearchEngine
+        with pytest.raises(ConfigurationError):
+            Thetis(sports_lake, sports_graph, sports_mapping,
+                   engine_kind="quantum")
+
+    def test_search_parity_through_facade(self, sports_lake, sports_graph,
+                                          sports_mapping, sports_embeddings):
+        query = Query.single("kg:player0", "kg:team0", "kg:city0")
+        results = {}
+        for kind in ENGINE_KINDS:
+            thetis = Thetis(sports_lake, sports_graph, sports_mapping,
+                            embeddings=sports_embeddings, engine_kind=kind)
+            for method in ("types", "embeddings"):
+                results[(kind, method)] = thetis.search(
+                    query, k=5, method=method
+                )
+        for method in ("types", "embeddings"):
+            a = results[("scalar", method)]
+            b = results[("vectorized", method)]
+            assert [s.table_id for s in a] == [s.table_id for s in b]
+            for x, y in zip(a, b):
+                assert abs(x.score - y.score) <= TOLERANCE
+
+    def test_add_remove_table_rebuilds_index(self, sports_lake,
+                                             sports_graph, sports_mapping):
+        reference = Thetis(sports_lake, sports_graph, sports_mapping)
+        lake, mapping = reference.snapshot_inputs()
+        thetis = Thetis(lake, sports_graph, mapping,
+                        engine_kind="vectorized")
+        query = Query.single("kg:player0", "kg:team0")
+        baseline_ids = {s.table_id for s in thetis.search(query, k=100)}
+        thetis.add_table(Table(
+            "TNEW", ["Player", "Team"],
+            [["Player 0", "Team 0"], ["Player 8", "Team 0"]],
+        ))
+        after_add = thetis.search(query, k=100)
+        assert "TNEW" in {s.table_id for s in after_add}
+        assert "TNEW" in thetis.engine("types").index()
+        thetis.remove_table("TNEW")
+        after_remove = {s.table_id for s in thetis.search(query, k=100)}
+        assert after_remove == baseline_ids
+        assert "TNEW" not in thetis.engine("types").index()
+
+    def test_snapshot_swap_preserves_kind_and_warms_index(
+        self, sports_lake, sports_graph, sports_mapping
+    ):
+        reference = Thetis(sports_lake, sports_graph, sports_mapping)
+        lake, mapping = reference.snapshot_inputs()
+        manager = SnapshotManager(
+            Thetis(lake, sports_graph, mapping, engine_kind="vectorized"),
+            warm_method="types",
+        )
+        try:
+            manager.apply(lambda t: t.add_table(Table(
+                "TSNAP", ["Player", "Team"],
+                [["Player 0", "Team 0"]],
+            )))
+            current = manager.current.thetis
+            assert current.engine_kind == "vectorized"
+            engine = current.engine("types")
+            assert isinstance(engine, VectorizedTableSearchEngine)
+            # warm_method compiled the index off the request path.
+            assert engine._index is not None
+            assert "TSNAP" in engine.index()
+            query = Query.single("kg:player0", "kg:team0")
+            with manager.checkout() as snapshot:
+                results = snapshot.thetis.search(query, k=100)
+            assert "TSNAP" in {s.table_id for s in results}
+            manager.apply(lambda t: t.remove_table("TSNAP"))
+            assert "TSNAP" not in manager.current.thetis.engine(
+                "types"
+            ).index()
+        finally:
+            manager.close()
+
+    def test_profile_counts_under_vectorized_engine(
+        self, sports_lake, sports_graph, sports_mapping
+    ):
+        thetis = Thetis(sports_lake, sports_graph, sports_mapping,
+                        engine_kind="vectorized")
+        thetis.search(Query.single("kg:player0", "kg:team0"), k=5)
+        engine = thetis.engine("types")
+        profile = engine.profile
+        assert profile.tables_scored > 0
+        assert profile.similarity_calls > 0
+        assert 0 < profile.similarity_misses <= profile.similarity_calls
+        # A repeat query is answered from the row memo: calls keep
+        # growing, misses do not.
+        misses = profile.similarity_misses
+        thetis.search(Query.single("kg:player0", "kg:team0"), k=5)
+        assert profile.similarity_calls > 0
+        assert profile.similarity_misses == misses
+        assert 0.0 < profile.similarity_hit_rate <= 1.0
+        stats = engine.cache_stats()
+        assert stats["kernel_tuples"].hits > 0
+        assert stats["kernel_rows"].misses > 0

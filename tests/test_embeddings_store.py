@@ -73,6 +73,35 @@ class TestCosine:
     def test_nearest_top_k_bound(self, store):
         assert len(store.nearest("e1", top_k=100)) == 4
 
+    def test_nearest_non_positive_top_k(self, store):
+        assert store.nearest("e1", top_k=0) == []
+        assert store.nearest("e1", top_k=-3) == []
+
+    def test_nearest_matches_full_sort_reference(self):
+        # The argpartition fast path must return exactly what a full
+        # sort would, for every k, including tie-heavy inputs (several
+        # collinear vectors share a cosine of 1.0; ties break by
+        # insertion index).
+        rng = np.random.default_rng(123)
+        vectors = {f"n{i}": rng.normal(size=6) for i in range(40)}
+        for i in range(5):
+            vectors[f"dup{i}"] = vectors["n0"] * (i + 2)  # exact ties
+        store = EmbeddingStore(vectors)
+        uris = store.uris()
+        for probe in ("n0", "n17", "dup3"):
+            sims = store.cosine_to_all(probe)
+            by_rank = sorted(
+                range(len(uris)), key=lambda i: (-sims[i], i)
+            )
+            reference = [
+                (uris[i], float(sims[i]))
+                for i in by_rank
+                if uris[i] != probe
+            ]
+            for top_k in (1, 3, 10, len(uris) - 1, len(uris) + 5):
+                assert store.nearest(probe, top_k=top_k) == \
+                    reference[:top_k], (probe, top_k)
+
 
 class TestAggregation:
     def test_mean_vector(self, store):
