@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 tests plus quick perf smokes of the parallel/cache
+# CI gate: repro.analysis static checks, tier-1 tests, plus quick perf
+# smokes of the parallel/cache
 # layer, the vectorized scoring kernel (score parity + speedup floor),
 # and the online serving layer, so regressions in the scoring substrate
 # or the query service surface without running the full benchmark
@@ -13,6 +14,10 @@ cd "$(dirname "$0")/.."
 WORKERS="${1:-2}"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== lint: repro.analysis static checks =="
+python -m repro.analysis src/repro --format json --fail-on warning
+
+echo
 echo "== tier-1 test suite =="
 python -m pytest -x -q
 

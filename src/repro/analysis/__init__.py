@@ -1,0 +1,43 @@
+"""``repro.analysis`` — from-scratch static analysis for this codebase.
+
+A pure-stdlib AST lint engine with a project-specific rule pack:
+lock discipline (``# guarded-by:`` annotations), asyncio hygiene,
+determinism (seeded RNGs, stable iteration order, no wall-clock in
+scoring), kernel dtype safety, and API hygiene.  See
+``docs/static-analysis.md`` for the catalog and workflow.
+
+Run it as ``python -m repro.analysis`` or ``thetis lint``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import (
+    BASELINE_FILENAME,
+    Baseline,
+    BaselineEntry,
+    find_baseline_file,
+)
+from repro.analysis.engine import (
+    SEVERITIES,
+    Finding,
+    LintEngine,
+    LintReport,
+    SourceFile,
+)
+from repro.analysis.rules import ALL_RULES, Rule, get_rules, rules_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "BASELINE_FILENAME",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "SEVERITIES",
+    "SourceFile",
+    "find_baseline_file",
+    "get_rules",
+    "rules_by_id",
+]

@@ -1,0 +1,138 @@
+"""Baseline suppression for :mod:`repro.analysis`.
+
+A baseline records *accepted* findings so the analyzer can gate only on
+new ones.  Every entry must carry a non-empty ``reason`` — a baseline
+without a justification is a lint failure waiting to be forgotten, so
+the loader rejects it outright.
+
+Format (``.lint-baseline.json`` at the repository root)::
+
+    {
+      "entries": [
+        {
+          "rule": "foreign-exception",
+          "path": "src/repro/serve/metrics.py",
+          "message": "raises builtin 'ValueError' ...",
+          "reason": "public API contract pinned by tests"
+        }
+      ]
+    }
+
+Matching is by ``(rule, path, message)`` — deliberately line-free, so
+unrelated edits above a baselined finding do not invalidate it.  One
+entry suppresses every identical finding in its file (identical
+messages in one file describe the same defect class).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Set, Tuple
+
+from repro.exceptions import AnalysisError
+
+#: Conventional baseline file name, discovered upward from the lint
+#: target (see :func:`find_baseline_file`).
+BASELINE_FILENAME = ".lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding plus the justification for accepting it."""
+
+    rule: str
+    path: str
+    message: str
+    reason: str
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+
+@dataclass
+class Baseline:
+    """The set of accepted findings; tracks which entries matched."""
+
+    entries: List[BaselineEntry]
+    source: Optional[Path] = None
+    _used: Set[Tuple[str, str, str]] = field(default_factory=set)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=[])
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            document = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise AnalysisError(f"cannot read baseline {path}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"baseline {path} is not valid JSON: {exc}")
+        raw_entries = document.get("entries")
+        if not isinstance(raw_entries, list):
+            raise AnalysisError(
+                f"baseline {path} must contain an 'entries' list"
+            )
+        entries: List[BaselineEntry] = []
+        for index, raw in enumerate(raw_entries):
+            if not isinstance(raw, dict):
+                raise AnalysisError(
+                    f"baseline {path} entry {index} is not an object"
+                )
+            missing = {"rule", "path", "message", "reason"} - set(raw)
+            if missing:
+                raise AnalysisError(
+                    f"baseline {path} entry {index} is missing "
+                    f"{sorted(missing)}"
+                )
+            if not str(raw["reason"]).strip():
+                raise AnalysisError(
+                    f"baseline {path} entry {index} has an empty 'reason': "
+                    "every baselined finding needs a justification"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    message=str(raw["message"]),
+                    reason=str(raw["reason"]),
+                )
+            )
+        return cls(entries=entries, source=Path(path))
+
+    # ------------------------------------------------------------------
+    def matches(self, finding) -> bool:
+        """Whether ``finding`` is baselined (and mark its entry used)."""
+        fingerprint = finding.fingerprint()
+        for entry in self.entries:
+            if entry.fingerprint() == fingerprint:
+                self._used.add(fingerprint)
+                return True
+        return False
+
+    def stale_entries(self) -> List[Tuple[str, str, str]]:
+        """Entries that matched nothing — candidates for deletion."""
+        return [
+            entry.fingerprint()
+            for entry in self.entries
+            if entry.fingerprint() not in self._used
+        ]
+
+
+def find_baseline_file(start: Path) -> Optional[Path]:
+    """Search ``start`` and its ancestors for :data:`BASELINE_FILENAME`.
+
+    ``start`` may be a file (its directory is used) or a directory.
+    Returns ``None`` when no baseline exists anywhere up the tree.
+    """
+    origin = Path(start).resolve()
+    if origin.is_file():
+        origin = origin.parent
+    for directory in (origin, *origin.parents):
+        candidate = directory / BASELINE_FILENAME
+        if candidate.is_file():
+            return candidate
+    return None

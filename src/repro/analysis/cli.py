@@ -1,0 +1,217 @@
+"""Command-line front end for :mod:`repro.analysis`.
+
+Reachable two ways with identical behavior::
+
+    python -m repro.analysis [paths...] [options]
+    thetis lint [paths...] [options]
+
+Exit codes: ``0`` clean (or everything baselined), ``1`` findings at or
+above the ``--fail-on`` severity, ``2`` configuration/usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline, find_baseline_file
+from repro.analysis.engine import SEVERITIES, LintEngine, LintReport
+from repro.analysis.rules import ALL_RULES, get_rules
+from repro.exceptions import AnalysisError
+
+#: Default lint target when no paths are given.
+DEFAULT_TARGET = "src"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options on ``parser`` (shared with ``thetis lint``)."""
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help=f"files or directories to lint (default: {DEFAULT_TARGET}/)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--fail-on", choices=SEVERITIES + ("never",), default="warning",
+        help="minimum severity that fails the run (default: warning)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON path (default: discover .lint-baseline.json "
+             "upward from the first target)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="lint only files that differ from HEAD (plus untracked)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific static analysis "
+                    "(lock discipline, determinism, kernel safety, "
+                    "API hygiene)",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def _list_rules() -> int:
+    width = max(len(rule.id) for rule in ALL_RULES)
+    for rule in ALL_RULES:
+        scope = "/".join(getattr(rule, "scoped_to", rule.scope)) or "all"
+        print(f"{rule.id:<{width}}  {rule.severity:<7}  "
+              f"[{scope}]  {rule.description}")
+    return 0
+
+
+def _changed_files() -> Optional[List[Path]]:
+    """Python files differing from HEAD plus untracked ones.
+
+    Returns ``None`` when git is unavailable (callers fall back to the
+    full target set with a notice on stderr).
+    """
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD", "--", "*.py"],
+            capture_output=True, text=True, check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard", "--",
+             "*.py"],
+            capture_output=True, text=True, check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    names = set(diff.stdout.splitlines()) | set(untracked.stdout.splitlines())
+    return [Path(name) for name in sorted(names) if Path(name).is_file()]
+
+
+def _resolve_targets(args: argparse.Namespace) -> List[Path]:
+    paths = [Path(raw) for raw in (args.paths or [DEFAULT_TARGET])]
+    if not args.changed_only:
+        return paths
+    changed = _changed_files()
+    if changed is None:
+        print(
+            "repro.analysis: git unavailable; --changed-only falling back "
+            "to the full target set",
+            file=sys.stderr,
+        )
+        return paths
+    # Restrict the changed set to files under the requested targets.
+    resolved_targets = [path.resolve() for path in paths]
+    selected: List[Path] = []
+    for candidate in changed:
+        resolved = candidate.resolve()
+        for target in resolved_targets:
+            if resolved == target or target in resolved.parents:
+                selected.append(candidate)
+                break
+    return selected
+
+
+def _load_baseline(args: argparse.Namespace,
+                   targets: Sequence[Path]) -> Baseline:
+    if args.no_baseline:
+        return Baseline.empty()
+    if args.baseline is not None:
+        return Baseline.load(Path(args.baseline))
+    anchor = Path(targets[0]) if targets else Path.cwd()
+    discovered = find_baseline_file(anchor)
+    if discovered is None:
+        return Baseline.empty()
+    return Baseline.load(discovered)
+
+
+def _emit_text(report: LintReport, fail_on: str) -> None:
+    for finding in report.findings:
+        print(finding.format_text())
+    counts = report.counts()
+    summary = ", ".join(
+        f"{counts[severity]} {severity}" for severity in reversed(SEVERITIES)
+    )
+    print(
+        f"repro.analysis: {len(report.findings)} finding(s) "
+        f"({summary}) across {report.files_checked} file(s); "
+        f"{len(report.baselined)} baselined"
+    )
+    if report.stale_baseline:
+        print(
+            f"repro.analysis: {len(report.stale_baseline)} stale baseline "
+            "entr(ies) matched nothing — delete them:",
+            file=sys.stderr,
+        )
+        for rule, path, message in report.stale_baseline:
+            print(f"  [{rule}] {path}: {message}", file=sys.stderr)
+
+
+def _emit_json(report: LintReport, fail_on: str) -> None:
+    document = {
+        "findings": [finding.to_json() for finding in report.findings],
+        "counts": report.counts(),
+        "files_checked": report.files_checked,
+        "baselined": len(report.baselined),
+        "stale_baseline": [
+            {"rule": rule, "path": path, "message": message}
+            for rule, path, message in report.stale_baseline
+        ],
+        "fail_on": fail_on,
+        "failed": report.gates(fail_on),
+    }
+    print(json.dumps(document, indent=2, sort_keys=True))
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        return _list_rules()
+    try:
+        rules = (
+            get_rules([rid.strip() for rid in args.rules.split(",")
+                       if rid.strip()])
+            if args.rules else ALL_RULES
+        )
+        targets = _resolve_targets(args)
+        if not targets:
+            print("repro.analysis: nothing to lint", file=sys.stderr)
+            return 0
+        baseline = _load_baseline(args, targets)
+        engine = LintEngine(rules, baseline=baseline)
+        report = engine.run(targets)
+    except AnalysisError as exc:
+        print(f"repro.analysis: error: {exc}", file=sys.stderr)
+        return 2
+    if args.changed_only:
+        # A partial run cannot tell a stale entry from one whose file
+        # simply was not linted; only full runs report staleness.
+        report.stale_baseline = []
+    if args.format == "json":
+        _emit_json(report, args.fail_on)
+    else:
+        _emit_text(report, args.fail_on)
+    return 1 if report.gates(args.fail_on) else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    return run(parser.parse_args(argv))

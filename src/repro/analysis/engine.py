@@ -1,0 +1,291 @@
+"""Core of the ``repro.analysis`` lint engine.
+
+A from-scratch, pure-stdlib static analyzer: no external linters, just
+:mod:`ast` + :mod:`tokenize`.  The engine owns everything that is not a
+rule — file discovery, parsing, comment extraction, pragma suppression,
+baseline application, and severity gating — so each rule in
+:mod:`repro.analysis.rules` is a small ``check(SourceFile)`` generator.
+
+Suppression layers (outermost wins first):
+
+1. **Inline pragmas** — ``# lint: disable=rule-a,rule-b`` on the
+   offending line suppresses those rules for that line; the same pragma
+   on a ``def``/``class`` line suppresses them for the whole body.
+   ``# lint: disable-file=rule-a`` anywhere suppresses a rule for the
+   whole file.  ``all`` is accepted as a rule name.
+2. **Baseline file** — known findings recorded with a justification in
+   a JSON baseline (see :mod:`repro.analysis.baseline`) are reported as
+   *baselined*, not as failures.  New findings always gate.
+
+Rules see one :class:`SourceFile` per file, which carries the parsed
+tree, raw lines, and every comment keyed by line (rules use this for
+``# guarded-by:`` annotations).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.baseline import Baseline
+from repro.exceptions import AnalysisError
+
+#: Severity levels, least to most severe.  Gating compares indices.
+SEVERITIES = ("info", "warning", "error")
+
+#: Directories never descended into during discovery.
+SKIPPED_DIRS = {"__pycache__", ".git", ".hg", ".venv", "node_modules"}
+
+_PRAGMA_RE = re.compile(
+    r"#\s*lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<rules>[\w,\- ]+)"
+)
+
+
+def severity_index(severity: str) -> int:
+    """Rank of ``severity`` in :data:`SEVERITIES` (higher = worse)."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise AnalysisError(
+            f"unknown severity {severity!r}: use one of {SEVERITIES}"
+        )
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: rule id, severity, location, human message."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Baseline identity: line numbers drift, messages rarely do."""
+        return (self.rule, self.path, self.message)
+
+    def format_text(self) -> str:
+        return (
+            f"{self.path}:{self.line}: {self.severity}: "
+            f"[{self.rule}] {self.message}"
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+class SourceFile:
+    """A parsed Python file plus everything rules need to inspect it."""
+
+    def __init__(self, path: Path, display: str, text: str):
+        self.path = path
+        self.display = display
+        self.text = text
+        self.lines: List[str] = text.splitlines()
+        self.tree: ast.Module = ast.parse(text, filename=display)
+        self.comments: Dict[int, str] = self._scan_comments(text)
+
+    @staticmethod
+    def _scan_comments(text: str) -> Dict[int, str]:
+        """Map line number -> comment text, via the real tokenizer.
+
+        Using :mod:`tokenize` (not a substring scan) means a ``#``
+        inside a string literal is never mistaken for a comment.
+        """
+        comments: Dict[int, str] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    comments[token.start[0]] = token.string
+        except (tokenize.TokenError, IndentationError):
+            # The file will already have failed ast.parse; a partial
+            # comment map is the best we can do.
+            pass
+        return comments
+
+    def parts(self) -> Tuple[str, ...]:
+        """Path components of the display path (for rule scoping)."""
+        return Path(self.display).parts
+
+
+class _Suppressions:
+    """Pragma-derived suppression state for one file."""
+
+    def __init__(self, source: SourceFile):
+        self.file_wide: Set[str] = set()
+        self.by_line: Dict[int, Set[str]] = {}
+        self.spans: List[Tuple[int, int, Set[str]]] = []
+        for line, comment in source.comments.items():
+            match = _PRAGMA_RE.search(comment)
+            if match is None:
+                continue
+            rules = {
+                name.strip()
+                for name in match.group("rules").split(",")
+                if name.strip()
+            }
+            if match.group("kind") == "disable-file":
+                self.file_wide |= rules
+            else:
+                self.by_line.setdefault(line, set()).update(rules)
+        # A pragma on a def/class line covers the whole definition.
+        for node in ast.walk(source.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                rules = self.by_line.get(node.lineno)
+                if rules:
+                    end = node.end_lineno or node.lineno
+                    self.spans.append((node.lineno, end, set(rules)))
+
+    def suppresses(self, finding: Finding) -> bool:
+        for rules in (
+            self.file_wide,
+            self.by_line.get(finding.line, ()),
+        ):
+            if rules and (finding.rule in rules or "all" in rules):
+                return True
+        for start, end, rules in self.spans:
+            if start <= finding.line <= end and (
+                finding.rule in rules or "all" in rules
+            ):
+                return True
+        return False
+
+
+@dataclass
+class LintReport:
+    """Outcome of one engine run."""
+
+    findings: List[Finding]
+    baselined: List[Finding]
+    stale_baseline: List[Tuple[str, str, str]]
+    files_checked: int
+
+    def counts(self) -> Dict[str, int]:
+        counts = {severity: 0 for severity in SEVERITIES}
+        for finding in self.findings:
+            counts[finding.severity] += 1
+        return counts
+
+    def worst(self) -> Optional[str]:
+        worst: Optional[str] = None
+        for finding in self.findings:
+            if worst is None or (
+                severity_index(finding.severity) > severity_index(worst)
+            ):
+                worst = finding.severity
+        return worst
+
+    def gates(self, fail_on: str) -> bool:
+        """Whether the run fails at the ``fail_on`` severity threshold."""
+        if fail_on == "never":
+            return False
+        threshold = severity_index(fail_on)
+        return any(
+            severity_index(finding.severity) >= threshold
+            for finding in self.findings
+        )
+
+
+class LintEngine:
+    """File discovery + per-rule dispatch + suppression + baseline."""
+
+    def __init__(self, rules: Sequence, baseline: Optional[Baseline] = None):
+        if not rules:
+            raise AnalysisError("engine needs at least one rule")
+        seen: Set[str] = set()
+        for rule in rules:
+            if rule.id in seen:
+                raise AnalysisError(f"duplicate rule id {rule.id!r}")
+            seen.add(rule.id)
+        self.rules = tuple(rules)
+        self.baseline = baseline if baseline is not None else Baseline.empty()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def discover(paths: Iterable[Path]) -> List[Path]:
+        """Expand files/directories into a sorted list of ``.py`` files."""
+        found: Set[Path] = set()
+        for raw in paths:
+            path = Path(raw)
+            if path.is_file():
+                found.add(path)
+            elif path.is_dir():
+                for candidate in path.rglob("*.py"):
+                    if not SKIPPED_DIRS & set(candidate.parts):
+                        found.add(candidate)
+            else:
+                raise AnalysisError(f"no such file or directory: {path}")
+        return sorted(found)
+
+    @staticmethod
+    def display_path(path: Path) -> str:
+        """Stable, cwd-relative posix path used in findings/baselines."""
+        try:
+            relative = Path(path).resolve().relative_to(Path.cwd().resolve())
+            return relative.as_posix()
+        except ValueError:
+            return Path(path).as_posix()
+
+    # ------------------------------------------------------------------
+    def check_source(self, source: SourceFile) -> List[Finding]:
+        """All pragma-filtered findings of every applicable rule."""
+        suppressions = _Suppressions(source)
+        findings: List[Finding] = []
+        for rule in self.rules:
+            if not rule.applies(source):
+                continue
+            for finding in rule.check(source):
+                if not suppressions.suppresses(finding):
+                    findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+        return findings
+
+    def run(self, paths: Iterable[Path]) -> LintReport:
+        """Lint ``paths`` (files or directories) and apply the baseline."""
+        files = self.discover(paths)
+        collected: List[Finding] = []
+        for path in files:
+            display = self.display_path(path)
+            try:
+                text = path.read_text(encoding="utf-8")
+                source = SourceFile(path, display, text)
+            except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+                collected.append(
+                    Finding(
+                        rule="parse-error",
+                        severity="error",
+                        path=display,
+                        line=getattr(exc, "lineno", None) or 1,
+                        message=f"could not parse file: {exc}",
+                    )
+                )
+                continue
+            collected.extend(self.check_source(source))
+        active: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in collected:
+            if self.baseline.matches(finding):
+                baselined.append(finding)
+            else:
+                active.append(finding)
+        return LintReport(
+            findings=active,
+            baselined=baselined,
+            stale_baseline=self.baseline.stale_entries(),
+            files_checked=len(files),
+        )

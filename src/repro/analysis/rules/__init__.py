@@ -1,0 +1,79 @@
+"""Rule registry for :mod:`repro.analysis`.
+
+``ALL_RULES`` is the shipped rule pack; :func:`get_rules` resolves a
+user-supplied subset of rule ids (the CLI's ``--rules``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules.concurrency import (
+    BlockingCallInAsyncRule,
+    GuardedAttributeRule,
+    LockInAsyncRule,
+)
+from repro.analysis.rules.determinism import (
+    UnorderedSetOrderRule,
+    UnseededRandomRule,
+    WallClockInScoringRule,
+)
+from repro.analysis.rules.hygiene import (
+    AllConsistencyRule,
+    DeadPrivateHelperRule,
+    ForeignExceptionRule,
+    UnusedImportRule,
+)
+from repro.analysis.rules.kernel_safety import (
+    FloatDtypeMixRule,
+    MissingDtypeRule,
+    NpArrayCopyRule,
+)
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "ALL_RULES",
+    "Rule",
+    "get_rules",
+    "rules_by_id",
+]
+
+#: The shipped rule pack, in catalog order.
+ALL_RULES: Tuple[Rule, ...] = (
+    # concurrency
+    GuardedAttributeRule(),
+    LockInAsyncRule(),
+    BlockingCallInAsyncRule(),
+    # determinism
+    UnseededRandomRule(),
+    UnorderedSetOrderRule(),
+    WallClockInScoringRule(),
+    # kernel safety
+    MissingDtypeRule(),
+    NpArrayCopyRule(),
+    FloatDtypeMixRule(),
+    # API hygiene
+    AllConsistencyRule(),
+    ForeignExceptionRule(),
+    UnusedImportRule(),
+    DeadPrivateHelperRule(),
+)
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    """Mapping of rule id -> rule instance for the shipped pack."""
+    return {rule.id: rule for rule in ALL_RULES}
+
+
+def get_rules(ids: Sequence[str]) -> Tuple[Rule, ...]:
+    """Resolve ``ids`` against the registry, preserving catalog order."""
+    registry = rules_by_id()
+    unknown = [rule_id for rule_id in ids if rule_id not in registry]
+    if unknown:
+        raise AnalysisError(
+            f"unknown rule id(s) {unknown}: known rules are "
+            f"{sorted(registry)}"
+        )
+    wanted = set(ids)
+    return tuple(rule for rule in ALL_RULES if rule.id in wanted)

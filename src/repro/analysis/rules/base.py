@@ -1,0 +1,128 @@
+"""Rule protocol and shared AST helpers for the lint rule packs."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.analysis.engine import Finding, SourceFile
+
+
+class Rule:
+    """One named check over a :class:`~repro.analysis.engine.SourceFile`.
+
+    Subclasses set the class attributes and implement :meth:`check` as
+    a generator of :class:`Finding`.  ``scope`` restricts a rule to
+    files whose path contains every listed component (e.g. the kernel
+    rules only run under ``core/kernel``); an empty scope runs
+    everywhere.
+    """
+
+    id: str = ""
+    severity: str = "warning"
+    description: str = ""
+    #: Path components that must all appear in the file path.
+    scope: Tuple[str, ...] = ()
+
+    def applies(self, source: SourceFile) -> bool:
+        parts = source.parts()
+        return all(component in parts for component in self.scope)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, source: SourceFile, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=source.display,
+            line=getattr(node, "lineno", 1),
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> canonical dotted prefix, from import statements.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy import
+    random as npr`` maps ``npr -> numpy.random``; ``import os.path``
+    maps ``os -> os``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def canonical_call_name(func: ast.AST,
+                        aliases: Dict[str, str]) -> Optional[str]:
+    """Alias-normalized dotted name of a call target.
+
+    With ``import numpy as np``, the call ``np.random.rand(...)``
+    canonicalizes to ``numpy.random.rand``.
+    """
+    name = dotted_name(func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    expansion = aliases.get(head)
+    if expansion is None:
+        return name
+    return f"{expansion}.{rest}" if rest else expansion
+
+
+def is_self_attribute(node: ast.AST) -> Optional[str]:
+    """The attribute name when ``node`` is ``self.<attr>``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def walk_skipping(root: ast.AST, *skip_types) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nodes of ``skip_types``.
+
+    The root itself is never skipped, so a visitor can walk a function
+    body while staying out of nested definitions.
+    """
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, tuple(skip_types)):
+                continue
+            stack.append(child)

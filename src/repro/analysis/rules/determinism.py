@@ -1,0 +1,181 @@
+"""Determinism rules: bit-stable rankings need bit-stable inputs.
+
+The engine's parity guarantees (parallel merge == sequential ranking,
+vectorized == scalar to 1e-9) and the paper's reproducibility claims
+only hold when nothing nondeterministic leaks into scoring:
+
+``unseeded-random``
+    Module-level ``random.*`` / ``numpy.random.*`` calls draw from
+    process-global, unseeded state.  Every RNG in the codebase is an
+    explicitly seeded ``np.random.default_rng(seed)`` / ``Random(seed)``
+    instance; this rule keeps it that way.
+
+``unordered-set-order``
+    Python ``set`` iteration order depends on string-hash randomization
+    across processes.  Feeding a set directly into an order-sensitive
+    sink (``list``, ``tuple``, ``enumerate``, ``iter``, ``str.join``)
+    makes rankings differ run to run.  ``sorted(set(...))`` is the
+    deterministic idiom and is never flagged.  Scoped to ``core``/
+    ``lsh`` where ordering feeds tie-breaks and signatures.
+
+``wall-clock-in-scoring``
+    ``time.time()`` in scoring paths couples scores (or tie-breaks) to
+    the clock.  Durations belong to ``time.perf_counter`` — which the
+    profiling code already uses and which this rule allows.  Scoped to
+    ``core``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.engine import Finding, SourceFile
+from repro.analysis.rules.base import (
+    Rule,
+    canonical_call_name,
+    import_aliases,
+)
+
+#: RNG constructors that are deterministic *when given a seed*.
+_SEEDABLE = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+}
+
+#: Always-deterministic / non-drawing helpers under the random modules.
+_RANDOM_SAFE = {"random.SystemRandom", "random.getstate", "random.setstate"}
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+_ORDER_SENSITIVE_BUILTINS = {"list", "tuple", "enumerate", "iter"}
+
+
+class UnseededRandomRule(Rule):
+    """Flag draws from process-global or unseeded RNG state."""
+
+    id = "unseeded-random"
+    severity = "error"
+    description = (
+        "module-level random.* / numpy.random.* usage (or a seedless "
+        "generator constructor) makes runs irreproducible"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        aliases = import_aliases(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = canonical_call_name(node.func, aliases)
+            if target is None or target in _RANDOM_SAFE:
+                continue
+            if target in _SEEDABLE:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        source,
+                        node,
+                        f"'{target}()' without a seed is nondeterministic; "
+                        "pass an explicit seed",
+                    )
+                continue
+            if target.startswith("random.") or target.startswith(
+                "numpy.random."
+            ):
+                yield self.finding(
+                    source,
+                    node,
+                    f"'{target}' draws from process-global RNG state; use "
+                    "a seeded numpy.random.default_rng(seed) / "
+                    "random.Random(seed) instance",
+                )
+
+
+class UnorderedSetOrderRule(Rule):
+    """Flag set iteration feeding order-sensitive sinks."""
+
+    id = "unordered-set-order"
+    severity = "warning"
+    description = (
+        "a set is materialized into an ordered container without "
+        "sorting; iteration order varies across processes"
+    )
+    scope = ()  # applies() overridden below
+
+    #: Any of these path components puts a file in scope.
+    scoped_to = ("core", "lsh")
+
+    def applies(self, source: SourceFile) -> bool:
+        parts = source.parts()
+        return any(component in parts for component in self.scoped_to)
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        return False
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            first = node.args[0]
+            if not self._is_set_expr(first):
+                continue
+            sink: Optional[str] = None
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_SENSITIVE_BUILTINS
+            ):
+                sink = node.func.id
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+            ):
+                sink = "str.join"
+            if sink is not None:
+                yield self.finding(
+                    source,
+                    node,
+                    f"set iteration order feeds '{sink}'; wrap the set in "
+                    "sorted(...) to make the order deterministic",
+                )
+
+
+class WallClockInScoringRule(Rule):
+    """Flag wall-clock reads inside the scoring core."""
+
+    id = "wall-clock-in-scoring"
+    severity = "warning"
+    description = (
+        "wall-clock time (time.time, datetime.now) read in a scoring "
+        "path; use time.perf_counter for durations"
+    )
+    scope = ("core",)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        aliases = import_aliases(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = canonical_call_name(node.func, aliases)
+            if target in _WALL_CLOCK:
+                yield self.finding(
+                    source,
+                    node,
+                    f"'{target}' couples scoring to the wall clock; use "
+                    "time.perf_counter for durations (profiling) and keep "
+                    "scores time-free",
+                )

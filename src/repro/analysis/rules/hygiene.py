@@ -1,0 +1,273 @@
+"""API-hygiene rules: exports, exceptions, and dead code.
+
+``all-mismatch``
+    Every name in ``__all__`` must actually be defined or imported at
+    module top level — a stale export breaks ``from pkg import *`` and
+    misleads readers about the public surface.
+
+``foreign-exception``
+    The library promises "catch :class:`~repro.exceptions.ReproError`
+    and you have caught everything we raise".  Raising bare stdlib
+    exceptions (or ad-hoc exception classes defined outside
+    ``repro.exceptions``) silently breaks that contract.  Idiomatic
+    control-flow exceptions (``NotImplementedError`` for abstract
+    methods, ``StopIteration`` ...) are allowed.
+
+``unused-import``
+    Imports never referenced (by name, attribute root, or ``__all__``
+    string) are dead weight and hide real dependencies.
+
+``dead-private-helper``
+    A module-level ``_private`` function or class referenced nowhere in
+    its module is unreachable — delete it rather than let it rot.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.engine import Finding, SourceFile
+from repro.analysis.rules.base import Rule
+
+#: Stdlib exceptions that are idiomatic to raise from library code.
+_ALLOWED_BUILTINS = {
+    "NotImplementedError",
+    "StopIteration",
+    "StopAsyncIteration",
+    "AssertionError",
+    "KeyboardInterrupt",
+    "SystemExit",
+    "GeneratorExit",
+}
+
+#: Builtin exception names (flagged unless allowed above).
+_BUILTIN_EXCEPTIONS = {
+    name
+    for name, value in vars(builtins).items()
+    if isinstance(value, type) and issubclass(value, BaseException)
+}
+
+
+def _module_all(tree: ast.Module) -> Optional[List[str]]:
+    """The string elements of a top-level ``__all__`` list, if present."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [
+                target.id
+                for target in node.targets
+                if isinstance(target, ast.Name)
+            ]
+            if "__all__" in targets and isinstance(
+                node.value, (ast.List, ast.Tuple)
+            ):
+                return [
+                    element.value
+                    for element in node.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                ]
+    return None
+
+
+def _top_level_names(tree: ast.Module) -> Set[str]:
+    """Names bound at module top level (defs, classes, assigns, imports)."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for element in ast.walk(target):
+                    if isinstance(element, ast.Name):
+                        names.add(element.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # One level of conditional definition (TYPE_CHECKING, etc.).
+            for child in ast.walk(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                    names.add(child.name)
+                elif isinstance(child, (ast.Import, ast.ImportFrom)):
+                    for alias in child.names:
+                        if alias.name != "*":
+                            names.add(
+                                alias.asname or alias.name.split(".")[0]
+                            )
+    return names
+
+
+class AllConsistencyRule(Rule):
+    """``__all__`` names must exist at module top level."""
+
+    id = "all-mismatch"
+    severity = "error"
+    description = "__all__ exports a name the module never defines"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        exported = _module_all(source.tree)
+        if exported is None:
+            return
+        defined = _top_level_names(source.tree)
+        seen: Set[str] = set()
+        for name in exported:
+            if name in seen:
+                yield self.finding(
+                    source,
+                    source.tree,
+                    f"__all__ lists {name!r} more than once",
+                )
+            seen.add(name)
+            if name not in defined:
+                yield self.finding(
+                    source,
+                    source.tree,
+                    f"__all__ exports {name!r} but the module never "
+                    "defines or imports it",
+                )
+
+
+class ForeignExceptionRule(Rule):
+    """Raised exceptions must come from ``repro.exceptions``."""
+
+    id = "foreign-exception"
+    severity = "warning"
+    description = (
+        "an exception raised here is not exported from "
+        "repro.exceptions, breaking the catch-ReproError contract"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if source.display.replace("\\", "/").endswith("repro/exceptions.py"):
+            return
+        repro_names: Set[str] = set()
+        local_classes: Set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "repro.exceptions":
+                    for alias in node.names:
+                        repro_names.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ClassDef):
+                local_classes.add(node.name)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            if not isinstance(exc, ast.Name):
+                continue  # re-raised locals / dotted names: out of scope
+            name = exc.id
+            if name in repro_names or name in _ALLOWED_BUILTINS:
+                continue
+            if name in local_classes:
+                yield self.finding(
+                    source,
+                    node,
+                    f"raises locally-defined exception '{name}'; define "
+                    "it in repro.exceptions so callers can catch "
+                    "ReproError",
+                )
+            elif name in _BUILTIN_EXCEPTIONS:
+                yield self.finding(
+                    source,
+                    node,
+                    f"raises builtin '{name}'; raise a repro.exceptions "
+                    "class so callers can catch ReproError",
+                )
+
+
+class UnusedImportRule(Rule):
+    """Imports that nothing in the module references."""
+
+    id = "unused-import"
+    severity = "warning"
+    description = "an imported name is never used in the module"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        imported: Dict[str, ast.AST] = {}
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    imported.setdefault(name, node)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    imported.setdefault(alias.asname or alias.name, node)
+        if not imported:
+            return
+        used: Set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+        exported = _module_all(source.tree)
+        if exported:
+            used.update(exported)
+        for name, node in imported.items():
+            if name not in used:
+                yield self.finding(
+                    source,
+                    node,
+                    f"'{name}' is imported but never used",
+                )
+
+
+class DeadPrivateHelperRule(Rule):
+    """Module-level ``_private`` defs referenced nowhere."""
+
+    id = "dead-private-helper"
+    severity = "warning"
+    description = (
+        "a module-level private function/class is never referenced "
+        "in its module"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        privates: Dict[str, ast.AST] = {}
+        for node in source.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                if node.name.startswith("_") and not node.name.startswith(
+                    "__"
+                ):
+                    privates[node.name] = node
+        if not privates:
+            return
+        references: Dict[str, List[int]] = {}
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Name):
+                references.setdefault(node.id, []).append(node.lineno)
+            elif isinstance(node, ast.Attribute):
+                references.setdefault(node.attr, []).append(node.lineno)
+        exported = set(_module_all(source.tree) or ())
+        for name, node in privates.items():
+            if name in exported:
+                continue
+            uses = [
+                line
+                for line in references.get(name, [])
+                if line != node.lineno
+            ]
+            if not uses:
+                yield self.finding(
+                    source,
+                    node,
+                    f"private helper '{name}' is never referenced; "
+                    "remove it",
+                )

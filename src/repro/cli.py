@@ -7,7 +7,8 @@ Four subcommands cover the end-to-end workflow on files:
 * ``link``     — entity-link a data lake against a knowledge graph;
 * ``stats``    — print Table-2 style corpus statistics;
 * ``search``   — run semantic table search for an entity-tuple query;
-* ``serve``    — run the online HTTP/JSON query service.
+* ``serve``    — run the online HTTP/JSON query service;
+* ``lint``     — run the built-in static analyzer over the codebase.
 
 Example session::
 
@@ -310,6 +311,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run as run_lint
+
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -465,6 +472,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="explain the top result")
     search.add_argument("--seed", type=int, default=0)
     search.set_defaults(func=_cmd_search)
+
+    lint = sub.add_parser(
+        "lint", help="run the repro.analysis static analyzer"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -89,11 +89,11 @@ class LRUCache:
                 f"cache maxsize must be >= 1, got {maxsize}"
             )
         self._maxsize = int(maxsize)
-        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.RLock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
 
     @property
     def maxsize(self) -> int:
@@ -221,18 +221,20 @@ class SimilarityCache:
         self.sigma = sigma
         self.symmetric = bool(getattr(sigma, "is_symmetric", False))
         self._maxsize = int(maxsize)
-        self._data: Dict[Tuple[str, str], float] = {}
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._data: Dict[Tuple[str, str], float] = {}  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
 
     @property
     def maxsize(self) -> int:
         return self._maxsize
 
     def __len__(self) -> int:
-        return len(self._data)
+        # Intentionally racy read: dict length is GIL-atomic and the
+        # value is advisory (sizing displays), so it skips the lock.
+        return len(self._data)  # lint: disable=guarded-attr-outside-lock
 
     def key_of(self, a: str, b: str) -> Tuple[str, str]:
         """The cache key for the pair (canonicalized when symmetric)."""
@@ -249,7 +251,10 @@ class SimilarityCache:
         ``sigma`` actually ran (the Section 7.3 cost split).
         """
         key = (b, a) if self.symmetric and b < a else (a, b)
-        value = self._data.get(key, _MISSING)
+        # Intentionally racy read — the lock-free fast path this cache
+        # exists for: CPython dict reads are GIL-atomic, and the worst
+        # race outcome is one duplicated pure-sigma evaluation.
+        value = self._data.get(key, _MISSING)  # lint: disable=guarded-attr-outside-lock
         if value is _MISSING:
             value = self.sigma.similarity(a, b)
             with self._lock:
@@ -263,7 +268,10 @@ class SimilarityCache:
                 profile.similarity_calls += 1
                 profile.similarity_misses += 1
             return value
-        self._hits += 1
+        # Intentionally racy increment: hit counts are statistics, not
+        # invariants (documented above); exactness is not worth a lock
+        # per lookup on the hottest path in the system.
+        self._hits += 1  # lint: disable=guarded-attr-outside-lock
         if profile is not None:
             profile.similarity_calls += 1
         return value

@@ -113,8 +113,8 @@ class VectorizedTableSearchEngine(TableSearchEngine):
                  **kwargs):
         super().__init__(*args, **kwargs)
         self.row_cache_size = row_cache_size
-        self._index: Optional[CorpusIndex] = None
         self._index_lock = threading.Lock()
+        self._index: Optional[CorpusIndex] = None  # guarded-by: _index_lock
         # Informativeness weights per query tuple; entries carry the
         # informativeness object they were computed from, so swapping
         # the weight function (Thetis does on lake mutations) never
@@ -126,7 +126,9 @@ class VectorizedTableSearchEngine(TableSearchEngine):
     # ------------------------------------------------------------------
     def index(self) -> CorpusIndex:
         """The compiled corpus index, built on first use."""
-        index = self._index
+        # Intentionally racy read (double-checked build): a compiled
+        # index reference is immutable, so the fast path skips the lock.
+        index = self._index  # lint: disable=guarded-attr-outside-lock
         if index is None:
             with self._index_lock:
                 if self._index is None:
@@ -170,7 +172,9 @@ class VectorizedTableSearchEngine(TableSearchEngine):
 
     def cache_stats(self) -> Dict[str, CacheStats]:
         stats = super().cache_stats()
-        index = self._index
+        # Intentionally racy read: stats reporting must not serialize
+        # against an in-flight index build; None just means "cold".
+        index = self._index  # lint: disable=guarded-attr-outside-lock
         if index is not None:
             stats["kernel_rows"] = index.row_cache_stats()
             stats["kernel_tuples"] = index.tuple_cache_stats()
@@ -267,7 +271,7 @@ class VectorizedTableSearchEngine(TableSearchEngine):
         blocks = np.concatenate(
             [
                 np.where(valid[None, :, :] & (real > 0.0), real, -np.inf),
-                np.zeros((len(rows), len(selection), 1)),
+                np.zeros((len(rows), len(selection), 1), dtype=np.float64),
             ],
             axis=2,
         )
@@ -401,7 +405,7 @@ class VectorizedTableSearchEngine(TableSearchEngine):
                     minlength=width * total_columns,
                 ).reshape(width, total_columns)
             else:
-                relevance = np.zeros((width, total_columns))
+                relevance = np.zeros((width, total_columns), dtype=np.float64)
             assignment = self._batched_assignments(index, relevance, width)
             profile.mapping_seconds += time.perf_counter() - map_start
             # One gather serves every (table, assigned position): the
@@ -434,7 +438,7 @@ class VectorizedTableSearchEngine(TableSearchEngine):
                 )
             weights = self._tuple_weights(query_tuple)
             if per_row_semantics:
-                scores = np.zeros((total_rows, width))
+                scores = np.zeros((total_rows, width), dtype=np.float64)
                 if sel_table.size:
                     scores[
                         np.repeat(index.row_offset[sel_table], lengths)
@@ -442,14 +446,14 @@ class VectorizedTableSearchEngine(TableSearchEngine):
                         positions,
                     ] = gathered
                     segment_max = np.maximum.reduceat(gathered, seg_starts)
-                    signal = np.zeros(num_tables)
+                    signal = np.zeros(num_tables, dtype=np.float64)
                     np.maximum.at(signal, sel_table, segment_max)
                     any_signal |= signal > 0.0
                 residual = 1.0 - np.minimum(scores, 1.0)
                 per_row = 1.0 / (
                     np.sqrt((residual * residual) @ weights) + 1.0
                 )
-                column = np.zeros(num_tables)
+                column = np.zeros(num_tables, dtype=np.float64)
                 populated = np.flatnonzero(table_rows > 0)
                 if populated.size:
                     offsets = index.row_offset[populated]
@@ -464,7 +468,7 @@ class VectorizedTableSearchEngine(TableSearchEngine):
                         )
                 tuple_columns.append(column)
                 continue
-            coordinates = np.zeros((num_tables, width))
+            coordinates = np.zeros((num_tables, width), dtype=np.float64)
             if sel_table.size:
                 if row_agg_max:
                     values = np.maximum.reduceat(gathered, seg_starts)
@@ -576,7 +580,7 @@ class VectorizedTableSearchEngine(TableSearchEngine):
                     minlength=width * columns,
                 ).reshape(width, columns)
             else:
-                relevance = np.zeros((width, columns))
+                relevance = np.zeros((width, columns), dtype=np.float64)
             assignment = self._fast_assignment(relevance)
             if assignment is None:
                 assignment, _ = max_assignment(relevance)
@@ -585,7 +589,7 @@ class VectorizedTableSearchEngine(TableSearchEngine):
             # --- row scores: gather every assigned column's entity ids
             # through its query entity's similarity row in one fancy
             # index.
-            scores = np.zeros((num_rows, width))
+            scores = np.zeros((num_rows, width), dtype=np.float64)
             if num_rows:
                 active = np.flatnonzero(assignment >= 0)
                 if active.size:
@@ -620,7 +624,7 @@ class VectorizedTableSearchEngine(TableSearchEngine):
                     else scores.sum(axis=0) / num_rows
                 )
             else:
-                coordinates = np.zeros(width)
+                coordinates = np.zeros(width, dtype=np.float64)
             if float(coordinates.max()) > 0.0:
                 any_signal = True
             residual = 1.0 - np.minimum(coordinates, 1.0)

@@ -123,7 +123,7 @@ class ExactMatchKernel(SimilarityKernel):
     """Batched :class:`~repro.similarity.base.ExactMatchSimilarity`."""
 
     def row(self, uri: str) -> np.ndarray:
-        return self._apply_identity(uri, np.zeros(len(self._uris)))
+        return self._apply_identity(uri, np.zeros(len(self._uris), dtype=np.float64))
 
 
 class TypeBitmapKernel(SimilarityKernel):
@@ -168,7 +168,7 @@ class TypeBitmapKernel(SimilarityKernel):
         self._sizes = sizes
 
     def row(self, uri: str) -> np.ndarray:
-        sims = np.zeros(len(self._uris))
+        sims = np.zeros(len(self._uris), dtype=np.float64)
         types = self._types_of(uri)
         if types:
             query_bits = np.zeros(self._words, dtype=np.uint64)
@@ -201,7 +201,7 @@ class EmbeddingMatmulKernel(SimilarityKernel):
     def __init__(self, uris: List[str], id_of: Dict[str, int], store):
         super().__init__(uris, id_of)
         self._store = store
-        matrix = np.zeros((len(uris), store.dimensions))
+        matrix = np.zeros((len(uris), store.dimensions), dtype=np.float64)
         for row_index, uri in enumerate(uris):
             if uri in store:
                 matrix[row_index] = store.unit_vector(uri)
@@ -209,7 +209,7 @@ class EmbeddingMatmulKernel(SimilarityKernel):
 
     def row(self, uri: str) -> np.ndarray:
         if uri not in self._store:
-            return self._apply_identity(uri, np.zeros(len(self._uris)))
+            return self._apply_identity(uri, np.zeros(len(self._uris), dtype=np.float64))
         sims = self._matrix @ self._store.unit_vector(uri)
         np.maximum(sims, 0.0, out=sims)
         return self._apply_identity(uri, sims)
@@ -231,7 +231,7 @@ class CombinationKernel(SimilarityKernel):
         self._weights = list(weights)
 
     def row(self, uri: str) -> np.ndarray:
-        sims = np.zeros(len(self._uris))
+        sims = np.zeros(len(self._uris), dtype=np.float64)
         for part, weight in zip(self._parts, self._weights):
             sims += weight * part.row(uri)
         return self._apply_identity(uri, sims)
@@ -385,7 +385,7 @@ class CorpusIndex:
         ).astype(np.int32) if views else np.zeros(0, dtype=np.int32)
         self.nnz_gcounts = np.concatenate(
             [view.nnz_counts for view in views]
-        ) if views else np.zeros(0)
+        ) if views else np.zeros(0, dtype=np.float64)
         for array in (
             self.table_rows, self.table_columns, self.col_offset,
             self.row_offset, self.flat_ids, self.col_start,

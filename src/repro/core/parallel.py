@@ -166,7 +166,7 @@ class ParallelSearchEngine:
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.backend = backend
         self.chunk_size = chunk_size
-        self._pool: Optional[Executor] = None
+        self._pool: Optional[Executor] = None  # guarded-by: _lock
         # Guards pool creation/teardown and the profile merge, so that
         # concurrent searches from multiple caller threads neither leak
         # a raced pool nor corrupt the shared profile accumulation.

@@ -9,7 +9,6 @@ any lake, optionally using an entity mapping for the coverage column.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.datalake.lake import DataLake
 

@@ -89,6 +89,19 @@ class ProtocolError(ServeError):
     """Raised for malformed serving requests (HTTP 400)."""
 
 
+class BadRequestError(ServeError):
+    """Raised while parsing an HTTP request; carries the status code.
+
+    Unlike :class:`ProtocolError` (always a 400), the parser
+    distinguishes oversized requests (413) from malformed ones (400),
+    so the status travels with the exception.
+    """
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
 class ServerOverloadedError(ServeError):
     """Raised when the admission queue is full (HTTP 503).
 
@@ -118,3 +131,14 @@ class EmptyQueryError(SearchError):
 
 class ConfigurationError(ReproError):
     """Raised when a component is configured with invalid parameters."""
+
+
+class AnalysisError(ReproError):
+    """Raised by :mod:`repro.analysis` for invalid lint configuration.
+
+    Covers unknown rule ids/severities, unreadable or malformed
+    baseline files (including entries missing their mandatory
+    ``reason``), and nonexistent lint targets.  Findings are *not*
+    exceptions — they are data returned in a
+    :class:`~repro.analysis.engine.LintReport`.
+    """

@@ -16,7 +16,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-from repro.exceptions import ProtocolError
+from repro.exceptions import BadRequestError, ProtocolError
 
 #: Hard limits keeping one client from exhausting server memory.
 MAX_HEADER_BYTES = 16 * 1024
@@ -91,21 +91,13 @@ class HttpResponse:
         return head.encode("ascii") + body
 
 
-class BadRequest(Exception):
-    """Raised while parsing; carries the status to respond with."""
-
-    def __init__(self, status: int, message: str):
-        super().__init__(message)
-        self.status = status
-
-
 async def read_request(
     reader: asyncio.StreamReader,
 ) -> Optional[HttpRequest]:
     """Parse one request off the stream.
 
     Returns ``None`` on a clean EOF (client closed between requests);
-    raises :class:`BadRequest` on protocol violations.
+    raises :class:`~repro.exceptions.BadRequestError` on protocol violations.
     """
     try:
         request_line = await reader.readline()
@@ -114,10 +106,10 @@ async def read_request(
     if not request_line:
         return None
     if len(request_line) > MAX_HEADER_BYTES:
-        raise BadRequest(413, "request line too long")
+        raise BadRequestError(413, "request line too long")
     parts = request_line.decode("latin-1").rstrip("\r\n").split(" ")
     if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
-        raise BadRequest(400, "malformed request line")
+        raise BadRequestError(400, "malformed request line")
     method, target, _version = parts
 
     headers: Dict[str, str] = {}
@@ -125,40 +117,40 @@ async def read_request(
     while True:
         line = await reader.readline()
         if not line:
-            raise BadRequest(400, "connection closed inside headers")
+            raise BadRequestError(400, "connection closed inside headers")
         header_bytes += len(line)
         if header_bytes > MAX_HEADER_BYTES:
-            raise BadRequest(413, "headers too large")
+            raise BadRequestError(413, "headers too large")
         if line in (b"\r\n", b"\n"):
             break
         text = line.decode("latin-1").rstrip("\r\n")
         name, separator, value = text.partition(":")
         if not separator:
-            raise BadRequest(400, f"malformed header line: {text!r}")
+            raise BadRequestError(400, f"malformed header line: {text!r}")
         headers[name.strip().lower()] = value.strip()
 
     body = b""
     if "transfer-encoding" in headers:
-        raise BadRequest(501, "chunked transfer encoding not supported")
+        raise BadRequestError(501, "chunked transfer encoding not supported")
     length_text = headers.get("content-length")
     if length_text is not None:
         try:
             length = int(length_text)
         except ValueError:
-            raise BadRequest(400, "invalid Content-Length") from None
+            raise BadRequestError(400, "invalid Content-Length") from None
         if length < 0:
-            raise BadRequest(400, "negative Content-Length")
+            raise BadRequestError(400, "negative Content-Length")
         if length > MAX_BODY_BYTES:
-            raise BadRequest(413, "request body too large")
+            raise BadRequestError(413, "request body too large")
         if length:
             try:
                 body = await reader.readexactly(length)
             except asyncio.IncompleteReadError:
-                raise BadRequest(
+                raise BadRequestError(
                     400, "connection closed inside body"
                 ) from None
     elif method in ("POST", "PUT", "PATCH"):
-        raise BadRequest(411, "Content-Length required")
+        raise BadRequestError(411, "Content-Length required")
 
     return HttpRequest(method=method.upper(), path=target, headers=headers,
                        body=body)

@@ -29,10 +29,10 @@ class LatencyHistogram:
         if not buckets or list(buckets) != sorted(set(buckets)):
             raise ValueError("buckets must be sorted, unique, non-empty")
         self.buckets = tuple(buckets)
-        self._counts = [0] * (len(buckets) + 1)  # +1 for +Inf
-        self._sum = 0.0
-        self._count = 0
         self._lock = threading.Lock()
+        self._counts = [0] * (len(buckets) + 1)  # +Inf; guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
 
     def observe(self, seconds: float) -> None:
         index = bisect_left(self.buckets, seconds)
@@ -43,11 +43,13 @@ class LatencyHistogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def total_seconds(self) -> float:
-        return self._sum
+        with self._lock:
+            return self._sum
 
     def percentile(self, p: float) -> float:
         """Estimate the ``p``-quantile (0 < p <= 1) in seconds.
@@ -110,14 +112,14 @@ class ServerMetrics:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._requests: Dict[Tuple[str, int], int] = {}
-        self._in_flight = 0
-        self.rejected_total = 0
-        self.timeout_total = 0
-        self.batches_total = 0
-        self.batched_queries_total = 0
-        self.snapshot_swaps_total = 0
-        self._latency: Dict[str, LatencyHistogram] = {}
+        self._requests: Dict[Tuple[str, int], int] = {}  # guarded-by: _lock
+        self._in_flight = 0  # guarded-by: _lock
+        self.rejected_total = 0  # guarded-by: _lock
+        self.timeout_total = 0  # guarded-by: _lock
+        self.batches_total = 0  # guarded-by: _lock
+        self.batched_queries_total = 0  # guarded-by: _lock
+        self.snapshot_swaps_total = 0  # guarded-by: _lock
+        self._latency: Dict[str, LatencyHistogram] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     def request_started(self) -> None:
@@ -159,7 +161,8 @@ class ServerMetrics:
 
     @property
     def in_flight(self) -> int:
-        return self._in_flight
+        with self._lock:
+            return self._in_flight
 
     def requests_by_status(self) -> Dict[str, int]:
         """``"endpoint:status" -> count`` (stable keys for JSON)."""
@@ -183,26 +186,39 @@ class ServerMetrics:
         uptime_seconds: float = 0.0,
     ) -> Dict[str, Any]:
         """The ``GET /metrics`` document."""
+        # One consistent snapshot of every counter; the histogram
+        # snapshots happen outside the lock (each takes its own).
         with self._lock:
             batches = self.batches_total
             batched = self.batched_queries_total
+            rejected = self.rejected_total
+            timeouts = self.timeout_total
+            swaps = self.snapshot_swaps_total
+            in_flight = self._in_flight
+            requests = {
+                f"{endpoint}:{status}": count
+                for (endpoint, status), count in sorted(
+                    self._requests.items()
+                )
+            }
+            histograms = sorted(self._latency.items())
         payload: Dict[str, Any] = {
             "uptime_seconds": uptime_seconds,
-            "requests_total": self.total_requests(),
-            "requests": self.requests_by_status(),
-            "in_flight": self.in_flight,
-            "rejected_total": self.rejected_total,
-            "timeout_total": self.timeout_total,
+            "requests_total": sum(requests.values()),
+            "requests": requests,
+            "in_flight": in_flight,
+            "rejected_total": rejected,
+            "timeout_total": timeouts,
             "queue_depth": queue_depth,
             "queue_limit": queue_limit,
             "batches_total": batches,
             "batched_queries_total": batched,
             "mean_batch_size": (batched / batches) if batches else 0.0,
             "snapshot_version": snapshot_version,
-            "snapshot_swaps_total": self.snapshot_swaps_total,
+            "snapshot_swaps_total": swaps,
             "latency": {
                 endpoint: histogram.snapshot()
-                for endpoint, histogram in sorted(self._latency.items())
+                for endpoint, histogram in histograms
             },
         }
         if cache_stats is not None:

@@ -38,6 +38,7 @@ from typing import Any, List, Optional, Sequence, Set
 
 from repro.core.query import Query
 from repro.exceptions import (
+    BadRequestError,
     DataLakeError,
     DuplicateTableError,
     ProtocolError,
@@ -55,7 +56,6 @@ from repro.serve.batching import (
     MicroBatcher,
 )
 from repro.serve.http import (
-    BadRequest,
     HttpRequest,
     HttpResponse,
     read_request,
@@ -252,7 +252,7 @@ class ThetisServer:
             while not self._shut_down:
                 try:
                     request = await read_request(reader)
-                except BadRequest as exc:
+                except BadRequestError as exc:
                     response = HttpResponse(
                         exc.status, error_to_json(str(exc), exc.status)
                     )

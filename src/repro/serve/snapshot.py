@@ -31,9 +31,9 @@ class EngineSnapshot:
     def __init__(self, thetis: Thetis, version: int):
         self.thetis = thetis
         self.version = version
-        self._active = 0
-        self._retired = False
         self._lock = threading.Lock()
+        self._active = 0  # guarded-by: _lock
+        self._retired = False  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     def acquire(self) -> "EngineSnapshot":
@@ -67,11 +67,13 @@ class EngineSnapshot:
 
     @property
     def active(self) -> int:
-        return self._active
+        with self._lock:
+            return self._active
 
     @property
     def retired(self) -> bool:
-        return self._retired
+        with self._lock:
+            return self._retired
 
 
 class SnapshotManager:
@@ -97,21 +99,26 @@ class SnapshotManager:
         warm_method: Optional[str] = None,
         on_swap: Optional[Callable[[int], None]] = None,
     ):
-        self._current = EngineSnapshot(thetis, version=0)
+        # One writer at a time; readers never take this lock (the
+        # reader paths below carry intentionally-racy pragmas).
+        self._swap_lock = threading.Lock()
+        self._current = EngineSnapshot(thetis, version=0)  # guarded-by: _swap_lock
         self._warm_method = warm_method
         self._on_swap = on_swap
-        # One writer at a time; readers never take this lock.
-        self._swap_lock = threading.Lock()
-        self._closed = False
+        self._closed = False  # guarded-by: _swap_lock
 
     # ------------------------------------------------------------------
     @property
     def current(self) -> EngineSnapshot:
-        return self._current
+        # Intentionally racy read: readers never serialize on the
+        # writer lock; a single attribute load is atomic and the
+        # acquire/retry in checkout() handles the swap race.
+        return self._current  # lint: disable=guarded-attr-outside-lock
 
     @property
     def version(self) -> int:
-        return self._current.version
+        # Intentionally racy read (see `current`).
+        return self._current.version  # lint: disable=guarded-attr-outside-lock
 
     @contextmanager
     def checkout(self) -> Iterator[EngineSnapshot]:
@@ -121,10 +128,14 @@ class SnapshotManager:
         with ``snapshot.version``; the engine is ``snapshot.thetis``.
         """
         while True:
-            if self._closed:
+            # Intentionally racy reads: queries must never block on a
+            # writer mid-swap.  `_closed` is terminal (a stale False
+            # fails at acquire) and `_current` is a single atomic load
+            # whose retirement race the except branch retries.
+            if self._closed:  # lint: disable=guarded-attr-outside-lock
                 raise ServeError("snapshot manager is closed")
             try:
-                snapshot = self._current.acquire()
+                snapshot = self._current.acquire()  # lint: disable=guarded-attr-outside-lock
                 break
             except ServeError:
                 # Lost a race with a swap that retired-and-drained the
@@ -137,7 +148,8 @@ class SnapshotManager:
             snapshot.release()
 
     # ------------------------------------------------------------------
-    def _clone_current(self) -> Thetis:
+    # Only called from apply(), which already holds _swap_lock.
+    def _clone_current(self) -> Thetis:  # lint: disable=guarded-attr-outside-lock
         current = self._current.thetis
         lake, mapping = current.snapshot_inputs()
         return Thetis(
@@ -162,9 +174,12 @@ class SnapshotManager:
         raises, the half-built clone is closed and the serving state is
         unchanged.
         """
-        if self._closed:
-            raise ServeError("snapshot manager is closed")
         with self._swap_lock:
+            # Checked under the lock: a concurrent close() must not
+            # interleave with the clone/swap and have apply() resurrect
+            # a retired snapshot.
+            if self._closed:
+                raise ServeError("snapshot manager is closed")
             old = self._current
             replacement = self._clone_current()
             try:

@@ -121,14 +121,16 @@ class Thetis:
         self.cache_size = cache_size
         self.engine_kind = engine_kind
         self.informativeness = Informativeness.from_mapping(mapping, len(lake))
-        self._engines: Dict[str, TableSearchEngine] = {}
-        self._parallel: Dict[str, ParallelSearchEngine] = {}
-        self._prefilters: Dict[Tuple[str, LSHConfig, bool], TablePrefilter] = {}
-        self._linker = None
-        self._closed = False
         # Serializes lazy engine/prefilter construction and lifecycle
         # transitions so concurrent reader threads are safe.
         self._lock = threading.RLock()
+        self._engines: Dict[str, TableSearchEngine] = {}  # guarded-by: _lock
+        self._parallel: Dict[str, ParallelSearchEngine] = {}  # guarded-by: _lock
+        self._prefilters: Dict[
+            Tuple[str, LSHConfig, bool], TablePrefilter
+        ] = {}  # guarded-by: _lock
+        self._linker = None
+        self._closed = False  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -136,10 +138,14 @@ class Thetis:
     @property
     def closed(self) -> bool:
         """Whether :meth:`close` has been called."""
-        return self._closed
+        # Intentionally racy read: the flag is terminal (False -> True
+        # once), so a stale read only delays the ThetisClosedError by
+        # one call; taking the lock here would serialize every reader.
+        return self._closed  # lint: disable=guarded-attr-outside-lock
 
     def _check_open(self, operation: str) -> None:
-        if self._closed:
+        # Intentionally racy read (see `closed`).
+        if self._closed:  # lint: disable=guarded-attr-outside-lock
             raise ThetisClosedError(operation)
 
     # ------------------------------------------------------------------
@@ -162,7 +168,9 @@ class Thetis:
     # ------------------------------------------------------------------
     def engine(self, method: str = "types") -> TableSearchEngine:
         """Return (and cache) the exact search engine for ``method``."""
-        engine = self._engines.get(method)
+        # Intentionally racy read (double-checked locking): dict reads
+        # are GIL-atomic and the locked path below re-checks.
+        engine = self._engines.get(method)  # lint: disable=guarded-attr-outside-lock
         if engine is not None:
             return engine
         with self._lock:
@@ -201,7 +209,8 @@ class Thetis:
         Wraps :meth:`engine`'s exact engine with the configured
         ``workers`` / ``search_backend``; rankings are identical.
         """
-        parallel = self._parallel.get(method)
+        # Intentionally racy read (double-checked locking, see engine()).
+        parallel = self._parallel.get(method)  # lint: disable=guarded-attr-outside-lock
         if parallel is not None:
             return parallel
         with self._lock:
@@ -262,7 +271,8 @@ class Thetis:
     ) -> TablePrefilter:
         """Return (and cache) the LSEI prefilter for ``method``."""
         key = (method, config, column_aggregation)
-        cached = self._prefilters.get(key)
+        # Intentionally racy read (double-checked locking, see engine()).
+        cached = self._prefilters.get(key)  # lint: disable=guarded-attr-outside-lock
         if cached is not None:
             return cached
         with self._lock:
@@ -272,7 +282,8 @@ class Thetis:
                 return cached
             return self._build_prefilter(key)
 
-    def _build_prefilter(
+    # Only called from prefilter(), which already holds _lock.
+    def _build_prefilter(  # lint: disable=guarded-attr-outside-lock
         self, key: Tuple[str, LSHConfig, bool]
     ) -> TablePrefilter:
         method, config, column_aggregation = key
@@ -336,13 +347,17 @@ class Thetis:
             before = len(self.mapping)
             self._linker.link_table(table, self.mapping)
             created = len(self.mapping) - before
-        for engine in self._engines.values():
-            engine.invalidate_table(table.table_id)
-        for parallel in self._parallel.values():
-            parallel.reset_workers()
-        for prefilter in self._prefilters.values():
-            prefilter.add_table(table.table_id)
-        self._refresh_informativeness()
+        # The lock keeps the invalidation sweep consistent with lazy
+        # engine construction racing in from reader threads (the lock
+        # is reentrant, so the nested refresh below is fine).
+        with self._lock:
+            for engine in self._engines.values():
+                engine.invalidate_table(table.table_id)
+            for parallel in self._parallel.values():
+                parallel.reset_workers()
+            for prefilter in self._prefilters.values():
+                prefilter.add_table(table.table_id)
+            self._refresh_informativeness()
         return created
 
     def remove_table(self, table_id: str) -> None:
@@ -350,20 +365,22 @@ class Thetis:
         self._check_open("remove_table")
         self.lake.remove(table_id)
         self.mapping.unlink_table(table_id)
-        for engine in self._engines.values():
-            engine.invalidate_table(table_id)
-        for parallel in self._parallel.values():
-            parallel.reset_workers()
-        for prefilter in self._prefilters.values():
-            prefilter.remove_table(table_id)
-        self._refresh_informativeness()
+        with self._lock:
+            for engine in self._engines.values():
+                engine.invalidate_table(table_id)
+            for parallel in self._parallel.values():
+                parallel.reset_workers()
+            for prefilter in self._prefilters.values():
+                prefilter.remove_table(table_id)
+            self._refresh_informativeness()
 
     def _refresh_informativeness(self) -> None:
         self.informativeness = Informativeness.from_mapping(
             self.mapping, max(1, len(self.lake))
         )
-        for engine in self._engines.values():
-            engine.informativeness = self.informativeness
+        with self._lock:
+            for engine in self._engines.values():
+                engine.informativeness = self.informativeness
 
     # ------------------------------------------------------------------
     def search(

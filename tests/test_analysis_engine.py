@@ -1,0 +1,344 @@
+"""Engine, baseline, and CLI behavior of repro.analysis."""
+
+import json
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline, find_baseline_file
+from repro.analysis.cli import main
+from repro.analysis.engine import Finding, LintEngine
+from repro.analysis.rules import ALL_RULES, get_rules
+from repro.exceptions import AnalysisError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write(tmp_path, relpath, text):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Discovery and parsing
+# ----------------------------------------------------------------------
+def test_discover_recurses_and_skips_caches(tmp_path):
+    write(tmp_path, "pkg/a.py", "x = 1\n")
+    write(tmp_path, "pkg/sub/b.py", "y = 2\n")
+    write(tmp_path, "pkg/__pycache__/c.py", "z = 3\n")
+    write(tmp_path, "pkg/notes.txt", "not python\n")
+    files = LintEngine.discover([tmp_path])
+    names = [path.name for path in files]
+    assert names == ["a.py", "b.py"]
+
+
+def test_discover_missing_path_raises(tmp_path):
+    with pytest.raises(AnalysisError):
+        LintEngine.discover([tmp_path / "nope"])
+
+
+def test_parse_error_becomes_a_finding(tmp_path):
+    path = write(tmp_path, "broken.py", "def oops(:\n")
+    engine = LintEngine(ALL_RULES)
+    report = engine.run([path])
+    assert len(report.findings) == 1
+    finding = report.findings[0]
+    assert finding.rule == "parse-error"
+    assert finding.severity == "error"
+    assert report.gates("error")
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def make_finding(path="pkg/mod.py"):
+    return Finding(
+        rule="unused-import",
+        severity="warning",
+        path=path,
+        line=3,
+        message="'os' is imported but never used",
+    )
+
+
+def baseline_document(entries):
+    return json.dumps({"entries": entries})
+
+
+def test_baseline_matches_by_fingerprint_not_line(tmp_path):
+    path = tmp_path / ".lint-baseline.json"
+    path.write_text(baseline_document([{
+        "rule": "unused-import",
+        "path": "pkg/mod.py",
+        "message": "'os' is imported but never used",
+        "reason": "kept for doctest",
+    }]))
+    baseline = Baseline.load(path)
+    moved = Finding(
+        rule="unused-import", severity="warning", path="pkg/mod.py",
+        line=99, message="'os' is imported but never used",
+    )
+    assert baseline.matches(moved)
+    assert baseline.stale_entries() == []
+
+
+def test_baseline_reports_stale_entries(tmp_path):
+    path = tmp_path / ".lint-baseline.json"
+    path.write_text(baseline_document([{
+        "rule": "unused-import",
+        "path": "pkg/gone.py",
+        "message": "'os' is imported but never used",
+        "reason": "obsolete",
+    }]))
+    baseline = Baseline.load(path)
+    assert not baseline.matches(make_finding())
+    assert baseline.stale_entries() == [
+        ("unused-import", "pkg/gone.py", "'os' is imported but never used")
+    ]
+
+
+def test_baseline_rejects_empty_reason_and_missing_keys(tmp_path):
+    no_reason = tmp_path / "no_reason.json"
+    no_reason.write_text(baseline_document([{
+        "rule": "unused-import", "path": "a.py",
+        "message": "m", "reason": "  ",
+    }]))
+    with pytest.raises(AnalysisError, match="reason"):
+        Baseline.load(no_reason)
+    missing = tmp_path / "missing.json"
+    missing.write_text(baseline_document([{"rule": "unused-import"}]))
+    with pytest.raises(AnalysisError, match="missing"):
+        Baseline.load(missing)
+    garbage = tmp_path / "garbage.json"
+    garbage.write_text("not json")
+    with pytest.raises(AnalysisError, match="valid JSON"):
+        Baseline.load(garbage)
+
+
+def test_find_baseline_file_searches_upward(tmp_path):
+    target = write(tmp_path, "src/pkg/mod.py", "x = 1\n")
+    assert find_baseline_file(target) is None
+    marker = tmp_path / ".lint-baseline.json"
+    marker.write_text(baseline_document([]))
+    assert find_baseline_file(target) == marker
+
+
+def test_engine_splits_baselined_from_active(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    write(tmp_path, "pkg/mod.py", "import os\n")
+    baseline_path = tmp_path / ".lint-baseline.json"
+    baseline_path.write_text(baseline_document([{
+        "rule": "unused-import",
+        "path": "pkg/mod.py",
+        "message": "'os' is imported but never used",
+        "reason": "fixture",
+    }]))
+    engine = LintEngine(
+        get_rules(["unused-import"]),
+        baseline=Baseline.load(baseline_path),
+    )
+    report = engine.run([tmp_path / "pkg"])
+    assert report.findings == []
+    assert len(report.baselined) == 1
+    assert not report.gates("warning")
+
+
+# ----------------------------------------------------------------------
+# Severity gating
+# ----------------------------------------------------------------------
+def test_gates_thresholds(tmp_path):
+    path = write(tmp_path, "mod.py", "import os\n")
+    report = LintEngine(get_rules(["unused-import"])).run([path])
+    assert report.counts()["warning"] == 1
+    assert report.worst() == "warning"
+    assert report.gates("info")
+    assert report.gates("warning")
+    assert not report.gates("error")
+    assert not report.gates("never")
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_clean_file_exits_zero(tmp_path, capsys):
+    path = write(tmp_path, "clean.py", "VALUE = 1\n")
+    assert main([str(path), "--no-baseline"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_warning_gates_by_default_but_not_on_error(tmp_path, capsys):
+    path = write(tmp_path, "mod.py", "import os\n")
+    assert main([str(path), "--no-baseline"]) == 1
+    assert main([str(path), "--no-baseline", "--fail-on", "error"]) == 0
+    assert main([str(path), "--no-baseline", "--fail-on", "never"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_unknown_rule_id_is_usage_error(tmp_path, capsys):
+    path = write(tmp_path, "mod.py", "x = 1\n")
+    assert main([str(path), "--rules", "bogus"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_json_output_is_parseable(tmp_path, capsys):
+    path = write(tmp_path, "mod.py", "import os\n")
+    code = main([str(path), "--no-baseline", "--format", "json"])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert document["failed"] is True
+    assert document["counts"]["warning"] == 1
+    assert document["findings"][0]["rule"] == "unused-import"
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.id in out
+
+
+def test_cli_rules_subset_runs_only_those(tmp_path, capsys):
+    path = write(tmp_path, "mod.py", """\
+        import os
+
+        def check(value):
+            raise ValueError(value)
+        """)
+    assert main([
+        str(path), "--no-baseline", "--rules", "foreign-exception",
+        "--format", "json",
+    ]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert [f["rule"] for f in document["findings"]] == ["foreign-exception"]
+
+
+def test_cli_changed_only_lints_only_dirty_files(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    env = {"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@example.com",
+           "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@example.com"}
+    try:
+        subprocess.run(["git", "init", "-q"], check=True, cwd=tmp_path)
+        write(tmp_path, "src/clean.py", "import os\n")
+        subprocess.run(["git", "add", "."], check=True, cwd=tmp_path)
+        subprocess.run(
+            ["git", "commit", "-qm", "seed"], check=True, cwd=tmp_path,
+            env={**__import__("os").environ, **env},
+        )
+    except (OSError, subprocess.CalledProcessError):
+        pytest.skip("git unavailable")
+    # clean.py (committed, unchanged) has a finding that must NOT be
+    # reported; only the untracked file is linted.
+    write(tmp_path, "src/dirty.py", "import json\n")
+    code = main(["src", "--no-baseline", "--changed-only",
+                 "--format", "json"])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 1
+    paths = {f["path"] for f in document["findings"]}
+    assert paths == {"src/dirty.py"}
+
+
+def test_cli_changed_only_with_no_changes_is_clean(tmp_path, monkeypatch,
+                                                   capsys):
+    monkeypatch.chdir(tmp_path)
+    env = {"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@example.com",
+           "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@example.com"}
+    try:
+        subprocess.run(["git", "init", "-q"], check=True, cwd=tmp_path)
+        write(tmp_path, "src/clean.py", "import os\n")
+        subprocess.run(["git", "add", "."], check=True, cwd=tmp_path)
+        subprocess.run(
+            ["git", "commit", "-qm", "seed"], check=True, cwd=tmp_path,
+            env={**__import__("os").environ, **env},
+        )
+    except (OSError, subprocess.CalledProcessError):
+        pytest.skip("git unavailable")
+    assert main(["src", "--no-baseline", "--changed-only"]) == 0
+    assert "nothing to lint" in capsys.readouterr().err
+
+
+def test_thetis_lint_subcommand_is_wired(tmp_path, capsys):
+    from repro.cli import build_parser
+
+    path = write(tmp_path, "mod.py", "import os\n")
+    parser = build_parser()
+    args = parser.parse_args(["lint", str(path), "--no-baseline"])
+    assert args.func(args) == 1
+    capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# Def-span pragmas
+# ----------------------------------------------------------------------
+def test_pragma_on_def_line_covers_the_whole_body(tmp_path):
+    path = write(tmp_path, "mod.py", """\
+        import threading
+
+        class Holder:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = []  # guarded-by: _lock
+
+            # Caller holds the lock.
+            def unsafe(self):  # lint: disable=guarded-attr-outside-lock
+                first = self._data[0]
+                return first
+
+            def still_flagged(self):
+                return self._data
+        """)
+    report = LintEngine(get_rules(["guarded-attr-outside-lock"])).run([path])
+    assert len(report.findings) == 1
+    assert "still_flagged" not in report.findings[0].message
+    assert report.findings[0].line == path.read_text().splitlines().index(
+        "        return self._data") + 1
+
+
+def test_disable_file_pragma_covers_every_line(tmp_path):
+    path = write(tmp_path, "mod.py", """\
+        # lint: disable-file=unused-import
+        import os
+        import json
+        """)
+    report = LintEngine(get_rules(["unused-import"])).run([path])
+    assert report.findings == []
+
+
+# ----------------------------------------------------------------------
+# Self-check: the shipped tree is clean against the shipped baseline
+# ----------------------------------------------------------------------
+def test_shipped_tree_is_clean_with_shipped_baseline(monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    baseline = Baseline.load(REPO_ROOT / ".lint-baseline.json")
+    engine = LintEngine(ALL_RULES, baseline=baseline)
+    report = engine.run([REPO_ROOT / "src" / "repro"])
+    assert report.findings == [], "\n".join(
+        finding.format_text() for finding in report.findings
+    )
+    assert report.stale_baseline == []
+    assert report.baselined  # the baseline is load-bearing, not empty
+
+
+def test_ci_lint_stage_fails_on_injected_violation(tmp_path, monkeypatch,
+                                                   capsys):
+    """A deliberate guarded-attr violation trips the CI lint invocation."""
+    write(tmp_path, "pkg/cache.py", """\
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._hits = 0  # guarded-by: _lock
+
+            def bump(self):
+                self._hits += 1
+        """)
+    code = main([str(tmp_path / "pkg"), "--no-baseline",
+                 "--format", "json", "--fail-on", "warning"])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert document["counts"]["error"] == 1
+    assert document["findings"][0]["rule"] == "guarded-attr-outside-lock"
