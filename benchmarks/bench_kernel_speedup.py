@@ -22,12 +22,20 @@ directory (scripts/ci.sh runs this with ``--quick``).
 import json
 import time
 
+import pytest
+
 from benchmarks.conftest import print_header
 from repro.core.kernel import VectorizedTableSearchEngine
 from repro.core.search import TableSearchEngine
 
 TOLERANCE = 1e-9
 REQUIRED_COLD_SPEEDUP = 5.0
+
+#: Segmented-index gates (--incremental): a single-table add must beat
+#: a full recompile by this factor, and a memmap cold start must beat
+#: compile-from-scratch by this factor.
+REQUIRED_ADD_SPEEDUP = 20.0
+REQUIRED_LOAD_SPEEDUP = 5.0
 
 REPORT_PATH = "BENCH_kernel.json"
 
@@ -143,3 +151,115 @@ def test_kernel_speedup(wt_bench, wt_thetis, benchmark):
         assert row["warm_speedup"] >= 1.0, (
             f"{method}: warm regression {row['warm_speedup']:.2f}x"
         )
+
+
+def _merge_report(key, section):
+    """Fold ``section`` into BENCH_kernel.json without clobbering it."""
+    try:
+        with open(REPORT_PATH, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        payload = {}
+    payload[key] = section
+    with open(REPORT_PATH, "w", encoding="utf-8") as out:
+        json.dump(payload, out, indent=2)
+
+
+def test_incremental_index_speedup(wt_bench, wt_thetis, benchmark,
+                                   tmp_path, request):
+    """O(delta) updates and zero-copy cold start vs full recompiles.
+
+    Three timings over the Table 3 corpus with the types sigma:
+
+    * ``full_compile``: ``SegmentedCorpusIndex.compile`` over the whole
+      lake — the cost every ``add_table`` paid before segmentation;
+    * ``single_add``: mean ``with_table`` on the compiled index — one
+      single-table segment append plus a tombstone (gate: >= 20x
+      cheaper than the recompile);
+    * ``memmap_load``: ``load_index`` of the persisted index — header
+      validation plus memmap setup, no array materialization (gate:
+      >= 5x cheaper than compile-from-scratch).
+
+    Parity rides along: the loaded index must rank bit-identically to
+    a freshly compiled one (type Jaccard is integer popcount work).
+    """
+    if not request.config.getoption("--incremental"):
+        pytest.skip("segmented-index bench runs only with --incremental")
+    from repro.core.kernel import (
+        SegmentedCorpusIndex,
+        load_index,
+        save_index,
+    )
+
+    lake, mapping = wt_bench.lake, wt_bench.mapping
+    sigma = wt_thetis.engine("types").sigma
+    queries = _queries(wt_bench)
+    add_samples = [lake.get(tid) for tid in lake.table_ids()[:8]]
+
+    def run():
+        start = time.perf_counter()
+        index = SegmentedCorpusIndex.compile(lake, mapping, sigma)
+        full_compile = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for table in add_samples:
+            index.with_table(table)
+        single_add = (time.perf_counter() - start) / len(add_samples)
+
+        index_dir = str(tmp_path / "bench-index")
+        save_index(index, index_dir)
+        start = time.perf_counter()
+        loaded = load_index(index_dir, sigma, mapping)
+        memmap_load = time.perf_counter() - start
+
+        return {
+            "corpus_tables": len(lake),
+            "full_compile_seconds": full_compile,
+            "single_add_seconds": single_add,
+            "memmap_load_seconds": memmap_load,
+            "add_speedup": full_compile / single_add,
+            "load_speedup": full_compile / memmap_load,
+        }, index, loaded
+
+    report, index, loaded = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Parity: the persisted index serves the exact rankings of the
+    # in-memory one (bit-exact for the integer type-Jaccard kernel).
+    compiled_engine = _build(VectorizedTableSearchEngine, wt_thetis, "types")
+    compiled_engine.adopt_index(index)
+    loaded_engine = _build(VectorizedTableSearchEngine, wt_thetis, "types")
+    loaded_engine.adopt_index(loaded)
+    parity_queries = queries[:4]
+    compiled_rankings = [
+        compiled_engine.search(q, k=None) for q in parity_queries
+    ]
+    loaded_rankings = [
+        loaded_engine.search(q, k=None) for q in parity_queries
+    ]
+    report["max_score_delta"] = _max_delta(compiled_rankings, loaded_rankings)
+
+    print_header(
+        f"Segmented index: incremental update + memmap cold start "
+        f"({len(lake)} tables)"
+    )
+    print(f"  full compile    {report['full_compile_seconds'] * 1e3:9.2f} ms")
+    print(f"  single add      {report['single_add_seconds'] * 1e3:9.2f} ms"
+          f"   -> {report['add_speedup']:7.1f}x")
+    print(f"  memmap load     {report['memmap_load_seconds'] * 1e3:9.2f} ms"
+          f"   -> {report['load_speedup']:7.1f}x")
+    print(f"  max score delta {report['max_score_delta']:.3e}")
+
+    _merge_report("incremental", report)
+    print(f"  report -> {REPORT_PATH} (incremental)")
+
+    assert report["max_score_delta"] == 0.0, (
+        f"persisted-index parity broken ({report['max_score_delta']:.3e})"
+    )
+    assert report["add_speedup"] >= REQUIRED_ADD_SPEEDUP, (
+        f"single-table add only {report['add_speedup']:.1f}x faster than a "
+        f"full recompile (< {REQUIRED_ADD_SPEEDUP}x)"
+    )
+    assert report["load_speedup"] >= REQUIRED_LOAD_SPEEDUP, (
+        f"memmap cold start only {report['load_speedup']:.1f}x faster than "
+        f"compile-from-scratch (< {REQUIRED_LOAD_SPEEDUP}x)"
+    )

@@ -17,10 +17,13 @@ directory (scripts/ci.sh runs this with ``--quick``).
 
 import http.client
 import json
+import threading
+import time
 
 from benchmarks.conftest import print_header
 from repro import Thetis
 from repro.serve import LoadGenerator, ServeConfig, ServerThread
+from repro.serve.metrics import percentile_of
 
 #: Closed-loop request volume (full / --quick).
 TOTAL_REQUESTS = 400
@@ -31,6 +34,12 @@ CONCURRENCY = 8
 OPEN_RATE = 40.0
 OPEN_DURATION = 4.0
 QUICK_OPEN_DURATION = 1.0
+
+#: Mutation-under-load cycles (add + remove each) and the concurrent
+#: query threads kept running across them (full / --quick).
+MUTATION_CYCLES = 15
+QUICK_MUTATION_CYCLES = 5
+MUTATION_QUERY_THREADS = 4
 
 REPORT_PATH = "BENCH_serve.json"
 
@@ -136,3 +145,180 @@ def test_serve_latency(wt_bench, benchmark, request):
     # Open loop may legitimately shed (503) under queueing, but the
     # server must keep answering.
     assert open_loop.ok > 0
+
+
+# ----------------------------------------------------------------------
+# Mutation under load
+# ----------------------------------------------------------------------
+def _post_json(connection, method, path, payload=None):
+    """One request; returns (status, parsed body, seconds)."""
+    body = json.dumps(payload).encode("utf-8") if payload is not None else None
+    start = time.perf_counter()
+    connection.request(
+        method, path, body=body,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    response = connection.getresponse()
+    parsed = json.loads(response.read())
+    return response.status, parsed, time.perf_counter() - start
+
+
+def _query_worker(port, payloads, stop, out):
+    """Closed-loop /search driver running until ``stop`` is set."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    latencies, errors = [], 0
+    index = 0
+    try:
+        while not stop.is_set():
+            payload = payloads[index % len(payloads)]
+            index += 1
+            try:
+                status, _, seconds = _post_json(
+                    connection, "POST", "/search", payload
+                )
+            except (OSError, http.client.HTTPException):
+                errors += 1
+                connection.close()
+                connection = http.client.HTTPConnection(
+                    "127.0.0.1", port, timeout=120
+                )
+                continue
+            if status == 200:
+                latencies.append(seconds)
+            else:
+                errors += 1
+    finally:
+        connection.close()
+    out.append((latencies, errors))
+
+
+def _upsert_payload(source_table, table_id):
+    """A /tables body cloning an existing table under a fresh id."""
+    return {
+        "table": {
+            "id": table_id,
+            "attributes": list(source_table.attributes),
+            "rows": [list(row) for row in source_table.rows],
+            "metadata": dict(source_table.metadata),
+        },
+        "link": True,
+    }
+
+
+def test_serve_mutation_under_load(wt_bench, benchmark, request):
+    """p50/p95 of add/remove table swaps while queries keep flowing.
+
+    Exercises the O(delta) snapshot path end to end: the server runs
+    the vectorized engine, each ``POST /tables`` / ``DELETE /tables``
+    clones the current generation (sharing every unchanged segment),
+    applies a one-segment delta, warms, and swaps — all while
+    concurrent ``/search`` load keeps hitting whichever generation is
+    current.  Reported into ``BENCH_serve.json`` under ``mutation``.
+    """
+    quick = request.config.getoption("--quick")
+    cycles = QUICK_MUTATION_CYCLES if quick else MUTATION_CYCLES
+
+    lake, mapping = Thetis(
+        wt_bench.lake, wt_bench.graph, wt_bench.mapping
+    ).snapshot_inputs()
+    served = Thetis(
+        lake, wt_bench.graph, mapping, engine_kind="vectorized"
+    )
+    payloads = _query_payloads(wt_bench)
+    source_table = wt_bench.lake.get(wt_bench.lake.table_ids()[0])
+
+    handle = ServerThread(
+        served,
+        ServeConfig(port=0, max_batch_size=8, flush_interval=0.002),
+    )
+    handle.start().wait_ready(timeout=300)
+    stop = threading.Event()
+    worker_out = []
+    workers = [
+        threading.Thread(
+            target=_query_worker,
+            args=(handle.port, payloads, stop, worker_out),
+            daemon=True,
+        )
+        for _ in range(MUTATION_QUERY_THREADS)
+    ]
+    try:
+        for worker in workers:
+            worker.start()
+
+        def run():
+            add_seconds, remove_seconds = [], []
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", handle.port, timeout=300
+            )
+            try:
+                for cycle in range(cycles):
+                    table_id = f"bench-mutation-{cycle}"
+                    status, body, seconds = _post_json(
+                        connection, "POST", "/tables",
+                        _upsert_payload(source_table, table_id),
+                    )
+                    assert status == 200, body
+                    add_seconds.append(seconds)
+                    status, body, seconds = _post_json(
+                        connection, "DELETE", f"/tables/{table_id}"
+                    )
+                    assert status == 200, body
+                    remove_seconds.append(seconds)
+            finally:
+                connection.close()
+            return add_seconds, remove_seconds
+
+        add_seconds, remove_seconds = benchmark.pedantic(
+            run, rounds=1, iterations=1
+        )
+    finally:
+        stop.set()
+        for worker in workers:
+            worker.join(timeout=120)
+        handle.stop(timeout=120)
+
+    query_latencies = [s for latencies, _ in worker_out for s in latencies]
+    query_errors = sum(errors for _, errors in worker_out)
+    report = {
+        "corpus_tables": len(wt_bench.lake),
+        "cycles": cycles,
+        "query_threads": MUTATION_QUERY_THREADS,
+        "add_p50_ms": percentile_of(add_seconds, 0.50) * 1e3,
+        "add_p95_ms": percentile_of(add_seconds, 0.95) * 1e3,
+        "remove_p50_ms": percentile_of(remove_seconds, 0.50) * 1e3,
+        "remove_p95_ms": percentile_of(remove_seconds, 0.95) * 1e3,
+        "query_ok": len(query_latencies),
+        "query_errors": query_errors,
+        "query_p50_ms": percentile_of(query_latencies, 0.50) * 1e3,
+        "query_p95_ms": percentile_of(query_latencies, 0.95) * 1e3,
+    }
+
+    print_header(
+        f"Mutation under load ({cycles} add/remove cycles, "
+        f"{MUTATION_QUERY_THREADS} query threads)"
+    )
+    print(f"  add    p50 {report['add_p50_ms']:9.2f} ms   "
+          f"p95 {report['add_p95_ms']:9.2f} ms")
+    print(f"  remove p50 {report['remove_p50_ms']:9.2f} ms   "
+          f"p95 {report['remove_p95_ms']:9.2f} ms")
+    print(f"  /search during swaps: {report['query_ok']} ok, "
+          f"{report['query_errors']} errors, "
+          f"p50 {report['query_p50_ms']:.2f} ms, "
+          f"p95 {report['query_p95_ms']:.2f} ms")
+
+    try:
+        with open(REPORT_PATH, "r", encoding="utf-8") as handle_in:
+            payload = json.load(handle_in)
+    except (OSError, json.JSONDecodeError):
+        payload = {}
+    payload["mutation"] = report
+    with open(REPORT_PATH, "w", encoding="utf-8") as out:
+        json.dump(payload, out, indent=2)
+    print(f"  report -> {REPORT_PATH} (mutation)")
+
+    # Every swap must land, and queries must keep succeeding across
+    # them — the copy-and-swap contract under the segmented engine.
+    assert len(add_seconds) == cycles
+    assert len(remove_seconds) == cycles
+    assert report["query_ok"] > 0, "no query completed during mutations"

@@ -48,6 +48,11 @@ def pytest_addoption(parser):
         "--quick", action="store_true",
         help="shrink benchmark corpora for a CI smoke run",
     )
+    parser.addoption(
+        "--incremental", action="store_true",
+        help="run the segmented-index incremental-update benchmarks "
+             "(single-table add vs full recompile, memmap cold start)",
+    )
 
 
 def _scale(request):

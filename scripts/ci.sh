@@ -36,6 +36,13 @@ python -m pytest -x -q -s \
     --benchmark-disable
 
 echo
+echo "== index smoke: O(delta) updates + memmap cold start =="
+python -m pytest -x -q -s \
+    "benchmarks/bench_kernel_speedup.py::test_incremental_index_speedup" \
+    --incremental --quick \
+    --benchmark-disable
+
+echo
 echo "== serve smoke: HTTP service end-to-end on an ephemeral port =="
 python scripts/serve_smoke.py
 

@@ -27,6 +27,7 @@ from repro.analysis.rules.hygiene import (
 )
 from repro.analysis.rules.kernel_safety import (
     FloatDtypeMixRule,
+    MemmapExplicitRule,
     MissingDtypeRule,
     NpArrayCopyRule,
 )
@@ -53,6 +54,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     MissingDtypeRule(),
     NpArrayCopyRule(),
     FloatDtypeMixRule(),
+    MemmapExplicitRule(),
     # API hygiene
     AllConsistencyRule(),
     ForeignExceptionRule(),

@@ -23,6 +23,15 @@ failing a single test loudly:
     half the operands lose the precision the 1e-9 parity bound assumes.
     Tracked per function over locals with statically-known float
     dtypes.
+
+``memmap-explicit``
+    ``np.memmap`` defaults are a trap for a persistent format:
+    ``dtype`` defaults to uint8 *today* (easy to rely on by accident),
+    ``mode`` defaults to ``'r+'`` (a reader that silently opens the
+    index writable), and omitting ``offset``/``shape`` maps "whatever
+    the file currently holds".  The on-disk kernel format
+    (``core/kernel/storage.py``) promises byte-stable layouts, so every
+    memmap spells all four out.
 """
 
 from __future__ import annotations
@@ -130,6 +139,45 @@ class NpArrayCopyRule(Rule):
                     "np.asarray to share a view of interned index arrays "
                     "(or copy= to mark the copy intentional)",
                 )
+
+
+class MemmapExplicitRule(Rule):
+    """Require dtype/mode/offset/shape keywords on ``np.memmap``."""
+
+    id = "memmap-explicit"
+    severity = "warning"
+    description = (
+        "np.memmap without explicit dtype=, mode=, offset= and shape= "
+        "keywords relies on defaults that break the persistent-format "
+        "contract (uint8, writable 'r+', whole-file extent)"
+    )
+    scope = ("kernel",)
+
+    _REQUIRED = ("dtype", "mode", "offset", "shape")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        aliases = import_aliases(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = canonical_call_name(node.func, aliases)
+            if target != "numpy.memmap":
+                continue
+            passed = {keyword.arg for keyword in node.keywords}
+            missing = [
+                name for name in self._REQUIRED if name not in passed
+            ]
+            if not missing:
+                continue
+            yield self.finding(
+                source,
+                node,
+                "'np.memmap' must pass "
+                + ", ".join(f"{name}=" for name in missing)
+                + " explicitly; mapping a persistent index with default "
+                "dtype/mode/extent reads (or writes!) bytes the header "
+                "never promised",
+            )
 
 
 class FloatDtypeMixRule(Rule):

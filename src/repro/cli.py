@@ -1,6 +1,6 @@
 """Command-line interface for the Thetis reproduction.
 
-Four subcommands cover the end-to-end workflow on files:
+The subcommands cover the end-to-end workflow on files:
 
 * ``generate`` — build a synthetic benchmark corpus (KG + lake + links
   + queries) and write it to a directory;
@@ -8,6 +8,9 @@ Four subcommands cover the end-to-end workflow on files:
 * ``stats``    — print Table-2 style corpus statistics;
 * ``search``   — run semantic table search for an entity-tuple query;
 * ``serve``    — run the online HTTP/JSON query service;
+* ``index``    — build/load/inspect a persistent segmented corpus index
+  (``search --index DIR`` and ``serve --index DIR`` then cold-start by
+  memmapping it instead of compiling);
 * ``lint``     — run the built-in static analyzer over the codebase.
 
 Example session::
@@ -160,6 +163,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         search_backend=args.backend,
         cache_size=args.cache_size,
         engine_kind=args.engine,
+        index_dir=args.index,
     ) as thetis:
         if args.method == "embeddings":
             thetis.train_embeddings(
@@ -203,6 +207,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         search_backend=args.backend,
         cache_size=args.cache_size,
         engine_kind=args.engine,
+        index_dir=args.index,
     )
     if args.method == "embeddings":
         thetis.train_embeddings(dimensions=args.dimensions, seed=args.seed)
@@ -315,6 +320,67 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run as run_lint
 
     return run_lint(args)
+
+
+def _index_sigma(args: argparse.Namespace, thetis: Thetis):
+    """The similarity the index is built/validated against."""
+    if args.method == "embeddings":
+        thetis.train_embeddings(dimensions=args.dimensions, seed=args.seed)
+    return thetis.engine(args.method).sigma
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    from repro.core.kernel import SegmentedCorpusIndex, save_index
+
+    graph = load_graph(args.graph)
+    lake = load_lake(args.lake)
+    mapping = load_mapping(args.mapping)
+    with Thetis(lake, graph, mapping, engine_kind="vectorized") as thetis:
+        sigma = _index_sigma(args, thetis)
+        index = SegmentedCorpusIndex.compile(
+            lake, mapping, sigma, segment_tables=args.segment_tables
+        )
+        summary = save_index(index, args.out)
+    print(f"indexed {summary['live_tables']} tables into "
+          f"{summary['segments']} segment(s), "
+          f"{summary['array_bytes']:,} array bytes -> {args.out}")
+    return 0
+
+
+def _cmd_index_load(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.kernel import SegmentedCorpusIndex, load_index
+
+    graph = load_graph(args.graph)
+    lake = load_lake(args.lake)
+    mapping = load_mapping(args.mapping)
+    with Thetis(lake, graph, mapping, engine_kind="vectorized") as thetis:
+        sigma = _index_sigma(args, thetis)
+        start = time.perf_counter()
+        index = load_index(args.index, sigma, mapping)
+        load_seconds = time.perf_counter() - start
+        stats = index.stats()
+        mirrors = index.mirrors([table.table_id for table in lake])
+        print(f"loaded {stats.live_tables} tables / {stats.segments} "
+              f"segment(s) in {load_seconds * 1000:.1f} ms "
+              f"(mirrors lake: {mirrors})")
+        if args.compare_compile:
+            start = time.perf_counter()
+            SegmentedCorpusIndex.compile(lake, mapping, sigma)
+            compile_seconds = time.perf_counter() - start
+            speedup = compile_seconds / max(load_seconds, 1e-9)
+            print(f"compile from scratch: {compile_seconds * 1000:.1f} ms "
+                  f"({speedup:.1f}x slower than load)")
+    return 0
+
+
+def _cmd_index_inspect(args: argparse.Namespace) -> int:
+    from repro.core.kernel import inspect_index
+
+    summary = inspect_index(args.index, verify=args.verify)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -433,6 +499,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="threads executing query batches")
     serve.add_argument("--no-warm", action="store_true",
                        help="skip index warm-up (readyz flips immediately)")
+    serve.add_argument("--index", default=None, metavar="DIR",
+                       help="persisted index directory (built with "
+                            "'thetis index build'); memmapped for a "
+                            "zero-copy cold start — requires --engine "
+                            "vectorized")
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(func=_cmd_serve)
 
@@ -465,6 +536,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="scoring engine implementation (vectorized = "
                              "batched numpy kernel over a compiled corpus "
                              "index; identical rankings)")
+    search.add_argument("--index", default=None, metavar="DIR",
+                        help="persisted index directory (built with "
+                             "'thetis index build'); memmapped for a "
+                             "zero-copy cold start — requires --engine "
+                             "vectorized")
     search.add_argument("--cache-stats", action="store_true",
                         help="print cache hit/miss statistics after "
                              "searching")
@@ -472,6 +548,55 @@ def build_parser() -> argparse.ArgumentParser:
                         help="explain the top result")
     search.add_argument("--seed", type=int, default=0)
     search.set_defaults(func=_cmd_search)
+
+    index = sub.add_parser(
+        "index", help="build/load/inspect a persistent segmented index"
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+
+    def _index_corpus_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--graph", required=True)
+        p.add_argument("--lake", required=True)
+        p.add_argument("--mapping", required=True)
+        p.add_argument("--method", choices=["types", "embeddings"],
+                       default="types",
+                       help="similarity the index is compiled against")
+        p.add_argument("--dimensions", type=int, default=32,
+                       help="embedding width when --method embeddings")
+        p.add_argument("--seed", type=int, default=0)
+
+    index_build = index_sub.add_parser(
+        "build", help="compile the lake and persist the index to disk"
+    )
+    _index_corpus_arguments(index_build)
+    index_build.add_argument("--out", required=True,
+                             help="index output directory")
+    index_build.add_argument("--segment-tables", type=int, default=0,
+                             help="tables per segment (0 = one segment; "
+                                  "smaller segments make later updates "
+                                  "cheaper at a small scan overhead)")
+    index_build.set_defaults(func=_cmd_index_build)
+
+    index_load = index_sub.add_parser(
+        "load", help="memmap-load a persisted index and report timings"
+    )
+    _index_corpus_arguments(index_load)
+    index_load.add_argument("--index", required=True,
+                            help="index directory to load")
+    index_load.add_argument("--compare-compile", action="store_true",
+                            help="also time a compile-from-scratch for "
+                                 "the cold-start speedup")
+    index_load.set_defaults(func=_cmd_index_load)
+
+    index_inspect = index_sub.add_parser(
+        "inspect", help="summarize an index directory from its header"
+    )
+    index_inspect.add_argument("--index", required=True,
+                               help="index directory to inspect")
+    index_inspect.add_argument("--verify", action="store_true",
+                               help="resolve every array against the "
+                                    "payload (detects truncation)")
+    index_inspect.set_defaults(func=_cmd_index_inspect)
 
     lint = sub.add_parser(
         "lint", help="run the repro.analysis static analyzer"

@@ -143,6 +143,18 @@ class LRUCache:
         with self._lock:
             self._data.clear()
 
+    def snapshot_items(self) -> list:
+        """A point-in-time copy of the entries, oldest first.
+
+        Serving snapshots use this to seed a fresh engine's caches from
+        the generation being replaced, so an O(delta) lake mutation does
+        not cold-start every per-table memo.  Recency order is
+        preserved, so replaying the items into another cache keeps the
+        same eviction candidates.
+        """
+        with self._lock:
+            return list(self._data.items())
+
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters."""
         with self._lock:

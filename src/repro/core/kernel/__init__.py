@@ -28,14 +28,28 @@ from repro.core.kernel.index import (
     TableView,
     compile_kernel,
 )
+from repro.core.kernel.segments import (
+    SegmentedCorpusIndex,
+    SegmentedIndexStats,
+)
+from repro.core.kernel.storage import (
+    inspect_index,
+    load_index,
+    save_index,
+)
 
 __all__ = [
     "ENGINE_KINDS",
     "CorpusIndex",
     "DEFAULT_ROW_CACHE_SIZE",
+    "SegmentedCorpusIndex",
+    "SegmentedIndexStats",
     "SimilarityKernel",
     "TableView",
     "VectorizedTableSearchEngine",
     "compile_kernel",
     "engine_class",
+    "inspect_index",
+    "load_index",
+    "save_index",
 ]

@@ -22,12 +22,17 @@ randomized suite in ``tests/test_core_kernel.py`` pins this across
 tuple semantics, aggregation modes, nulls, unlinked cells, and
 entities missing embeddings.
 
-The compiled index is built lazily and shared read-only: thread shards
-of the parallel engine reuse one instance, process workers receive it
-inside their pickled engine copy (:meth:`prepare` compiles it before
-the pool forks), and lake mutations invalidate it for a lazy rebuild —
-the serving layer's snapshot swap triggers that rebuild off the
-request path while warming the next generation.
+The compiled index is **segmented**
+(:class:`~repro.core.kernel.segments.SegmentedCorpusIndex`): lake
+mutations apply O(delta) — ``invalidate_table`` compiles one
+single-table segment (add/replace) or writes a tombstone (remove)
+instead of discarding the whole compilation, and size-tiered
+compaction merges small segments during :meth:`warm` — off the request
+path, where serving snapshots already run it before the swap.  Thread
+shards of the parallel engine share the index read-only; process
+workers either receive it pickled or, when the index is disk-backed
+(``index_dir`` or a pool spill), re-open it zero-copy via
+``np.memmap`` from :mod:`repro.core.kernel.storage`.
 """
 
 from __future__ import annotations
@@ -35,7 +40,7 @@ from __future__ import annotations
 import math
 import threading
 import time
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -48,10 +53,15 @@ from repro.core.cache import (
     LRUCache,
 )
 from repro.core.kernel.index import DEFAULT_ROW_CACHE_SIZE, CorpusIndex
+from repro.core.kernel.segments import (
+    SegmentedCorpusIndex,
+    SegmentedIndexStats,
+)
 from repro.core.query import Query
 from repro.core.result import ResultSet, ScoredTable
 from repro.core.search import ScoringProfile, TableScore, TableSearchEngine
 from repro.datalake.table import Table
+from repro.exceptions import IndexStorageError
 
 #: Minimum gap between the best and second-best assignment total before
 #: the enumerated small-width assignment is trusted over the Hungarian
@@ -89,11 +99,19 @@ class VectorizedTableSearchEngine(TableSearchEngine):
     """Drop-in :class:`~repro.core.search.TableSearchEngine` with a
     batched scoring kernel.
 
-    Additional parameter
-    --------------------
+    Additional parameters
+    ---------------------
     row_cache_size:
         Entry bound of the per-query-entity similarity-row memo held
-        by the compiled index.
+        by each compiled segment.
+    index_dir:
+        Optional directory holding a persisted index
+        (:mod:`repro.core.kernel.storage`).  When set, the first
+        :meth:`index` call memmaps the on-disk arrays instead of
+        compiling — cold start becomes mmap + header validation — and
+        falls back to compiling if the directory is missing, stale
+        (live table set differs from the lake), or was built for a
+        different similarity configuration.
 
     Notes
     -----
@@ -102,19 +120,24 @@ class VectorizedTableSearchEngine(TableSearchEngine):
     path (and its :class:`~repro.core.cache.SimilarityCache`), while
     every ``score_table`` goes through the kernel.  A table missing
     from the index (mutated lake without invalidation) triggers one
-    rebuild, then falls back to the scalar path if still unknown, so
-    the engine never answers wrong — only slower.
+    incremental reconciliation, then falls back to the scalar path if
+    still unknown, so the engine never answers wrong — only slower.
     """
 
     #: Engine selector name (the ``--engine`` CLI value).
     kind = "vectorized"
 
     def __init__(self, *args, row_cache_size: int = DEFAULT_ROW_CACHE_SIZE,
-                 **kwargs):
+                 index_dir: Optional[str] = None, **kwargs):
         super().__init__(*args, **kwargs)
         self.row_cache_size = row_cache_size
+        self.index_dir = index_dir
         self._index_lock = threading.Lock()
-        self._index: Optional[CorpusIndex] = None  # guarded-by: _index_lock
+        self._index: Optional[SegmentedCorpusIndex] = None  # guarded-by: _index_lock
+        # Directory a parallel process pool spilled the index to; while
+        # set, pickling drops the compiled arrays and workers re-open
+        # them zero-copy from disk.
+        self._spill_dir: Optional[str] = None  # guarded-by: _index_lock
         # Informativeness weights per query tuple; entries carry the
         # informativeness object they were computed from, so swapping
         # the weight function (Thetis does on lake mutations) never
@@ -124,20 +147,46 @@ class VectorizedTableSearchEngine(TableSearchEngine):
     # ------------------------------------------------------------------
     # Index lifecycle
     # ------------------------------------------------------------------
-    def index(self) -> CorpusIndex:
-        """The compiled corpus index, built on first use."""
-        # Intentionally racy read (double-checked build): a compiled
-        # index reference is immutable, so the fast path skips the lock.
+    def index(self) -> SegmentedCorpusIndex:
+        """The segmented corpus index, built (or loaded) on first use."""
+        # Intentionally racy read (double-checked build): a segmented
+        # index instance is immutable, so the fast path skips the lock.
         index = self._index  # lint: disable=guarded-attr-outside-lock
         if index is None:
             with self._index_lock:
                 if self._index is None:
-                    self._index = CorpusIndex(
-                        self.lake, self.mapping, self.sigma,
-                        row_cache_size=self.row_cache_size,
-                    )
+                    self._index = self._build_index()
                 index = self._index
         return index
+
+    def _build_index(self) -> SegmentedCorpusIndex:
+        """Load from disk when possible, else compile from the lake.
+
+        Only called with :attr:`_index_lock` held.  A disk index is
+        adopted only when its live table set matches the lake exactly;
+        anything else (missing files, version/sigma mismatch, drift)
+        falls back to a full compile rather than guessing.
+        """
+        # _build_index only runs with _index_lock held (see callers).
+        source = self._spill_dir or self.index_dir  # lint: disable=guarded-attr-outside-lock
+        if source is not None:
+            from repro.core.kernel.storage import load_index
+
+            try:
+                loaded = load_index(
+                    source, self.sigma, self.mapping,
+                    row_cache_size=self.row_cache_size,
+                )
+            except IndexStorageError:
+                loaded = None
+            if loaded is not None and loaded.mirrors(
+                [table.table_id for table in self.lake]
+            ):
+                return loaded
+        return SegmentedCorpusIndex.compile(
+            self.lake, self.mapping, self.sigma,
+            row_cache_size=self.row_cache_size,
+        )
 
     def prepare(self) -> None:
         """Compile the index eagerly.
@@ -148,26 +197,113 @@ class VectorizedTableSearchEngine(TableSearchEngine):
         """
         self.index()
 
+    def spill_index(self, path: str) -> None:
+        """Persist the index to ``path`` and serve workers from disk.
+
+        The parallel process backend calls this before forking its
+        pool: afterwards :meth:`__getstate__` omits the compiled
+        arrays, and each worker's first :meth:`index` call re-opens the
+        spill directory as read-only memmaps — the workers then share
+        the arrays through the OS page cache instead of each holding a
+        pickled copy.
+        """
+        from repro.core.kernel.storage import save_index
+
+        index = self.index()
+        save_index(index, path)
+        with self._index_lock:
+            self._spill_dir = path
+
+    def clear_spill(self) -> None:
+        """Stop serving pickled copies from the spill directory."""
+        with self._index_lock:
+            self._spill_dir = None
+
     def _invalidate_index(self) -> None:
         with self._index_lock:
             self._index = None
 
     def invalidate_cache(self, include_similarities: bool = False) -> None:
+        """Full reset: drops the compiled index for a from-scratch build."""
         super().invalidate_cache(include_similarities)
         self._invalidate_index()
 
     def invalidate_table(self, table_id: str) -> None:
+        """Apply one table's change to the index in O(delta).
+
+        If the table is (still) in the lake its old segment entry is
+        tombstoned and a fresh single-table segment is compiled; if it
+        left the lake only a tombstone is written.  The untouched
+        segments — arrays, kernels, and warm similarity-row memos — are
+        shared by reference into the successor index, so a mutation no
+        longer costs a full O(lake) recompile on the next search.  A
+        never-built index stays unbuilt (nothing to update).
+        """
         super().invalidate_table(table_id)
-        self._invalidate_index()
+        with self._index_lock:
+            index = self._index
+            if index is None:
+                return
+            table = self.lake.find(table_id)
+            if table is not None:
+                index = index.with_table(table)
+            else:
+                index = index.without_table(table_id)
+            self._index = index
+
+    def compact(self) -> SegmentedIndexStats:
+        """Run the size-tiered compaction policy; returns fresh stats.
+
+        Merges recompile from the live lake tables, so this belongs off
+        the request path — :meth:`warm` (which serving snapshots run
+        before every swap) calls it for you.
+        """
+        with self._index_lock:
+            if self._index is None:
+                self._index = self._build_index()
+            self._index = self._index.maybe_compacted(self.lake.get)
+            return self._index.stats()
+
+    def adopt_index(self, index: SegmentedCorpusIndex) -> None:
+        """Adopt another engine's index, rebinding mapping and sigma.
+
+        Serving snapshot clones use this to share every unchanged
+        segment with the generation they replace; the subsequent
+        mutation then costs O(delta).  The adopted instance is never
+        mutated (the segmented index is functional), so sharing is safe
+        while the source engine keeps serving queries.
+        """
+        with self._index_lock:
+            self._index = index.rebound(self.mapping, self.sigma)
+
+    def export_index(self) -> Optional[SegmentedCorpusIndex]:
+        """The current index instance, or ``None`` when not yet built."""
+        # Intentionally racy read: instances are immutable; a stale
+        # reference is simply the previous (still valid) generation.
+        return self._index  # lint: disable=guarded-attr-outside-lock
+
+    def index_stats(self) -> Optional[SegmentedIndexStats]:
+        """Segment/tombstone/compaction counters (``None`` when cold)."""
+        # Intentionally racy read (see export_index).
+        index = self._index  # lint: disable=guarded-attr-outside-lock
+        return index.stats() if index is not None else None
+
+    def seed_views_from(self, source: TableSearchEngine) -> None:
+        """Share the source's caches *and* its compiled index."""
+        super().seed_views_from(source)
+        if isinstance(source, VectorizedTableSearchEngine):
+            index = source.export_index()
+            if index is not None:
+                self.adopt_index(index)
 
     def warm(self, table_ids: Optional[Iterable[str]] = None) -> int:
-        """Compile the index, then materialize the scalar-path views.
+        """Build/compact the index, then materialize scalar-path views.
 
-        A serving snapshot calls this before the swap, so the index
-        rebuild triggered by a table add/remove happens off the
-        request path.
+        A serving snapshot calls this before the swap, so both the
+        O(delta) segment update triggered by a table add/remove and any
+        due compaction happen off the request path.
         """
-        self.index()
+        self.compact()
         return super().warm(table_ids)
 
     def cache_stats(self) -> Dict[str, CacheStats]:
@@ -180,15 +316,21 @@ class VectorizedTableSearchEngine(TableSearchEngine):
             stats["kernel_tuples"] = index.tuple_cache_stats()
         return stats
 
-    # Locks are not picklable; process-pool workers rebuild it (the
-    # compiled index itself travels with the engine).
+    # Locks are not picklable; process-pool workers rebuild it.  With a
+    # disk-backed index (index_dir or a pool spill) the compiled arrays
+    # are dropped from the pickle — workers re-open them zero-copy via
+    # memmap on first use; otherwise the index travels with the engine.
     def __getstate__(self):
         state = self.__dict__.copy()
         state.pop("_index_lock", None)
+        if state.get("_spill_dir") or state.get("index_dir"):
+            state["_index"] = None
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        self.index_dir = state.get("index_dir")
+        self._spill_dir = state.get("_spill_dir")
         self._index_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -361,27 +503,49 @@ class VectorizedTableSearchEngine(TableSearchEngine):
             assignment[table_index] = resolved
         return assignment
 
-    def _search_batch(self, query: Query) -> Optional[List[TableScore]]:
-        """Score the whole lake in one batched pass per query tuple.
+    def _reconcile_index(self) -> SegmentedCorpusIndex:
+        """Diff the index's live tables against the lake, apply O(delta).
 
-        Returns ``None`` when the compiled index no longer mirrors the
-        lake even after one rebuild (the caller then takes the
-        per-table path, which copes table by table).  Otherwise returns
-        exactly what per-table :meth:`score_table` calls would, in lake
-        order, with the same profile accounting.
+        Used when a search notices the lake mutated behind the engine's
+        back (no ``invalidate_table`` was issued): removed ids are
+        tombstoned, new ids get single-table segments, and the result
+        is compacted if due — never a full recompile unless the index
+        was not built at all.
         """
-        index = self.index()
-        lake_ids = [table.table_id for table in self.lake]
-        if index.table_ids != lake_ids:
-            self._invalidate_index()
-            index = self.index()
-            if index.table_ids != lake_ids:
-                return None
-        profile = self.profile
-        start = time.perf_counter()
-        num_tables = len(lake_ids)
-        if not num_tables:
-            return []
+        with self._index_lock:
+            index = self._index
+            if index is None:
+                index = self._build_index()
+            live = set(index.live_table_ids())
+            lake_ids = [table.table_id for table in self.lake]
+            lake_set = set(lake_ids)
+            for table_id in sorted(live - lake_set):
+                index = index.without_table(table_id)
+            for table_id in lake_ids:
+                if table_id not in live:
+                    table = self.lake.find(table_id)
+                    if table is not None:
+                        index = index.with_table(table)
+            index = index.maybe_compacted(self.lake.get)
+            self._index = index
+            return index
+
+    def _segment_batch(
+        self, segment: CorpusIndex, query: Query, profile: ScoringProfile
+    ) -> Tuple[List[np.ndarray], np.ndarray]:
+        """Fused scoring of one segment against every query tuple.
+
+        Returns ``(tuple_columns, any_signal)``: per query tuple, the
+        per-segment-table tuple scores as one float64 column, plus the
+        per-table relevance flag.  This is exactly the monolithic
+        batched pass restricted to one segment's arrays — a table's
+        score involves only its own columnar block and sigma rows of
+        its own entities, all segment-local, so per-segment evaluation
+        is arithmetic-identical to the monolith (the parity property
+        test pins this).
+        """
+        index = segment
+        num_tables = len(index.table_ids)
         total_columns = index.total_columns
         table_rows = index.table_rows
         total_rows = int(index.row_offset[-1])
@@ -479,12 +643,42 @@ class VectorizedTableSearchEngine(TableSearchEngine):
             residual = 1.0 - np.minimum(coordinates, 1.0)
             distances = np.sqrt((residual * residual) @ weights)
             tuple_columns.append(1.0 / (distances + 1.0))
+        return tuple_columns, any_signal
+
+    def _search_batch(self, query: Query) -> Optional[List[TableScore]]:
+        """Score the whole lake, one fused pass per (segment, tuple).
+
+        Returns ``None`` when the index cannot be made to mirror the
+        lake even after incremental reconciliation (the caller then
+        takes the per-table path, which copes table by table).
+        Otherwise returns exactly what per-table :meth:`score_table`
+        calls would, in lake order, with the same profile accounting.
+        Tombstoned copies inside segments are scored by the fused pass
+        but skipped at assembly (the owner map only resolves live
+        tables), so results and tie-breaks match a fresh full compile.
+        """
+        index = self.index()
+        lake_ids = [table.table_id for table in self.lake]
+        if not index.mirrors(lake_ids):
+            index = self._reconcile_index()
+            if not index.mirrors(lake_ids):
+                return None
+        profile = self.profile
+        start = time.perf_counter()
+        if not lake_ids:
+            return []
+        per_segment = [
+            self._segment_batch(segment, query, profile)
+            for segment in index.segments
+        ]
         results: List[TableScore] = []
         drop = self.drop_irrelevant
         entities_in_table = self.mapping.entities_in_table
-        for position, table_id in enumerate(lake_ids):
+        for table_id in lake_ids:
             if drop and not entities_in_table(table_id):
                 continue
+            seg_index, position = index.locate_position(table_id)
+            tuple_columns, any_signal = per_segment[seg_index]
             tuple_scores = [
                 float(column[position]) for column in tuple_columns
             ]
@@ -540,16 +734,17 @@ class VectorizedTableSearchEngine(TableSearchEngine):
         if profile is None:
             profile = self.profile
         index = self.index()
-        view = index.view(table.table_id)
-        if view is None:
+        located = index.locate(table.table_id)
+        if located is None:
             # The lake gained this table without an invalidation; one
-            # rebuild picks it up, and anything still unknown (a table
-            # outside the lake entirely) scores through the scalar path.
-            self._invalidate_index()
-            index = self.index()
-            view = index.view(table.table_id)
-            if view is None:
+            # incremental reconciliation picks it up, and anything
+            # still unknown (a table outside the lake entirely) scores
+            # through the scalar path.
+            index = self._reconcile_index()
+            located = index.locate(table.table_id)
+            if located is None:
                 return super().score_table(query, table, profile)
+        segment, view = located
         start = time.perf_counter()
         row_agg_max = self.row_aggregation is RowAggregation.MAX
         per_row_semantics = self.tuple_semantics is TupleSemantics.PER_ROW
@@ -559,7 +754,7 @@ class VectorizedTableSearchEngine(TableSearchEngine):
         for query_tuple in query:
             width = len(query_tuple)
             columns = view.num_columns
-            sims = index.tuple_rows(query_tuple, profile)
+            sims = segment.tuple_rows(query_tuple, profile)
             # --- column mapping (Section 5.1): one fused bincount
             # builds the whole relevance matrix the scalar engine
             # assembles cell by cell.  Offsetting each tuple position

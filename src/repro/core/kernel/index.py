@@ -23,21 +23,23 @@ is one batched kernel pass instead of thousands of scalar calls:
   :class:`~repro.core.cache.LRUCache` (the batched analogue of the
   scalar engine's :class:`~repro.core.cache.SimilarityCache`).
 
-The index is immutable once compiled: dynamic lakes invalidate and
-rebuild it (the serving layer does so off the request path while
-warming a fresh snapshot), and parallel shard workers share one
-instance read-only.
+The index is immutable once compiled.  It is the *segment* unit of the
+incremental :class:`~repro.core.kernel.segments.SegmentedCorpusIndex`:
+dynamic lakes append small segments and tombstone old ones instead of
+recompiling, parallel shard workers share instances read-only, and
+:mod:`repro.core.kernel.storage` persists the compiled arrays in an
+``np.memmap``-loadable on-disk format (see :meth:`CorpusIndex.from_arrays`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Optional
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional
 
 import numpy as np
 
 from repro.core.cache import CacheStats, LRUCache
-from repro.datalake.lake import DataLake
+from repro.datalake.table import Table
 from repro.linking.mapping import EntityMapping
 from repro.similarity.base import (
     EntitySimilarity,
@@ -167,6 +169,33 @@ class TypeBitmapKernel(SimilarityKernel):
         self._bitmaps = bitmaps
         self._sizes = sizes
 
+    @classmethod
+    def from_arrays(
+        cls,
+        uris: List[str],
+        id_of: Dict[str, int],
+        types_of: Callable[[str], FrozenSet[str]],
+        cap: float,
+        bit_names: List[str],
+        bitmaps: np.ndarray,
+        sizes: np.ndarray,
+    ) -> "TypeBitmapKernel":
+        """Rebuild a compiled bitmap kernel from persisted arrays.
+
+        ``bit_names`` lists the type name claiming each bit in bit
+        order; ``bitmaps``/``sizes`` may be read-only memmap views.  The
+        per-entity type-set compilation loop is skipped entirely.
+        """
+        kernel = cls.__new__(cls)
+        SimilarityKernel.__init__(kernel, uris, id_of)
+        kernel._types_of = types_of
+        kernel._cap = float(cap)
+        kernel._bit_of = {name: bit for bit, name in enumerate(bit_names)}
+        kernel._words = int(bitmaps.shape[1]) if bitmaps.ndim == 2 else 1
+        kernel._bitmaps = bitmaps
+        kernel._sizes = sizes
+        return kernel
+
     def row(self, uri: str) -> np.ndarray:
         sims = np.zeros(len(self._uris), dtype=np.float64)
         types = self._types_of(uri)
@@ -206,6 +235,21 @@ class EmbeddingMatmulKernel(SimilarityKernel):
             if uri in store:
                 matrix[row_index] = store.unit_vector(uri)
         self._matrix = np.ascontiguousarray(matrix)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        uris: List[str],
+        id_of: Dict[str, int],
+        store,
+        matrix: np.ndarray,
+    ) -> "EmbeddingMatmulKernel":
+        """Rebuild the matmul kernel around a persisted unit matrix."""
+        kernel = cls.__new__(cls)
+        SimilarityKernel.__init__(kernel, uris, id_of)
+        kernel._store = store
+        kernel._matrix = matrix
+        return kernel
 
     def row(self, uri: str) -> np.ndarray:
         if uri not in self._store:
@@ -289,28 +333,31 @@ def compile_kernel(
 
 
 class CorpusIndex:
-    """Read-only columnar compilation of (lake, mapping, sigma).
+    """Read-only columnar compilation of (tables, mapping, sigma).
 
     Build once, share freely: after construction the index is never
     mutated, so parallel thread shards read it without locks and
     process workers receive it pickled inside their engine copy.
-    Rebuild (cheap, linear in linked cells) after any lake or mapping
-    mutation — :class:`~repro.core.kernel.engine.VectorizedTableSearchEngine`
-    does this lazily on invalidation, and the serving layer's snapshot
-    swap rebuilds while warming the next generation off the request
-    path.
+    ``tables`` is any iterable of tables — a whole
+    :class:`~repro.datalake.lake.DataLake` for a monolithic index, or a
+    subset when the index serves as one *segment* of a
+    :class:`~repro.core.kernel.segments.SegmentedCorpusIndex` (a
+    single-table segment compiles in O(table), which is what makes lake
+    mutations O(delta) instead of O(lake)).  Compiled arrays round-trip
+    through :mod:`repro.core.kernel.storage` via :meth:`from_arrays`,
+    whose inputs may be ``np.memmap`` views for zero-copy cold start.
     """
 
     def __init__(
         self,
-        lake: DataLake,
+        tables: Iterable[Table],
         mapping: EntityMapping,
         sigma: EntitySimilarity,
         row_cache_size: int = DEFAULT_ROW_CACHE_SIZE,
     ):
         grids = []
         uri_set = set()
-        for table in lake:
+        for table in tables:
             grid = [
                 mapping.entity_row(table.table_id, row, table.num_columns)
                 for row in range(table.num_rows)
@@ -345,6 +392,10 @@ class CorpusIndex:
         reduction still accumulates in the scalar engine's IEEE order.
         """
         self.table_ids: List[str] = [table.table_id for table in tables]
+        self._table_pos: Dict[str, int] = {
+            table_id: position
+            for position, table_id in enumerate(self.table_ids)
+        }
         views = [self._views[table_id] for table_id in self.table_ids]
         self.table_rows = np.array(
             [view.num_rows for view in views], dtype=np.int64
@@ -386,10 +437,20 @@ class CorpusIndex:
         self.nnz_gcounts = np.concatenate(
             [view.nnz_counts for view in views]
         ) if views else np.zeros(0, dtype=np.float64)
+        # Per-table nnz boundaries: table t's global nnz triples live in
+        # [nnz_toffset[t], nnz_toffset[t + 1]).  The storage layer uses
+        # this to rebuild per-table views from the global arrays alone.
+        self.nnz_toffset = np.concatenate(
+            ([0], np.cumsum(
+                np.asarray([view.nnz_ids.size for view in views],
+                           dtype=np.int64)
+            ))
+        ).astype(np.int64)
         for array in (
             self.table_rows, self.table_columns, self.col_offset,
             self.row_offset, self.flat_ids, self.col_start,
             self.nnz_gcolumns, self.nnz_gids, self.nnz_gcounts,
+            self.nnz_toffset,
         ):
             array.setflags(write=False)
 
@@ -438,14 +499,103 @@ class CorpusIndex:
         return len(self.uris)
 
     def __len__(self) -> int:
-        return len(self._views)
+        return len(self.table_ids)
 
     def __contains__(self, table_id: str) -> bool:
-        return table_id in self._views
+        return table_id in self._table_pos
 
     def view(self, table_id: str) -> Optional[TableView]:
-        """The compiled view of one table (``None`` when unknown)."""
-        return self._views.get(table_id)
+        """The compiled view of one table (``None`` when unknown).
+
+        Compiled indexes hold every view eagerly; memmap-loaded ones
+        (:meth:`from_arrays`) materialize views lazily from the global
+        arrays, so a cold start touches only the pages it scores.  The
+        unsynchronized memo insert is a benign race: materialization is
+        deterministic and dict assignment is atomic.
+        """
+        view = self._views.get(table_id)
+        if view is None:
+            position = self._table_pos.get(table_id)
+            if position is None:
+                return None
+            view = self._materialize_view(position)
+            self._views[table_id] = view
+        return view
+
+    def _materialize_view(self, position: int) -> TableView:
+        """Rebuild one :class:`TableView` from the corpus-wide arrays.
+
+        The id grid is recovered as the transpose of the table's
+        column-major ``flat_ids`` block (a zero-copy view even over a
+        memmap), and the nnz triples as the ``nnz_toffset`` slice of the
+        global triples with the column offset subtracted.
+        """
+        num_rows = int(self.table_rows[position])
+        num_columns = int(self.table_columns[position])
+        first_column = int(self.col_offset[position])
+        start = int(self.col_start[first_column])
+        ids = (
+            self.flat_ids[start:start + num_rows * num_columns]
+            .reshape(num_columns, num_rows)
+            .T
+        )
+        low = int(self.nnz_toffset[position])
+        high = int(self.nnz_toffset[position + 1])
+        nnz_columns = np.subtract(
+            self.nnz_gcolumns[low:high], np.int64(first_column),
+            dtype=np.int64,
+        )
+        return TableView(
+            table_id=self.table_ids[position],
+            num_rows=num_rows,
+            num_columns=num_columns,
+            ids=ids,
+            nnz_columns=nnz_columns,
+            nnz_ids=self.nnz_gids[low:high],
+            nnz_counts=self.nnz_gcounts[low:high],
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        table_ids: List[str],
+        uris: List[str],
+        kernel: "SimilarityKernel",
+        arrays: Mapping[str, np.ndarray],
+        row_cache_size: int = DEFAULT_ROW_CACHE_SIZE,
+    ) -> "CorpusIndex":
+        """Reassemble an index from persisted arrays without compiling.
+
+        ``arrays`` maps the corpus-wide array names written by
+        :func:`repro.core.kernel.storage.save_index` to (typically
+        ``np.memmap``-backed, read-only) ndarrays.  No table iteration,
+        interning, or kernel compilation happens here — cold start cost
+        is mmap + dict construction, independent of corpus size.
+        """
+        index = cls.__new__(cls)
+        index.uris = list(uris)
+        index.id_of = {uri: i for i, uri in enumerate(index.uris)}
+        index.kernel = kernel
+        index._rows = LRUCache(row_cache_size)
+        index._tuples = LRUCache(max(1, row_cache_size // 8))
+        index.table_ids = list(table_ids)
+        index._table_pos = {
+            table_id: position
+            for position, table_id in enumerate(index.table_ids)
+        }
+        index._views = {}
+        index.table_rows = arrays["table_rows"]
+        index.table_columns = arrays["table_columns"]
+        index.col_offset = arrays["col_offset"]
+        index.row_offset = arrays["row_offset"]
+        index.total_columns = int(index.col_offset[-1])
+        index.flat_ids = arrays["flat_ids"]
+        index.col_start = arrays["col_start"]
+        index.nnz_gcolumns = arrays["nnz_gcolumns"]
+        index.nnz_gids = arrays["nnz_gids"]
+        index.nnz_gcounts = arrays["nnz_gcounts"]
+        index.nnz_toffset = arrays["nnz_toffset"]
+        return index
 
     def tuple_rows(self, query_tuple, profile=None) -> np.ndarray:
         """Stacked similarity rows for a whole query tuple, memoized.

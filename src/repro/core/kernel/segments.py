@@ -1,0 +1,459 @@
+"""Segmented corpus index: O(delta) mutations over immutable segments.
+
+The monolithic :class:`~repro.core.kernel.index.CorpusIndex` compiles
+the whole lake, so every ``add_table`` / ``remove_table`` used to pay a
+full O(lake) recompile before the next query.  This module applies the
+Lucene playbook instead: the corpus is a sequence of immutable compiled
+*segments* (each one a small ``CorpusIndex`` over a subset of tables,
+with its own URI interning, columnar grids, type bitmaps, and stacked
+embeddings) plus per-segment *tombstone* sets:
+
+* adding a table compiles a single-table segment — O(table);
+* removing a table writes a tombstone — O(1), no array is touched;
+* replacing a table tombstones the old copy and appends a fresh
+  single-table segment;
+* a size-tiered compaction policy merges accumulated small segments
+  into bigger ones *off the request path* (the engine compacts during
+  ``warm()``, which serving snapshots run before the swap), bounding
+  both segment count and tombstone debt.
+
+:class:`SegmentedCorpusIndex` is **functional**: every mutation returns
+a new instance that shares the untouched segment objects by reference.
+That is what makes serving snapshots O(delta) — a clone adopts the
+previous generation's index, and the one mutated table costs one
+single-table compile while every other segment (arrays, kernels, warm
+similarity-row memos) is shared, not copied.  Readers therefore never
+need a lock: an engine publishes a new index by swapping one reference.
+
+Scoring parity with a monolithic recompile is exact: a table's score
+depends only on its own columnar block and on ``sigma`` rows restricted
+to entities appearing in that table, all of which live in the owning
+segment, so per-segment evaluation reproduces the monolithic arithmetic
+term for term (bit-exact for type Jaccard, BLAS-order noise within the
+engine's 1e-9 budget for cosine).  ``tests/test_core_segments.py`` pins
+this with a randomized add/remove/compact property test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.cache import CacheStats
+from repro.exceptions import ConfigurationError
+from repro.core.kernel.index import (
+    DEFAULT_ROW_CACHE_SIZE,
+    CorpusIndex,
+    TableView,
+)
+from repro.datalake.table import Table
+from repro.linking.mapping import EntityMapping
+from repro.similarity.base import EntitySimilarity
+
+#: A size tier holds segments with live-table counts in one power-of-4
+#: band (1-3, 4-15, 16-63, ...).  When a tier accumulates this many
+#: segments they merge into one — the classic size-tiered trade-off:
+#: every table is recompiled O(log_4 lake) times over its lifetime, and
+#: the steady-state segment count stays O(fanout * log_4 lake).
+COMPACTION_FANOUT = 4
+
+#: Hard backstop on segment count: beyond this, compaction merges
+#: everything into one segment regardless of tiers.  With tiered merges
+#: running on every ``warm()`` this is essentially unreachable; it
+#: exists so a pathological mutation burst cannot degrade scoring into
+#: thousands of tiny segment passes.
+MAX_SEGMENTS = 32
+
+
+def _tier_of(live_count: int) -> int:
+    """The power-of-4 size tier of a segment with ``live_count`` tables."""
+    return (max(int(live_count), 1).bit_length() - 1) // 2
+
+
+def _merge_cache_stats(parts: Sequence[CacheStats]) -> CacheStats:
+    """Aggregate per-segment cache counters into one corpus-wide view."""
+    return CacheStats(
+        hits=sum(p.hits for p in parts),
+        misses=sum(p.misses for p in parts),
+        evictions=sum(p.evictions for p in parts),
+        size=sum(p.size for p in parts),
+        maxsize=sum(p.maxsize for p in parts),
+    )
+
+
+@dataclass(frozen=True)
+class SegmentedIndexStats:
+    """Point-in-time health counters of a segmented index.
+
+    ``tombstones`` counts dead table copies still occupying segment
+    rows (compaction reclaims them); ``compactions`` counts merges
+    performed over this index's whole mutation lineage.
+    """
+
+    segments: int
+    live_tables: int
+    tombstones: int
+    entities: int
+    compactions: int
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-friendly form for the serving metrics endpoint."""
+        return {
+            "segments": self.segments,
+            "live_tables": self.live_tables,
+            "tombstones": self.tombstones,
+            "entities": self.entities,
+            "compactions": self.compactions,
+        }
+
+
+class SegmentedCorpusIndex:
+    """An immutable sequence of compiled segments plus tombstones.
+
+    Instances are cheap value objects around shared segment arrays;
+    every mutator (:meth:`with_table`, :meth:`without_table`,
+    :meth:`maybe_compacted`, :meth:`compacted`) returns a **new**
+    instance and never touches the receiver, so a published index can
+    be read lock-free while its successor is being prepared.
+
+    The class invariant is that every live table id is owned by exactly
+    one ``(segment, position)``: :meth:`with_table` tombstones any
+    previous copy before appending, and compaction folds only live
+    tables into merged segments.
+    """
+
+    def __init__(
+        self,
+        segments: Iterable[CorpusIndex],
+        dead: Iterable[FrozenSet[str]],
+        mapping: EntityMapping,
+        sigma: EntitySimilarity,
+        row_cache_size: int = DEFAULT_ROW_CACHE_SIZE,
+        compactions: int = 0,
+    ):
+        self.segments: Tuple[CorpusIndex, ...] = tuple(segments)
+        self.dead: Tuple[FrozenSet[str], ...] = tuple(
+            frozenset(dead_set) for dead_set in dead
+        )
+        if len(self.segments) != len(self.dead):
+            raise ConfigurationError(
+                "segments and tombstone sets must align: "
+                f"{len(self.segments)} != {len(self.dead)}"
+            )
+        self.mapping = mapping
+        self.sigma = sigma
+        self.row_cache_size = row_cache_size
+        self.compactions = compactions
+        owner: Dict[str, Tuple[int, int]] = {}
+        for seg_index, (segment, dead_set) in enumerate(
+            zip(self.segments, self.dead)
+        ):
+            for position, table_id in enumerate(segment.table_ids):
+                if table_id not in dead_set:
+                    owner[table_id] = (seg_index, position)
+        self._owner = owner
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def compile(
+        cls,
+        tables: Iterable[Table],
+        mapping: EntityMapping,
+        sigma: EntitySimilarity,
+        row_cache_size: int = DEFAULT_ROW_CACHE_SIZE,
+        segment_tables: int = 0,
+    ) -> "SegmentedCorpusIndex":
+        """Compile tables from scratch into a fresh segmented index.
+
+        ``segment_tables > 0`` pre-splits the corpus into micro-batch
+        segments of that many tables (useful to exercise multi-segment
+        behavior or bound per-segment compile cost); the default is one
+        monolithic segment, which compaction maintains thereafter.
+        """
+        table_list = list(tables)
+        if segment_tables > 0:
+            chunks = [
+                table_list[start:start + segment_tables]
+                for start in range(0, len(table_list), segment_tables)
+            ]
+        else:
+            chunks = [table_list] if table_list else []
+        segments = [
+            CorpusIndex(chunk, mapping, sigma, row_cache_size=row_cache_size)
+            for chunk in chunks
+        ]
+        return cls(
+            segments,
+            [frozenset()] * len(segments),
+            mapping,
+            sigma,
+            row_cache_size=row_cache_size,
+        )
+
+    def _replace(
+        self,
+        segments: Sequence[CorpusIndex],
+        dead: Sequence[FrozenSet[str]],
+        compactions: int,
+    ) -> "SegmentedCorpusIndex":
+        """Successor instance; drops segments with no live table left."""
+        kept = [
+            (segment, frozenset(dead_set))
+            for segment, dead_set in zip(segments, dead)
+            if len(dead_set) < len(segment.table_ids)
+        ]
+        return SegmentedCorpusIndex(
+            [pair[0] for pair in kept],
+            [pair[1] for pair in kept],
+            self.mapping,
+            self.sigma,
+            row_cache_size=self.row_cache_size,
+            compactions=compactions,
+        )
+
+    def rebound(
+        self, mapping: EntityMapping, sigma: EntitySimilarity
+    ) -> "SegmentedCorpusIndex":
+        """The same segments bound to another (mapping, sigma) pair.
+
+        A serving snapshot clone owns a *copied* mapping; adopting the
+        previous generation's index must rebind it so that future
+        incremental compiles read the clone's links, not the retired
+        generation's.  Segment contents are shared untouched (the copy
+        preserves link content, so they remain valid verbatim).
+        """
+        return SegmentedCorpusIndex(
+            self.segments,
+            self.dead,
+            mapping,
+            sigma,
+            row_cache_size=self.row_cache_size,
+            compactions=self.compactions,
+        )
+
+    # ------------------------------------------------------------------
+    # O(delta) mutations
+    # ------------------------------------------------------------------
+    def with_table(self, table: Table) -> "SegmentedCorpusIndex":
+        """Add (or replace) one table via a single-table segment.
+
+        Cost is O(table) — one small compile — regardless of corpus
+        size.  An existing copy of the id is tombstoned first, so the
+        one-owner invariant holds.
+        """
+        table_id = table.table_id
+        dead = list(self.dead)
+        previous = self._owner.get(table_id)
+        if previous is not None:
+            dead[previous[0]] = dead[previous[0]] | {table_id}
+        segment = CorpusIndex(
+            [table], self.mapping, self.sigma,
+            row_cache_size=self.row_cache_size,
+        )
+        return self._replace(
+            list(self.segments) + [segment],
+            dead + [frozenset()],
+            self.compactions,
+        )
+
+    def without_table(self, table_id: str) -> "SegmentedCorpusIndex":
+        """Tombstone one table — O(1), no array is recompiled."""
+        previous = self._owner.get(table_id)
+        if previous is None:
+            return self
+        dead = list(self.dead)
+        dead[previous[0]] = dead[previous[0]] | {table_id}
+        return self._replace(list(self.segments), dead, self.compactions)
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def maybe_compacted(
+        self, resolve: Callable[[str], Optional[Table]]
+    ) -> "SegmentedCorpusIndex":
+        """Apply the size-tiered policy; returns ``self`` when idle.
+
+        ``resolve`` maps a live table id back to its Table (the engine
+        passes ``lake.get``); merges recompile from source tables, so a
+        group whose table cannot be resolved is left unmerged rather
+        than guessed at.  Intended for off-request-path call sites —
+        the engine invokes it from ``warm()`` and after reconciliation,
+        never per query.
+        """
+        if not self.segments:
+            return self
+        live_counts = [
+            len(segment.table_ids) - len(dead_set)
+            for segment, dead_set in zip(self.segments, self.dead)
+        ]
+        if len(self.segments) > MAX_SEGMENTS:
+            groups = [list(range(len(self.segments)))]
+        else:
+            tiers: Dict[int, List[int]] = {}
+            for seg_index, count in enumerate(live_counts):
+                tiers.setdefault(_tier_of(count), []).append(seg_index)
+            groups = [
+                members
+                for _, members in sorted(tiers.items())
+                if len(members) >= COMPACTION_FANOUT
+            ]
+        if not groups:
+            return self
+        return self._merged(groups, resolve)
+
+    def compacted(
+        self, resolve: Callable[[str], Optional[Table]]
+    ) -> "SegmentedCorpusIndex":
+        """Force-merge everything into (at most) one segment."""
+        if len(self.segments) <= 1 and not any(self.dead):
+            return self
+        return self._merged([list(range(len(self.segments)))], resolve)
+
+    def _merged(
+        self,
+        groups: Sequence[Sequence[int]],
+        resolve: Callable[[str], Optional[Table]],
+    ) -> "SegmentedCorpusIndex":
+        """Recompile each group's live tables into one merged segment.
+
+        Merged segments take the slot of their group's first member, so
+        segment order stays stable for unrelated segments.
+        """
+        replacements: Dict[int, Optional[CorpusIndex]] = {}
+        consumed: Dict[int, int] = {}
+        compactions = self.compactions
+        for members in groups:
+            tables: List[Table] = []
+            resolved = True
+            for seg_index in members:
+                segment = self.segments[seg_index]
+                dead_set = self.dead[seg_index]
+                for table_id in segment.table_ids:
+                    if table_id in dead_set:
+                        continue
+                    table = resolve(table_id)
+                    if table is None or table.table_id != table_id:
+                        resolved = False
+                        break
+                    tables.append(table)
+                if not resolved:
+                    break
+            if not resolved:
+                continue
+            merged = (
+                CorpusIndex(
+                    tables, self.mapping, self.sigma,
+                    row_cache_size=self.row_cache_size,
+                )
+                if tables else None
+            )
+            replacements[members[0]] = merged
+            for seg_index in members:
+                consumed[seg_index] = members[0]
+            compactions += 1
+        if not consumed:
+            return self
+        segments: List[CorpusIndex] = []
+        dead: List[FrozenSet[str]] = []
+        for seg_index, (segment, dead_set) in enumerate(
+            zip(self.segments, self.dead)
+        ):
+            if seg_index in replacements:
+                merged = replacements[seg_index]
+                if merged is not None:
+                    segments.append(merged)
+                    dead.append(frozenset())
+            elif seg_index in consumed:
+                continue
+            else:
+                segments.append(segment)
+                dead.append(dead_set)
+        return self._replace(segments, dead, compactions)
+
+    # ------------------------------------------------------------------
+    # Read API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of *live* tables."""
+        return len(self._owner)
+
+    def __contains__(self, table_id: str) -> bool:
+        return table_id in self._owner
+
+    def live_table_ids(self) -> List[str]:
+        """Live table ids in segment scan order."""
+        return list(self._owner)
+
+    def mirrors(self, lake_ids: Sequence[str]) -> bool:
+        """Whether the live table set equals ``lake_ids`` exactly."""
+        owner = self._owner
+        return len(lake_ids) == len(owner) and all(
+            table_id in owner for table_id in lake_ids
+        )
+
+    def locate_position(self, table_id: str) -> Tuple[int, int]:
+        """The live ``(segment index, position)`` of a table id."""
+        return self._owner[table_id]
+
+    def locate(
+        self, table_id: str
+    ) -> Optional[Tuple[CorpusIndex, TableView]]:
+        """The owning segment and compiled view (``None`` if not live)."""
+        entry = self._owner.get(table_id)
+        if entry is None:
+            return None
+        segment = self.segments[entry[0]]
+        view = segment.view(table_id)
+        if view is None:  # pragma: no cover - guarded by the invariant
+            return None
+        return segment, view
+
+    @property
+    def num_entities(self) -> int:
+        """Interned entity entries across segments.
+
+        An entity linked in several segments is counted once per
+        segment (each segment interns its own URI delta); after full
+        compaction this equals the monolithic distinct-entity count.
+        """
+        return sum(segment.num_entities for segment in self.segments)
+
+    def stats(self) -> SegmentedIndexStats:
+        return SegmentedIndexStats(
+            segments=len(self.segments),
+            live_tables=len(self._owner),
+            tombstones=sum(len(dead_set) for dead_set in self.dead),
+            entities=self.num_entities,
+            compactions=self.compactions,
+        )
+
+    def row_cache_stats(self) -> CacheStats:
+        """Aggregated similarity-row memo counters across segments."""
+        return _merge_cache_stats(
+            [segment.row_cache_stats() for segment in self.segments]
+        )
+
+    def tuple_cache_stats(self) -> CacheStats:
+        """Aggregated tuple-matrix memo counters across segments."""
+        return _merge_cache_stats(
+            [segment.tuple_cache_stats() for segment in self.segments]
+        )
+
+
+__all__ = [
+    "COMPACTION_FANOUT",
+    "MAX_SEGMENTS",
+    "SegmentedCorpusIndex",
+    "SegmentedIndexStats",
+]

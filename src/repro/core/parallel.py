@@ -25,7 +25,12 @@ Two backends are available:
     dispatch.  Each worker receives a pickled copy of the engine once
     (pool initializer) and keeps its own caches warm across queries, so
     pure-Python similarity work scales with cores.  The parent's cache
-    does not see worker hits; per-shard profiles still merge.
+    does not see worker hits; per-shard profiles still merge.  When the
+    engine exposes ``spill_index`` (the vectorized kernel), the pool
+    first spills the compiled segmented index to an on-disk snapshot and
+    pickles the engine *without* its arrays; every worker then memmaps
+    the same snapshot lazily, sharing one copy of the index through the
+    page cache instead of deserializing a private copy per process.
 
 Each shard accumulates into a private :class:`ScoringProfile`; the
 shard profiles are merged into the wrapped engine's profile after every
@@ -37,7 +42,9 @@ from __future__ import annotations
 import math
 import os
 import pickle
+import shutil
 import sys
+import tempfile
 import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -45,7 +52,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.core.query import Query
 from repro.core.result import ResultSet, ScoredTable
 from repro.core.search import ScoringProfile, TableSearchEngine
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, IndexStorageError
 
 #: Supported worker-pool backends.
 BACKENDS = ("thread", "process")
@@ -167,6 +174,7 @@ class ParallelSearchEngine:
         self.backend = backend
         self.chunk_size = chunk_size
         self._pool: Optional[Executor] = None  # guarded-by: _lock
+        self._spill_dir: Optional[str] = None  # guarded-by: _lock
         # Guards pool creation/teardown and the profile merge, so that
         # concurrent searches from multiple caller threads neither leak
         # a raced pool nor corrupt the shared profile accumulation.
@@ -196,11 +204,27 @@ class ParallelSearchEngine:
                 else:
                     # Engines with a compiled substrate (the vectorized
                     # kernel's corpus index) build it once here, so every
-                    # worker inherits the compiled arrays in its pickled
-                    # copy instead of recompiling per process.
+                    # worker inherits the compiled substrate instead of
+                    # recompiling per process.
                     prepare = getattr(self.engine, "prepare", None)
                     if prepare is not None:
                         prepare()
+                    # Segment-aware engines spill the index to a shared
+                    # on-disk snapshot: the pickled engine then omits the
+                    # compiled arrays entirely and every worker memmaps
+                    # the same file pages zero-copy on first use, rather
+                    # than receiving a private deep copy over the pipe.
+                    spill = getattr(self.engine, "spill_index", None)
+                    if spill is not None and self._spill_dir is None:
+                        spill_dir = tempfile.mkdtemp(prefix="thetis-index-")
+                        try:
+                            spill(spill_dir)
+                        except (OSError, IndexStorageError):
+                            # Fall back to plain pickling: slower pool
+                            # start-up, identical results.
+                            shutil.rmtree(spill_dir, ignore_errors=True)
+                        else:
+                            self._spill_dir = spill_dir
                     self._pool = ProcessPoolExecutor(
                         max_workers=self.workers,
                         initializer=_init_process_worker,
@@ -216,8 +240,14 @@ class ParallelSearchEngine:
         """
         with self._lock:
             pool, self._pool = self._pool, None
+            spill_dir, self._spill_dir = self._spill_dir, None
         if pool is not None:
             pool.shutdown(wait=True)
+        if spill_dir is not None:
+            clear = getattr(self.engine, "clear_spill", None)
+            if clear is not None:
+                clear()
+            shutil.rmtree(spill_dir, ignore_errors=True)
 
     def close(self) -> None:
         """Release the worker pool (idempotent)."""

@@ -263,6 +263,26 @@ class TableSearchEngine:
         self._grids.pop(table_id, None)
         self._column_counts.pop(table_id, None)
 
+    def seed_views_from(self, source: "TableSearchEngine") -> None:
+        """Warm this engine's caches from another engine's.
+
+        Serving snapshots clone the whole system per mutation; without
+        seeding, every clone cold-starts its per-table views and its
+        pairwise-similarity memo even though only O(delta) tables
+        changed.  Grid and column-counter entries are copied (recency
+        order preserved), and the :class:`SimilarityCache` is *shared*
+        by reference — it is keyed by URI pairs, which are independent
+        of lake membership, and it is internally synchronized, so
+        generations can safely accumulate into one memo.  Callers then
+        invalidate the mutated tables as usual, which pops exactly the
+        stale entries.
+        """
+        for key, value in source._grids.snapshot_items():
+            self._grids.put(key, value)
+        for key, value in source._column_counts.snapshot_items():
+            self._column_counts.put(key, value)
+        self.similarity_cache = source.similarity_cache
+
     def cache_stats(self) -> Dict[str, CacheStats]:
         """Snapshot every cache the engine owns (sizes, hit rates)."""
         return {

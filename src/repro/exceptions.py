@@ -65,6 +65,18 @@ class SearchError(ReproError):
     """Raised for invalid search queries or engine configuration."""
 
 
+class IndexStorageError(ReproError):
+    """Raised for unreadable, truncated, or mismatched on-disk indexes.
+
+    Covers format/version mismatches, truncated or misaligned array
+    payloads, and indexes persisted for a different similarity
+    configuration than the one asking to load them.  Callers that can
+    recompile (the vectorized engine's cold-start path) treat this as
+    "fall back to compiling from the lake"; explicit CLI loads surface
+    it to the user.
+    """
+
+
 class ThetisClosedError(ReproError):
     """Raised when a closed :class:`~repro.system.Thetis` is used.
 

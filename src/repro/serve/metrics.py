@@ -183,6 +183,7 @@ class ServerMetrics:
         queue_limit: int = 0,
         snapshot_version: int = 0,
         cache_stats: Optional[Dict[str, Any]] = None,
+        index_stats: Optional[Dict[str, Any]] = None,
         uptime_seconds: float = 0.0,
     ) -> Dict[str, Any]:
         """The ``GET /metrics`` document."""
@@ -233,6 +234,11 @@ class ServerMetrics:
                 }
                 for name, stats in cache_stats.items()
             }
+        if index_stats is not None:
+            # Segment/tombstone/compaction gauges of the vectorized
+            # engine's segmented corpus index (absent on scalar engines
+            # and before the first query builds the index).
+            payload["index"] = dict(index_stats)
         return payload
 
 

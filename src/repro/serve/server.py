@@ -355,11 +355,17 @@ class ThetisServer:
 
     def _metrics_payload(self) -> dict:
         cache_stats = None
+        index_stats = None
         try:
             with self.snapshots.checkout() as snapshot:
                 cache_stats = snapshot.thetis.cache_stats(
                     self.config.default_method
                 )
+                stats = snapshot.thetis.index_stats(
+                    self.config.default_method
+                )
+                if stats is not None:
+                    index_stats = stats.as_dict()
         except (ServeError, ReproError):
             pass  # mid-shutdown scrape: serve counters without cache view
         return self.metrics.to_json(
@@ -367,6 +373,7 @@ class ThetisServer:
             queue_limit=self.batcher.max_queue_depth,
             snapshot_version=self.snapshots.version,
             cache_stats=cache_stats,
+            index_stats=index_stats,
             uptime_seconds=time.monotonic() - self._started_at,
         )
 

@@ -13,6 +13,13 @@ This gives the server three properties the dynamic-lake API of
 ``Thetis`` alone cannot: mutations are invisible to in-flight queries,
 a failed mutation leaves the serving state untouched, and readers never
 block on writers (writers pay the copy).
+
+With the vectorized engine the copy is cheap: each clone seeds from the
+generation it replaces (:meth:`Thetis.seed_engines_from`), adopting its
+segmented corpus index by reference.  Applying the mutation then
+tombstones or appends a single segment, so the swap costs O(delta) in
+compiled state — unchanged segments are shared between generations, not
+recompiled and not copied.
 """
 
 from __future__ import annotations
@@ -152,7 +159,10 @@ class SnapshotManager:
     def _clone_current(self) -> Thetis:  # lint: disable=guarded-attr-outside-lock
         current = self._current.thetis
         lake, mapping = current.snapshot_inputs()
-        return Thetis(
+        # index_dir is deliberately not propagated: on-disk cold-start
+        # snapshots concern the first generation only — clones seed
+        # from the live generation below, which is strictly fresher.
+        replacement = Thetis(
             lake,
             current.graph,
             mapping,
@@ -164,6 +174,12 @@ class SnapshotManager:
             cache_size=current.cache_size,
             engine_kind=current.engine_kind,
         )
+        # Hand the clone the warm state: materialized views, the shared
+        # similarity cache, and (vectorized) the segmented index itself.
+        # Unchanged segments are shared by reference, so the subsequent
+        # mutate + warm costs O(delta) instead of a corpus recompile.
+        replacement.seed_engines_from(current)
+        return replacement
 
     def apply(self, mutate: Callable[[Thetis], object]) -> object:
         """Run ``mutate`` on a fresh clone, then atomically swap it in.

@@ -66,6 +66,13 @@ class Thetis:
         score-parity to <= 1e-9, substantially faster on every
         built-in similarity).  Also reachable as ``--engine`` on the
         CLI.
+    index_dir:
+        Optional directory holding a persisted segmented index (built
+        with ``thetis index build``).  Vectorized engines memmap it on
+        first use instead of compiling the corpus from scratch — a
+        zero-copy cold start.  If the snapshot does not mirror the
+        lake (or is unreadable), the engine silently falls back to
+        compiling.  Requires ``engine_kind="vectorized"``.
 
     Example
     -------
@@ -104,11 +111,17 @@ class Thetis:
         search_backend: str = "thread",
         cache_size: int = DEFAULT_SIMILARITY_CACHE_SIZE,
         engine_kind: str = "scalar",
+        index_dir: Optional[str] = None,
     ):
         if engine_kind not in ENGINE_KINDS:
             raise ConfigurationError(
                 f"unknown engine kind {engine_kind!r}: "
                 f"use one of {ENGINE_KINDS}"
+            )
+        if index_dir is not None and engine_kind != "vectorized":
+            raise ConfigurationError(
+                "index_dir requires engine_kind='vectorized': only the "
+                "vectorized kernel has a persistent corpus index"
             )
         self.lake = lake
         self.graph = graph
@@ -120,6 +133,7 @@ class Thetis:
         self.search_backend = search_backend
         self.cache_size = cache_size
         self.engine_kind = engine_kind
+        self.index_dir = index_dir
         self.informativeness = Informativeness.from_mapping(mapping, len(lake))
         # Serializes lazy engine/prefilter construction and lifecycle
         # transitions so concurrent reader threads are safe.
@@ -191,6 +205,11 @@ class Thetis:
                 raise ConfigurationError(
                     f"unknown method {method!r}: use 'types' or 'embeddings'"
                 )
+            extra = {}
+            if self.index_dir is not None:
+                # Constructor validation pinned index_dir to the
+                # vectorized kind, whose engines accept the keyword.
+                extra["index_dir"] = self.index_dir
             engine = engine_class(self.engine_kind)(
                 self.lake,
                 self.mapping,
@@ -199,6 +218,7 @@ class Thetis:
                 row_aggregation=self.row_aggregation,
                 query_aggregation=self.query_aggregation,
                 cache_size=self.cache_size,
+                **extra,
             )
             self._engines[method] = engine
             return engine
@@ -238,6 +258,47 @@ class Thetis:
         """
         self._check_open("warm")
         return self.engine(method).warm()
+
+    def seed_engines_from(self, other: "Thetis") -> int:
+        """Seed this instance's engines from another's warm state.
+
+        For every method ``other`` has a built engine for, build the
+        matching engine here and hand it the source's materialized
+        views, shared similarity cache, and — on vectorized engines —
+        the compiled segmented index itself (immutable segments are
+        shared by reference, so the hand-off is O(1) per segment).
+        The serving layer's copy-and-swap update calls this on each
+        fresh clone so applying a mutation costs O(delta), not a
+        recompile of the whole corpus.  Returns the number of engines
+        seeded.
+        """
+        self._check_open("seed_engines_from")
+        with other._lock:
+            sources = dict(other._engines)
+        seeded = 0
+        for method, source in sources.items():
+            try:
+                engine = self.engine(method)
+            except ConfigurationError:
+                # e.g. the clone has no embeddings attached (yet).
+                continue
+            engine.seed_views_from(source)
+            seeded += 1
+        return seeded
+
+    def index_stats(self, method: str = "types"):
+        """Segment/tombstone/compaction counters for ``method``.
+
+        Peeks at the already-built engine without forcing construction
+        (metrics endpoints must not trigger a corpus compile); returns
+        ``None`` for scalar engines, unbuilt engines, or a cold index.
+        """
+        with self._lock:
+            engine = self._engines.get(method)
+        if engine is None:
+            return None
+        stats = getattr(engine, "index_stats", None)
+        return stats() if stats is not None else None
 
     def close(self) -> None:
         """Release every worker pool and mark the instance closed.

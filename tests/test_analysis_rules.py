@@ -508,6 +508,63 @@ def test_float_dtype_mix_pragma_suppresses(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# memmap-explicit  (scoped to kernel/)
+# ----------------------------------------------------------------------
+def test_memmap_explicit_flags_missing_keywords(tmp_path):
+    findings = lint(
+        tmp_path, "kernel/mod.py", """\
+        import numpy as np
+
+        def open_index(path):
+            return np.memmap(path, dtype=np.uint8)
+        """,
+        rules=["memmap-explicit"],
+    )
+    assert rule_ids(findings) == ["memmap-explicit"]
+    assert "mode=" in findings[0].message
+    assert "offset=" in findings[0].message
+    assert "shape=" in findings[0].message
+
+
+def test_memmap_explicit_allows_full_spec_and_out_of_scope(tmp_path):
+    clean = lint(
+        tmp_path, "kernel/clean.py", """\
+        import numpy as np
+
+        def open_index(path, size):
+            return np.memmap(
+                path, dtype=np.uint8, mode="r", offset=0, shape=(size,)
+            )
+        """,
+        rules=["memmap-explicit"],
+    )
+    assert clean == []
+    out_of_scope = lint(
+        tmp_path, "eval/mod.py", """\
+        import numpy as np
+
+        def open_blob(path):
+            return np.memmap(path)
+        """,
+        rules=["memmap-explicit"],
+    )
+    assert out_of_scope == []
+
+
+def test_memmap_explicit_pragma_suppresses(tmp_path):
+    findings = lint(
+        tmp_path, "kernel/mod.py", """\
+        import numpy as np
+
+        def open_index(path):
+            return np.memmap(path, mode="r")  # lint: disable=memmap-explicit
+        """,
+        rules=["memmap-explicit"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
 # all-mismatch
 # ----------------------------------------------------------------------
 def test_all_mismatch_flags_undefined_and_duplicate_exports(tmp_path):

@@ -420,16 +420,24 @@ class TestEngineLifecycle:
         assert engine._index is not None
         assert "kernel_rows" in engine.cache_stats()
 
-    def test_invalidate_rebuilds_index(self):
+    def test_invalidate_table_is_incremental(self):
         rng = random.Random(73)
         lake, mapping = make_lake(rng)
         engine = VectorizedTableSearchEngine(
             lake, mapping, make_sigma("types", rng)
         )
         first = engine.index()
+        base_segment = first.segments[0]
         engine.invalidate_table("T0")
-        assert engine._index is None
-        assert engine.index() is not first
+        # The index is updated in place of a teardown: a successor
+        # instance exists immediately, shares the untouched segment by
+        # reference, and carries a tombstone for the replaced copy.
+        second = engine._index
+        assert second is not None and second is not first
+        assert second.segments[0] is base_segment
+        assert second.stats().tombstones == 1
+        assert "T0" in second
+        # invalidate_cache stays the full-reset hammer.
         engine.invalidate_cache()
         assert engine._index is None
 
