@@ -101,17 +101,28 @@ def test_serve_latency(wt_bench, benchmark, request):
         _assert_parity(handle.port, reference, payloads)
         generator = LoadGenerator("127.0.0.1", handle.port, payloads,
                                   timeout=120)
+        prefilter_payloads = [
+            dict(payload, mode="prefilter") for payload in payloads
+        ]
+        prefilter_generator = LoadGenerator(
+            "127.0.0.1", handle.port, prefilter_payloads, timeout=120
+        )
 
         def run():
             closed = generator.run_closed(
                 concurrency=CONCURRENCY, total_requests=total
             )
+            closed_prefilter = prefilter_generator.run_closed(
+                concurrency=CONCURRENCY, total_requests=total
+            )
             open_loop = generator.run_open(
                 rate=OPEN_RATE, duration=open_duration
             )
-            return closed, open_loop
+            return closed, closed_prefilter, open_loop
 
-        closed, open_loop = benchmark.pedantic(run, rounds=1, iterations=1)
+        closed, closed_prefilter, open_loop = benchmark.pedantic(
+            run, rounds=1, iterations=1
+        )
     finally:
         handle.stop(timeout=120)
 
@@ -120,6 +131,11 @@ def test_serve_latency(wt_bench, benchmark, request):
         f"{total} requests)"
     )
     print(closed.format_report())
+    print_header(
+        f"Serving latency (closed loop, mode=prefilter, "
+        f"{CONCURRENCY} workers, {total} requests)"
+    )
+    print(closed_prefilter.format_report())
     print_header(f"Serving latency (open loop, {OPEN_RATE:.0f} req/s)")
     print(open_loop.format_report())
 
@@ -127,6 +143,7 @@ def test_serve_latency(wt_bench, benchmark, request):
         "corpus_tables": len(wt_bench.lake),
         "concurrency": CONCURRENCY,
         "closed": closed.to_json(),
+        "closed_prefilter": closed_prefilter.to_json(),
         "open": open_loop.to_json(),
     }
     with open(REPORT_PATH, "w", encoding="utf-8") as out:
@@ -142,6 +159,11 @@ def test_serve_latency(wt_bench, benchmark, request):
     assert closed.throughput > 0
     assert closed.percentile_ms(0.50) <= closed.percentile_ms(0.95) \
         <= closed.percentile_ms(0.99)
+    # The prefilter mode must sustain the same closed-loop volume.
+    assert closed_prefilter.sent == total
+    assert closed_prefilter.ok == total, (
+        f"prefilter closed loop lost requests: {closed_prefilter.to_json()}"
+    )
     # Open loop may legitimately shed (503) under queueing, but the
     # server must keep answering.
     assert open_loop.ok > 0

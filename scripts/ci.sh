@@ -54,4 +54,11 @@ python -m pytest -x -q -s \
     --benchmark-disable
 
 echo
+echo "== prefilter smoke: candidate reduction + recall gate =="
+python -m pytest -x -q -s \
+    "benchmarks/bench_lsh_serve.py" \
+    --quick \
+    --benchmark-disable
+
+echo
 echo "ci.sh: all checks passed"

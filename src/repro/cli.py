@@ -172,7 +172,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         query = _parse_tuples(args.tuple)
         results = thetis.search(
             query, k=args.k, method=args.method, use_lsh=args.lsh,
-            votes=args.votes,
+            votes=args.votes, mode=args.mode,
         )
         for rank, scored in enumerate(results, start=1):
             caption = lake.get(scored.table_id).metadata.get("caption", "")
@@ -221,6 +221,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout=args.timeout,
         batch_workers=args.batch_workers,
         warm_on_start=not args.no_warm,
+        prefilter_guardrail_every=args.guardrail_every,
     )
 
     async def run() -> None:
@@ -504,6 +505,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "'thetis index build'); memmapped for a "
                             "zero-copy cold start — requires --engine "
                             "vectorized")
+    serve.add_argument("--guardrail-every", type=int, default=0,
+                       metavar="N",
+                       help="cross-check every Nth prefilter-mode query "
+                            "against the exact ranking and record its "
+                            "recall@k in /metrics (0 disables)")
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(func=_cmd_serve)
 
@@ -523,6 +529,12 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--lsh", action="store_true",
                         help="enable LSH prefiltering")
     search.add_argument("--votes", type=int, default=1)
+    search.add_argument("--mode", choices=["exact", "prefilter"],
+                        default="exact",
+                        help="retrieval mode: 'exact' scores every table, "
+                             "'prefilter' generates an LSH candidate set "
+                             "and rescores only the shortlist with "
+                             "bound-based early termination")
     search.add_argument("--workers", type=int, default=1,
                         help="shard exact scoring across N workers "
                              "(1 = sequential)")

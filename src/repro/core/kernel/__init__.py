@@ -28,6 +28,7 @@ from repro.core.kernel.index import (
     TableView,
     compile_kernel,
 )
+from repro.core.kernel.prefilter import PrefilterStats
 from repro.core.kernel.segments import (
     SegmentedCorpusIndex,
     SegmentedIndexStats,
@@ -42,6 +43,7 @@ __all__ = [
     "ENGINE_KINDS",
     "CorpusIndex",
     "DEFAULT_ROW_CACHE_SIZE",
+    "PrefilterStats",
     "SegmentedCorpusIndex",
     "SegmentedIndexStats",
     "SimilarityKernel",

@@ -37,6 +37,7 @@ workers either receive it pickled or, when the index is disk-backed
 
 from __future__ import annotations
 
+import heapq
 import math
 import threading
 import time
@@ -57,9 +58,11 @@ from repro.core.kernel.segments import (
     SegmentedCorpusIndex,
     SegmentedIndexStats,
 )
+from repro.core.aggregation import QueryAggregation
 from repro.core.query import Query
 from repro.core.result import ResultSet, ScoredTable
 from repro.core.search import ScoringProfile, TableScore, TableSearchEngine
+from repro.core.topk import TopKEntry
 from repro.datalake.table import Table
 from repro.exceptions import IndexStorageError
 
@@ -73,6 +76,37 @@ ASSIGNMENT_MARGIN = 1e-9
 #: Widths the batched search solves by exhaustive enumeration (the
 #: tensor has ``columns ** width`` cells; beyond 3 the solver wins).
 MAX_ENUM_WIDTH = 3
+
+#: Slack added to a vectorized upper bound before the early-termination
+#: cut-off compares it against the k-th best exact score.  The bound's
+#: reductions (``np.max`` / ``np.mean`` over tuples, BLAS dot products)
+#: may sum in a different order than the kernel's exact pass, so strict
+#: FP dominance can miss by rounding noise; the slack converts that into
+#: "score a few extra tables" instead of "drop a true top-k member".
+BOUND_SLACK = 1e-9
+
+#: Smallest shortlist chunk the early-terminating candidate search
+#: scores per fused pass — each pass re-reduces the global relevance
+#: matrix, so very small chunks would repeat that fixed cost.
+MIN_PRUNE_CHUNK = 32
+
+
+def _concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``[starts[i], starts[i] + lengths[i])`` index ranges.
+
+    The vectorized equivalent of ``np.concatenate([np.arange(s, s + n)
+    for s, n in zip(starts, lengths)])`` — used to slice the selected
+    tables' contiguous nnz blocks out of a segment's global arrays
+    while preserving their in-corpus order.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        ends - lengths, lengths
+    )
+    return np.repeat(starts, lengths) + within
 
 #: ``(n, n, n)`` boolean masks marking option triples that repeat a real
 #: column, keyed by ``n = columns + 1`` — the last option index is the
@@ -531,7 +565,11 @@ class VectorizedTableSearchEngine(TableSearchEngine):
             return index
 
     def _segment_batch(
-        self, segment: CorpusIndex, query: Query, profile: ScoringProfile
+        self,
+        segment: CorpusIndex,
+        query: Query,
+        profile: ScoringProfile,
+        selection: Optional[np.ndarray] = None,
     ) -> Tuple[List[np.ndarray], np.ndarray]:
         """Fused scoring of one segment against every query tuple.
 
@@ -543,6 +581,18 @@ class VectorizedTableSearchEngine(TableSearchEngine):
         its own entities, all segment-local, so per-segment evaluation
         is arithmetic-identical to the monolith (the parity property
         test pins this).
+
+        ``selection`` (sorted table positions) restricts the pass to a
+        candidate subset: only the selected tables' nnz blocks feed the
+        column-relevance reduction, which leaves every other table with
+        zero relevance and therefore no assignment, no gather rows, and
+        no signal.  The returned columns still span the whole segment —
+        positions outside ``selection`` hold unspecified filler (the
+        zero-coordinate score), so callers must only read selected
+        positions.  Selected positions are arithmetic-identical to the
+        unrestricted pass: each table's nnz block is contiguous and
+        selections are position-sorted, so every relevance bin
+        accumulates the same terms in the same IEEE order.
         """
         index = segment
         num_tables = len(index.table_ids)
@@ -553,19 +603,31 @@ class VectorizedTableSearchEngine(TableSearchEngine):
         per_row_semantics = self.tuple_semantics is TupleSemantics.PER_ROW
         any_signal = np.zeros(num_tables, dtype=bool)
         tuple_columns: List[np.ndarray] = []
+        if selection is None:
+            nnz_gcolumns = index.nnz_gcolumns
+            nnz_gids = index.nnz_gids
+            nnz_gcounts = index.nnz_gcounts
+        else:
+            starts = index.nnz_toffset[selection]
+            entries = _concat_ranges(
+                starts, index.nnz_toffset[selection + 1] - starts
+            )
+            nnz_gcolumns = index.nnz_gcolumns[entries]
+            nnz_gids = index.nnz_gids[entries]
+            nnz_gcounts = index.nnz_gcounts[entries]
         for query_tuple in query:
             width = len(query_tuple)
             sims = index.tuple_rows(query_tuple, profile)
             map_start = time.perf_counter()
-            if index.nnz_gids.size:
+            if nnz_gids.size:
                 keys = (
-                    index.nnz_gcolumns
+                    nnz_gcolumns
                     + (np.arange(width) * total_columns)[:, None]
                 )
                 relevance = np.bincount(
                     keys.ravel(),
-                    weights=(sims[:, index.nnz_gids]
-                             * index.nnz_gcounts).ravel(),
+                    weights=(sims[:, nnz_gids]
+                             * nnz_gcounts).ravel(),
                     minlength=width * total_columns,
                 ).reshape(width, total_columns)
             else:
@@ -693,6 +755,207 @@ class VectorizedTableSearchEngine(TableSearchEngine):
         profile.total_seconds += time.perf_counter() - start
         return results
 
+    def _candidate_bounds(
+        self,
+        segment: CorpusIndex,
+        query: Query,
+        positions: np.ndarray,
+        profile: ScoringProfile,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized SemRel upper bounds for selected segment tables.
+
+        The batched analogue of
+        :func:`repro.core.topk.table_score_upper_bound`: per query
+        entity, the best similarity any entity mentioned in the table
+        could provide (clamped at zero — an unassigned position scores
+        zero, never negative), pushed through the same
+        residual-distance formula as the kernel.  Dropping the
+        distinct-column and injectivity constraints only raises the
+        value, so ``bound >= exact`` up to the reduction-order noise
+        :data:`BOUND_SLACK` absorbs.
+
+        Returns ``(bounds, signal)`` aligned with ``positions``:
+        ``signal`` is whether any coordinate is positive — under
+        ``drop_irrelevant`` a signal-free table can never be relevant,
+        so it can be dropped before scoring.
+        """
+        index = segment
+        starts = index.nnz_toffset[positions]
+        lengths = index.nnz_toffset[positions + 1] - starts
+        entries = _concat_ranges(starts, lengths)
+        ids = index.nnz_gids[entries]
+        offsets = np.concatenate(([0], np.cumsum(lengths)))[:-1]
+        nonempty = np.flatnonzero(lengths > 0)
+        tuple_bounds: List[np.ndarray] = []
+        signal = np.zeros(len(positions), dtype=bool)
+        for query_tuple in query:
+            width = len(query_tuple)
+            sims = index.tuple_rows(query_tuple, profile)
+            best = np.zeros((width, len(positions)), dtype=np.float64)
+            if ids.size and nonempty.size:
+                best[:, nonempty] = np.maximum.reduceat(
+                    sims[:, ids], offsets[nonempty], axis=1
+                )
+            np.maximum(best, 0.0, out=best)
+            signal |= best.max(axis=0) > 0.0
+            weights = self._tuple_weights(query_tuple)
+            residual = 1.0 - np.minimum(best, 1.0)
+            distances = np.sqrt(weights @ (residual * residual))
+            tuple_bounds.append(1.0 / (distances + 1.0))
+        if not tuple_bounds:
+            return np.zeros(len(positions), dtype=np.float64), signal
+        stacked = np.stack(tuple_bounds, axis=0)
+        if self.query_aggregation is QueryAggregation.MAX:
+            bounds = stacked.max(axis=0)
+        else:
+            bounds = stacked.mean(axis=0)
+        return bounds, signal
+
+    def search_candidates(
+        self,
+        query: Query,
+        candidates: Iterable[str],
+        k: Optional[int] = None,
+        stats=None,
+    ) -> ResultSet:
+        """Fused scoring of an explicit candidate set (prefilter path).
+
+        Same results as the inherited ``search(query, k=k,
+        candidates=candidates)`` — deduplication, lake membership, the
+        drop-irrelevant rule, and the ``(-score, table_id)`` ranking
+        all match — but evaluated as restricted batched passes over
+        the candidates' nnz blocks instead of one per-table kernel
+        call each.  When ``k`` is given, shortlisted tables are scored
+        in descending bound order and the scan stops once no remaining
+        bound can displace the current k-th best score (the
+        :mod:`repro.core.topk` threshold algorithm, vectorized).
+
+        ``stats`` (a :class:`~repro.core.kernel.prefilter.
+        PrefilterStats`) receives the shortlist size, the number of
+        tables actually scored, and whether the cut-off fired.
+        """
+        ordered = [
+            table_id
+            for table_id in dict.fromkeys(candidates)
+            if table_id in self.lake
+        ]
+        if k is not None and k < 1:
+            if stats is not None:
+                stats.record_scoring(0, 0, False)
+            return ResultSet([])
+        index = self.index()
+        lake_ids = [table.table_id for table in self.lake]
+        if not index.mirrors(lake_ids):
+            index = self._reconcile_index()
+            if not index.mirrors(lake_ids):
+                # The kernel cannot cover this lake; the inherited
+                # per-table loop copes table by table.
+                if stats is not None:
+                    stats.record_scoring(len(ordered), len(ordered), False)
+                return super().search(query, k=k, candidates=ordered)
+        drop = self.drop_irrelevant
+        if drop:
+            entities_in_table = self.mapping.entities_in_table
+            ordered = [
+                table_id for table_id in ordered
+                if entities_in_table(table_id)
+            ]
+        profile = self.profile
+        start = time.perf_counter()
+        # Group candidates by owning segment; position-sorted
+        # selections keep restricted reductions in corpus order.
+        by_segment: Dict[int, List[Tuple[int, str]]] = {}
+        for table_id in ordered:
+            seg_index, position = index.locate_position(table_id)
+            by_segment.setdefault(seg_index, []).append(
+                (position, table_id)
+            )
+        bound_of: Dict[str, float] = {}
+        signal_of: Dict[str, bool] = {}
+        for seg_index, members in by_segment.items():
+            members.sort()
+            positions = np.asarray(
+                [position for position, _ in members], dtype=np.int64
+            )
+            bounds, signal = self._candidate_bounds(
+                index.segments[seg_index], query, positions, profile
+            )
+            for (position, table_id), bound, has_signal in zip(
+                members, bounds.tolist(), signal.tolist()
+            ):
+                bound_of[table_id] = bound
+                signal_of[table_id] = bool(has_signal)
+        # Under drop_irrelevant a signal-free table is provably
+        # irrelevant (no entity similarity is positive), so the
+        # shortlist keeps signal-carrying candidates only.
+        if drop:
+            shortlist = [tid for tid in ordered if signal_of[tid]]
+        else:
+            shortlist = list(ordered)
+        shortlist.sort(key=lambda tid: (-bound_of[tid], tid))
+        chunk_size = (
+            len(shortlist) if k is None
+            else max(MIN_PRUNE_CHUNK, 2 * k)
+        )
+        results: List[ScoredTable] = []
+        heap: List[TopKEntry] = []
+        scored = 0
+        terminated = False
+        cursor = 0
+        while cursor < len(shortlist):
+            if (
+                k is not None
+                and len(heap) == k
+                and bound_of[shortlist[cursor]] + BOUND_SLACK
+                < heap[0].score
+            ):
+                terminated = True
+                break
+            chunk = shortlist[cursor:cursor + chunk_size]
+            cursor += len(chunk)
+            chunk_segments: Dict[int, List[int]] = {}
+            placement: Dict[str, Tuple[int, int]] = {}
+            for table_id in chunk:
+                seg_index, position = index.locate_position(table_id)
+                chunk_segments.setdefault(seg_index, []).append(position)
+                placement[table_id] = (seg_index, position)
+            outputs = {
+                seg_index: self._segment_batch(
+                    index.segments[seg_index],
+                    query,
+                    profile,
+                    selection=np.asarray(sorted(positions),
+                                         dtype=np.int64),
+                )
+                for seg_index, positions in chunk_segments.items()
+            }
+            for table_id in chunk:
+                seg_index, position = placement[table_id]
+                tuple_columns, any_signal = outputs[seg_index]
+                tuple_scores = [
+                    float(column[position]) for column in tuple_columns
+                ]
+                score = self.query_aggregation.aggregate(tuple_scores)
+                relevant = bool(any_signal[position]) or not drop
+                scored += 1
+                profile.tables_scored += 1
+                if not relevant or score <= 0.0:
+                    continue
+                results.append(ScoredTable(score, table_id))
+                if k is not None:
+                    entry = TopKEntry(score, table_id)
+                    if len(heap) < k:
+                        heapq.heappush(heap, entry)
+                    elif heap[0] < entry:
+                        heapq.heapreplace(heap, entry)
+        profile.total_seconds += time.perf_counter() - start
+        if stats is not None:
+            stats.record_scoring(len(shortlist), scored, terminated)
+        result_set = ResultSet(results)
+        if k is not None:
+            result_set = result_set.top(k)
+        return result_set
+
     def search(
         self,
         query: Query,
@@ -701,12 +964,14 @@ class VectorizedTableSearchEngine(TableSearchEngine):
     ):
         """Batched whole-lake ranking (same results as the scalar loop).
 
-        Candidate-restricted searches (the LSH prefilter path) and
-        lakes the index cannot mirror keep the inherited per-table
-        loop, which itself scores through the kernel.
+        Candidate-restricted searches (the LSH prefilter path) go
+        through :meth:`search_candidates`, which fuses the restriction
+        into the batched kernel; lakes the index cannot mirror keep
+        the inherited per-table loop, which itself scores through the
+        kernel.
         """
         if candidates is not None:
-            return super().search(query, k=k, candidates=candidates)
+            return self.search_candidates(query, candidates, k=k)
         outcomes = self._search_batch(query)
         if outcomes is None:
             return super().search(query, k=k)

@@ -1,0 +1,123 @@
+"""Serve-side accounting for the LSH candidate-generation stage.
+
+:class:`PrefilterStats` is the single mutable object shared by the
+facade, the serve loop, and ``/metrics``: the prefilter records how much
+of the lake each query's candidate set kept, the fused scorer records
+shortlist sizes and early terminations, and the recall guardrail records
+its sampled cross-checks against the exact engine.  Snapshot swaps hand
+the same instance to the replacement generation (see
+``Thetis.seed_engines_from``), so the serving counters survive
+copy-and-swap mutations instead of resetting every swap.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+
+class PrefilterStats:
+    """Thread-safe counters for prefiltered search.
+
+    Three record points, one per pipeline stage:
+
+    * :meth:`record_query` — candidate generation (lake size vs.
+      surviving candidate count);
+    * :meth:`record_scoring` — fused rescoring (shortlist size, tables
+      actually scored, whether the bound cut-off fired);
+    * :meth:`record_guardrail` — sampled recall@k of the prefiltered
+      ranking against the exact one.
+
+    All readers go through :meth:`as_dict`, which derives the rates the
+    ``/metrics`` endpoint publishes.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._queries = 0
+        self._total_tables = 0
+        self._total_candidates = 0
+        self._scoring_calls = 0
+        self._shortlisted = 0
+        self._scored = 0
+        self._early_terminations = 0
+        self._guardrail_checks = 0
+        self._guardrail_recall_sum = 0.0
+        self._guardrail_min_recall: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def record_query(self, total_tables: int, num_candidates: int) -> None:
+        """One candidate-generation pass: lake size vs. survivors."""
+        with self._lock:
+            self._queries += 1
+            self._total_tables += max(0, int(total_tables))
+            self._total_candidates += max(0, int(num_candidates))
+
+    def record_scoring(
+        self, shortlisted: int, scored: int, early_terminated: bool
+    ) -> None:
+        """One rescoring pass over a candidate shortlist."""
+        with self._lock:
+            self._scoring_calls += 1
+            self._shortlisted += max(0, int(shortlisted))
+            self._scored += max(0, int(scored))
+            if early_terminated:
+                self._early_terminations += 1
+
+    def record_guardrail(self, recall: float) -> None:
+        """One sampled recall@k cross-check against the exact engine."""
+        value = float(recall)
+        with self._lock:
+            self._guardrail_checks += 1
+            self._guardrail_recall_sum += value
+            if (
+                self._guardrail_min_recall is None
+                or value < self._guardrail_min_recall
+            ):
+                self._guardrail_min_recall = value
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """Derived rates for ``/metrics`` (JSON-serializable)."""
+        with self._lock:
+            queries = self._queries
+            payload: Dict[str, object] = {
+                "queries": queries,
+                "mean_candidates": (
+                    self._total_candidates / queries if queries else 0.0
+                ),
+                "candidate_reduction": (
+                    1.0 - self._total_candidates / self._total_tables
+                    if self._total_tables
+                    else 0.0
+                ),
+                "scoring_calls": self._scoring_calls,
+                "mean_shortlist": (
+                    self._shortlisted / self._scoring_calls
+                    if self._scoring_calls
+                    else 0.0
+                ),
+                "scored_fraction": (
+                    self._scored / self._shortlisted
+                    if self._shortlisted
+                    else 0.0
+                ),
+                "early_termination_rate": (
+                    self._early_terminations / self._scoring_calls
+                    if self._scoring_calls
+                    else 0.0
+                ),
+                "guardrail": {
+                    "checks": self._guardrail_checks,
+                    "mean_recall": (
+                        self._guardrail_recall_sum / self._guardrail_checks
+                        if self._guardrail_checks
+                        else None
+                    ),
+                    "min_recall": self._guardrail_min_recall,
+                },
+            }
+        return payload
+
+
+__all__ = ["PrefilterStats"]

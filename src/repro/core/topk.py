@@ -31,6 +31,40 @@ from repro.core.semrel import semrel_tuple_score
 from repro.datalake.table import Table
 
 
+class TopKEntry:
+    """Min-heap entry ordered by the engine's documented ranking.
+
+    :class:`~repro.core.result.ResultSet` ranks by ``(-score,
+    table_id)`` — higher score first, then *ascending* id among ties.
+    Inverting that order for a min-heap means the heap root is the
+    worst-ranked member of the current top-k: the lowest score, and
+    among equal scores the *lexicographically largest* id (which the
+    engine ranks last).  ``a < b`` therefore reads "a is ranked worse
+    than b".
+    """
+
+    __slots__ = ("score", "table_id")
+
+    def __init__(self, score: float, table_id: str):
+        self.score = score
+        self.table_id = table_id
+
+    def __lt__(self, other: "TopKEntry") -> bool:
+        if self.score != other.score:
+            return self.score < other.score
+        return self.table_id > other.table_id
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TopKEntry)
+            and self.score == other.score
+            and self.table_id == other.table_id
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TopKEntry({self.score!r}, {self.table_id!r})"
+
+
 def table_score_upper_bound(
     engine: TableSearchEngine,
     query: Query,
@@ -83,6 +117,7 @@ def topk_search(
     query: Query,
     k: int,
     candidates: Optional[Iterable[str]] = None,
+    stats=None,
 ) -> ResultSet:
     """Return the exact top-``k`` ranking with early termination.
 
@@ -97,6 +132,11 @@ def topk_search(
     candidates:
         Optional table-id restriction (e.g. from an LSH prefilter);
         defaults to the whole lake.
+    stats:
+        Optional :class:`~repro.core.kernel.prefilter.PrefilterStats`
+        (or anything with its ``record_scoring`` method) receiving the
+        shortlist size, the number of tables scored exactly, and
+        whether the scan terminated early.
 
     Returns
     -------
@@ -104,6 +144,8 @@ def topk_search(
         Identical to ``engine.search(query, k=k, candidates=...)``.
     """
     if k < 1:
+        if stats is not None:
+            stats.record_scoring(0, 0, False)
         return ResultSet([])
     if candidates is None:
         tables: List[Table] = list(engine.lake)
@@ -124,21 +166,33 @@ def topk_search(
         if bound > 0.0:
             bounded.append((bound, table.table_id, table))
     # Phase 2: exact scoring in descending bound order with cut-off.
+    # The min-heap holds the current top-k under the engine's ranking
+    # (see TopKEntry), so heap[0] is the current k-th ranked table and
+    # heap[0].score the cut-off threshold.
     bounded.sort(key=lambda item: (-item[0], item[1]))
-    heap: List[Tuple[float, str]] = []  # min-heap of (score, -id) top-k
+    heap: List[TopKEntry] = []
     results: List[ScoredTable] = []
+    scored = 0
+    terminated = False
     for bound, _table_id, table in bounded:
         # Strict comparison keeps tie-breaking exact: any table whose
         # bound equals the k-th score might still enter via the id
         # tie-break, so it gets scored.
-        if len(heap) == k and bound < heap[0][0]:
+        if len(heap) == k and bound < heap[0].score:
+            terminated = True
             break  # nothing below can displace the current top-k
         outcome = engine.score_table(query, table)
+        scored += 1
         if not outcome.relevant or outcome.score <= 0.0:
             continue
         results.append(ScoredTable(outcome.score, outcome.table_id))
+        entry = TopKEntry(outcome.score, outcome.table_id)
         if len(heap) < k:
-            heapq.heappush(heap, (outcome.score, outcome.table_id))
-        elif outcome.score > heap[0][0]:
-            heapq.heapreplace(heap, (outcome.score, outcome.table_id))
+            heapq.heappush(heap, entry)
+        elif heap[0] < entry:
+            # The newcomer outranks the current k-th entry — including
+            # the equal-score case the engine breaks by ascending id.
+            heapq.heapreplace(heap, entry)
+    if stats is not None:
+        stats.record_scoring(len(bounded), scored, terminated)
     return ResultSet(results).top(k)

@@ -67,6 +67,26 @@ class LSHIndex:
         for band, bucket_key in enumerate(self._band_keys(signature)):
             self._bands[band][bucket_key].append(key)
 
+    def remove(self, key: str) -> None:
+        """Drop ``key``'s signature and bucket memberships.
+
+        Unknown keys are a no-op.  Buckets left empty are deleted so
+        :meth:`bucket_count` stays an honest occupancy gauge.
+        """
+        signature = self._signatures.pop(key, None)
+        if signature is None:
+            return
+        for band, bucket_key in enumerate(self._band_keys(signature)):
+            bucket = self._bands[band].get(bucket_key)
+            if bucket is None:
+                continue
+            try:
+                bucket.remove(key)
+            except ValueError:
+                pass
+            if not bucket:
+                del self._bands[band][bucket_key]
+
     def lookup_signature(self, signature: np.ndarray) -> List[List[str]]:
         """Return, per band, the co-bucketed keys for ``signature``."""
         results: List[List[str]] = []
@@ -180,10 +200,16 @@ class TablePrefilter:
                 if tid == table_id:
                     groups[column].append(uri)
             for column, uris in groups.items():
+                key = f"{table_id}#{column}"
+                # Drop any previous generation of this key first: the
+                # index ignores duplicate adds, and a (table, column)
+                # group's signature must always reflect the *current*
+                # mapping contents.
+                self._index.remove(key)
                 signature = self.scheme.group_signature(uris)
                 if signature is None:
+                    self._postings.pop(key, None)
                     continue
-                key = f"{table_id}#{column}"
                 self._index.add(key, signature)
                 self._postings[key] = {table_id}
             return
@@ -201,9 +227,18 @@ class TablePrefilter:
     def remove_table(self, table_id: str) -> None:
         """Drop a table from every posting list.
 
-        Entity signatures stay in the bucket structure (they are shared
-        with other tables); only the postings shrink, so removed tables
-        can never be returned as candidates.
+        In per-entity mode, entity signatures stay in the bucket
+        structure (they are shared with other tables and depend only on
+        the entity); only the postings shrink, so removed tables can
+        never be returned as candidates.
+
+        In column-aggregated mode the ``table#column`` keys belong to
+        this table alone, so they are pruned outright — postings,
+        signatures, and bucket memberships.  Leaving them behind would
+        leak keys forever, over-count :meth:`num_indexed_keys`, and —
+        because :meth:`LSHIndex.add` ignores already-present keys — make
+        a later re-add of the same table id silently reuse the stale
+        signatures instead of re-hashing its current columns.
         """
         self._indexed_tables.discard(table_id)
         if self.column_aggregation:
@@ -212,7 +247,8 @@ class TablePrefilter:
                 if key.startswith(f"{table_id}#")
             ]
             for key in stale:
-                self._postings[key] = set()
+                del self._postings[key]
+                self._index.remove(key)
             return
         for posting in self._postings.values():
             posting.discard(table_id)

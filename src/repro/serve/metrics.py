@@ -184,6 +184,7 @@ class ServerMetrics:
         snapshot_version: int = 0,
         cache_stats: Optional[Dict[str, Any]] = None,
         index_stats: Optional[Dict[str, Any]] = None,
+        prefilter_stats: Optional[Dict[str, Any]] = None,
         uptime_seconds: float = 0.0,
     ) -> Dict[str, Any]:
         """The ``GET /metrics`` document."""
@@ -239,6 +240,12 @@ class ServerMetrics:
             # engine's segmented corpus index (absent on scalar engines
             # and before the first query builds the index).
             payload["index"] = dict(index_stats)
+        if prefilter_stats is not None:
+            # Candidate-generation counters of the prefilter serve
+            # path: reduction, shortlist sizes, early-termination
+            # rate, and sampled recall-guardrail observations (see
+            # repro.core.kernel.prefilter.PrefilterStats).
+            payload["prefilter"] = dict(prefilter_stats)
         return payload
 
 

@@ -28,9 +28,14 @@ from repro.exceptions import EmptyQueryError, ProtocolError
 #: Search methods the service accepts.
 METHODS = ("types", "embeddings")
 
-#: Execution modes of a query request: full ranking vs early-terminated
-#: top-k (Section 5.4's upper-bound pruning).
-MODES = ("search", "topk")
+#: Execution modes of a query request: full ranking, early-terminated
+#: top-k (Section 5.4's upper-bound pruning), or LSH candidate
+#: generation + fused rescoring (the Section 6 prefilter pipeline).
+MODES = ("search", "topk", "prefilter")
+
+#: Wire values of the optional ``mode`` body field on ``POST /search``;
+#: ``"exact"`` maps to the endpoint's plain ``"search"`` execution.
+WIRE_MODES = ("exact", "prefilter")
 
 #: Upper bound on ``k`` accepted over the wire: a page of results, not
 #: a corpus dump — unbounded ``k`` would let one client monopolize a
@@ -133,9 +138,29 @@ class SearchRequest:
 
     @classmethod
     def from_json(cls, payload: Any, mode: str = "search") -> "SearchRequest":
-        """Parse and validate a JSON payload; raises :class:`ProtocolError`."""
+        """Parse and validate a JSON payload; raises :class:`ProtocolError`.
+
+        ``mode`` is the endpoint's execution mode (``POST /topk`` passes
+        ``"topk"``).  ``POST /search`` bodies may additionally carry a
+        ``"mode"`` field choosing between ``"exact"`` (the default,
+        mapped to plain ``"search"`` execution) and ``"prefilter"``
+        (LSH candidate generation + fused rescoring); the field is
+        rejected on other endpoints, where the path already fixes the
+        execution mode.
+        """
         payload = _expect_mapping(payload)
-        _check_fields(payload, ("tuples", "k", "method", "use_lsh", "votes"))
+        _check_fields(
+            payload, ("tuples", "k", "method", "use_lsh", "votes", "mode")
+        )
+        if payload.get("mode") is not None:
+            if mode != "search":
+                raise ProtocolError(
+                    "'mode' is only accepted on POST /search"
+                )
+            wire_mode = _parse_choice(
+                payload, "mode", "exact", WIRE_MODES
+            )
+            mode = "search" if wire_mode == "exact" else "prefilter"
         return cls(
             tuples=_parse_tuples(payload),
             k=_parse_int(payload, "k", 10, 1, MAX_K),

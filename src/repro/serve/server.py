@@ -98,6 +98,13 @@ class ServeConfig:
     warm_on_swap: bool = True
     #: Seconds shutdown waits for open connections before cancelling.
     drain_timeout: float = 10.0
+    #: Recall guardrail sampling: every Nth prefilter-mode query is
+    #: additionally cross-checked against the exact ranking and its
+    #: recall@k recorded into the ``/metrics`` prefilter block
+    #: (``0`` disables the guardrail).  Deterministic counter-based
+    #: sampling, so a fixed request sequence always checks the same
+    #: queries.
+    prefilter_guardrail_every: int = 0
 
 
 @dataclass
@@ -146,6 +153,9 @@ class ThetisServer:
         self._ready = threading.Event()
         self._started_at = 0.0
         self._shut_down = False
+        # Deterministic guardrail sampling across batch workers.
+        self._guardrail_lock = threading.Lock()
+        self._guardrail_counter = 0  # guarded-by: _guardrail_lock
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -356,6 +366,7 @@ class ThetisServer:
     def _metrics_payload(self) -> dict:
         cache_stats = None
         index_stats = None
+        prefilter_stats = None
         try:
             with self.snapshots.checkout() as snapshot:
                 cache_stats = snapshot.thetis.cache_stats(
@@ -366,6 +377,7 @@ class ThetisServer:
                 )
                 if stats is not None:
                     index_stats = stats.as_dict()
+                prefilter_stats = snapshot.thetis.prefilter_stats.as_dict()
         except (ServeError, ReproError):
             pass  # mid-shutdown scrape: serve counters without cache view
         return self.metrics.to_json(
@@ -374,6 +386,7 @@ class ThetisServer:
             snapshot_version=self.snapshots.version,
             cache_stats=cache_stats,
             index_stats=index_stats,
+            prefilter_stats=prefilter_stats,
             uptime_seconds=time.monotonic() - self._started_at,
         )
 
@@ -417,13 +430,25 @@ class ThetisServer:
         self.metrics.batch_executed(len(jobs))
         return outcomes
 
+    def _guardrail_due(self) -> bool:
+        """Whether this prefilter query is a sampled guardrail check."""
+        every = self.config.prefilter_guardrail_every
+        if every <= 0:
+            return False
+        with self._guardrail_lock:
+            self._guardrail_counter += 1
+            return self._guardrail_counter % every == 0
+
     def _run_batch_sync(self, jobs: List[_QueryJob]) -> List[Any]:
         """Execute one coalesced batch against the pinned snapshot.
 
         Jobs sharing ``(mode, method, k, use_lsh, votes)`` run through
         one ``search_many`` pass; rankings are bit-identical to
-        per-request ``Thetis.search`` calls (property-tested).  An
-        exception is confined to the jobs of its group.
+        per-request ``Thetis.search`` calls (property-tested).
+        Prefilter-mode jobs run the candidate pipeline per query, with
+        every Nth one (``prefilter_guardrail_every``) cross-checked
+        against the exact ranking.  An exception is confined to the
+        jobs of its group.
         """
         outcomes: List[Any] = [None] * len(jobs)
         with self.snapshots.checkout() as snapshot:
@@ -439,6 +464,24 @@ class ThetisServer:
                             outcomes[index] = _QueryOutcome(
                                 thetis.search_topk(
                                     jobs[index].query, k=k, method=method
+                                ),
+                                snapshot.version,
+                            )
+                    elif mode == "prefilter":
+                        for index in indices:
+                            query = jobs[index].query
+                            if self._guardrail_due():
+                                # Runs both rankings and records the
+                                # recall sample, but still answers from
+                                # the prefiltered one (the guardrail
+                                # observes, it does not rewrite).
+                                thetis.prefilter_recall(
+                                    query, k=k, method=method, votes=votes
+                                )
+                            outcomes[index] = _QueryOutcome(
+                                thetis.search(
+                                    query, k=k, method=method,
+                                    mode="prefilter", votes=votes,
                                 ),
                                 snapshot.version,
                             )

@@ -13,7 +13,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.aggregation import QueryAggregation, RowAggregation
 from repro.core.cache import DEFAULT_SIMILARITY_CACHE_SIZE, CacheStats
-from repro.core.kernel import ENGINE_KINDS, engine_class
+from repro.core.kernel import ENGINE_KINDS, PrefilterStats, engine_class
 from repro.core.parallel import ParallelSearchEngine
 from repro.core.query import Query
 from repro.core.result import ResultSet
@@ -34,6 +34,12 @@ from repro.lsh.schemes import (
 from repro.similarity.embedding import EmbeddingCosineSimilarity
 from repro.similarity.informativeness import Informativeness
 from repro.similarity.types import TypeJaccardSimilarity
+
+#: Retrieval modes accepted by :meth:`Thetis.search`: ``"exact"`` scores
+#: the whole lake (bit-compatible with the historical default), while
+#: ``"prefilter"`` generates an LSH candidate set first and rescores
+#: only the shortlist (Section 6 + the fused kernel path).
+SEARCH_MODES = ("exact", "prefilter")
 
 
 class Thetis:
@@ -145,6 +151,10 @@ class Thetis:
         ] = {}  # guarded-by: _lock
         self._linker = None
         self._closed = False  # guarded-by: _lock
+        # Serving counters for the prefilter path; internally
+        # synchronized, and shared across snapshot generations by
+        # seed_engines_from so /metrics survives copy-and-swap.
+        self.prefilter_stats = PrefilterStats()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -284,6 +294,9 @@ class Thetis:
                 continue
             engine.seed_views_from(source)
             seeded += 1
+        # Serving counters continue across the swap: both generations
+        # record into the same (thread-safe) stats object.
+        self.prefilter_stats = other.prefilter_stats
         return seeded
 
     def index_stats(self, method: str = "types"):
@@ -444,6 +457,56 @@ class Thetis:
                 engine.informativeness = self.informativeness
 
     # ------------------------------------------------------------------
+    def _check_mode(self, mode: str) -> None:
+        if mode not in SEARCH_MODES:
+            raise ConfigurationError(
+                f"unknown search mode {mode!r}: use one of {SEARCH_MODES}"
+            )
+
+    def _prefilter_candidates(
+        self,
+        query: Query,
+        method: str,
+        lsh_config: LSHConfig,
+        votes: int,
+    ):
+        """Candidate generation + reduction accounting for one query."""
+        prefilter = self.prefilter(method, lsh_config)
+        candidates = prefilter.candidate_tables(query, votes=votes)
+        self.prefilter_stats.record_query(len(self.lake), len(candidates))
+        return candidates
+
+    def _search_prefiltered(
+        self,
+        query: Query,
+        k: int,
+        method: str,
+        lsh_config: LSHConfig,
+        votes: int,
+    ) -> ResultSet:
+        """The Section 6 pipeline: LSH shortlist, then fused rescoring.
+
+        Vectorized engines score the candidate set through
+        :meth:`~repro.core.kernel.engine.VectorizedTableSearchEngine.
+        search_candidates` (restricted batched passes + bound-ordered
+        early termination); scalar engines fall back to the
+        :func:`~repro.core.topk.topk_search` threshold algorithm over
+        the same candidate set.  Both record into
+        :attr:`prefilter_stats`.
+        """
+        from repro.core.topk import topk_search
+
+        candidates = self._prefilter_candidates(
+            query, method, lsh_config, votes
+        )
+        engine = self.engine(method)
+        fused = getattr(engine, "search_candidates", None)
+        if fused is not None:
+            return fused(query, candidates, k=k,
+                         stats=self.prefilter_stats)
+        return topk_search(engine, query, k, candidates=candidates,
+                           stats=self.prefilter_stats)
+
     def search(
         self,
         query: Query,
@@ -452,16 +515,27 @@ class Thetis:
         use_lsh: bool = False,
         lsh_config: LSHConfig = RECOMMENDED_CONFIG,
         votes: int = 1,
+        mode: str = "exact",
     ) -> ResultSet:
         """Rank the lake's tables by SemRel against ``query``.
 
-        With ``use_lsh`` the LSEI prefilter reduces the search space
-        before exact scoring (Section 6); quality is preserved while
-        runtime drops with the search-space reduction.  With
-        ``workers > 1`` (constructor) the exact scoring is sharded
-        across the worker pool — the ranking is identical either way.
+        ``mode="exact"`` (default) keeps the historical behavior:
+        every table is scored, optionally restricted by ``use_lsh``
+        through the plain candidate loop.  ``mode="prefilter"`` runs
+        the full Section 6 serving pipeline — LSH candidate
+        generation, fused kernel rescoring restricted to the
+        shortlist, and score-bound early termination — and records
+        reduction/shortlist counters into :attr:`prefilter_stats`
+        (``use_lsh`` is implied and ignored).  With ``workers > 1``
+        (constructor) exact scoring is sharded across the worker
+        pool — the ranking is identical either way.
         """
         self._check_open("search")
+        self._check_mode(mode)
+        if mode == "prefilter":
+            return self._search_prefiltered(
+                query, k, method, lsh_config, votes
+            )
         candidates = None
         if use_lsh:
             prefilter = self.prefilter(method, lsh_config)
@@ -480,6 +554,7 @@ class Thetis:
         use_lsh: bool = False,
         lsh_config: LSHConfig = RECOMMENDED_CONFIG,
         votes: int = 1,
+        mode: str = "exact",
     ) -> Dict[str, ResultSet]:
         """Run a batch of queries; identical to per-query :meth:`search`.
 
@@ -487,8 +562,19 @@ class Thetis:
         coalesced concurrent requests share one warm pass over the
         engine (and its persistent similarity cache) while every
         ranking stays bit-identical to a sequential :meth:`search`.
+        ``mode="prefilter"`` runs each query through the candidate
+        pipeline (prefilter shortlists are query-specific, so the
+        batch iterates; the fused kernel keeps each pass cheap).
         """
         self._check_open("search_many")
+        self._check_mode(mode)
+        if mode == "prefilter":
+            return {
+                query_id: self._search_prefiltered(
+                    query, k, method, lsh_config, votes
+                )
+                for query_id, query in queries.items()
+            }
         candidates: Optional[Dict[str, Iterable[str]]] = None
         if use_lsh:
             prefilter = self.prefilter(method, lsh_config)
@@ -516,6 +602,38 @@ class Thetis:
 
         self._check_open("search_topk")
         return topk_search(self.engine(method), query, k)
+
+    def prefilter_recall(
+        self,
+        query: Query,
+        k: int = 10,
+        method: str = "types",
+        lsh_config: LSHConfig = RECOMMENDED_CONFIG,
+        votes: int = 1,
+    ) -> float:
+        """Recall@k of the prefiltered ranking against the exact one.
+
+        The serving layer's recall guardrail: every Nth prefiltered
+        request is cross-checked here — both rankings run, recall@k is
+        computed with the exact scores as gains, and the observation
+        lands in :attr:`prefilter_stats` (surfaced by ``/metrics`` as
+        ``guardrail.mean_recall`` / ``guardrail.min_recall``).
+        """
+        from repro.eval.metrics import recall_at_k
+
+        self._check_open("prefilter_recall")
+        approx = self.search(
+            query, k=k, method=method, mode="prefilter",
+            lsh_config=lsh_config, votes=votes,
+        )
+        exact = self.search(query, k=k, method=method)
+        gains = {
+            table_id: exact.score_of(table_id)
+            for table_id in exact.table_ids()
+        }
+        recall = recall_at_k(approx.table_ids(), gains, k)
+        self.prefilter_stats.record_guardrail(recall)
+        return recall
 
     def explain(self, query: Query, table_id: str, method: str = "types"):
         """Explain a table's score: column mapping, rows, weights.

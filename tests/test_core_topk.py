@@ -1,5 +1,7 @@
 """Tests for early-terminating top-k search."""
 
+import heapq
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -10,6 +12,7 @@ from repro.core import (
     table_score_upper_bound,
     topk_search,
 )
+from repro.core.topk import TopKEntry
 from repro.similarity import Informativeness, TypeJaccardSimilarity
 
 
@@ -87,6 +90,108 @@ class TestTopKSearch:
         query = Query.single("kg:player3", "kg:team3")
         assert thetis.search_topk(query, k=5).table_ids() == \
             thetis.search(query, k=5).table_ids()
+
+class TestTopKEntryOrdering:
+    """The min-heap entry must invert the engine's (-score, id) rank."""
+
+    def test_lower_score_is_worse(self):
+        assert TopKEntry(0.5, "a") < TopKEntry(0.9, "a")
+        assert not TopKEntry(0.9, "a") < TopKEntry(0.5, "a")
+
+    def test_equal_scores_larger_id_is_worse(self):
+        # The engine ranks ascending ids first among ties, so "z" is the
+        # entry the heap should evict first.
+        assert TopKEntry(0.5, "z") < TopKEntry(0.5, "a")
+        assert not TopKEntry(0.5, "a") < TopKEntry(0.5, "z")
+
+    def test_equality(self):
+        assert TopKEntry(0.5, "a") == TopKEntry(0.5, "a")
+        assert TopKEntry(0.5, "a") != TopKEntry(0.5, "b")
+        assert TopKEntry(0.5, "a") != "not an entry"
+
+    def test_heap_root_is_worst_ranked(self):
+        heap = [
+            TopKEntry(0.5, "b"),
+            TopKEntry(0.5, "a"),
+            TopKEntry(0.9, "c"),
+        ]
+        heapq.heapify(heap)
+        # Among the tied 0.5 scores the engine ranks "a" before "b", so
+        # "b" is the worst-ranked member and must sit at the root.
+        assert heap[0] == TopKEntry(0.5, "b")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from([0.25, 0.5, 0.5, 0.75, 1.0]),
+            st.sampled_from(list("abcdefghij")),
+        ),
+        min_size=1,
+        max_size=10,
+        unique_by=lambda pair: pair[1],
+    ),
+    st.integers(1, 6),
+)
+def test_heap_retention_property(entries, k):
+    """With deliberately tied scores, the heap keeps exactly the tables
+    the engine's documented ranking would keep."""
+    heap = []
+    for score, table_id in entries:
+        entry = TopKEntry(score, table_id)
+        if len(heap) < k:
+            heapq.heappush(heap, entry)
+        elif heap[0] < entry:
+            heapq.heapreplace(heap, entry)
+    expected = sorted(entries, key=lambda pair: (-pair[0], pair[1]))[:k]
+    kept = sorted(
+        ((entry.score, entry.table_id) for entry in heap),
+        key=lambda pair: (-pair[0], pair[1]),
+    )
+    assert kept == expected
+
+
+class TestTiedScores:
+    """Duplicate tables produce exactly tied scores; the early-terminated
+    ranking must still match brute force id-for-id."""
+
+    @pytest.fixture()
+    def tied_engine(self):
+        from repro.datalake import DataLake, Table
+        from repro.linking import LabelLinker
+        from tests.conftest import make_sports_graph
+
+        graph = make_sports_graph()
+        lake = DataLake()
+        player_rows = [["Player 0", "Team 0", "City 0", 2000]]
+        city_rows = [["City 1", "City 2", "City 3", 2001]]
+        # Three byte-identical player tables and two identical city
+        # tables: two exact score tiers, each internally tied.
+        for tid in ("DUP2", "DUP0", "DUP1"):
+            lake.add(Table(tid, ["Player", "Team", "City", "Year"],
+                           [list(row) for row in player_rows]))
+        for tid in ("LOW1", "LOW0"):
+            lake.add(Table(tid, ["A", "B", "C", "Year"],
+                           [list(row) for row in city_rows]))
+        mapping = LabelLinker(graph).link_lake(lake)
+        return TableSearchEngine(
+            lake, mapping, TypeJaccardSimilarity(graph)
+        )
+
+    def test_ties_resolved_like_brute_force(self, tied_engine):
+        query = Query.single("kg:player0", "kg:team0")
+        for k in (1, 2, 3, 4, 5):
+            fast = topk_search(tied_engine, query, k)
+            brute = tied_engine.search(query, k=k)
+            assert fast.table_ids() == brute.table_ids(), k
+
+    def test_cut_inside_tie_group_keeps_ascending_ids(self, tied_engine):
+        query = Query.single("kg:player0", "kg:team0")
+        # k=2 cuts through the three-way tie: ascending ids win.
+        assert topk_search(tied_engine, query, 2).table_ids() == \
+            ["DUP0", "DUP1"]
+
 
 @settings(max_examples=20, deadline=None)
 @given(st.integers(0, 31), st.integers(0, 7), st.integers(1, 8))

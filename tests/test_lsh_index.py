@@ -55,6 +55,35 @@ class TestLSHIndex:
         index.add("b", np.array([1, 2, 9, 9]))
         assert index.bucket_count() == 3  # shared band-0 bucket + 2 distinct
 
+    def test_remove_prunes_signature_and_buckets(self):
+        index = LSHIndex(LSHConfig(4, 2))
+        index.add("a", np.array([1, 2, 3, 4]))
+        index.add("b", np.array([1, 2, 9, 9]))
+        index.remove("b")
+        assert len(index) == 1
+        assert "b" not in index
+        # b's private band-1 bucket is gone; the shared band-0 bucket
+        # shrank to just a.
+        assert index.bucket_count() == 2
+        assert index.lookup("a") == [["a"], ["a"]]
+
+    def test_remove_unknown_key_is_noop(self):
+        index = LSHIndex(LSHConfig(4, 2))
+        index.add("a", np.arange(4))
+        index.remove("ghost")
+        assert len(index) == 1
+
+    def test_remove_then_add_rehashes(self):
+        index = LSHIndex(LSHConfig(4, 2))
+        index.add("a", np.array([1, 2, 3, 4]))
+        index.remove("a")
+        # Without the removal, add() would silently keep the old
+        # signature; after it, the fresh signature must win.
+        index.add("a", np.array([7, 7, 7, 7]))
+        buckets = index.lookup_signature(np.array([7, 7, 7, 7]))
+        assert all(bucket == ["a"] for bucket in buckets)
+        assert index.lookup_signature(np.array([1, 2, 3, 4])) == [[], []]
+
 
 class TestFrequentTypes:
     def test_ubiquitous_types_detected(self, sports_graph, sports_mapping,
@@ -152,3 +181,81 @@ class TestTablePrefilter:
         assert set(type_prefilter.indexed_tables) == set(
             sports_lake.table_ids()
         )
+
+
+class TestPrefilterLifecycle:
+    """remove_table / add_table round trips (the serve mutation path)."""
+
+    @staticmethod
+    def _column_prefilter(sports_graph, mapping):
+        scheme = TypeSignatureScheme(sports_graph, 32)
+        return TablePrefilter(
+            scheme, LSHConfig(32, 8), mapping, column_aggregation=True
+        )
+
+    def test_remove_prunes_column_keys(self, sports_graph, sports_mapping):
+        prefilter = self._column_prefilter(
+            sports_graph, sports_mapping.copy()
+        )
+        keys_before = prefilter.num_indexed_keys()
+        buckets_before = prefilter._index.bucket_count()
+        prefilter.remove_table("T00")
+        # T00's three (table, column) groups are gone everywhere: the
+        # key count, the postings, and the bucket structure.
+        assert prefilter.num_indexed_keys() == keys_before - 3
+        assert not any(
+            key.startswith("T00#") for key in prefilter._postings
+        )
+        assert "T00#0" not in prefilter._index
+        assert prefilter._index.bucket_count() <= buckets_before
+        assert "T00" not in prefilter.indexed_tables
+        query = Query.single("kg:player0", "kg:team0")
+        assert "T00" not in prefilter.candidate_tables(query)
+
+    def test_remove_readd_round_trip(self, sports_graph, sports_mapping):
+        prefilter = self._column_prefilter(
+            sports_graph, sports_mapping.copy()
+        )
+        keys_before = prefilter.num_indexed_keys()
+        snapshot_before = prefilter.to_dict()
+        prefilter.remove_table("T00")
+        prefilter.add_table("T00")
+        assert prefilter.num_indexed_keys() == keys_before
+        assert "T00" in prefilter.indexed_tables
+        query = Query.single("kg:player0", "kg:team0")
+        assert "T00" in prefilter.candidate_tables(query)
+        # The persisted form is identical to the pre-removal snapshot:
+        # nothing leaked, nothing went stale.
+        assert prefilter.to_dict() == snapshot_before
+
+    def test_readd_rehashes_changed_columns(self, sports_graph,
+                                            sports_mapping):
+        mapping = sports_mapping.copy()
+        prefilter = self._column_prefilter(sports_graph, mapping)
+        old_signature = np.array(
+            prefilter._index._signatures["T00#0"], copy=True
+        )
+        prefilter.remove_table("T00")
+        # The table's contents change while it is out of the index:
+        # column 0 now holds cities instead of players.
+        mapping.unlink_table("T00")
+        for row in range(4):
+            mapping.link("T00", row, 0, f"kg:city{row}")
+        prefilter.add_table("T00")
+        new_signature = prefilter._index._signatures["T00#0"]
+        assert not np.array_equal(old_signature, new_signature), (
+            "re-added table reused its stale pre-removal signature"
+        )
+        # And the behavioral consequence: a city query now votes for
+        # T00 through the re-hashed column group.
+        votes = prefilter._table_votes_for_signature(new_signature)
+        assert votes["T00"] >= 1
+
+    def test_remove_missing_table_is_noop(self, sports_graph,
+                                          sports_mapping):
+        prefilter = self._column_prefilter(
+            sports_graph, sports_mapping.copy()
+        )
+        keys_before = prefilter.num_indexed_keys()
+        prefilter.remove_table("ghost")
+        assert prefilter.num_indexed_keys() == keys_before

@@ -93,6 +93,60 @@ class TestSearchRequest:
         assert a.batch_key() != c.batch_key()
 
 
+class TestWireMode:
+    def test_exact_maps_to_search(self):
+        req = SearchRequest.from_json(
+            {"tuples": [["kg:a"]], "mode": "exact"}
+        )
+        assert req.mode == "search"
+
+    def test_prefilter_selects_prefilter_execution(self):
+        req = SearchRequest.from_json(
+            {"tuples": [["kg:a"]], "mode": "prefilter"}
+        )
+        assert req.mode == "prefilter"
+
+    def test_omitted_mode_keeps_endpoint_default(self):
+        assert SearchRequest.from_json({"tuples": [["kg:a"]]}).mode \
+            == "search"
+        assert SearchRequest.from_json(
+            {"tuples": [["kg:a"]]}, mode="topk"
+        ).mode == "topk"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ProtocolError, match="'mode'"):
+            SearchRequest.from_json(
+                {"tuples": [["kg:a"]], "mode": "fuzzy"}
+            )
+        # Internal execution names are not wire values.
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_json(
+                {"tuples": [["kg:a"]], "mode": "search"}
+            )
+
+    def test_mode_rejected_on_topk_endpoint(self):
+        with pytest.raises(ProtocolError, match="POST /search"):
+            SearchRequest.from_json(
+                {"tuples": [["kg:a"]], "mode": "exact"}, mode="topk"
+            )
+
+    def test_mode_splits_batch_key(self):
+        exact = SearchRequest.from_json(
+            {"tuples": [["kg:a"]], "mode": "exact"}
+        )
+        pre = SearchRequest.from_json(
+            {"tuples": [["kg:a"]], "mode": "prefilter"}
+        )
+        assert exact.batch_key() != pre.batch_key()
+
+    def test_mode_echoed_in_response(self):
+        req = SearchRequest.from_json(
+            {"tuples": [["kg:a"]], "mode": "prefilter"}
+        )
+        payload = result_to_json(ResultSet([]), req)
+        assert payload["mode"] == "prefilter"
+
+
 class TestExplainRequest:
     def test_roundtrip(self):
         req = ExplainRequest.from_json(

@@ -221,6 +221,75 @@ class TestSearchParity:
         assert "unknown" in body["error"]
 
 
+class TestPrefilterServing:
+    def test_prefilter_mode_matches_exact_topk(self, server, reference):
+        """On the sports corpus the LSEI shortlist covers every scoring
+        table, so the prefiltered wire ranking equals the exact one."""
+        for tuples in QUERY_TUPLES:
+            status, body = http_request(
+                server.port, "POST", "/search",
+                {"tuples": tuples, "mode": "prefilter"},
+            )
+            assert status == 200
+            assert body["mode"] == "prefilter"
+            assert body["results"] == expected_results(reference, tuples)
+
+    def test_metrics_expose_prefilter_block(self, server):
+        http_request(
+            server.port, "POST", "/search",
+            {"tuples": QUERY_TUPLES[0], "mode": "prefilter"},
+        )
+        status, metrics = http_request(server.port, "GET", "/metrics")
+        assert status == 200
+        block = metrics["prefilter"]
+        assert block["queries"] >= 1
+        assert 0.0 <= block["candidate_reduction"] <= 1.0
+        # No guardrail configured on the default server fixture.
+        assert block["guardrail"]["checks"] == 0
+
+    def test_guardrail_sampling_records_recall(self, sports_lake,
+                                               sports_graph, sports_mapping):
+        served = build_served_thetis(sports_lake, sports_graph,
+                                     sports_mapping)
+        handle = ServerThread(
+            served,
+            ServeConfig(port=0, max_batch_size=8, flush_interval=0.005,
+                        prefilter_guardrail_every=2),
+        )
+        handle.start().wait_ready()
+        try:
+            for tuples in QUERY_TUPLES:
+                status, _ = http_request(
+                    handle.port, "POST", "/search",
+                    {"tuples": tuples, "mode": "prefilter"},
+                )
+                assert status == 200
+            _, metrics = http_request(handle.port, "GET", "/metrics")
+            guardrail = metrics["prefilter"]["guardrail"]
+            assert guardrail["checks"] == 2  # every 2nd of 4 queries
+            assert guardrail["min_recall"] >= 0.95
+        finally:
+            handle.stop()
+
+    def test_mode_rejected_on_topk_endpoint(self, server):
+        status, body = http_request(
+            server.port, "POST", "/topk",
+            {"tuples": QUERY_TUPLES[0], "mode": "exact"},
+        )
+        assert status == 400
+        assert "POST /search" in body["error"]
+
+    def test_exact_wire_mode_is_plain_search(self, server, reference):
+        status, body = http_request(
+            server.port, "POST", "/search",
+            {"tuples": QUERY_TUPLES[0], "mode": "exact"},
+        )
+        assert status == 200
+        assert body["mode"] == "search"
+        assert body["results"] == expected_results(reference,
+                                                   QUERY_TUPLES[0])
+
+
 class TestExplain:
     def test_explain_matches_direct(self, server, reference):
         tuples = QUERY_TUPLES[0]
