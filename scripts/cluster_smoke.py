@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""CI smoke test for the cluster scatter-gather layer.
+
+Builds a small synthetic corpus, persists its segmented index to disk,
+then boots a whole fleet in-process — one coordinator plus two workers
+that cold-start by **memmapping the same index directory** — and walks
+the cluster contract end to end:
+
+1. ``/healthz``, ``/readyz``, and ``/cluster/status`` answer 200 once
+   both workers have registered;
+2. ``POST /search`` through the coordinator is bit-identical to direct
+   ``Thetis.search`` in ``exact`` *and* ``prefilter`` mode;
+3. killing a worker abruptly mid-fleet never yields a 500: the next
+   response is 200 with ``"degraded": true`` and a still bit-identical
+   ranking (hedged retry to the replica);
+4. the heartbeat loop declares the worker dead, flips the routing
+   epoch, and responses go clean (``"degraded": false``) again;
+5. ``GET /metrics`` reflects the scatter traffic and the fail-over;
+6. graceful shutdown tears the fleet down.
+
+Exit code 0 on success; any failure raises and exits non-zero.
+
+Usage: PYTHONPATH=src python scripts/cluster_smoke.py
+"""
+
+import http.client
+import json
+import sys
+import tempfile
+import time
+
+from repro import Thetis
+from repro.benchgen import WT2015_PROFILE, build_benchmark
+from repro.cluster import ClusterConfig, ClusterHarness
+from repro.core.kernel import SegmentedCorpusIndex, save_index
+
+
+def request(port, method, path, payload=None):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+        return response.status, (json.loads(raw) if raw else None)
+    finally:
+        connection.close()
+
+
+def ranking(body):
+    return [(r["table_id"], r["score"]) for r in body["results"]]
+
+
+def expected_ranking(results):
+    return [(s.table_id, s.score) for s in results]
+
+
+def main() -> int:
+    print("cluster_smoke: building corpus ...")
+    bench = build_benchmark(
+        WT2015_PROFILE, num_tables=150, num_query_pairs=2, seed=7
+    )
+    reference = Thetis(
+        bench.lake, bench.graph, bench.mapping, engine_kind="vectorized"
+    )
+    query = next(iter(bench.queries.five_tuple.values()))
+    payload = {"tuples": [list(t) for t in query.tuples], "k": 10}
+    exact = expected_ranking(reference.search(query, k=10))
+    prefiltered = expected_ranking(
+        reference.search(query, k=10, mode="prefilter")
+    )
+
+    with tempfile.TemporaryDirectory(prefix="thetis-cluster-") as index_dir:
+        print(f"cluster_smoke: spilling index to {index_dir} ...")
+        sigma = reference.engine("types").sigma
+        index = SegmentedCorpusIndex.compile(
+            bench.lake, bench.mapping, sigma, segment_tables=64
+        )
+        summary = save_index(index, index_dir)
+        print(f"cluster_smoke: {summary['live_tables']} tables / "
+              f"{summary['segments']} segment(s) on disk")
+
+        def factory(worker_index):
+            # Every worker memmaps the same directory — one physical
+            # copy of the corpus arrays shared through the page cache.
+            return Thetis(
+                bench.lake, bench.graph, bench.mapping,
+                engine_kind="vectorized", index_dir=index_dir,
+            )
+
+        config = ClusterConfig(heartbeat_interval=0.2, dead_after=2)
+        with ClusterHarness(factory, workers=2, config=config) as fleet:
+            port = fleet.port
+            print(f"cluster_smoke: coordinator on 127.0.0.1:{port}, "
+                  f"2 workers registered")
+
+            status, body = request(port, "GET", "/healthz")
+            assert status == 200 and body["status"] == "ok", (status, body)
+            status, body = request(port, "GET", "/readyz")
+            assert status == 200 and body["workers_live"] == 2, (status, body)
+            status, body = request(port, "GET", "/cluster/status")
+            assert status == 200 and len(body["workers"]) == 2, (status, body)
+            print("cluster_smoke: healthz/readyz/status ok")
+
+            status, body = request(port, "POST", "/search", payload)
+            assert status == 200, (status, body)
+            assert body["degraded"] is False, body["cluster"]
+            assert ranking(body) == exact, "exact-mode parity violation"
+            info = body["cluster"]
+            assert info["covered_tables"] == info["tables_total"] == 150
+            print(f"cluster_smoke: exact parity ok ({len(exact)} results, "
+                  f"bit-identical across {info['workers_scattered']} shards)")
+
+            status, body = request(
+                port, "POST", "/search", dict(payload, mode="prefilter")
+            )
+            assert status == 200, (status, body)
+            assert ranking(body) == prefiltered, \
+                "prefilter-mode parity violation"
+            print("cluster_smoke: prefilter parity ok")
+
+            print("cluster_smoke: killing worker-0 ...")
+            fleet.crash_worker(0)
+            status, body = request(port, "POST", "/search", payload)
+            assert status == 200, (status, body)  # no 500s during fail-over
+            assert body["degraded"] is True, body["cluster"]
+            assert body["cluster"]["failed_workers"] == ["worker-0"]
+            assert ranking(body) == exact, "degraded parity violation"
+            print("cluster_smoke: degraded response ok "
+                  "(200, degraded=true, still bit-identical)")
+
+            deadline = time.monotonic() + 30
+            body = None
+            while time.monotonic() < deadline:
+                status, body = request(port, "POST", "/search", payload)
+                assert status == 200, (status, body)
+                if not body["degraded"]:
+                    break
+                time.sleep(0.1)
+            assert body is not None and not body["degraded"], \
+                "replica promotion did not converge"
+            assert ranking(body) == exact, "post-promotion parity violation"
+            status, doc = request(port, "GET", "/cluster/status")
+            states = {w["worker_id"]: w["state"] for w in doc["workers"]}
+            assert states["worker-0"] == "dead", states
+            print(f"cluster_smoke: promotion ok (epoch={doc['epoch']}, "
+                  f"workers_live={doc['workers_live']})")
+
+            status, metrics = request(port, "GET", "/metrics")
+            assert status == 200, status
+            cluster = metrics["cluster"]
+            assert cluster["scatters_total"] >= 4
+            assert cluster["shard_failures_total"] >= 1
+            assert cluster["hedged_retries_total"] >= 1
+            assert cluster["degraded_total"] >= 1
+            assert cluster["workers_live"] == 1
+            print(f"cluster_smoke: metrics ok "
+                  f"(scatters={cluster['scatters_total']}, "
+                  f"hedged={cluster['hedged_retries_total']}, "
+                  f"degraded={cluster['degraded_total']})")
+
+        try:
+            request(port, "GET", "/healthz")
+        except OSError:
+            pass
+        else:
+            raise AssertionError("coordinator reachable after shutdown")
+        print("cluster_smoke: graceful shutdown ok")
+
+    reference.close()
+    print("cluster_smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@ The subcommands cover the end-to-end workflow on files:
 * ``index``    — build/load/inspect a persistent segmented corpus index
   (``search --index DIR`` and ``serve --index DIR`` then cold-start by
   memmapping it instead of compiling);
+* ``cluster``  — sharded scatter-gather serving: run the coordinator
+  front door (``cluster serve``), shard-scoring workers
+  (``cluster worker``), or inspect fleet health (``cluster status``);
 * ``lint``     — run the built-in static analyzer over the codebase.
 
 Example session::
@@ -317,6 +320,104 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_node(start_banner: str, server: object) -> int:
+    """Run an asyncio cluster node until SIGINT/SIGTERM (serve idiom)."""
+    import asyncio
+    import signal
+
+    async def run() -> None:
+        await server.start()  # type: ignore[attr-defined]
+        print(start_banner.format(server=server))
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover (non-POSIX)
+                pass
+        try:
+            await stop.wait()
+        finally:
+            print("shutting down ...", file=sys.stderr)
+            await server.shutdown()  # type: ignore[attr-defined]
+
+    asyncio.run(run())
+    return 0
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterConfig, ClusterCoordinator
+
+    config = ClusterConfig(
+        host=args.host,
+        port=args.port,
+        control_port=args.control_port,
+        replication=args.replication,
+        heartbeat_interval=args.heartbeat_interval,
+        dead_after=args.dead_after,
+        shard_timeout=args.shard_timeout,
+        min_workers=args.min_workers,
+    )
+    coordinator = ClusterCoordinator(config)
+    banner = (
+        f"coordinator: http://{config.host}:{{server.port}} "
+        f"(control {{server.control_port}}, "
+        f"replication={config.replication})"
+    )
+    return _run_node(banner, coordinator)
+
+
+def _cmd_cluster_worker(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterWorker, WorkerConfig
+
+    graph = load_graph(args.graph)
+    lake = load_lake(args.lake)
+    mapping = load_mapping(args.mapping)
+    thetis = Thetis(
+        lake, graph, mapping,
+        cache_size=args.cache_size,
+        engine_kind=args.engine,
+        index_dir=args.index,
+    )
+    config = WorkerConfig(
+        worker_id=args.worker_id,
+        host=args.host,
+        port=args.port,
+        coordinator_host=args.coordinator_host,
+        coordinator_port=args.coordinator_port,
+        advertise_host=args.advertise_host,
+        method=args.method,
+        warm_on_start=not args.no_warm,
+    )
+    worker = ClusterWorker(thetis, config)
+    banner = (
+        f"worker {config.worker_id}: {len(lake)} tables on "
+        f"{config.host}:{{server.port}} "
+        f"(coordinator {args.coordinator_host}:{args.coordinator_port})"
+    )
+    return _run_node(banner, worker)
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    import http.client
+
+    connection = http.client.HTTPConnection(
+        args.host, args.port, timeout=args.timeout
+    )
+    try:
+        connection.request("GET", "/cluster/status")
+        response = connection.getresponse()
+        body = response.read().decode("utf-8")
+    finally:
+        connection.close()
+    if response.status != 200:
+        print(f"error: coordinator replied {response.status}: {body}",
+              file=sys.stderr)
+        return 1
+    print(json.dumps(json.loads(body), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run as run_lint
 
@@ -609,6 +710,83 @@ def build_parser() -> argparse.ArgumentParser:
                                help="resolve every array against the "
                                     "payload (detects truncation)")
     index_inspect.set_defaults(func=_cmd_index_inspect)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="sharded scatter-gather serving: coordinator + workers",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command",
+                                         required=True)
+
+    cluster_serve = cluster_sub.add_parser(
+        "serve", help="run the data-free scatter-gather coordinator"
+    )
+    cluster_serve.add_argument("--host", default="127.0.0.1")
+    cluster_serve.add_argument("--port", type=int, default=8080,
+                               help="HTTP front-door port (0 = ephemeral)")
+    cluster_serve.add_argument("--control-port", type=int, default=8081,
+                               help="worker register/heartbeat port "
+                                    "(0 = ephemeral)")
+    cluster_serve.add_argument("--replication", type=int, default=2,
+                               help="R-way shard replication on the ring")
+    cluster_serve.add_argument("--heartbeat-interval", type=float,
+                               default=0.5,
+                               help="seconds between worker pings")
+    cluster_serve.add_argument("--dead-after", type=int, default=3,
+                               help="consecutive failures before a worker "
+                                    "is declared dead and replicas are "
+                                    "promoted")
+    cluster_serve.add_argument("--shard-timeout", type=float, default=10.0,
+                               help="per-shard scatter deadline (seconds)")
+    cluster_serve.add_argument("--min-workers", type=int, default=1,
+                               help="live workers required for /readyz")
+    cluster_serve.set_defaults(func=_cmd_cluster_serve)
+
+    cluster_worker = cluster_sub.add_parser(
+        "worker", help="run one shard-scoring worker and register it"
+    )
+    cluster_worker.add_argument("--graph", required=True)
+    cluster_worker.add_argument("--lake", required=True)
+    cluster_worker.add_argument("--mapping", required=True)
+    cluster_worker.add_argument("--worker-id", required=True,
+                                help="stable id on the hash ring")
+    cluster_worker.add_argument("--host", default="127.0.0.1")
+    cluster_worker.add_argument("--port", type=int, default=0,
+                                help="shard-protocol port (0 = ephemeral)")
+    cluster_worker.add_argument("--coordinator-host", required=True)
+    cluster_worker.add_argument("--coordinator-port", type=int,
+                                required=True,
+                                help="the coordinator's control port")
+    cluster_worker.add_argument("--advertise-host", default=None,
+                                help="host the coordinator should dial "
+                                     "back (defaults to --host)")
+    cluster_worker.add_argument("--method",
+                                choices=["types", "embeddings"],
+                                default="types")
+    cluster_worker.add_argument("--engine", choices=ENGINE_KINDS,
+                                default="vectorized",
+                                help="scoring engine; 'vectorized' "
+                                     "memmaps --index for a zero-copy "
+                                     "cold start")
+    cluster_worker.add_argument("--index", default=None, metavar="DIR",
+                                help="persisted index directory (built "
+                                     "with 'thetis index build'); "
+                                     "requires --engine vectorized")
+    cluster_worker.add_argument("--cache-size", type=int,
+                                default=DEFAULT_SIMILARITY_CACHE_SIZE)
+    cluster_worker.add_argument("--no-warm", action="store_true",
+                                help="skip engine warm-up before "
+                                     "registering")
+    cluster_worker.set_defaults(func=_cmd_cluster_worker)
+
+    cluster_status = cluster_sub.add_parser(
+        "status", help="print the coordinator's /cluster/status document"
+    )
+    cluster_status.add_argument("--host", default="127.0.0.1")
+    cluster_status.add_argument("--port", type=int, default=8080,
+                                help="the coordinator's HTTP port")
+    cluster_status.add_argument("--timeout", type=float, default=10.0)
+    cluster_status.set_defaults(func=_cmd_cluster_status)
 
     lint = sub.add_parser(
         "lint", help="run the repro.analysis static analyzer"

@@ -1,0 +1,123 @@
+"""Pooled connections from the coordinator to one worker.
+
+Each :class:`WorkerLink` keeps a small pool of framed TCP connections
+so concurrent scatters to the same worker do not serialize on one
+socket.  Failure semantics are deliberately strict: any transport
+error, protocol violation, or timeout closes the connection and raises
+:class:`~repro.exceptions.ClusterError` — the scatter-gather layer
+turns that into a hedged retry, never a hung socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple
+
+from repro.cluster.protocol import read_frame, write_frame
+from repro.exceptions import ClusterError, ClusterProtocolError
+
+#: Connections kept per worker.  Matches the coordinator's practical
+#: scatter concurrency; excess requests queue on the semaphore.
+DEFAULT_POOL_SIZE = 8
+
+_Conn = Tuple[asyncio.StreamReader, asyncio.StreamWriter]
+
+
+class WorkerLink:
+    """A lazily connected, bounded connection pool to one worker."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        pool_size: int = DEFAULT_POOL_SIZE,
+        connect_timeout: float = 2.0,
+    ):
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self._idle: Deque[_Conn] = deque()
+        self._limit = asyncio.Semaphore(max(1, pool_size))
+        self._closed = False
+
+    async def request(
+        self, payload: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """One round trip: send ``payload``, await the reply frame.
+
+        Raises :class:`ClusterError` on refused dials, timeouts, EOFs
+        mid-reply, and protocol violations; the failed connection never
+        returns to the pool.
+        """
+        if self._closed:
+            raise ClusterError("worker link is closed")
+        async with self._limit:
+            conn = await self._checkout()
+            reader, writer = conn
+            try:
+                reply = await asyncio.wait_for(
+                    self._round_trip(reader, writer, payload), timeout
+                )
+            except (asyncio.TimeoutError, TimeoutError) as exc:
+                _discard(conn)
+                raise ClusterError(
+                    f"worker {self.host}:{self.port} timed out "
+                    f"after {timeout}s"
+                ) from exc
+            except (OSError, ClusterProtocolError) as exc:
+                _discard(conn)
+                raise ClusterError(
+                    f"worker {self.host}:{self.port} failed: {exc}"
+                ) from exc
+            if reply is None:
+                _discard(conn)
+                raise ClusterError(
+                    f"worker {self.host}:{self.port} closed the "
+                    f"connection mid-request"
+                )
+            if self._closed:
+                _discard(conn)
+            else:
+                self._idle.append(conn)
+            return reply
+
+    @staticmethod
+    async def _round_trip(
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        payload: Dict[str, Any],
+    ) -> Optional[Dict[str, Any]]:
+        await write_frame(writer, payload)
+        return await read_frame(reader)
+
+    async def _checkout(self) -> _Conn:
+        while self._idle:
+            conn = self._idle.popleft()
+            if not conn[1].is_closing():
+                return conn
+            _discard(conn)
+        try:
+            return await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                self.connect_timeout,
+            )
+        except (asyncio.TimeoutError, TimeoutError, OSError) as exc:
+            raise ClusterError(
+                f"cannot connect to worker {self.host}:{self.port}: {exc}"
+            ) from exc
+
+    async def close(self) -> None:
+        """Close every pooled connection (idempotent)."""
+        self._closed = True
+        while self._idle:
+            _discard(self._idle.popleft())
+
+
+def _discard(conn: _Conn) -> None:
+    writer = conn[1]
+    try:
+        writer.close()
+    except RuntimeError:
+        # The event loop may already be closing underneath us.
+        pass

@@ -1,0 +1,731 @@
+"""The cluster coordinator: membership, routing epochs, scatter-gather.
+
+The coordinator owns no corpus data at all — it is a routing tier.  It
+answers the same ``POST /search`` wire contract as the single-process
+server (:mod:`repro.serve`), but executes each query as a
+scatter-gather: every live worker scores the shard it is primary for
+under the current routing epoch, and the per-shard top-k partials are
+merged with :func:`repro.core.parallel.merge_topk` — the bit-identical
+``(-score, table_id)`` merge — so the cluster ranking equals the
+single-process ranking exactly, for both ``exact`` and ``prefilter``
+modes.
+
+Fail-over is layered:
+
+1. **Per-shard timeout + hedged retry.**  A shard RPC that times out
+   or dies mid-flight fails *that shard only*; the coordinator
+   immediately re-scatters the failed primaries' tables to the
+   surviving replicas (each survivor scores exactly the delta the ring
+   reassigns to it), so one slow or dying worker costs one extra round
+   trip, not the query.
+2. **Degraded, never wrong.**  Any query that saw a primary fail — or
+   that left tables uncovered because every replica of some shard is
+   dead — answers ``200`` with ``"degraded": true``.  The results that
+   are present are still exact; degradation is about coverage, not
+   score quality.
+3. **Promotion via epoch flip.**  The heartbeat loop (and repeated
+   query-path failures) confirm a worker dead, shrink the live set,
+   and atomically bump the routing epoch — after which replicas are
+   primaries and responses are clean again.  A worker that comes back
+   (or a new one that registers) flips the epoch the same way: that
+   *is* the live-rebalance mechanism, and it never blocks a query.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.client import DEFAULT_POOL_SIZE, WorkerLink
+from repro.cluster.hashring import DEFAULT_VNODES
+from repro.cluster.protocol import (
+    RoutingTable,
+    expect_type,
+    read_frame,
+    write_frame,
+)
+from repro.core.parallel import merge_topk
+from repro.core.result import ResultSet, ScoredTable
+from repro.exceptions import (
+    BadRequestError,
+    ClusterError,
+    ClusterProtocolError,
+    ProtocolError,
+)
+from repro.serve.http import (
+    HttpRequest,
+    HttpResponse,
+    read_request,
+    split_path,
+)
+from repro.serve.metrics import ServerMetrics
+from repro.serve.protocol import SearchRequest, error_to_json, result_to_json
+
+
+@dataclass
+class ClusterConfig:
+    """Tuning knobs of one coordinator (see ``docs/cluster.md``)."""
+
+    host: str = "127.0.0.1"
+    #: HTTP front door (``0`` binds an ephemeral port).
+    port: int = 0
+    #: Framed control port workers register on.
+    control_port: int = 0
+    #: Owners per table; replicas serve only after primaries die.
+    replication: int = 2
+    #: Ring geometry; must match the workers'.
+    vnodes: int = DEFAULT_VNODES
+    #: Seconds between heartbeat rounds.
+    heartbeat_interval: float = 0.5
+    #: Consecutive failures (pings + query-path transport errors)
+    #: before a worker is declared dead and its replicas promoted.
+    dead_after: int = 3
+    #: Per-shard RPC deadline within one query.
+    shard_timeout: float = 10.0
+    #: Dial deadline and pool size of each worker link.
+    connect_timeout: float = 2.0
+    pool_size: int = DEFAULT_POOL_SIZE
+    #: ``/readyz`` flips once this many workers are live.
+    min_workers: int = 1
+
+
+@dataclass
+class _WorkerHandle:
+    """Coordinator-side state of one registered worker."""
+
+    worker_id: str
+    host: str
+    port: int
+    link: WorkerLink
+    state: str = "live"  # "live" | "dead"
+    failures: int = 0
+    last_seen: float = 0.0
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+
+class ClusterMetrics:
+    """Scatter-gather counters surfaced as the ``/metrics`` cluster block."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.scatters_total = 0  # guarded-by: _lock
+        self.shard_requests_total = 0  # guarded-by: _lock
+        self.shard_failures_total = 0  # guarded-by: _lock
+        self.hedged_retries_total = 0  # guarded-by: _lock
+        self.degraded_total = 0  # guarded-by: _lock
+        self.epoch_flips_total = 0  # guarded-by: _lock
+        self.uncovered_tables_last = 0  # guarded-by: _lock
+
+    def note_scatter(
+        self,
+        shard_requests: int,
+        failures: int,
+        retried: bool,
+        degraded: bool,
+        uncovered: int,
+    ) -> None:
+        with self._lock:
+            self.scatters_total += 1
+            self.shard_requests_total += shard_requests
+            self.shard_failures_total += failures
+            if retried:
+                self.hedged_retries_total += 1
+            if degraded:
+                self.degraded_total += 1
+            self.uncovered_tables_last = uncovered
+
+    def note_epoch_flip(self) -> None:
+        with self._lock:
+            self.epoch_flips_total += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "scatters_total": self.scatters_total,
+                "shard_requests_total": self.shard_requests_total,
+                "shard_failures_total": self.shard_failures_total,
+                "hedged_retries_total": self.hedged_retries_total,
+                "degraded_total": self.degraded_total,
+                "epoch_flips_total": self.epoch_flips_total,
+                "uncovered_tables_last": self.uncovered_tables_last,
+            }
+
+
+class ClusterCoordinator:
+    """HTTP front door + control plane of one worker fleet."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None):
+        self.config = config or ClusterConfig()
+        self.metrics = ServerMetrics()
+        self.cluster_metrics = ClusterMetrics()
+        # Topology state; mutated only on the event loop under this
+        # lock so epoch flips are atomic with ring/live updates.
+        self._topology_lock = asyncio.Lock()
+        self._workers: Dict[str, _WorkerHandle] = {}
+        self._epoch = 0
+        self._http_server: Optional[asyncio.AbstractServer] = None
+        self._control_server: Optional[asyncio.AbstractServer] = None
+        self._heartbeat_task: Optional["asyncio.Task[None]"] = None
+        self._push_tasks: Set["asyncio.Task[None]"] = set()
+        self._started_at = 0.0
+        self._shut_down = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._http_server is None or not self._http_server.sockets:
+            raise ClusterError("coordinator is not listening")
+        return self._http_server.sockets[0].getsockname()[1]
+
+    @property
+    def control_port(self) -> int:
+        if self._control_server is None or not self._control_server.sockets:
+            raise ClusterError("coordinator control port is not listening")
+        return self._control_server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        if self._http_server is not None:
+            raise ClusterError("coordinator already started")
+        self._started_at = time.monotonic()
+        self._control_server = await asyncio.start_server(
+            self._handle_control, self.config.host, self.config.control_port
+        )
+        self._http_server = await asyncio.start_server(
+            self._handle_http, self.config.host, self.config.port
+        )
+        loop = asyncio.get_running_loop()
+        self._heartbeat_task = loop.create_task(
+            self._heartbeat_loop(), name="thetis-cluster-heartbeat"
+        )
+
+    async def serve_forever(self) -> None:
+        if self._http_server is None:
+            raise ClusterError("call start() first")
+        await self._http_server.serve_forever()
+
+    async def shutdown(self) -> None:
+        if self._shut_down:
+            return
+        self._shut_down = True
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except asyncio.CancelledError:
+                pass
+        for server in (self._http_server, self._control_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        for task in list(self._push_tasks):
+            task.cancel()
+        async with self._topology_lock:
+            handles = list(self._workers.values())
+        for handle in handles:
+            await handle.link.close()
+
+    # ------------------------------------------------------------------
+    # Control plane: registration + heartbeat
+    # ------------------------------------------------------------------
+    async def _handle_control(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while not self._shut_down:
+                try:
+                    message = await read_frame(reader)
+                except ClusterProtocolError as exc:
+                    await write_frame(
+                        writer, {"ok": False, "error": str(exc)}
+                    )
+                    break
+                if message is None:
+                    break
+                try:
+                    kind = expect_type(message)
+                    if kind == "register":
+                        reply = await self._handle_register(message)
+                    elif kind == "leave":
+                        reply = await self._handle_leave(message)
+                    else:
+                        raise ClusterProtocolError(
+                            f"message type {kind!r} is not served on the "
+                            f"control port"
+                        )
+                except (ClusterError, ProtocolError) as exc:
+                    reply = {"ok": False, "error": str(exc)}
+                await write_frame(writer, reply)
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_register(
+        self, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        worker_id = message.get("worker_id")
+        host = message.get("host")
+        port = message.get("port")
+        if not isinstance(worker_id, str) or not worker_id:
+            raise ClusterProtocolError("'worker_id' must be a string")
+        if not isinstance(host, str) or not host:
+            raise ClusterProtocolError("'host' must be a string")
+        if isinstance(port, bool) or not isinstance(port, int) or port <= 0:
+            raise ClusterProtocolError("'port' must be a positive int")
+        stale_link: Optional[WorkerLink] = None
+        async with self._topology_lock:
+            existing = self._workers.get(worker_id)
+            if existing is not None:
+                stale_link = existing.link
+            self._workers[worker_id] = _WorkerHandle(
+                worker_id=worker_id,
+                host=host,
+                port=port,
+                link=WorkerLink(
+                    host, port,
+                    pool_size=self.config.pool_size,
+                    connect_timeout=self.config.connect_timeout,
+                ),
+                last_seen=time.monotonic(),
+            )
+            epoch = self._flip_epoch_locked()
+        if stale_link is not None:
+            await stale_link.close()
+        await self._push_routing()
+        return {"ok": True, "epoch": epoch}
+
+    async def _handle_leave(
+        self, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        worker_id = message.get("worker_id")
+        if not isinstance(worker_id, str) or not worker_id:
+            raise ClusterProtocolError("'worker_id' must be a string")
+        async with self._topology_lock:
+            handle = self._workers.pop(worker_id, None)
+            epoch = self._flip_epoch_locked() if handle else self._epoch
+        if handle is None:
+            return {"ok": False, "error": f"unknown worker: {worker_id}"}
+        await handle.link.close()
+        await self._push_routing()
+        return {"ok": True, "epoch": epoch}
+
+    def _flip_epoch_locked(self) -> int:
+        """Bump the routing epoch atomically (caller holds the lock).
+
+        The ring itself is a pure function of ``(workers, replication,
+        vnodes)``; the coordinator never materializes it — workers
+        derive their shards from the pushed :class:`RoutingTable`, and
+        the epoch number is what makes 'which membership' unambiguous
+        for in-flight requests.
+        """
+        self._epoch += 1
+        self.cluster_metrics.note_epoch_flip()
+        return self._epoch
+
+    async def _routing_table(self) -> RoutingTable:
+        async with self._topology_lock:
+            return RoutingTable(
+                epoch=self._epoch,
+                workers=tuple(self._workers),
+                live=tuple(
+                    worker_id
+                    for worker_id, handle in self._workers.items()
+                    if handle.state == "live"
+                ),
+                replication=self.config.replication,
+            )
+
+    async def _push_routing(self) -> None:
+        """Install the current routing table on every live worker."""
+        table = await self._routing_table()
+        message = {"type": "routing", **table.to_json()}
+        async with self._topology_lock:
+            targets = [
+                handle for handle in self._workers.values()
+                if handle.state == "live"
+            ]
+        if not targets:
+            return
+        await asyncio.gather(
+            *(
+                self._push_one(handle, message)
+                for handle in targets
+            ),
+        )
+
+    async def _push_one(
+        self, handle: _WorkerHandle, message: Dict[str, Any]
+    ) -> None:
+        try:
+            await handle.link.request(
+                message, timeout=self.config.connect_timeout
+            )
+        except ClusterError:
+            # The heartbeat loop will confirm and demote; a worker that
+            # missed a push simply answers stale-epoch until re-pushed.
+            pass
+
+    async def _heartbeat_loop(self) -> None:
+        interval = self.config.heartbeat_interval
+        timeout = max(interval * 2.0, 1.0)
+        while not self._shut_down:
+            await asyncio.sleep(interval)
+            async with self._topology_lock:
+                handles = list(self._workers.values())
+            flipped = False
+            for handle in handles:
+                try:
+                    pong = await handle.link.request(
+                        {"type": "ping"}, timeout=timeout
+                    )
+                except ClusterError:
+                    if await self._note_failure(handle.worker_id):
+                        flipped = True
+                    continue
+                if not pong.get("ok"):
+                    continue
+                async with self._topology_lock:
+                    current = self._workers.get(handle.worker_id)
+                    if current is None:
+                        continue
+                    current.failures = 0
+                    current.last_seen = time.monotonic()
+                    current.stats = {
+                        key: pong.get(key)
+                        for key in (
+                            "epoch", "tables_total", "searches_total",
+                            "uptime_seconds", "profile", "prefilter",
+                        )
+                    }
+                    if current.state == "dead":
+                        # The worker came back: rejoin the live set —
+                        # the other half of live rebalance.
+                        current.state = "live"
+                        self._flip_epoch_locked()
+                        flipped = True
+            if flipped:
+                await self._push_routing()
+
+    async def _note_failure(self, worker_id: str) -> bool:
+        """Count one transport failure; returns True on a demotion."""
+        async with self._topology_lock:
+            handle = self._workers.get(worker_id)
+            if handle is None:
+                return False
+            handle.failures += 1
+            if (handle.state == "live"
+                    and handle.failures >= self.config.dead_after):
+                handle.state = "dead"
+                self._flip_epoch_locked()
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # HTTP front door
+    # ------------------------------------------------------------------
+    async def _handle_http(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while not self._shut_down:
+                try:
+                    request = await read_request(reader)
+                except BadRequestError as exc:
+                    response = HttpResponse(
+                        exc.status, error_to_json(str(exc), exc.status)
+                    )
+                    writer.write(response.encode(keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                keep_alive = request.keep_alive and not self._shut_down
+                writer.write(response.encode(keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        segments = split_path(request.path)
+        endpoint = "/" + "/".join(segments) if segments else "/"
+        self.metrics.request_started()
+        start = time.perf_counter()
+        try:
+            response = await self._route(request, segments)
+        except Exception as exc:  # the handler itself must never leak
+            response = HttpResponse(
+                500, error_to_json(f"internal error: {exc}", 500)
+            )
+        elapsed = time.perf_counter() - start
+        self.metrics.request_finished(
+            endpoint, response.status,
+            elapsed if request.method == "POST" else None,
+        )
+        return response
+
+    async def _route(
+        self, request: HttpRequest, segments: Sequence[str]
+    ) -> HttpResponse:
+        if segments == ("healthz",):
+            if request.method != "GET":
+                return _method_not_allowed()
+            return HttpResponse(200, {
+                "status": "ok",
+                "uptime_seconds": time.monotonic() - self._started_at,
+            })
+        if segments == ("readyz",):
+            if request.method != "GET":
+                return _method_not_allowed()
+            table = await self._routing_table()
+            if len(table.live) >= self.config.min_workers:
+                return HttpResponse(200, {
+                    "status": "ready", "workers_live": len(table.live),
+                })
+            return HttpResponse(503, error_to_json(
+                f"{len(table.live)}/{self.config.min_workers} workers live",
+                503,
+            ))
+        if segments == ("metrics",):
+            if request.method != "GET":
+                return _method_not_allowed()
+            return HttpResponse(200, await self._metrics_payload())
+        if segments == ("cluster", "status"):
+            if request.method != "GET":
+                return _method_not_allowed()
+            return HttpResponse(200, await self._status_payload())
+        if segments == ("search",):
+            if request.method != "POST":
+                return _method_not_allowed()
+            return await self._handle_search(request)
+        return HttpResponse(
+            404, error_to_json(f"no such endpoint: {request.path}", 404)
+        )
+
+    async def _metrics_payload(self) -> Dict[str, Any]:
+        table = await self._routing_table()
+        cluster = self.cluster_metrics.snapshot()
+        cluster.update({
+            "epoch": table.epoch,
+            "replication": table.replication,
+            "workers_total": len(table.workers),
+            "workers_live": len(table.live),
+        })
+        return self.metrics.to_json(
+            snapshot_version=table.epoch,
+            uptime_seconds=time.monotonic() - self._started_at,
+            cluster_stats=cluster,
+        )
+
+    async def _status_payload(self) -> Dict[str, Any]:
+        async with self._topology_lock:
+            now = time.monotonic()
+            workers = [
+                {
+                    "worker_id": handle.worker_id,
+                    "host": handle.host,
+                    "port": handle.port,
+                    "state": handle.state,
+                    "failures": handle.failures,
+                    "last_seen_seconds_ago": (
+                        now - handle.last_seen if handle.last_seen else None
+                    ),
+                    **handle.stats,
+                }
+                for handle in self._workers.values()
+            ]
+            epoch = self._epoch
+        return {
+            "epoch": epoch,
+            "replication": self.config.replication,
+            "workers": workers,
+            "workers_live": sum(
+                1 for worker in workers if worker["state"] == "live"
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Scatter-gather query path
+    # ------------------------------------------------------------------
+    async def _handle_search(self, request: HttpRequest) -> HttpResponse:
+        try:
+            parsed = SearchRequest.from_json(request.json(), mode="search")
+            parsed.query()  # validates; workers materialize their own
+        except ProtocolError as exc:
+            return HttpResponse(400, error_to_json(str(exc), 400))
+        async with self._topology_lock:
+            epoch = self._epoch
+            live = tuple(
+                worker_id
+                for worker_id, handle in self._workers.items()
+                if handle.state == "live"
+            )
+            links = {
+                worker_id: self._workers[worker_id].link
+                for worker_id in live
+            }
+        if not live:
+            return HttpResponse(
+                503, error_to_json("no live workers in the ring", 503)
+            )
+        wire_mode = "prefilter" if parsed.mode == "prefilter" else "exact"
+        base = {
+            "type": "search",
+            "epoch": epoch,
+            "tuples": [list(entry) for entry in parsed.tuples],
+            "k": parsed.k,
+            "method": parsed.method,
+            "votes": parsed.votes,
+            "mode": wire_mode,
+        }
+        replies = await self._scatter(
+            links, dict(base, live=list(live)), live
+        )
+        partials: List[List[Tuple[float, str]]] = []
+        covered = 0
+        tables_total = 0
+        failed: List[str] = []
+        shard_requests = len(live)
+        for worker_id in live:
+            reply = replies[worker_id]
+            if reply is None:
+                failed.append(worker_id)
+                continue
+            partials.append(
+                [(score, table_id) for score, table_id in reply["results"]]
+            )
+            covered += int(reply.get("shard_size", 0))
+            tables_total = max(tables_total, int(reply.get("tables_total", 0)))
+        retried = False
+        if failed and len(failed) < len(live):
+            # Hedged retry: surviving replicas score exactly the tables
+            # the failed primaries owned (the ring's shard delta), so
+            # the union of partials still covers every reachable table
+            # exactly once.
+            retried = True
+            survivors = tuple(
+                worker_id for worker_id in live if worker_id not in failed
+            )
+            retry = dict(
+                base, live=list(survivors), prev_live=list(live)
+            )
+            retry_replies = await self._scatter(links, retry, survivors)
+            for worker_id in survivors:
+                reply = retry_replies[worker_id]
+                if reply is None:
+                    if worker_id not in failed:
+                        failed.append(worker_id)
+                    continue
+                partials.append(
+                    [
+                        (score, table_id)
+                        for score, table_id in reply["results"]
+                    ]
+                )
+                covered += int(reply.get("shard_size", 0))
+            shard_requests += len(survivors)
+        if not partials and failed:
+            self.cluster_metrics.note_scatter(
+                shard_requests, len(failed), retried, True, tables_total
+            )
+            return HttpResponse(
+                503, error_to_json("no shard answered the scatter", 503)
+            )
+        uncovered = max(0, tables_total - covered)
+        degraded = bool(failed) or uncovered > 0
+        merged = merge_topk(partials, parsed.k)
+        results = ResultSet(
+            ScoredTable(score, table_id) for score, table_id in merged
+        )
+        self.cluster_metrics.note_scatter(
+            shard_requests, len(failed), retried, degraded, uncovered
+        )
+        payload = result_to_json(results, parsed, snapshot_version=epoch)
+        payload["degraded"] = degraded
+        payload["cluster"] = {
+            "epoch": epoch,
+            "workers_scattered": len(live),
+            "failed_workers": failed,
+            "hedged_retry": retried,
+            "covered_tables": covered,
+            "tables_total": tables_total,
+            "uncovered_tables": uncovered,
+        }
+        return HttpResponse(200, payload)
+
+    async def _scatter(
+        self,
+        links: Dict[str, WorkerLink],
+        message: Dict[str, Any],
+        owners: Sequence[str],
+    ) -> Dict[str, Optional[Dict[str, Any]]]:
+        """Send one shard RPC per owner; ``None`` marks a failed shard."""
+        outcomes = await asyncio.gather(
+            *(
+                self._one_shard(links[worker_id], worker_id, message)
+                for worker_id in owners
+            ),
+        )
+        return dict(zip(owners, outcomes))
+
+    async def _one_shard(
+        self,
+        link: WorkerLink,
+        worker_id: str,
+        message: Dict[str, Any],
+    ) -> Optional[Dict[str, Any]]:
+        try:
+            reply = await link.request(
+                dict(message, owner=worker_id),
+                timeout=self.config.shard_timeout,
+            )
+        except ClusterError:
+            # Transport failure: count toward demotion so a killed
+            # worker is confirmed dead after a few more observations.
+            flipped = await self._note_failure(worker_id)
+            if flipped:
+                self._spawn_push()
+            return None
+        if not reply.get("ok"):
+            if reply.get("stale_epoch"):
+                # The worker missed a routing push (e.g. it registered
+                # while a push was in flight): re-push asynchronously;
+                # this query treats the shard as failed and hedges.
+                self._spawn_push()
+            return None
+        if not isinstance(reply.get("results"), list):
+            return None
+        return reply
+
+    def _spawn_push(self) -> None:
+        loop = asyncio.get_running_loop()
+        task = loop.create_task(self._push_routing())
+        self._push_tasks.add(task)
+        task.add_done_callback(self._push_tasks.discard)
+
+
+def _method_not_allowed() -> HttpResponse:
+    return HttpResponse(405, error_to_json("method not allowed", 405))

@@ -1,0 +1,468 @@
+"""A cluster worker: one process scoring its shard of the lake.
+
+A worker wraps a warm :class:`~repro.system.Thetis` and serves the
+length-prefixed JSON protocol of :mod:`repro.cluster.protocol` on a
+TCP port.  Its only scoring primitive is
+:meth:`~repro.system.Thetis.search_shard`: given a routing epoch, a
+liveness set, and its own id, the worker derives its shard of table
+ids from the consistent-hash ring (:mod:`repro.cluster.hashring`) —
+the same pure function the coordinator and every sibling compute — and
+returns the shard's top-k ``(score, table_id)`` partial.
+
+Cold start memmaps, never compiles: pointing the worker's Thetis at a
+spilled segment directory (``index_dir=...`` /
+``thetis cluster worker --index DIR``) re-opens the sealed arrays as
+read-only memmaps through :mod:`repro.core.kernel.storage`, so N
+workers on one machine share a single copy of the corpus through the
+OS page cache.  A running worker can likewise *adopt* a newly shipped
+sealed segment directory over the wire (the rebalance path).
+
+Scoring runs on a dedicated executor thread so the event loop stays
+responsive to pings while a shard is being scored.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.cluster.hashring import DEFAULT_VNODES, HashRing
+from repro.cluster.protocol import (
+    RoutingTable,
+    expect_type,
+    read_frame,
+    write_frame,
+)
+from repro.exceptions import (
+    ClusterError,
+    ClusterProtocolError,
+    ProtocolError,
+    ReproError,
+    ServeError,
+    StaleEpochError,
+)
+from repro.serve.protocol import SearchRequest
+from repro.system import Thetis
+
+#: Routing epochs a worker keeps resolvable.  In-flight requests built
+#: against epoch E must still score correctly while the coordinator
+#: flips to E+1; a handful of generations is plenty of overlap.
+ROUTING_HISTORY = 8
+
+#: Memoized shard lists per (epoch, live, owner, prev_live).  Shards
+#: are recomputed only when liveness actually changes, so steady-state
+#: traffic computes each partition once.
+SHARD_CACHE_LIMIT = 64
+
+
+@dataclass
+class WorkerConfig:
+    """Tuning knobs of one cluster worker."""
+
+    worker_id: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Coordinator control endpoint to register with (optional: a
+    #: worker without one waits passively for routing pushes).
+    coordinator_host: Optional[str] = None
+    coordinator_port: Optional[int] = None
+    #: Host workers advertise to the coordinator (defaults to ``host``).
+    advertise_host: Optional[str] = None
+    #: Engine warmed at start-up and used for shard scoring.
+    method: str = "types"
+    #: Build the engine and per-table views before accepting shards.
+    warm_on_start: bool = True
+    #: Executor threads scoring shards (1 keeps shard passes ordered).
+    search_workers: int = 1
+    #: Registration retry budget (the coordinator may bind later).
+    register_attempts: int = 20
+    register_backoff: float = 0.25
+    #: Ring geometry; must match the coordinator's.
+    vnodes: int = DEFAULT_VNODES
+
+
+class ClusterWorker:
+    """Serve shard RPCs for one :class:`Thetis` instance."""
+
+    def __init__(self, thetis: Thetis, config: WorkerConfig):
+        self.thetis = thetis
+        self.config = config
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, config.search_workers),
+            thread_name_prefix=f"thetis-shard-{config.worker_id}",
+        )
+        # Routing state; touched only from the event loop, serialized
+        # by this lock so a routing install never interleaves with a
+        # shard computation reading it.
+        self._state_lock = asyncio.Lock()
+        self._routing: Optional[RoutingTable] = None
+        self._history: Dict[int, RoutingTable] = {}
+        self._rings: Dict[int, HashRing] = {}
+        self._shards: Dict[Tuple, List[str]] = {}
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._started_at = 0.0
+        self._searches_total = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (``port=0`` requests an ephemeral one)."""
+        if self._server is None or not self._server.sockets:
+            raise ClusterError("worker is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Warm the engine, bind, and register with the coordinator."""
+        if self._server is not None:
+            raise ClusterError("worker already started")
+        self._started_at = time.monotonic()
+        loop = asyncio.get_running_loop()
+        if self.config.warm_on_start:
+            await loop.run_in_executor(
+                self._executor,
+                functools.partial(self.thetis.warm, self.config.method),
+            )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        if (self.config.coordinator_host is not None
+                and self.config.coordinator_port is not None):
+            await self._register()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise ClusterError("call start() first")
+        await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: unbind, close connections, release the engine."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        self._executor.shutdown(wait=True)
+        self.thetis.close()
+
+    async def abort(self) -> None:
+        """Crash simulation: drop every connection mid-flight, no drain.
+
+        The fail-over tests (and the kill-a-worker benchmark when the
+        worker is in-process) use this to make the coordinator observe
+        exactly what a dead process looks like: refused dials and EOFs
+        on pooled connections.
+        """
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    async def _register(self) -> None:
+        """Dial the coordinator's control port and join the ring."""
+        assert self.config.coordinator_host is not None
+        message = {
+            "type": "register",
+            "worker_id": self.config.worker_id,
+            "host": self.config.advertise_host or self.config.host,
+            "port": self.port,
+        }
+        last_error: Optional[Exception] = None
+        for _attempt in range(max(1, self.config.register_attempts)):
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.config.coordinator_host, self.config.coordinator_port
+                )
+            except OSError as exc:
+                last_error = exc
+                await asyncio.sleep(self.config.register_backoff)
+                continue
+            try:
+                await write_frame(writer, message)
+                reply = await read_frame(reader)
+            finally:
+                writer.close()
+            if reply is None or not reply.get("ok"):
+                raise ClusterError(
+                    f"coordinator rejected registration: {reply!r}"
+                )
+            return
+        raise ClusterError(
+            f"could not reach coordinator at "
+            f"{self.config.coordinator_host}:{self.config.coordinator_port}: "
+            f"{last_error}"
+        )
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while not self._closed:
+                try:
+                    message = await read_frame(reader)
+                except ClusterProtocolError as exc:
+                    await write_frame(
+                        writer, {"ok": False, "error": str(exc)}
+                    )
+                    break
+                if message is None:
+                    break
+                reply = await self._dispatch(message)
+                await write_frame(writer, reply)
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            kind = expect_type(message)
+            if kind == "ping":
+                return await self._handle_ping()
+            if kind == "routing":
+                return await self._handle_routing(message)
+            if kind == "search":
+                return await self._handle_search(message)
+            if kind == "adopt":
+                return await self._handle_adopt(message)
+            if kind == "status":
+                return await self._handle_status()
+            raise ClusterProtocolError(
+                f"message type {kind!r} is not served by workers"
+            )
+        except StaleEpochError as exc:
+            return {
+                "ok": False,
+                "error": str(exc),
+                "stale_epoch": True,
+                "epoch": exc.current,
+            }
+        except (ClusterError, ProtocolError, ServeError) as exc:
+            return {"ok": False, "error": str(exc)}
+        except ReproError as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    async def _handle_ping(self) -> Dict[str, Any]:
+        async with self._state_lock:
+            epoch = self._routing.epoch if self._routing else None
+        return {
+            "ok": True,
+            "type": "pong",
+            "worker_id": self.config.worker_id,
+            "epoch": epoch,
+            "tables_total": len(self.thetis.lake),
+            "searches_total": self._searches_total,
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "profile": self._profile_dict(),
+            "prefilter": self.thetis.prefilter_stats.as_dict(),
+        }
+
+    def _profile_dict(self) -> Dict[str, Any]:
+        profile = self.thetis.engine(self.config.method).profile
+        return {
+            "mapping_seconds": profile.mapping_seconds,
+            "total_seconds": profile.total_seconds,
+            "tables_scored": profile.tables_scored,
+            "similarity_calls": profile.similarity_calls,
+            "similarity_misses": profile.similarity_misses,
+        }
+
+    async def _handle_routing(
+        self, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        table = RoutingTable.from_json(message)
+        async with self._state_lock:
+            if self._routing is None or table.epoch >= self._routing.epoch:
+                self._routing = table
+            self._history[table.epoch] = table
+            self._rings.pop(table.epoch, None)
+            while len(self._history) > ROUTING_HISTORY:
+                oldest = min(self._history)
+                del self._history[oldest]
+                self._rings.pop(oldest, None)
+            # Shard memos of retired epochs go with their tables.
+            self._shards = {
+                key: shard
+                for key, shard in self._shards.items()
+                if key[0] in self._history
+            }
+            return {"ok": True, "epoch": self._routing.epoch}
+
+    async def _handle_search(
+        self, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        epoch = message.get("epoch")
+        if isinstance(epoch, bool) or not isinstance(epoch, int):
+            raise ClusterProtocolError("'epoch' must be an int")
+        owner = message.get("owner")
+        if not isinstance(owner, str) or not owner:
+            raise ClusterProtocolError("'owner' must be a worker id")
+        live = _id_tuple(message, "live")
+        prev_live = (
+            _id_tuple(message, "prev_live")
+            if message.get("prev_live") is not None else None
+        )
+        request = SearchRequest.from_json(
+            {
+                "tuples": message.get("tuples"),
+                "k": message.get("k", 10),
+                "method": message.get("method", "types"),
+                "votes": message.get("votes", 1),
+                "mode": message.get("mode", "exact"),
+            },
+            mode="search",
+        )
+        query = request.query()
+        shard = await self._shard_for(epoch, live, owner, prev_live)
+        if shard:
+            loop = asyncio.get_running_loop()
+            results = await loop.run_in_executor(
+                self._executor,
+                functools.partial(
+                    self.thetis.search_shard,
+                    query,
+                    shard,
+                    k=request.k,
+                    method=request.method,
+                    votes=request.votes,
+                    mode=(
+                        "prefilter" if request.mode == "prefilter"
+                        else "exact"
+                    ),
+                ),
+            )
+            pairs = [[scored.score, scored.table_id] for scored in results]
+        else:
+            pairs = []
+        self._searches_total += 1
+        return {
+            "ok": True,
+            "type": "result",
+            "worker_id": self.config.worker_id,
+            "epoch": epoch,
+            "shard_size": len(shard),
+            "tables_total": len(self.thetis.lake),
+            "results": pairs,
+        }
+
+    async def _handle_adopt(
+        self, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        path = message.get("path")
+        if not isinstance(path, str) or not path:
+            raise ClusterProtocolError("'path' must be a directory path")
+        loop = asyncio.get_running_loop()
+        tables = await loop.run_in_executor(
+            self._executor, functools.partial(self._adopt_sync, path)
+        )
+        return {
+            "ok": True,
+            "worker_id": self.config.worker_id,
+            "adopted_tables": tables,
+        }
+
+    def _adopt_sync(self, path: str) -> int:
+        """Memmap a sealed segment directory into the engine."""
+        from repro.core.kernel.storage import load_index
+
+        engine = self.thetis.engine(self.config.method)
+        adopt = getattr(engine, "adopt_index", None)
+        if adopt is None:
+            raise ClusterError(
+                "this worker's engine has no segmented index; start it "
+                "with engine_kind='vectorized' to adopt sealed segments"
+            )
+        index = load_index(path, engine.sigma, engine.mapping)
+        adopt(index)
+        stats = index.stats()
+        return stats.live_tables if stats is not None else 0
+
+    async def _handle_status(self) -> Dict[str, Any]:
+        async with self._state_lock:
+            routing = self._routing
+            epochs = sorted(self._history)
+        return {
+            "ok": True,
+            "worker_id": self.config.worker_id,
+            "routing": routing.to_json() if routing else None,
+            "known_epochs": epochs,
+            "tables_total": len(self.thetis.lake),
+            "searches_total": self._searches_total,
+        }
+
+    # ------------------------------------------------------------------
+    # Shard derivation
+    # ------------------------------------------------------------------
+    async def _shard_for(
+        self,
+        epoch: int,
+        live: Tuple[str, ...],
+        owner: str,
+        prev_live: Optional[Tuple[str, ...]],
+    ) -> List[str]:
+        async with self._state_lock:
+            table = self._history.get(epoch)
+            if table is None:
+                current = self._routing.epoch if self._routing else -1
+                raise StaleEpochError(epoch, current)
+            key = (epoch, live, owner, prev_live)
+            cached = self._shards.get(key)
+            if cached is not None:
+                return cached
+            ring = self._rings.get(epoch)
+            if ring is None:
+                ring = HashRing(
+                    table.workers,
+                    replication=table.replication,
+                    vnodes=self.config.vnodes,
+                )
+                self._rings[epoch] = ring
+            table_ids = self.thetis.lake.table_ids()
+            if prev_live is None:
+                shard = ring.shard(owner, table_ids, live)
+            else:
+                shard = ring.shard_delta(owner, table_ids, live, prev_live)
+            if len(self._shards) >= SHARD_CACHE_LIMIT:
+                self._shards.clear()
+            self._shards[key] = shard
+            return shard
+
+
+def _id_tuple(message: Dict[str, Any], name: str) -> Tuple[str, ...]:
+    raw = message.get(name)
+    if not isinstance(raw, list) or not all(
+        isinstance(entry, str) and entry for entry in raw
+    ):
+        raise ClusterProtocolError(
+            f"'{name}' must be a list of worker ids"
+        )
+    return tuple(raw)

@@ -39,7 +39,7 @@ from repro.core.relaxation import (
     drop_least_informative,
     split_tuples,
 )
-from repro.core.parallel import ParallelSearchEngine
+from repro.core.parallel import ParallelSearchEngine, merge_topk
 from repro.core.topk import table_score_upper_bound, topk_search
 from repro.core.query import EntityTuple, Query
 from repro.core.result import ResultSet, ScoredTable
@@ -59,6 +59,7 @@ __all__ = [
     "ENGINE_KINDS",
     "engine_class",
     "ParallelSearchEngine",
+    "merge_topk",
     "LRUCache",
     "SimilarityCache",
     "CacheStats",

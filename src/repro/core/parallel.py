@@ -125,6 +125,45 @@ def _score_shard_in_process(
     return _score_shard(_WORKER_ENGINE, query, table_ids)
 
 
+def merge_topk(
+    partials: Iterable[Iterable[Tuple[float, str]]],
+    k: Optional[int] = None,
+) -> List[Tuple[float, str]]:
+    """Merge per-shard ``(score, table_id)`` partials into one ranking.
+
+    The shared merge of the sharded parallel engine and the cluster
+    scatter-gather path (:mod:`repro.cluster`).  Its contract is pinned
+    by tests because distributed correctness rests on it:
+
+    - **Bit-identical order.**  Pairs are ranked by ``(-score,
+      table_id)`` — exactly the :class:`~repro.core.result.ResultSet`
+      order — so merging per-shard top-k partials of disjoint shards
+      reproduces the single-process ranking bit for bit.
+    - **Empty shards are neutral.**  Empty (or ``None``) partials
+      contribute nothing; a merge of only empty partials is ``[]``.
+    - **First-epoch-wins dedup.**  When the same table id appears in
+      several partials (replicated shards, or a routing-epoch flip
+      racing a hedged retry), the *first* partial mentioning it wins
+      and later occurrences are dropped.  Under replication the scores
+      are equal so any choice is correct; pinning first-wins keeps the
+      merge deterministic for callers that order partials by epoch.
+
+    ``k=None`` returns the full merged ranking; otherwise at most ``k``
+    pairs.
+    """
+    best: Dict[str, float] = {}
+    for partial in partials:
+        if not partial:
+            continue
+        for score, table_id in partial:
+            if table_id not in best:
+                best[table_id] = float(score)
+    ranked = sorted(best.items(), key=lambda item: (-item[1], item[0]))
+    if k is not None:
+        ranked = ranked[: max(0, k)]
+    return [(score, table_id) for table_id, score in ranked]
+
+
 class ParallelSearchEngine:
     """Shard candidate tables across a worker pool; merge exactly.
 
@@ -298,7 +337,6 @@ class ParallelSearchEngine:
         """
         ids = self._candidate_ids(candidates)
         shards = self._shards(ids)
-        scored: List[ScoredTable] = []
         if len(shards) <= 1:
             # One shard: score in-process, skip dispatch overhead.
             outcomes = [_score_shard(self.engine, query, ids)] if ids else []
@@ -321,14 +359,14 @@ class ParallelSearchEngine:
             ]
             outcomes = [future.result() for future in futures]
         with self._lock:
-            for shard_scored, shard_profile in outcomes:
-                for score, table_id in shard_scored:
-                    scored.append(ScoredTable(score, table_id))
+            for _, shard_profile in outcomes:
                 self.engine.profile.merge(shard_profile)
-        results = ResultSet(scored)
-        if k is not None:
-            results = results.top(k)
-        return results
+        merged = merge_topk(
+            (shard_scored for shard_scored, _ in outcomes), k
+        )
+        return ResultSet(
+            ScoredTable(score, table_id) for score, table_id in merged
+        )
 
     def search_many(
         self,

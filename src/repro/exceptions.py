@@ -137,6 +137,43 @@ class RequestTimeoutError(ServeError):
         self.timeout = timeout
 
 
+class ClusterError(ServeError):
+    """Base class for errors raised by the scatter-gather cluster layer.
+
+    Raised for transport failures between the coordinator and a worker
+    (refused connections, mid-request EOFs, per-shard timeouts) and for
+    cluster misconfiguration.  The coordinator converts these into
+    hedged retries and degraded responses rather than surfacing them to
+    clients as 500s.
+    """
+
+
+class ClusterProtocolError(ClusterError):
+    """Raised for malformed frames on the worker wire protocol.
+
+    Covers oversized or truncated length-prefixed frames, bodies that
+    are not JSON objects, and messages missing their ``type`` field.
+    """
+
+
+class StaleEpochError(ClusterError):
+    """Raised when a worker receives a request for an unknown epoch.
+
+    Shard assignment is a pure function of the routing epoch's
+    membership; a worker that cannot resolve the request's epoch must
+    refuse rather than score the wrong shard.  The coordinator re-pushes
+    the routing table and retries.
+    """
+
+    def __init__(self, requested: int, current: int):
+        super().__init__(
+            f"routing epoch {requested} is unknown to this worker "
+            f"(current epoch: {current})"
+        )
+        self.requested = requested
+        self.current = current
+
+
 class EmptyQueryError(SearchError):
     """Raised when a query contains no usable entity tuples."""
 

@@ -16,7 +16,12 @@ Pure stdlib (``http.client`` + threads) so the generator runs anywhere
 the repo does; also usable as a module CLI::
 
     python -m repro.serve.loadgen --port 8080 --payload-file q.json \\
-        --mode closed --concurrency 4 --requests 200 --out BENCH_serve.json
+        --loop closed --concurrency 4 --requests 200 --out BENCH_serve.json
+
+``--mode exact|prefilter`` stamps the wire ``"mode"`` field onto every
+payload, so the same query file can drive the exact path, the Section 6
+prefilter path, or the cluster front door — the generator itself is
+endpoint-agnostic.
 """
 
 from __future__ import annotations
@@ -30,6 +35,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.serve.metrics import percentile_of
+
+#: Wire search modes the generator can stamp onto payloads (the
+#: ``"mode"`` body field of ``POST /search``).
+SEARCH_MODES = ("exact", "prefilter")
 
 
 @dataclass
@@ -105,14 +114,23 @@ class LoadGenerator:
         payloads: Sequence[Dict[str, Any]],
         path: str = "/search",
         timeout: float = 30.0,
+        search_mode: Optional[str] = None,
     ):
         if not payloads:
             raise ValueError("need at least one payload")
+        if search_mode is not None and search_mode not in SEARCH_MODES:
+            raise ValueError(
+                f"search_mode must be one of {SEARCH_MODES}, "
+                f"got {search_mode!r}"
+            )
         self.host = host
         self.port = port
         self.path = path
+        if search_mode is not None:
+            payloads = [dict(p, mode=search_mode) for p in payloads]
         self.payloads = [json.dumps(p).encode("utf-8") for p in payloads]
         self.timeout = timeout
+        self.search_mode = search_mode
 
     # ------------------------------------------------------------------
     def _one_request(self, connection: http.client.HTTPConnection,
@@ -249,8 +267,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--path", default="/search")
     parser.add_argument("--payload-file", required=True,
                         help="JSON file: one request object or a list")
-    parser.add_argument("--mode", choices=["closed", "open"],
-                        default="closed")
+    parser.add_argument("--loop", choices=["closed", "open"],
+                        default="closed",
+                        help="load model: closed or open loop")
+    parser.add_argument("--mode", choices=list(SEARCH_MODES), default=None,
+                        help="stamp this search mode onto every payload "
+                             "(exact or prefilter)")
     parser.add_argument("--concurrency", type=int, default=4,
                         help="workers (closed loop)")
     parser.add_argument("--requests", type=int, default=100,
@@ -271,9 +293,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         loaded = json.load(handle)
     payloads = loaded if isinstance(loaded, list) else [loaded]
     generator = LoadGenerator(
-        args.host, args.port, payloads, path=args.path, timeout=args.timeout
+        args.host, args.port, payloads, path=args.path,
+        timeout=args.timeout, search_mode=args.mode,
     )
-    if args.mode == "closed":
+    if args.loop == "closed":
         report = generator.run_closed(
             concurrency=args.concurrency, total_requests=args.requests
         )

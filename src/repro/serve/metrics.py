@@ -186,6 +186,7 @@ class ServerMetrics:
         index_stats: Optional[Dict[str, Any]] = None,
         prefilter_stats: Optional[Dict[str, Any]] = None,
         uptime_seconds: float = 0.0,
+        cluster_stats: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         """The ``GET /metrics`` document."""
         # One consistent snapshot of every counter; the histogram
@@ -246,6 +247,12 @@ class ServerMetrics:
             # rate, and sampled recall-guardrail observations (see
             # repro.core.kernel.prefilter.PrefilterStats).
             payload["prefilter"] = dict(prefilter_stats)
+        if cluster_stats is not None:
+            # Scatter-gather counters of the cluster coordinator:
+            # routing epoch, fleet size/liveness, shard failures,
+            # hedged retries, and degraded responses (see
+            # repro.cluster.coordinator.ClusterMetrics).
+            payload["cluster"] = dict(cluster_stats)
         return payload
 
 

@@ -590,6 +590,57 @@ class Thetis:
             queries, k=k, candidates=candidates
         )
 
+    def search_shard(
+        self,
+        query: Query,
+        shard: Iterable[str],
+        k: int = 10,
+        method: str = "types",
+        lsh_config: LSHConfig = RECOMMENDED_CONFIG,
+        votes: int = 1,
+        mode: str = "exact",
+    ) -> ResultSet:
+        """Score only the tables in ``shard``: one scatter-gather partial.
+
+        The primitive behind :mod:`repro.cluster` workers.  Each cluster
+        worker owns a deterministic subset of table ids; scoring that
+        subset here and merging per-shard partials with
+        :func:`~repro.core.parallel.merge_topk` reproduces the
+        single-process :meth:`search` ranking bit for bit, because
+        per-table scores do not depend on which other tables are scored
+        alongside them.
+
+        ``mode="exact"`` scores every shard table.  ``mode="prefilter"``
+        runs LSH candidate generation exactly as :meth:`search` would,
+        then intersects the shortlist with ``shard`` (preserving the
+        shortlist's order) before rescoring — the global candidate set
+        is the disjoint union of the per-shard intersections, so the
+        merged top-k equals the single-process prefiltered top-k.
+        """
+        self._check_open("search_shard")
+        self._check_mode(mode)
+        shard_ids = list(shard)
+        if mode == "prefilter":
+            from repro.core.topk import topk_search
+
+            candidates = self._prefilter_candidates(
+                query, method, lsh_config, votes
+            )
+            members = set(shard_ids)
+            candidates = [tid for tid in candidates if tid in members]
+            engine = self.engine(method)
+            fused = getattr(engine, "search_candidates", None)
+            if fused is not None:
+                return fused(query, candidates, k=k,
+                             stats=self.prefilter_stats)
+            return topk_search(engine, query, k, candidates=candidates,
+                               stats=self.prefilter_stats)
+        if self.workers > 1:
+            return self.parallel_engine(method).search(
+                query, k=k, candidates=shard_ids
+            )
+        return self.engine(method).search(query, k=k, candidates=shard_ids)
+
     def search_topk(self, query: Query, k: int = 10,
                     method: str = "types") -> ResultSet:
         """Exact top-k search with early termination (upper bounds).

@@ -1,0 +1,250 @@
+"""End-to-end scatter-gather serving tests over real sockets.
+
+Everything here drives a :class:`~repro.cluster.ClusterHarness` — a
+coordinator plus N workers on ephemeral localhost ports — and checks
+the headline contract: cluster responses are *bit-identical* to a
+single-process :class:`~repro.system.Thetis`, in ``exact`` and
+``prefilter`` mode alike, including while the fleet is degraded.
+"""
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.benchgen import WT2015_PROFILE, build_benchmark
+from repro.cluster import ClusterConfig, ClusterHarness
+from repro.system import Thetis
+
+K = 5
+
+
+def post_search(port, payload, timeout=30.0):
+    connection = http.client.HTTPConnection("127.0.0.1", port,
+                                            timeout=timeout)
+    try:
+        connection.request(
+            "POST", "/search", body=json.dumps(payload),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def get_json(port, path, timeout=30.0):
+    connection = http.client.HTTPConnection("127.0.0.1", port,
+                                            timeout=timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def ranking(body):
+    return [(entry["score"], entry["table_id"])
+            for entry in body["results"]]
+
+
+def wait_until(predicate, timeout=20.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError("condition not reached in time")
+
+
+@pytest.fixture(scope="module")
+def cluster_bench():
+    return build_benchmark(
+        WT2015_PROFILE, num_tables=60, num_query_pairs=3, seed=7
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(cluster_bench):
+    with Thetis(
+        cluster_bench.lake, cluster_bench.graph, cluster_bench.mapping,
+        engine_kind="vectorized",
+    ) as thetis:
+        yield thetis
+
+
+@pytest.fixture(scope="module")
+def queries(cluster_bench):
+    return list(cluster_bench.queries.all_queries().values())[:4]
+
+
+def make_factory(bench):
+    def factory(index):
+        return Thetis(
+            bench.lake, bench.graph, bench.mapping,
+            engine_kind="vectorized",
+        )
+
+    return factory
+
+
+def payload_of(query, mode=None, k=K):
+    body = {"tuples": [list(t) for t in query.tuples], "k": k}
+    if mode is not None:
+        body["mode"] = mode
+    return body
+
+
+@pytest.fixture(scope="module")
+def fleet(cluster_bench):
+    config = ClusterConfig(heartbeat_interval=0.2, dead_after=2)
+    with ClusterHarness(make_factory(cluster_bench), workers=2,
+                        config=config) as harness:
+        yield harness
+
+
+class TestParity:
+    def test_exact_mode_is_bit_equal(self, fleet, reference, queries):
+        for query in queries:
+            expected = [(s.score, s.table_id)
+                        for s in reference.search(query, k=K)]
+            status, body = post_search(fleet.port, payload_of(query))
+            assert status == 200
+            assert body["degraded"] is False
+            assert ranking(body) == expected
+
+    def test_prefilter_mode_is_bit_equal(self, fleet, reference, queries):
+        for query in queries:
+            expected = [
+                (s.score, s.table_id)
+                for s in reference.search(query, k=K, mode="prefilter")
+            ]
+            status, body = post_search(
+                fleet.port, payload_of(query, mode="prefilter")
+            )
+            assert status == 200
+            assert ranking(body) == expected
+
+    def test_full_coverage_is_reported(self, fleet, queries):
+        status, body = post_search(fleet.port, payload_of(queries[0]))
+        assert status == 200
+        cluster = body["cluster"]
+        assert cluster["covered_tables"] == cluster["tables_total"] == 60
+        assert cluster["uncovered_tables"] == 0
+        assert cluster["failed_workers"] == []
+        assert cluster["hedged_retry"] is False
+
+    def test_bad_request_is_400(self, fleet):
+        status, body = post_search(fleet.port, {"tuples": []})
+        assert status == 400
+
+    def test_unknown_path_is_404(self, fleet):
+        status, _ = get_json(fleet.port, "/nope")
+        assert status == 404
+
+
+class TestEndpoints:
+    def test_healthz(self, fleet):
+        status, body = get_json(fleet.port, "/healthz")
+        assert status == 200 and body["status"] == "ok"
+
+    def test_readyz(self, fleet):
+        status, body = get_json(fleet.port, "/readyz")
+        assert status == 200
+        assert body["workers_live"] == 2
+
+    def test_cluster_status_lists_workers(self, fleet):
+        status, body = get_json(fleet.port, "/cluster/status")
+        assert status == 200
+        ids = sorted(w["worker_id"] for w in body["workers"])
+        assert ids == ["worker-0", "worker-1"]
+        assert body["workers_live"] == 2
+        assert body["epoch"] >= 2  # one flip per registration
+        # Heartbeats scrape per-worker stats into the status document.
+        scraped = wait_until(lambda: all(
+            "tables_total" in w
+            for w in get_json(fleet.port, "/cluster/status")[1]["workers"]
+        ) or None)
+        assert scraped
+
+    def test_metrics_cluster_block(self, fleet, queries):
+        post_search(fleet.port, payload_of(queries[0]))
+        status, body = get_json(fleet.port, "/metrics")
+        assert status == 200
+        cluster = body["cluster"]
+        assert cluster["workers_total"] == 2
+        assert cluster["workers_live"] == 2
+        assert cluster["scatters_total"] >= 1
+        assert cluster["shard_requests_total"] >= 2
+        assert body["requests_total"] >= 1
+
+
+class TestFailover:
+    def test_crash_degrade_promote_recover(self, cluster_bench, reference,
+                                           queries):
+        """The kill-a-worker lifecycle, end to end.
+
+        With R=2 replication a single death keeps every table covered:
+        the crash-window response must stay 200 and bit-identical (via
+        hedged retry to replicas), flagged ``degraded`` until the
+        heartbeat loop declares the worker dead and flips the epoch.
+        """
+        query = queries[0]
+        expected = [(s.score, s.table_id)
+                    for s in reference.search(query, k=K)]
+        config = ClusterConfig(heartbeat_interval=0.2, dead_after=2)
+        with ClusterHarness(make_factory(cluster_bench), workers=3,
+                            config=config) as harness:
+            status, body = post_search(harness.port, payload_of(query))
+            assert status == 200 and not body["degraded"]
+
+            harness.crash_worker(0)
+            status, body = post_search(harness.port, payload_of(query))
+            assert status == 200  # never a 500 during fail-over
+            assert body["degraded"] is True
+            assert body["cluster"]["failed_workers"] == ["worker-0"]
+            assert body["cluster"]["hedged_retry"] is True
+            assert ranking(body) == expected  # replicas fill the gap
+
+            # Heartbeats mark the worker dead and promote replicas;
+            # responses then go clean again.
+            def clean():
+                status, body = post_search(harness.port, payload_of(query))
+                assert status == 200
+                return None if body["degraded"] else body
+
+            body = wait_until(clean)
+            assert ranking(body) == expected
+            _, doc = get_json(harness.port, "/cluster/status")
+            states = {w["worker_id"]: w["state"] for w in doc["workers"]}
+            assert states["worker-0"] == "dead"
+
+    def test_live_rebalance_add_worker(self, cluster_bench, reference,
+                                       queries):
+        """Joining a worker flips the epoch with zero downtime."""
+        query = queries[0]
+        expected = [(s.score, s.table_id)
+                    for s in reference.search(query, k=K)]
+        config = ClusterConfig(heartbeat_interval=0.2, dead_after=2)
+        with ClusterHarness(make_factory(cluster_bench), workers=1,
+                            config=config) as harness:
+            status, body = post_search(harness.port, payload_of(query))
+            assert status == 200 and ranking(body) == expected
+            epoch_before = body["cluster"]["epoch"]
+            assert body["cluster"]["workers_scattered"] == 1
+
+            harness.add_worker(1)
+
+            def rebalanced():
+                status, body = post_search(harness.port, payload_of(query))
+                assert status == 200
+                scattered = body["cluster"]["workers_scattered"]
+                return body if scattered == 2 else None
+
+            body = wait_until(rebalanced)
+            assert body["cluster"]["epoch"] > epoch_before
+            assert not body["degraded"]
+            assert ranking(body) == expected

@@ -1,0 +1,121 @@
+"""Concurrent readers over one spilled index directory.
+
+Cluster workers cold-start by memmapping the same ``save_index``
+directory — N processes, one physical copy of ``arrays.bin`` in the
+page cache.  These tests pin the safety properties that deployment
+leans on: independent reader processes observe *bit-identical* array
+bytes (and therefore produce bit-identical shard scores), and a
+truncated payload fails loudly in every reader instead of serving
+garbage from the intact prefix.
+"""
+
+import hashlib
+import multiprocessing
+import os
+import random
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import SegmentedCorpusIndex, load_index, save_index
+from repro.core.kernel.storage import ARRAYS_FILENAME, _CORPUS_ARRAYS
+from repro.exceptions import IndexStorageError
+
+from tests.test_core_kernel import make_lake, make_sigma
+
+pytestmark = pytest.mark.skipif(
+    sys.platform == "win32", reason="fork-based reader processes"
+)
+
+
+def index_digest(index: SegmentedCorpusIndex) -> str:
+    """SHA-256 over every corpus array of every segment, in order."""
+    digest = hashlib.sha256()
+    for segment in index.segments:
+        for name in _CORPUS_ARRAYS:
+            array = np.ascontiguousarray(getattr(segment, name))
+            digest.update(name.encode())
+            digest.update(str(array.dtype).encode())
+            digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def _read_in_child(path, sigma, mapping, queue):
+    """Forked reader: memmap the directory and report what it saw."""
+    try:
+        index = load_index(path, sigma, mapping)
+        stats = index.stats()
+        queue.put(
+            ("ok", index_digest(index), stats.live_tables, stats.segments)
+        )
+    except IndexStorageError as exc:
+        queue.put(("storage-error", str(exc), None, None))
+
+
+def spawn_readers(path, sigma, mapping, count=2):
+    context = multiprocessing.get_context("fork")
+    queue = context.Queue()
+    readers = [
+        context.Process(
+            target=_read_in_child, args=(path, sigma, mapping, queue)
+        )
+        for _ in range(count)
+    ]
+    for reader in readers:
+        reader.start()
+    outcomes = [queue.get(timeout=60) for _ in readers]
+    for reader in readers:
+        reader.join(timeout=60)
+    return outcomes
+
+
+@pytest.fixture()
+def saved_index(tmp_path):
+    rng = random.Random(29)
+    lake, mapping = make_lake(rng, num_tables=10)
+    sigma = make_sigma("types", rng)
+    index = SegmentedCorpusIndex.compile(
+        lake, mapping, sigma, segment_tables=4
+    )
+    save_index(index, str(tmp_path))
+    return str(tmp_path), sigma, mapping, index
+
+
+class TestConcurrentReaders:
+    def test_two_processes_see_bit_identical_arrays(self, saved_index):
+        path, sigma, mapping, built = saved_index
+        expected = index_digest(built)
+        outcomes = spawn_readers(path, sigma, mapping, count=2)
+        assert [status for status, *_ in outcomes] == ["ok", "ok"]
+        digests = {digest for _, digest, _, _ in outcomes}
+        # Both child memmaps AND the in-process compile agree byte
+        # for byte — the "every worker holds the same corpus" premise.
+        assert digests == {expected}
+        for _, _, live_tables, segments in outcomes:
+            assert live_tables == built.stats().live_tables
+            assert segments == built.stats().segments
+
+    def test_reader_coexists_with_open_memmap(self, saved_index):
+        # A second process mapping the directory while the parent holds
+        # its own live memmap must not disturb either view.
+        path, sigma, mapping, built = saved_index
+        parent_view = load_index(path, sigma, mapping)
+        before = index_digest(parent_view)
+        outcomes = spawn_readers(path, sigma, mapping, count=1)
+        assert outcomes[0][0] == "ok"
+        assert outcomes[0][1] == before
+        assert index_digest(parent_view) == before  # parent undisturbed
+
+    def test_truncated_arrays_fail_in_every_reader(self, saved_index):
+        path, sigma, mapping, _ = saved_index
+        arrays_path = os.path.join(path, ARRAYS_FILENAME)
+        size = os.path.getsize(arrays_path)
+        with open(arrays_path, "r+b") as handle:
+            handle.truncate(size - 7)
+        outcomes = spawn_readers(path, sigma, mapping, count=2)
+        assert [status for status, *_ in outcomes] == [
+            "storage-error", "storage-error"
+        ]
+        with pytest.raises(IndexStorageError):
+            load_index(path, sigma, mapping)
