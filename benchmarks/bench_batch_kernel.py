@@ -1,0 +1,141 @@
+"""Multi-query batched kernel vs a per-query loop: speedup + parity.
+
+The serve micro-batcher hands whole batches to
+``VectorizedTableSearchEngine.search_batch``, which stacks every query
+tuple into one fused corpus pass per segment.  This bench replays a
+batch of 8 mixed-width queries both ways on a warm engine and reports:
+
+* the *batched* speedup: one ``search_batch`` call vs the equivalent
+  ``search`` loop (headline gate: >= 2x at batch size 8);
+* the *dedup* speedup: the same batch with only 2 distinct queries,
+  showing the canonical-dedup fan-out scoring each job once;
+* the max per-table score delta between the two paths (the contract is
+  bit-identity, so the gate is exact equality, not a tolerance).
+
+The report folds into ``BENCH_kernel.json`` under the ``batch`` key
+(scripts/ci.sh runs this with ``--quick``).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.bench_kernel_speedup import (
+    REPORT_PATH,
+    VectorizedTableSearchEngine,
+    _build,
+    _max_delta,
+    _merge_report,
+    _queries,
+)
+from benchmarks.conftest import print_header
+from repro.core.kernel import BatchStats
+
+BATCH_SIZE = 8
+ROUNDS = 5
+K = 10
+REQUIRED_BATCH_SPEEDUP = 2.0
+
+
+def _batch_queries(bench):
+    """8 distinct mixed-width queries (one-tuple and five-tuple)."""
+    queries = _queries(bench)
+    if len(queries) < BATCH_SIZE:
+        pytest.skip(f"corpus provides only {len(queries)} queries")
+    return queries[:BATCH_SIZE]
+
+
+def _timed_looped(engine, queries, rounds):
+    rankings = []
+    start = time.perf_counter()
+    for _ in range(rounds):
+        rankings = [engine.search(query, k=K) for query in queries]
+    return rankings, (time.perf_counter() - start) / rounds
+
+
+def _timed_batched(engine, queries, rounds, batch_stats=None):
+    rankings = []
+    start = time.perf_counter()
+    for _ in range(rounds):
+        rankings = engine.search_batch(
+            queries, k=K, batch_stats=batch_stats
+        )
+    return rankings, (time.perf_counter() - start) / rounds
+
+
+def test_batch_kernel_speedup(wt_bench, wt_thetis, benchmark):
+    queries = _batch_queries(wt_bench)
+
+    def run():
+        engine = _build(VectorizedTableSearchEngine, wt_thetis, "types")
+        # Warm both paths: index compilation, similarity-row and
+        # assignment memos are steady-state serving costs, not part of
+        # the batched-vs-looped comparison.
+        engine.search_batch(queries, k=K)
+        for query in queries:
+            engine.search(query, k=K)
+        looped_rankings, looped_seconds = _timed_looped(
+            engine, queries, ROUNDS
+        )
+        stats = BatchStats()
+        batched_rankings, batched_seconds = _timed_batched(
+            engine, queries, ROUNDS, batch_stats=stats
+        )
+        # Dedup fan-out: 8 slots, 2 distinct queries -> 2 scored jobs.
+        dedup_batch = [queries[index % 2] for index in range(BATCH_SIZE)]
+        engine.search_batch(dedup_batch, k=K)
+        _, dedup_seconds = _timed_batched(engine, dedup_batch, ROUNDS)
+        return {
+            "batch_size": BATCH_SIZE,
+            "k": K,
+            "rounds": ROUNDS,
+            "looped_seconds_per_batch": looped_seconds,
+            "batched_seconds_per_batch": batched_seconds,
+            "batched_speedup": looped_seconds / batched_seconds,
+            "dedup_seconds_per_batch": dedup_seconds,
+            "dedup_speedup": looped_seconds / dedup_seconds,
+            "queries_per_batched_pass":
+                stats.as_dict()["queries_per_batched_pass"],
+            "max_score_delta": _max_delta(
+                looped_rankings, batched_rankings
+            ),
+            "bit_identical": all(
+                [(s.score, s.table_id) for s in looped]
+                == [(s.score, s.table_id) for s in batched]
+                for looped, batched in zip(
+                    looped_rankings, batched_rankings
+                )
+            ),
+        }
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header(
+        f"Batched scoring kernel vs per-query loop "
+        f"({len(wt_bench.lake)} tables, batch size {BATCH_SIZE})"
+    )
+    print(f"  looped  {report['looped_seconds_per_batch'] * 1e3:8.2f}"
+          f" ms/batch")
+    print(f"  batched {report['batched_seconds_per_batch'] * 1e3:8.2f}"
+          f" ms/batch   -> {report['batched_speedup']:5.2f}x")
+    print(f"  dedup   {report['dedup_seconds_per_batch'] * 1e3:8.2f}"
+          f" ms/batch   -> {report['dedup_speedup']:5.2f}x"
+          f"  (2 distinct of {BATCH_SIZE})")
+    print(f"  max score delta {report['max_score_delta']:.3e}")
+
+    _merge_report("batch", report)
+    print(f"  report -> {REPORT_PATH} (batch)")
+
+    # The contract is bit-identity, not a tolerance: the batched pass
+    # is the same arithmetic in the same order.
+    assert report["bit_identical"], (
+        f"batched ranking diverged (max delta "
+        f"{report['max_score_delta']:.3e})"
+    )
+    assert report["batched_speedup"] >= REQUIRED_BATCH_SPEEDUP, (
+        f"batched speedup {report['batched_speedup']:.2f}x < "
+        f"{REQUIRED_BATCH_SPEEDUP}x at batch size {BATCH_SIZE}"
+    )
+    # Dedup can only help: scoring 2 jobs must not be slower than 8.
+    assert report["dedup_seconds_per_batch"] <= \
+        report["batched_seconds_per_batch"] * 1.25

@@ -87,9 +87,14 @@ def test_serve_latency(wt_bench, benchmark, request):
     total = QUICK_TOTAL_REQUESTS if quick else TOTAL_REQUESTS
     open_duration = QUICK_OPEN_DURATION if quick else OPEN_DURATION
 
-    reference = Thetis(wt_bench.lake, wt_bench.graph, wt_bench.mapping)
+    # Vectorized on both sides: the server's micro-batches ride the
+    # fused search_batch kernel, and the parity assert compares the
+    # same engine kind bit for bit.
+    reference = Thetis(wt_bench.lake, wt_bench.graph, wt_bench.mapping,
+                       engine_kind="vectorized")
     lake, mapping = reference.snapshot_inputs()
-    served = Thetis(lake, wt_bench.graph, mapping)
+    served = Thetis(lake, wt_bench.graph, mapping,
+                    engine_kind="vectorized")
     payloads = _query_payloads(wt_bench)
 
     handle = ServerThread(

@@ -36,6 +36,13 @@ python -m pytest -x -q -s \
     --benchmark-disable
 
 echo
+echo "== batch smoke: multi-query fused kernel parity + speedup =="
+python -m pytest -x -q -s \
+    "benchmarks/bench_batch_kernel.py" \
+    --quick \
+    --benchmark-disable
+
+echo
 echo "== index smoke: O(delta) updates + memmap cold start =="
 python -m pytest -x -q -s \
     "benchmarks/bench_kernel_speedup.py::test_incremental_index_speedup" \

@@ -47,6 +47,7 @@ from repro.cluster.protocol import (
     read_frame,
     write_frame,
 )
+from repro.core.kernel import BatchStats
 from repro.core.parallel import merge_topk
 from repro.core.result import ResultSet, ScoredTable
 from repro.exceptions import (
@@ -54,6 +55,16 @@ from repro.exceptions import (
     ClusterError,
     ClusterProtocolError,
     ProtocolError,
+    RequestTimeoutError,
+    ServeError,
+    ServerOverloadedError,
+)
+from repro.serve.batching import (
+    DEFAULT_FLUSH_INTERVAL,
+    DEFAULT_MAX_BATCH_SIZE,
+    DEFAULT_MAX_QUEUE_DEPTH,
+    DEFAULT_REQUEST_TIMEOUT,
+    MicroBatcher,
 )
 from repro.serve.http import (
     HttpRequest,
@@ -90,6 +101,13 @@ class ClusterConfig:
     pool_size: int = DEFAULT_POOL_SIZE
     #: ``/readyz`` flips once this many workers are live.
     min_workers: int = 1
+    #: Micro-batch coalescing of the ``/search`` front door: concurrent
+    #: queries fold into one batched scatter (a single fused kernel
+    #: pass per shard) instead of one scatter per query.
+    max_batch_size: int = DEFAULT_MAX_BATCH_SIZE
+    flush_interval: float = DEFAULT_FLUSH_INTERVAL
+    max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT
 
 
 @dataclass
@@ -161,6 +179,13 @@ class ClusterCoordinator:
         self.config = config or ClusterConfig()
         self.metrics = ServerMetrics()
         self.cluster_metrics = ClusterMetrics()
+        self.batcher = MicroBatcher(
+            runner=self._run_search_batch,
+            max_batch_size=self.config.max_batch_size,
+            flush_interval=self.config.flush_interval,
+            max_queue_depth=self.config.max_queue_depth,
+            request_timeout=self.config.request_timeout,
+        )
         # Topology state; mutated only on the event loop under this
         # lock so epoch flips are atomic with ring/live updates.
         self._topology_lock = asyncio.Lock()
@@ -202,6 +227,7 @@ class ClusterCoordinator:
         self._heartbeat_task = loop.create_task(
             self._heartbeat_loop(), name="thetis-cluster-heartbeat"
         )
+        await self.batcher.start()
 
     async def serve_forever(self) -> None:
         if self._http_server is None:
@@ -218,6 +244,9 @@ class ClusterCoordinator:
                 await self._heartbeat_task
             except asyncio.CancelledError:
                 pass
+        # Drain before the worker links close so admitted queries still
+        # complete their scatter.
+        await self.batcher.stop(drain=True)
         for server in (self._http_server, self._control_server):
             if server is not None:
                 server.close()
@@ -407,6 +436,7 @@ class ClusterCoordinator:
                         for key in (
                             "epoch", "tables_total", "searches_total",
                             "uptime_seconds", "profile", "prefilter",
+                            "batch",
                         )
                     }
                     if current.state == "dead":
@@ -534,10 +564,26 @@ class ClusterCoordinator:
             "workers_total": len(table.workers),
             "workers_live": len(table.live),
         })
+        # Fold each worker's batched-kernel counters (reported with its
+        # heartbeat pong) into one fleet-wide ``batch`` block; the
+        # occupancy histogram comes from this coordinator's own
+        # micro-batcher.
+        fleet_batch = BatchStats()
+        async with self._topology_lock:
+            worker_counts = [
+                handle.stats.get("batch")
+                for handle in self._workers.values()
+            ]
+        for counts in worker_counts:
+            if isinstance(counts, dict):
+                fleet_batch.merge_counts(counts)
         return self.metrics.to_json(
+            queue_depth=self.batcher.queue_depth,
+            queue_limit=self.config.max_queue_depth,
             snapshot_version=table.epoch,
             uptime_seconds=time.monotonic() - self._started_at,
             cluster_stats=cluster,
+            batch_stats=fleet_batch.as_dict(),
         )
 
     async def _status_payload(self) -> Dict[str, Any]:
@@ -576,6 +622,57 @@ class ClusterCoordinator:
             parsed.query()  # validates; workers materialize their own
         except ProtocolError as exc:
             return HttpResponse(400, error_to_json(str(exc), 400))
+        try:
+            return await self.batcher.submit(parsed)
+        except ServerOverloadedError as exc:
+            return HttpResponse(503, error_to_json(str(exc), 503))
+        except RequestTimeoutError as exc:
+            return HttpResponse(504, error_to_json(str(exc), 504))
+        except ServeError as exc:
+            return HttpResponse(503, error_to_json(str(exc), 503))
+
+    async def _run_search_batch(
+        self, jobs: Sequence[SearchRequest]
+    ) -> List[Any]:
+        """Execute one coalesced micro-batch of ``/search`` requests.
+
+        Jobs sharing ``(mode, method, k, use_lsh, votes)`` ride one
+        batched scatter: a single ``search_batch`` frame per shard, so
+        every worker scores its whole shard for all queries of the
+        group in one fused kernel pass.  Outcomes are per-request
+        :class:`HttpResponse` objects aligned with ``jobs``.
+        """
+        outcomes: List[Any] = [None] * len(jobs)
+        groups: Dict[Any, List[int]] = {}
+        for index, parsed in enumerate(jobs):
+            groups.setdefault(parsed.batch_key(), []).append(index)
+        for indices in groups.values():
+            group = [jobs[position] for position in indices]
+            try:
+                responses = await self._scatter_group(group)
+            except Exception as exc:  # keep neighbours' outcomes intact
+                responses = [
+                    HttpResponse(
+                        500, error_to_json(f"internal error: {exc}", 500)
+                    )
+                    for _ in group
+                ]
+            for position, response in zip(indices, responses):
+                outcomes[position] = response
+        self.metrics.batch_executed(len(jobs))
+        return outcomes
+
+    async def _scatter_group(
+        self, group: List[SearchRequest]
+    ) -> List[HttpResponse]:
+        """One batched scatter for a group of same-shaped queries.
+
+        Every live worker receives the whole query batch and answers
+        one top-k partial per query from its shard; per-query partials
+        are merged with :func:`merge_topk`, so each query's ranking is
+        bit-identical to a solo scatter of that query.
+        """
+        first = group[0]
         async with self._topology_lock:
             epoch = self._epoch
             live = tuple(
@@ -588,35 +685,54 @@ class ClusterCoordinator:
                 for worker_id in live
             }
         if not live:
-            return HttpResponse(
-                503, error_to_json("no live workers in the ring", 503)
-            )
-        wire_mode = "prefilter" if parsed.mode == "prefilter" else "exact"
+            return [
+                HttpResponse(
+                    503, error_to_json("no live workers in the ring", 503)
+                )
+                for _ in group
+            ]
+        wire_mode = "prefilter" if first.mode == "prefilter" else "exact"
         base = {
-            "type": "search",
+            "type": "search_batch",
             "epoch": epoch,
-            "tuples": [list(entry) for entry in parsed.tuples],
-            "k": parsed.k,
-            "method": parsed.method,
-            "votes": parsed.votes,
+            "queries": [
+                [list(entry) for entry in parsed.tuples]
+                for parsed in group
+            ],
+            "k": first.k,
+            "method": first.method,
+            "votes": first.votes,
             "mode": wire_mode,
         }
         replies = await self._scatter(
             links, dict(base, live=list(live)), live
         )
-        partials: List[List[Tuple[float, str]]] = []
+        partials: List[List[List[Tuple[float, str]]]] = [
+            [] for _ in group
+        ]
         covered = 0
         tables_total = 0
         failed: List[str] = []
         shard_requests = len(live)
+
+        def _absorb(reply: Dict[str, Any]) -> bool:
+            """Fold one worker's per-query partials in; False = reject."""
+            rows = reply["results"]
+            if len(rows) != len(group):
+                return False
+            if not all(isinstance(row, list) for row in rows):
+                return False
+            for position, row in enumerate(rows):
+                partials[position].append(
+                    [(score, table_id) for score, table_id in row]
+                )
+            return True
+
         for worker_id in live:
             reply = replies[worker_id]
-            if reply is None:
+            if reply is None or not _absorb(reply):
                 failed.append(worker_id)
                 continue
-            partials.append(
-                [(score, table_id) for score, table_id in reply["results"]]
-            )
             covered += int(reply.get("shard_size", 0))
             tables_total = max(tables_total, int(reply.get("tables_total", 0)))
         retried = False
@@ -624,7 +740,7 @@ class ClusterCoordinator:
             # Hedged retry: surviving replicas score exactly the tables
             # the failed primaries owned (the ring's shard delta), so
             # the union of partials still covers every reachable table
-            # exactly once.
+            # exactly once — for every query of the batch at once.
             retried = True
             survivors = tuple(
                 worker_id for worker_id in live if worker_id not in failed
@@ -635,46 +751,48 @@ class ClusterCoordinator:
             retry_replies = await self._scatter(links, retry, survivors)
             for worker_id in survivors:
                 reply = retry_replies[worker_id]
-                if reply is None:
+                if reply is None or not _absorb(reply):
                     if worker_id not in failed:
                         failed.append(worker_id)
                     continue
-                partials.append(
-                    [
-                        (score, table_id)
-                        for score, table_id in reply["results"]
-                    ]
-                )
                 covered += int(reply.get("shard_size", 0))
             shard_requests += len(survivors)
-        if not partials and failed:
+        if failed and not any(partials):
             self.cluster_metrics.note_scatter(
                 shard_requests, len(failed), retried, True, tables_total
             )
-            return HttpResponse(
-                503, error_to_json("no shard answered the scatter", 503)
-            )
+            return [
+                HttpResponse(
+                    503, error_to_json("no shard answered the scatter", 503)
+                )
+                for _ in group
+            ]
         uncovered = max(0, tables_total - covered)
         degraded = bool(failed) or uncovered > 0
-        merged = merge_topk(partials, parsed.k)
-        results = ResultSet(
-            ScoredTable(score, table_id) for score, table_id in merged
-        )
         self.cluster_metrics.note_scatter(
             shard_requests, len(failed), retried, degraded, uncovered
         )
-        payload = result_to_json(results, parsed, snapshot_version=epoch)
-        payload["degraded"] = degraded
-        payload["cluster"] = {
-            "epoch": epoch,
-            "workers_scattered": len(live),
-            "failed_workers": failed,
-            "hedged_retry": retried,
-            "covered_tables": covered,
-            "tables_total": tables_total,
-            "uncovered_tables": uncovered,
-        }
-        return HttpResponse(200, payload)
+        responses: List[HttpResponse] = []
+        for position, parsed in enumerate(group):
+            merged = merge_topk(partials[position], parsed.k)
+            results = ResultSet(
+                ScoredTable(score, table_id) for score, table_id in merged
+            )
+            payload = result_to_json(
+                results, parsed, snapshot_version=epoch
+            )
+            payload["degraded"] = degraded
+            payload["cluster"] = {
+                "epoch": epoch,
+                "workers_scattered": len(live),
+                "failed_workers": failed,
+                "hedged_retry": retried,
+                "covered_tables": covered,
+                "tables_total": tables_total,
+                "uncovered_tables": uncovered,
+            }
+            responses.append(HttpResponse(200, payload))
+        return responses
 
     async def _scatter(
         self,

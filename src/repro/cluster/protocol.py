@@ -39,6 +39,7 @@ MSG_TYPES = (
     "ping",       # coordinator -> worker: heartbeat + stats scrape
     "routing",    # coordinator -> worker: install a routing epoch
     "search",     # coordinator -> worker: score one shard
+    "search_batch",  # coordinator -> worker: score a query batch, one pass
     "adopt",      # coordinator -> worker: memmap a sealed segment dir
     "status",     # anyone -> worker: introspection
 )

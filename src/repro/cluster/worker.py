@@ -249,6 +249,8 @@ class ClusterWorker:
                 return await self._handle_routing(message)
             if kind == "search":
                 return await self._handle_search(message)
+            if kind == "search_batch":
+                return await self._handle_search_batch(message)
             if kind == "adopt":
                 return await self._handle_adopt(message)
             if kind == "status":
@@ -284,6 +286,7 @@ class ClusterWorker:
             "uptime_seconds": time.monotonic() - self._started_at,
             "profile": self._profile_dict(),
             "prefilter": self.thetis.prefilter_stats.as_dict(),
+            "batch": self.thetis.batch_stats.as_dict(),
         }
 
     def _profile_dict(self) -> Dict[str, Any]:
@@ -372,6 +375,84 @@ class ClusterWorker:
             "shard_size": len(shard),
             "tables_total": len(self.thetis.lake),
             "results": pairs,
+        }
+
+    async def _handle_search_batch(
+        self, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Score a whole coordinator micro-batch in one shard pass.
+
+        The frame carries a ``queries`` list (each entry the ``tuples``
+        payload of one query) plus the shared ``k``/``method``/``votes``/
+        ``mode``; the shard is derived once and every query is scored in
+        a single fused kernel pass via ``search_shard_batch``.  The
+        reply's ``results`` holds one score/table-id pair list per
+        query, in request order.
+        """
+        epoch = message.get("epoch")
+        if isinstance(epoch, bool) or not isinstance(epoch, int):
+            raise ClusterProtocolError("'epoch' must be an int")
+        owner = message.get("owner")
+        if not isinstance(owner, str) or not owner:
+            raise ClusterProtocolError("'owner' must be a worker id")
+        live = _id_tuple(message, "live")
+        prev_live = (
+            _id_tuple(message, "prev_live")
+            if message.get("prev_live") is not None else None
+        )
+        raw_queries = message.get("queries")
+        if not isinstance(raw_queries, list) or not raw_queries:
+            raise ClusterProtocolError(
+                "'queries' must be a non-empty list of tuple lists"
+            )
+        requests = [
+            SearchRequest.from_json(
+                {
+                    "tuples": entry,
+                    "k": message.get("k", 10),
+                    "method": message.get("method", "types"),
+                    "votes": message.get("votes", 1),
+                    "mode": message.get("mode", "exact"),
+                },
+                mode="search",
+            )
+            for entry in raw_queries
+        ]
+        queries = [request.query() for request in requests]
+        first = requests[0]
+        shard = await self._shard_for(epoch, live, owner, prev_live)
+        if shard:
+            loop = asyncio.get_running_loop()
+            rankings = await loop.run_in_executor(
+                self._executor,
+                functools.partial(
+                    self.thetis.search_shard_batch,
+                    queries,
+                    shard,
+                    k=first.k,
+                    method=first.method,
+                    votes=first.votes,
+                    mode=(
+                        "prefilter" if first.mode == "prefilter"
+                        else "exact"
+                    ),
+                ),
+            )
+            per_query = [
+                [[scored.score, scored.table_id] for scored in results]
+                for results in rankings
+            ]
+        else:
+            per_query = [[] for _ in queries]
+        self._searches_total += len(queries)
+        return {
+            "ok": True,
+            "type": "result_batch",
+            "worker_id": self.config.worker_id,
+            "epoch": epoch,
+            "shard_size": len(shard),
+            "tables_total": len(self.thetis.lake),
+            "results": per_query,
         }
 
     async def _handle_adopt(

@@ -16,6 +16,7 @@ Select it with ``Thetis(..., engine_kind="vectorized")`` or
 memory layout and when each engine wins.
 """
 
+from repro.core.kernel.batchstats import BatchStats
 from repro.core.kernel.engine import (
     ENGINE_KINDS,
     VectorizedTableSearchEngine,
@@ -41,6 +42,7 @@ from repro.core.kernel.storage import (
 
 __all__ = [
     "ENGINE_KINDS",
+    "BatchStats",
     "CorpusIndex",
     "DEFAULT_ROW_CACHE_SIZE",
     "PrefilterStats",

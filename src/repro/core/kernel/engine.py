@@ -41,7 +41,7 @@ import heapq
 import math
 import threading
 import time
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -64,7 +64,7 @@ from repro.core.result import ResultSet, ScoredTable
 from repro.core.search import ScoringProfile, TableScore, TableSearchEngine
 from repro.core.topk import TopKEntry
 from repro.datalake.table import Table
-from repro.exceptions import IndexStorageError
+from repro.exceptions import IndexStorageError, SearchError
 
 #: Minimum gap between the best and second-best assignment total before
 #: the enumerated small-width assignment is trusted over the Hungarian
@@ -564,23 +564,33 @@ class VectorizedTableSearchEngine(TableSearchEngine):
             self._index = index
             return index
 
-    def _segment_batch(
+    def _segment_tuples(
         self,
         segment: CorpusIndex,
-        query: Query,
+        tuples: Sequence[Tuple[str, ...]],
         profile: ScoringProfile,
         selection: Optional[np.ndarray] = None,
-    ) -> Tuple[List[np.ndarray], np.ndarray]:
-        """Fused scoring of one segment against every query tuple.
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Fused scoring of one segment against a stack of query tuples.
 
-        Returns ``(tuple_columns, any_signal)``: per query tuple, the
-        per-segment-table tuple scores as one float64 column, plus the
-        per-table relevance flag.  This is exactly the monolithic
-        batched pass restricted to one segment's arrays — a table's
-        score involves only its own columnar block and sigma rows of
-        its own entities, all segment-local, so per-segment evaluation
-        is arithmetic-identical to the monolith (the parity property
-        test pins this).
+        The multi-query kernel primitive: every tuple of every query in
+        a micro-batch lands here *once*, stacked along a lane axis —
+        one similarity-row stack, one bincount over lane-offset bins
+        for all column-relevance matrices, and one shared gather /
+        ``reduceat`` pass over the concatenated per-lane row blocks.
+        Returns one ``(column, signal)`` pair per input tuple: the
+        per-segment-table tuple scores as a float64 column plus the
+        per-table positive-coordinate flag.
+
+        Per-tuple outputs are bit-identical to the former one-query
+        pass (and hence to the scalar engine to <= 1e-9): ``bincount``
+        accumulates each bin in input encounter order and the row-major
+        ravel keeps every lane's nnz entries in their original order
+        inside their own bins; ``reduceat`` segments only ever span one
+        (lane, table, position) block, so concatenating blocks across
+        lanes changes no per-segment reduction; and the per-tuple
+        residual-distance tails are evaluated per lane slice, never
+        fused across tuples, so no summation order changes.
 
         ``selection`` (sorted table positions) restricts the pass to a
         candidate subset: only the selected tables' nnz blocks feed the
@@ -592,17 +602,57 @@ class VectorizedTableSearchEngine(TableSearchEngine):
         positions.  Selected positions are arithmetic-identical to the
         unrestricted pass: each table's nnz block is contiguous and
         selections are position-sorted, so every relevance bin
-        accumulates the same terms in the same IEEE order.
+        accumulates the same terms in the same IEEE order.  Because a
+        table's relevance bins only ever receive entries from its own
+        nnz block, this also holds for any *union* of per-query
+        selections — the batched candidate path unions selections for
+        the shared pass and masks per query at read time.
         """
         index = segment
+        if not tuples:
+            return []
+        # Whole-segment per-tuple columns are memoized on the segment:
+        # scoring a tuple against an immutable segment is deterministic
+        # given the engine configuration, which the token captures (the
+        # informativeness object is swapped, never mutated, on corpus
+        # mutations, so identity comparison is exact).  A hit skips the
+        # full pass; a partial batch recurses on the misses only.
+        # Candidate-restricted passes bypass the memo — their columns
+        # hold selection-confined filler outside the shortlist.
+        column_token = (
+            self.informativeness,
+            self.row_aggregation,
+            self.tuple_semantics,
+        )
+        if selection is None:
+            cached = [
+                index.cached_tuple_column(query_tuple, column_token)
+                for query_tuple in tuples
+            ]
+            if any(entry is not None for entry in cached):
+                for t, entry in enumerate(cached):
+                    if entry is not None:
+                        # Touch the similarity-row memo so cache and
+                        # profile accounting match a full pass.
+                        index.tuple_rows(tuples[t], profile)
+                missing = [
+                    t for t, entry in enumerate(cached) if entry is None
+                ]
+                if missing:
+                    computed = self._segment_tuples(
+                        index,
+                        [tuples[t] for t in missing],
+                        profile,
+                    )
+                    for t, entry in zip(missing, computed):
+                        cached[t] = entry
+                return cached
         num_tables = len(index.table_ids)
         total_columns = index.total_columns
         table_rows = index.table_rows
         total_rows = int(index.row_offset[-1])
         row_agg_max = self.row_aggregation is RowAggregation.MAX
         per_row_semantics = self.tuple_semantics is TupleSemantics.PER_ROW
-        any_signal = np.zeros(num_tables, dtype=bool)
-        tuple_columns: List[np.ndarray] = []
         if selection is None:
             nnz_gcolumns = index.nnz_gcolumns
             nnz_gids = index.nnz_gids
@@ -615,72 +665,142 @@ class VectorizedTableSearchEngine(TableSearchEngine):
             nnz_gcolumns = index.nnz_gcolumns[entries]
             nnz_gids = index.nnz_gids[entries]
             nnz_gcounts = index.nnz_gcounts[entries]
-        for query_tuple in query:
-            width = len(query_tuple)
-            sims = index.tuple_rows(query_tuple, profile)
-            map_start = time.perf_counter()
-            if nnz_gids.size:
+        widths = [len(query_tuple) for query_tuple in tuples]
+        lane_offset = np.concatenate(
+            ([0], np.cumsum(np.asarray(widths, dtype=np.int64)))
+        )
+        stack = int(lane_offset[-1])
+        sims_list = [
+            index.tuple_rows(query_tuple, profile) for query_tuple in tuples
+        ]
+        sims_stack = (
+            sims_list[0] if len(sims_list) == 1
+            else np.concatenate(sims_list, axis=0)
+        )
+        map_start = time.perf_counter()
+        # Whole-segment assignments are memoized per tuple on the
+        # (immutable) segment; only memo misses pay the relevance
+        # bincount and the per-table assignment solve.  Lanes never mix
+        # bins, so restricting the bincount to the miss lanes yields
+        # each miss lane's exact relevance row.  Candidate-restricted
+        # passes bypass the memo entirely: their relevance (and hence
+        # gather set) is intentionally confined to the selection.
+        if selection is None:
+            assignments: List[Optional[np.ndarray]] = [
+                index.cached_assignment(query_tuple)
+                for query_tuple in tuples
+            ]
+        else:
+            assignments = [None] * len(tuples)
+        misses = [
+            t for t in range(len(tuples)) if assignments[t] is None
+        ]
+        if misses:
+            miss_lanes = np.concatenate([
+                np.arange(lane_offset[t], lane_offset[t + 1])
+                for t in misses
+            ])
+            miss_stack = int(miss_lanes.size)
+            if nnz_gids.size and miss_stack:
                 keys = (
                     nnz_gcolumns
-                    + (np.arange(width) * total_columns)[:, None]
+                    + (np.arange(miss_stack) * total_columns)[:, None]
                 )
-                relevance = np.bincount(
+                relevance_stack = np.bincount(
                     keys.ravel(),
-                    weights=(sims[:, nnz_gids]
+                    weights=(sims_stack[miss_lanes][:, nnz_gids]
                              * nnz_gcounts).ravel(),
-                    minlength=width * total_columns,
-                ).reshape(width, total_columns)
+                    minlength=miss_stack * total_columns,
+                ).reshape(miss_stack, total_columns)
             else:
-                relevance = np.zeros((width, total_columns), dtype=np.float64)
-            assignment = self._batched_assignments(index, relevance, width)
-            profile.mapping_seconds += time.perf_counter() - map_start
-            # One gather serves every (table, assigned position): the
-            # column-major flat_ids slice of each assigned column,
-            # pushed through the tuple's similarity rows.
+                relevance_stack = np.zeros(
+                    (miss_stack, total_columns), dtype=np.float64
+                )
+            row = 0
+            for t in misses:
+                assignment = self._batched_assignments(
+                    index, relevance_stack[row:row + widths[t]], widths[t]
+                )
+                row += widths[t]
+                assignments[t] = assignment
+                if selection is None:
+                    index.store_assignment(tuples[t], assignment)
+        profile.mapping_seconds += time.perf_counter() - map_start
+        # One gather serves every (tuple, table, assigned position):
+        # the column-major flat_ids slice of each assigned column,
+        # pushed through its lane's similarity row.  Per-tuple blocks
+        # stay contiguous so the tails below slice them back out.
+        parts_table: List[np.ndarray] = []
+        parts_pos: List[np.ndarray] = []
+        parts_lane: List[np.ndarray] = []
+        parts_cols: List[np.ndarray] = []
+        sel_counts: List[int] = []
+        for t, assignment in enumerate(assignments):
             active = (assignment >= 0) & (table_rows > 0)[:, None]
             sel_table, sel_pos = np.nonzero(active)
-            if sel_table.size:
-                global_cols = (
-                    index.col_offset[sel_table]
-                    + assignment[sel_table, sel_pos]
-                )
-                lengths = table_rows[sel_table]
-                bounds = np.cumsum(lengths)
-                seg_starts = bounds - lengths
-                within = (
-                    np.arange(int(bounds[-1]))
-                    - np.repeat(seg_starts, lengths)
-                )
-                ids = index.flat_ids[
-                    np.repeat(index.col_start[global_cols], lengths)
-                    + within
-                ]
-                positions = np.repeat(sel_pos, lengths)
-                linked = ids >= 0
-                gathered = np.where(
-                    linked,
-                    sims[positions, np.where(linked, ids, 0)],
-                    0.0,
-                )
+            parts_table.append(sel_table)
+            parts_pos.append(sel_pos)
+            parts_lane.append(sel_pos + int(lane_offset[t]))
+            parts_cols.append(
+                index.col_offset[sel_table] + assignment[sel_table, sel_pos]
+            )
+            sel_counts.append(int(sel_table.size))
+        sel_table_all = np.concatenate(parts_table)
+        sel_pos_all = np.concatenate(parts_pos)
+        sel_lane_all = np.concatenate(parts_lane)
+        global_cols = np.concatenate(parts_cols)
+        lengths = table_rows[sel_table_all]
+        bounds = np.cumsum(lengths)
+        total = int(bounds[-1]) if lengths.size else 0
+        seg_starts = bounds - lengths
+        need_max = per_row_semantics or row_agg_max
+        if total:
+            within = np.arange(total) - np.repeat(seg_starts, lengths)
+            ids = index.flat_ids[
+                np.repeat(index.col_start[global_cols], lengths) + within
+            ]
+            lanes = np.repeat(sel_lane_all, lengths)
+            linked = ids >= 0
+            gathered = np.where(
+                linked,
+                sims_stack[lanes, np.where(linked, ids, 0)],
+                0.0,
+            )
+            if need_max:
+                seg_max = np.maximum.reduceat(gathered, seg_starts)
+            if not per_row_semantics and not row_agg_max:
+                seg_avg = np.add.reduceat(gathered, seg_starts) / lengths
+        sel_cuts = np.concatenate(
+            ([0], np.cumsum(np.asarray(sel_counts, dtype=np.int64)))
+        )
+        populated = np.flatnonzero(table_rows > 0)
+        outputs: List[Tuple[np.ndarray, np.ndarray]] = []
+        for t, query_tuple in enumerate(tuples):
+            width = widths[t]
+            a = int(sel_cuts[t])
+            b = int(sel_cuts[t + 1])
+            elem_lo = int(bounds[a - 1]) if a > 0 else 0
+            elem_hi = int(bounds[b - 1]) if b > a else elem_lo
             weights = self._tuple_weights(query_tuple)
             if per_row_semantics:
                 scores = np.zeros((total_rows, width), dtype=np.float64)
-                if sel_table.size:
+                signal = np.zeros(num_tables, dtype=bool)
+                if b > a:
+                    sel_table_t = sel_table_all[a:b]
+                    lengths_t = lengths[a:b]
                     scores[
-                        np.repeat(index.row_offset[sel_table], lengths)
-                        + within,
-                        positions,
-                    ] = gathered
-                    segment_max = np.maximum.reduceat(gathered, seg_starts)
-                    signal = np.zeros(num_tables, dtype=np.float64)
-                    np.maximum.at(signal, sel_table, segment_max)
-                    any_signal |= signal > 0.0
+                        np.repeat(index.row_offset[sel_table_t], lengths_t)
+                        + within[elem_lo:elem_hi],
+                        lanes[elem_lo:elem_hi] - int(lane_offset[t]),
+                    ] = gathered[elem_lo:elem_hi]
+                    acc = np.zeros(num_tables, dtype=np.float64)
+                    np.maximum.at(acc, sel_table_t, seg_max[a:b])
+                    signal = acc > 0.0
                 residual = 1.0 - np.minimum(scores, 1.0)
                 per_row = 1.0 / (
                     np.sqrt((residual * residual) @ weights) + 1.0
                 )
                 column = np.zeros(num_tables, dtype=np.float64)
-                populated = np.flatnonzero(table_rows > 0)
                 if populated.size:
                     offsets = index.row_offset[populated]
                     if row_agg_max:
@@ -692,19 +812,47 @@ class VectorizedTableSearchEngine(TableSearchEngine):
                             np.add.reduceat(per_row, offsets)
                             / table_rows[populated]
                         )
-                tuple_columns.append(column)
+                outputs.append((column, signal))
                 continue
             coordinates = np.zeros((num_tables, width), dtype=np.float64)
-            if sel_table.size:
-                if row_agg_max:
-                    values = np.maximum.reduceat(gathered, seg_starts)
-                else:
-                    values = np.add.reduceat(gathered, seg_starts) / lengths
-                coordinates[sel_table, sel_pos] = values
-            any_signal |= coordinates.max(axis=1) > 0.0
+            if b > a:
+                values = seg_max[a:b] if row_agg_max else seg_avg[a:b]
+                coordinates[sel_table_all[a:b], sel_pos_all[a:b]] = values
+            signal = coordinates.max(axis=1) > 0.0
             residual = 1.0 - np.minimum(coordinates, 1.0)
             distances = np.sqrt((residual * residual) @ weights)
-            tuple_columns.append(1.0 / (distances + 1.0))
+            outputs.append((1.0 / (distances + 1.0), signal))
+        if selection is None:
+            for query_tuple, (column, signal) in zip(tuples, outputs):
+                index.store_tuple_column(
+                    query_tuple, column_token, column, signal
+                )
+        return outputs
+
+    def _segment_batch(
+        self,
+        segment: CorpusIndex,
+        query: Query,
+        profile: ScoringProfile,
+        selection: Optional[np.ndarray] = None,
+    ) -> Tuple[List[np.ndarray], np.ndarray]:
+        """Fused scoring of one segment against every tuple of one query.
+
+        Thin wrapper over :meth:`_segment_tuples` — the single-query
+        and multi-query paths share one kernel implementation, so the
+        batched serve path is structurally bit-identical to sequential
+        :meth:`search`.  Returns ``(tuple_columns, any_signal)``: per
+        query tuple, the per-segment-table tuple scores as one float64
+        column, plus the OR-ed per-table relevance flag.
+        """
+        per_tuple = self._segment_tuples(
+            segment, query.tuples, profile, selection=selection
+        )
+        any_signal = np.zeros(len(segment.table_ids), dtype=bool)
+        tuple_columns: List[np.ndarray] = []
+        for column, signal in per_tuple:
+            any_signal |= signal
+            tuple_columns.append(column)
         return tuple_columns, any_signal
 
     def _search_batch(self, query: Query) -> Optional[List[TableScore]]:
@@ -984,6 +1132,323 @@ class VectorizedTableSearchEngine(TableSearchEngine):
         if k is not None:
             results = results.top(k)
         return results
+
+    def search_batch(
+        self,
+        queries: Sequence[Query],
+        k: Optional[int] = None,
+        candidates: Optional[Sequence[Optional[Iterable[str]]]] = None,
+        stats=None,
+        profile: Optional[ScoringProfile] = None,
+        batch_stats=None,
+    ) -> List[ResultSet]:
+        """Rank the lake for a whole micro-batch in one fused pass.
+
+        Every query tuple in the batch is stacked into a single kernel
+        pass per segment (:meth:`_segment_tuples`): one stacked
+        similarity matmul/popcount, one shared bincount and gather,
+        then per-query aggregation over the per-tuple score columns.
+        Results are bit-identical per query to sequential
+        :meth:`search` — same scores, same ``(-score, table_id)``
+        tie-breaks — in both exact mode (``candidates[i] is None``) and
+        prefilter mode (per-query candidate lists; their selections are
+        unioned for the shared pass and masked per query at read time,
+        which is arithmetic-identical because every table's relevance
+        bins only ever accumulate its own nnz block).
+
+        Identical queries (same tuples, same canonical candidate list)
+        are scored once and fan the shared :class:`ResultSet` out to
+        every duplicate slot.
+
+        Parameters
+        ----------
+        queries:
+            The micro-batch, in request order.
+        k:
+            Optional shared cut-off.
+        candidates:
+            Optional per-query candidate restrictions aligned with
+            ``queries`` (``None`` entries search the whole lake).
+        stats:
+            Optional :class:`~repro.core.kernel.prefilter.
+            PrefilterStats` fed one scoring record per candidate-
+            restricted query (the batched pass scores the full
+            shortlist — no early termination — so ``scored ==
+            shortlisted`` and the cut-off never fires).
+        profile:
+            Scoring profile to charge (defaults to the engine's own);
+            parallel shards pass their private merge-later profiles.
+        batch_stats:
+            Optional :class:`~repro.core.kernel.batchstats.BatchStats`
+            recording one batched kernel pass covering ``len(queries)``
+            queries (``len(queries) - unique`` of them deduplicated).
+        """
+        queries = list(queries)
+        if candidates is None:
+            cand_lists: List[Optional[List[str]]] = [None] * len(queries)
+        else:
+            cand_lists = [
+                None if cands is None else list(cands)
+                for cands in candidates
+            ]
+        if len(cand_lists) != len(queries):
+            raise SearchError(
+                "candidates must align with queries: "
+                f"{len(cand_lists)} != {len(queries)}"
+            )
+        if not queries:
+            return []
+        if profile is None:
+            profile = self.profile
+        # Canonical dedup: identical (tuples, candidate list) jobs are
+        # scored once; fanout maps every input slot to its job.
+        job_of: Dict[Tuple, int] = {}
+        jobs: List[Tuple[Query, Optional[List[str]]]] = []
+        fanout: List[int] = []
+        for query, cands in zip(queries, cand_lists):
+            key = (
+                query.tuples,
+                None if cands is None else tuple(dict.fromkeys(cands)),
+            )
+            slot = job_of.get(key)
+            if slot is None:
+                slot = len(jobs)
+                job_of[key] = slot
+                jobs.append((query, cands))
+            fanout.append(slot)
+        if batch_stats is not None:
+            batch_stats.record_batched(len(queries), len(jobs))
+        if k is not None and k < 1:
+            if stats is not None:
+                for _, cands in jobs:
+                    if cands is not None:
+                        stats.record_scoring(0, 0, False)
+            return [ResultSet([]) for _ in fanout]
+        index = self.index()
+        lake_ids = [table.table_id for table in self.lake]
+        if not index.mirrors(lake_ids):
+            index = self._reconcile_index()
+            if not index.mirrors(lake_ids):
+                # The kernel cannot cover this lake; fall back to the
+                # sequential per-query path, which copes table by table.
+                looped: List[ResultSet] = []
+                for query, cands in jobs:
+                    if cands is None:
+                        looped.append(self.search(query, k=k))
+                    else:
+                        looped.append(
+                            self.search_candidates(
+                                query, cands, k=k, stats=stats
+                            )
+                        )
+                return [looped[slot] for slot in fanout]
+        start = time.perf_counter()
+        drop = self.drop_irrelevant
+        entities_in_table = self.mapping.entities_in_table
+        # Per-job candidate orders: dedup + lake membership (the
+        # sequential contract), then the drop-irrelevant filter.
+        ordered_of: List[Optional[List[str]]] = []
+        for _, cands in jobs:
+            if cands is None:
+                ordered_of.append(None)
+                continue
+            ordered = [
+                table_id for table_id in dict.fromkeys(cands)
+                if table_id in self.lake
+            ]
+            if drop:
+                ordered = [
+                    table_id for table_id in ordered
+                    if entities_in_table(table_id)
+                ]
+            ordered_of.append(ordered)
+        # Dedup query tuples across jobs: each distinct tuple is one
+        # kernel lane regardless of how many queries carry it.
+        tuple_slot: Dict[Tuple[str, ...], int] = {}
+        unique_tuples: List[Tuple[str, ...]] = []
+        job_tuples: List[List[int]] = []
+        for query, _ in jobs:
+            indices: List[int] = []
+            for query_tuple in query.tuples:
+                slot = tuple_slot.get(query_tuple)
+                if slot is None:
+                    slot = len(unique_tuples)
+                    tuple_slot[query_tuple] = slot
+                    unique_tuples.append(query_tuple)
+                indices.append(slot)
+            job_tuples.append(indices)
+        whole_lake = any(ordered is None for ordered in ordered_of)
+        segments = index.segments
+        num_segments = len(segments)
+        if whole_lake:
+            selections: List[Optional[np.ndarray]] = [None] * num_segments
+        else:
+            per_seg_positions: List[set] = [set() for _ in range(num_segments)]
+            for ordered in ordered_of:
+                for table_id in ordered:
+                    seg_index, position = index.locate_position(table_id)
+                    per_seg_positions[seg_index].add(position)
+            selections = [
+                np.asarray(sorted(positions), dtype=np.int64)
+                if positions else None
+                for positions in per_seg_positions
+            ]
+        per_segment: List[Optional[List[Tuple[np.ndarray, np.ndarray]]]] = []
+        for seg_index, segment in enumerate(segments):
+            if not whole_lake and selections[seg_index] is None:
+                # No job reads this segment; skip its pass entirely.
+                per_segment.append(None)
+                continue
+            per_segment.append(
+                self._segment_tuples(
+                    segment, unique_tuples, profile,
+                    selection=selections[seg_index],
+                )
+            )
+        # Flatten per-segment columns into lake-wide arrays so per-job
+        # reads are single fancy-index gathers.
+        seg_sizes = [len(segment.table_ids) for segment in segments]
+        seg_base = np.concatenate(
+            ([0], np.cumsum(np.asarray(seg_sizes, dtype=np.int64)))
+        )
+        flat_total = int(seg_base[-1])
+        flat_columns: List[np.ndarray] = []
+        flat_signals: List[np.ndarray] = []
+        for t in range(len(unique_tuples)):
+            column = np.zeros(flat_total, dtype=np.float64)
+            signal = np.zeros(flat_total, dtype=bool)
+            for seg_index, outputs in enumerate(per_segment):
+                if outputs is None:
+                    continue
+                lo = int(seg_base[seg_index])
+                hi = int(seg_base[seg_index + 1])
+                column[lo:hi] = outputs[t][0]
+                signal[lo:hi] = outputs[t][1]
+            flat_columns.append(column)
+            flat_signals.append(signal)
+        flat_of: Dict[str, int] = {}
+
+        def flat_position(table_id: str) -> int:
+            position = flat_of.get(table_id)
+            if position is None:
+                seg_index, seg_position = index.locate_position(table_id)
+                position = int(seg_base[seg_index]) + seg_position
+                flat_of[table_id] = position
+            return position
+
+        assembled_ids: List[str] = []
+        assembled_positions: Optional[np.ndarray] = None
+        if whole_lake:
+            # The lake-order assembly skeleton is shared by every
+            # whole-lake job in the batch — built once, not per query.
+            positions: List[int] = []
+            for table_id in lake_ids:
+                if drop and not entities_in_table(table_id):
+                    continue
+                assembled_ids.append(table_id)
+                positions.append(flat_position(table_id))
+            assembled_positions = np.asarray(positions, dtype=np.int64)
+        assembled_ids_arr = (
+            np.asarray(assembled_ids) if assembled_ids else None
+        )
+        aggregation_max = self.query_aggregation is QueryAggregation.MAX
+        job_results: List[ResultSet] = []
+        for job_index in range(len(jobs)):
+            indices = job_tuples[job_index]
+            ordered = ordered_of[job_index]
+            if ordered is None:
+                ids_list = assembled_ids
+                positions = assembled_positions
+            else:
+                if not ordered:
+                    if stats is not None:
+                        stats.record_scoring(0, 0, False)
+                    job_results.append(ResultSet([]))
+                    continue
+                ids_list = ordered
+                positions = np.asarray(
+                    [flat_position(table_id) for table_id in ordered],
+                    dtype=np.int64,
+                )
+            # Per-query aggregation over the shared tuple columns, in
+            # the query's own tuple order — numpy elementwise max /
+            # zero-seeded sum match Python max() / sum() bit for bit.
+            if aggregation_max:
+                score = flat_columns[indices[0]][positions].copy()
+                for tuple_index in indices[1:]:
+                    np.maximum(
+                        score, flat_columns[tuple_index][positions],
+                        out=score,
+                    )
+            else:
+                score = np.zeros(len(ids_list), dtype=np.float64)
+                for tuple_index in indices:
+                    score += flat_columns[tuple_index][positions]
+                score /= len(indices)
+            if drop:
+                signal = np.zeros(len(ids_list), dtype=bool)
+                for tuple_index in indices:
+                    signal |= flat_signals[tuple_index][positions]
+                keep = signal & (score > 0.0)
+            else:
+                keep = score > 0.0
+            kept = np.flatnonzero(keep)
+            if k is not None and kept.size > k:
+                # Per-query top-k without materializing the full
+                # ranking: ascending lexsort on (-score, table_id) is
+                # exactly ResultSet's sort key — ids are unique and
+                # numpy's unicode comparison orders like Python's — so
+                # the first k entries equal ``ResultSet(all).top(k)``
+                # bit for bit.
+                if ordered is None and assembled_ids_arr is not None:
+                    kept_ids = assembled_ids_arr[kept]
+                else:
+                    kept_ids = np.asarray(ids_list)[kept]
+                kept_scores_arr = score[kept]
+                order = np.lexsort((kept_ids, -kept_scores_arr))[:k]
+                result = ResultSet(
+                    ScoredTable(
+                        float(kept_scores_arr[position]),
+                        str(kept_ids[position]),
+                    )
+                    for position in order
+                )
+            else:
+                kept_scores = score[kept].tolist()
+                result = ResultSet([
+                    ScoredTable(kept_scores[i], ids_list[int(position)])
+                    for i, position in enumerate(kept)
+                ])
+                if k is not None:
+                    result = result.top(k)
+            profile.tables_scored += len(ids_list)
+            if ordered is not None and stats is not None:
+                stats.record_scoring(len(ids_list), len(ids_list), False)
+            job_results.append(result)
+        profile.total_seconds += time.perf_counter() - start
+        return [job_results[slot] for slot in fanout]
+
+    def search_many(
+        self,
+        queries: Dict[str, Query],
+        k: Optional[int] = None,
+        candidates: Optional[Dict[str, Iterable[str]]] = None,
+    ) -> Dict[str, ResultSet]:
+        """Batched :meth:`search_many`: one fused pass for the batch.
+
+        Same results as the inherited per-query loop (which
+        :meth:`search_batch` is bit-identical to), but the whole batch
+        rides one stacked kernel pass per segment.
+        """
+        ordered_ids = list(queries.keys())
+        batch = [queries[query_id] for query_id in ordered_ids]
+        restrictions: Optional[List[Optional[Iterable[str]]]] = None
+        if candidates is not None:
+            restrictions = [
+                candidates.get(query_id) for query_id in ordered_ids
+            ]
+        results = self.search_batch(batch, k=k, candidates=restrictions)
+        return dict(zip(ordered_ids, results))
 
     def score_table(
         self,

@@ -377,6 +377,8 @@ class CorpusIndex:
         self.kernel = compile_kernel(sigma, self.uris, self.id_of)
         self._rows = LRUCache(row_cache_size)
         self._tuples = LRUCache(max(1, row_cache_size // 8))
+        self._assignments = LRUCache(max(1, row_cache_size // 8))
+        self._columns = LRUCache(max(1, row_cache_size // 8))
         self._compile_corpus([table for table, _ in grids])
 
     def _compile_corpus(self, tables) -> None:
@@ -578,6 +580,8 @@ class CorpusIndex:
         index.kernel = kernel
         index._rows = LRUCache(row_cache_size)
         index._tuples = LRUCache(max(1, row_cache_size // 8))
+        index._assignments = LRUCache(max(1, row_cache_size // 8))
+        index._columns = LRUCache(max(1, row_cache_size // 8))
         index.table_ids = list(table_ids)
         index._table_pos = {
             table_id: position
@@ -642,6 +646,56 @@ class CorpusIndex:
         elif profile is not None:
             profile.similarity_calls += len(self.uris)
         return sims
+
+    def cached_assignment(self, query_tuple) -> Optional[np.ndarray]:
+        """Memoized whole-segment column assignment of one query tuple.
+
+        The engine's Section 5.1 assignment of a tuple against every
+        table of this (immutable) segment is a pure function of the
+        tuple, so repeated tuples — replayed queries, overlapping
+        micro-batches — skip the relevance bincount and the per-table
+        assignment solve entirely.  Only unrestricted (whole-segment)
+        assignments are stored or consulted: candidate-restricted
+        passes confine their relevance (and hence their gather set) to
+        the selection, which a whole-segment assignment would defeat.
+        """
+        return self._assignments.get(query_tuple)
+
+    def store_assignment(self, query_tuple, assignment: np.ndarray) -> None:
+        """Memoize a whole-segment assignment (see cached_assignment)."""
+        assignment.setflags(write=False)
+        self._assignments.put(query_tuple, assignment)
+
+    def cached_tuple_column(self, query_tuple, token):
+        """Memoized final ``(column, signal)`` of one tuple vs this segment.
+
+        The engine's complete per-tuple scoring of this (immutable)
+        segment — assignment, gather, residual tail — is deterministic
+        given the tuple and the engine configuration, so repeated
+        tuples skip the whole pass.  ``token`` captures that
+        configuration: ``(informativeness, row_aggregation,
+        tuple_semantics)``.  The informativeness object is replaced
+        (never mutated) on refresh and is compared by identity, so a
+        stale column can never be served after the weights change.
+        Only unrestricted (whole-segment) columns live here; see
+        :meth:`cached_assignment` for why restricted passes bypass it.
+        """
+        entry = self._columns.get(query_tuple)
+        if entry is None:
+            return None
+        stored_token, column, signal = entry
+        if stored_token[0] is not token[0] or stored_token[1:] != token[1:]:
+            return None
+        return column, signal
+
+    def store_tuple_column(
+        self, query_tuple, token,
+        column: np.ndarray, signal: np.ndarray,
+    ) -> None:
+        """Memoize one tuple's column (see cached_tuple_column)."""
+        column.setflags(write=False)
+        signal.setflags(write=False)
+        self._columns.put(query_tuple, (token, column, signal))
 
     def row_cache_stats(self) -> CacheStats:
         """Hit/miss counters of the similarity-row memo."""

@@ -125,6 +125,42 @@ def _score_shard_in_process(
     return _score_shard(_WORKER_ENGINE, query, table_ids)
 
 
+def _score_shard_batch(
+    engine: TableSearchEngine,
+    queries: List[Query],
+    candidate_lists: List[List[str]],
+    k: Optional[int],
+) -> Tuple[List[List[Tuple[float, str]]], ScoringProfile]:
+    """Score one shard against a whole micro-batch in one fused pass.
+
+    Returns one ``(score, table_id)`` pair list per query (aligned with
+    ``queries``) plus the shard's private profile.  Only dispatched for
+    engines exposing ``search_batch`` (the vectorized kernel); each
+    query's pairs are exactly what per-query :func:`_score_shard` over
+    its shard-restricted candidates would produce, truncated to the
+    per-shard top-k (safe: shards are disjoint, so per-shard top-k
+    partials merge to the global top-k).
+    """
+    profile = ScoringProfile()
+    rankings = engine.search_batch(  # type: ignore[attr-defined]
+        queries, k=k, candidates=candidate_lists, profile=profile
+    )
+    pairs = [
+        [(scored.score, scored.table_id) for scored in ranking]
+        for ranking in rankings
+    ]
+    return pairs, profile
+
+
+def _score_shard_batch_in_process(
+    queries: List[Query],
+    candidate_lists: List[List[str]],
+    k: Optional[int],
+) -> Tuple[List[List[Tuple[float, str]]], ScoringProfile]:
+    assert _WORKER_ENGINE is not None, "process pool not initialized"
+    return _score_shard_batch(_WORKER_ENGINE, queries, candidate_lists, k)
+
+
 def merge_topk(
     partials: Iterable[Iterable[Tuple[float, str]]],
     k: Optional[int] = None,
@@ -373,13 +409,104 @@ class ParallelSearchEngine:
         queries: Dict[str, Query],
         k: Optional[int] = None,
         candidates: Optional[Dict[str, Iterable[str]]] = None,
+        batch_stats=None,
     ) -> Dict[str, ResultSet]:
         """Batch counterpart of :meth:`search` (same contract as the
-        sequential :meth:`TableSearchEngine.search_many`)."""
-        results: Dict[str, ResultSet] = {}
-        for query_id, query in queries.items():
+        sequential :meth:`TableSearchEngine.search_many`).
+
+        With a ``search_batch``-capable engine (the vectorized kernel)
+        the whole micro-batch is sharded once: the shard basis is the
+        ordered union of every query's candidate ids, each shard runs
+        *one* fused multi-query pass, and per-query partials merge with
+        :func:`merge_topk` — bit-identical to per-query :meth:`search`.
+        Engines without ``search_batch`` keep the per-query loop.
+        ``batch_stats`` (a :class:`~repro.core.kernel.batchstats.
+        BatchStats`) is told which path ran.
+        """
+        query_ids = list(queries.keys())
+        batch = getattr(self.engine, "search_batch", None)
+        if batch is None or not query_ids:
+            if batch_stats is not None and query_ids:
+                batch_stats.record_looped(len(query_ids))
+            results: Dict[str, ResultSet] = {}
+            for query_id, query in queries.items():
+                restriction = (
+                    candidates.get(query_id)
+                    if candidates is not None else None
+                )
+                results[query_id] = self.search(
+                    query, k=k, candidates=restriction
+                )
+            return results
+        query_list = [queries[query_id] for query_id in query_ids]
+        id_lists: List[List[str]] = []
+        for query_id in query_ids:
             restriction = (
                 candidates.get(query_id) if candidates is not None else None
             )
-            results[query_id] = self.search(query, k=k, candidates=restriction)
+            id_lists.append(self._candidate_ids(restriction))
+        id_sets = [set(ids) for ids in id_lists]
+        # Shard basis: ordered union of every query's candidate ids, so
+        # each shard is scored once for the whole batch; per-query
+        # shard restrictions partition each query's own candidate list.
+        basis = list(
+            dict.fromkeys(tid for ids in id_lists for tid in ids)
+        )
+        shards = self._shards(basis)
+        if batch_stats is not None:
+            unique = len({
+                (query.tuples, frozenset(id_set))
+                for query, id_set in zip(query_list, id_sets)
+            })
+            batch_stats.record_batched(len(query_list), unique)
+
+        def shard_candidates(shard: List[str]) -> List[List[str]]:
+            return [
+                [tid for tid in shard if tid in id_set]
+                for id_set in id_sets
+            ]
+
+        if len(shards) <= 1:
+            # One shard: one in-process fused pass, no dispatch.
+            outcomes = (
+                [_score_shard_batch(
+                    self.engine, query_list, shard_candidates(basis), k
+                )]
+                if basis else []
+            )
+        elif self.backend == "thread":
+            pool = self._ensure_pool()
+            _widen_switch_interval()
+            try:
+                futures = [
+                    pool.submit(
+                        _score_shard_batch, self.engine, query_list,
+                        shard_candidates(shard), k,
+                    )
+                    for shard in shards
+                ]
+                outcomes = [future.result() for future in futures]
+            finally:
+                _restore_switch_interval()
+        else:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(
+                    _score_shard_batch_in_process, query_list,
+                    shard_candidates(shard), k,
+                )
+                for shard in shards
+            ]
+            outcomes = [future.result() for future in futures]
+        with self._lock:
+            for _, shard_profile in outcomes:
+                self.engine.profile.merge(shard_profile)
+        results = {}
+        for position, query_id in enumerate(query_ids):
+            merged = merge_topk(
+                (pairs[position] for pairs, _ in outcomes), k
+            )
+            results[query_id] = ResultSet(
+                ScoredTable(score, table_id) for score, table_id in merged
+            )
         return results

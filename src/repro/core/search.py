@@ -479,9 +479,24 @@ class TableSearchEngine:
             ``queries`` (missing keys search the whole lake).
         """
         results: Dict[str, ResultSet] = {}
+        # Identical queries (same tuples, same canonical candidate
+        # list) share one ranking: common under loadgen replay, and a
+        # ResultSet is immutable so sharing by reference is safe.
+        memo: Dict[Tuple, ResultSet] = {}
         for query_id, query in queries.items():
             restriction = (
                 candidates.get(query_id) if candidates is not None else None
             )
-            results[query_id] = self.search(query, k=k, candidates=restriction)
+            if restriction is not None:
+                restriction = list(restriction)
+            key = (
+                query.tuples,
+                None if restriction is None
+                else tuple(dict.fromkeys(restriction)),
+            )
+            ranking = memo.get(key)
+            if ranking is None:
+                ranking = self.search(query, k=k, candidates=restriction)
+                memo[key] = ranking
+            results[query_id] = ranking
         return results

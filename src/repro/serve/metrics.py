@@ -118,6 +118,7 @@ class ServerMetrics:
         self.timeout_total = 0  # guarded-by: _lock
         self.batches_total = 0  # guarded-by: _lock
         self.batched_queries_total = 0  # guarded-by: _lock
+        self._batch_occupancy: Dict[int, int] = {}  # guarded-by: _lock
         self.snapshot_swaps_total = 0  # guarded-by: _lock
         self._latency: Dict[str, LatencyHistogram] = {}  # guarded-by: _lock
 
@@ -154,6 +155,10 @@ class ServerMetrics:
         with self._lock:
             self.batches_total += 1
             self.batched_queries_total += size
+            size = max(0, int(size))
+            self._batch_occupancy[size] = (
+                self._batch_occupancy.get(size, 0) + 1
+            )
 
     def snapshot_swapped(self) -> None:
         with self._lock:
@@ -187,6 +192,7 @@ class ServerMetrics:
         prefilter_stats: Optional[Dict[str, Any]] = None,
         uptime_seconds: float = 0.0,
         cluster_stats: Optional[Dict[str, Any]] = None,
+        batch_stats: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         """The ``GET /metrics`` document."""
         # One consistent snapshot of every counter; the histogram
@@ -194,6 +200,7 @@ class ServerMetrics:
         with self._lock:
             batches = self.batches_total
             batched = self.batched_queries_total
+            occupancy = dict(sorted(self._batch_occupancy.items()))
             rejected = self.rejected_total
             timeouts = self.timeout_total
             swaps = self.snapshot_swaps_total
@@ -253,6 +260,17 @@ class ServerMetrics:
             # hedged retries, and degraded responses (see
             # repro.cluster.coordinator.ClusterMetrics).
             payload["cluster"] = dict(cluster_stats)
+        if batch_stats is not None:
+            # Multi-query batched scoring counters: the micro-batch
+            # occupancy histogram (batch size -> batches observed) plus
+            # the engine-side batched-vs-looped kernel dispatch tallies
+            # (see repro.core.kernel.batchstats.BatchStats).
+            payload["batch"] = {
+                "occupancy": {
+                    str(size): count for size, count in occupancy.items()
+                },
+                **dict(batch_stats),
+            }
         return payload
 
 

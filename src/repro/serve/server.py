@@ -367,6 +367,7 @@ class ThetisServer:
         cache_stats = None
         index_stats = None
         prefilter_stats = None
+        batch_stats = None
         try:
             with self.snapshots.checkout() as snapshot:
                 cache_stats = snapshot.thetis.cache_stats(
@@ -378,6 +379,7 @@ class ThetisServer:
                 if stats is not None:
                     index_stats = stats.as_dict()
                 prefilter_stats = snapshot.thetis.prefilter_stats.as_dict()
+                batch_stats = snapshot.thetis.batch_stats.as_dict()
         except (ServeError, ReproError):
             pass  # mid-shutdown scrape: serve counters without cache view
         return self.metrics.to_json(
@@ -388,6 +390,7 @@ class ThetisServer:
             index_stats=index_stats,
             prefilter_stats=prefilter_stats,
             uptime_seconds=time.monotonic() - self._started_at,
+            batch_stats=batch_stats,
         )
 
     # ------------------------------------------------------------------
@@ -443,12 +446,15 @@ class ThetisServer:
         """Execute one coalesced batch against the pinned snapshot.
 
         Jobs sharing ``(mode, method, k, use_lsh, votes)`` run through
-        one ``search_many`` pass; rankings are bit-identical to
+        one ``search_many`` pass — with a vectorized engine that is a
+        single fused multi-query kernel pass over the corpus, in both
+        exact and prefilter mode; rankings are bit-identical to
         per-request ``Thetis.search`` calls (property-tested).
-        Prefilter-mode jobs run the candidate pipeline per query, with
-        every Nth one (``prefilter_guardrail_every``) cross-checked
-        against the exact ranking.  An exception is confined to the
-        jobs of its group.
+        Prefilter-mode jobs generate their LSH shortlists per query
+        (with every Nth one, ``prefilter_guardrail_every``,
+        cross-checked against the exact ranking), then rescore all
+        shortlists in one batched pass.  An exception is confined to
+        the jobs of its group.
         """
         outcomes: List[Any] = [None] * len(jobs)
         with self.snapshots.checkout() as snapshot:
@@ -469,21 +475,23 @@ class ThetisServer:
                             )
                     elif mode == "prefilter":
                         for index in indices:
-                            query = jobs[index].query
                             if self._guardrail_due():
                                 # Runs both rankings and records the
                                 # recall sample, but still answers from
                                 # the prefiltered one (the guardrail
                                 # observes, it does not rewrite).
                                 thetis.prefilter_recall(
-                                    query, k=k, method=method, votes=votes
+                                    jobs[index].query, k=k,
+                                    method=method, votes=votes,
                                 )
+                        results = thetis.search_many(
+                            {str(i): jobs[i].query for i in indices},
+                            k=k, method=method, mode="prefilter",
+                            votes=votes,
+                        )
+                        for index in indices:
                             outcomes[index] = _QueryOutcome(
-                                thetis.search(
-                                    query, k=k, method=method,
-                                    mode="prefilter", votes=votes,
-                                ),
-                                snapshot.version,
+                                results[str(index)], snapshot.version
                             )
                     else:
                         results = thetis.search_many(

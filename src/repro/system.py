@@ -9,11 +9,16 @@ tuples with or without LSH prefiltering.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.aggregation import QueryAggregation, RowAggregation
 from repro.core.cache import DEFAULT_SIMILARITY_CACHE_SIZE, CacheStats
-from repro.core.kernel import ENGINE_KINDS, PrefilterStats, engine_class
+from repro.core.kernel import (
+    ENGINE_KINDS,
+    BatchStats,
+    PrefilterStats,
+    engine_class,
+)
 from repro.core.parallel import ParallelSearchEngine
 from repro.core.query import Query
 from repro.core.result import ResultSet
@@ -155,6 +160,9 @@ class Thetis:
         # synchronized, and shared across snapshot generations by
         # seed_engines_from so /metrics survives copy-and-swap.
         self.prefilter_stats = PrefilterStats()
+        # Batched-vs-looped dispatch counters for search_many; same
+        # sharing discipline as prefilter_stats.
+        self.batch_stats = BatchStats()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -295,8 +303,9 @@ class Thetis:
             engine.seed_views_from(source)
             seeded += 1
         # Serving counters continue across the swap: both generations
-        # record into the same (thread-safe) stats object.
+        # record into the same (thread-safe) stats objects.
         self.prefilter_stats = other.prefilter_stats
+        self.batch_stats = other.batch_stats
         return seeded
 
     def index_stats(self, method: str = "types"):
@@ -559,21 +568,46 @@ class Thetis:
         """Run a batch of queries; identical to per-query :meth:`search`.
 
         This is the entry point the serving layer's micro-batcher uses:
-        coalesced concurrent requests share one warm pass over the
-        engine (and its persistent similarity cache) while every
+        the whole micro-batch rides one fused multi-query kernel pass
+        (:meth:`~repro.core.kernel.engine.VectorizedTableSearchEngine.
+        search_batch`) instead of looping query by query, while every
         ranking stays bit-identical to a sequential :meth:`search`.
-        ``mode="prefilter"`` runs each query through the candidate
-        pipeline (prefilter shortlists are query-specific, so the
-        batch iterates; the fused kernel keeps each pass cheap).
+        ``mode="prefilter"`` generates each query's LSH shortlist,
+        then scores all shortlists in the same fused pass (selections
+        are unioned for the shared gather and masked per query).
+        Scalar engines keep the per-query loop; both outcomes are
+        tallied in :attr:`batch_stats`.
         """
         self._check_open("search_many")
         self._check_mode(mode)
+        query_ids = list(queries.keys())
         if mode == "prefilter":
-            return {
-                query_id: self._search_prefiltered(
-                    query, k, method, lsh_config, votes
+            candidate_lists = [
+                self._prefilter_candidates(
+                    queries[query_id], method, lsh_config, votes
                 )
-                for query_id, query in queries.items()
+                for query_id in query_ids
+            ]
+            engine = self.engine(method)
+            batch = getattr(engine, "search_batch", None)
+            if batch is not None:
+                rankings = batch(
+                    [queries[query_id] for query_id in query_ids],
+                    k=k,
+                    candidates=candidate_lists,
+                    stats=self.prefilter_stats,
+                    batch_stats=self.batch_stats,
+                )
+                return dict(zip(query_ids, rankings))
+            from repro.core.topk import topk_search
+
+            self.batch_stats.record_looped(len(query_ids))
+            return {
+                query_id: topk_search(
+                    engine, queries[query_id], k,
+                    candidates=shortlist, stats=self.prefilter_stats,
+                )
+                for query_id, shortlist in zip(query_ids, candidate_lists)
             }
         candidates: Optional[Dict[str, Iterable[str]]] = None
         if use_lsh:
@@ -584,11 +618,26 @@ class Thetis:
             }
         if self.workers > 1:
             return self.parallel_engine(method).search_many(
-                queries, k=k, candidates=candidates
+                queries, k=k, candidates=candidates,
+                batch_stats=self.batch_stats,
             )
-        return self.engine(method).search_many(
-            queries, k=k, candidates=candidates
-        )
+        engine = self.engine(method)
+        batch = getattr(engine, "search_batch", None)
+        if batch is not None:
+            restrictions = None
+            if candidates is not None:
+                restrictions = [
+                    candidates.get(query_id) for query_id in query_ids
+                ]
+            rankings = batch(
+                [queries[query_id] for query_id in query_ids],
+                k=k,
+                candidates=restrictions,
+                batch_stats=self.batch_stats,
+            )
+            return dict(zip(query_ids, rankings))
+        self.batch_stats.record_looped(len(query_ids))
+        return engine.search_many(queries, k=k, candidates=candidates)
 
     def search_shard(
         self,
@@ -640,6 +689,74 @@ class Thetis:
                 query, k=k, candidates=shard_ids
             )
         return self.engine(method).search(query, k=k, candidates=shard_ids)
+
+    def search_shard_batch(
+        self,
+        queries: Sequence[Query],
+        shard: Iterable[str],
+        k: int = 10,
+        method: str = "types",
+        lsh_config: LSHConfig = RECOMMENDED_CONFIG,
+        votes: int = 1,
+        mode: str = "exact",
+    ) -> List[ResultSet]:
+        """Score a scattered micro-batch against one shard in one pass.
+
+        The batched analogue of :meth:`search_shard`, used by cluster
+        workers when the coordinator scatters a whole micro-batch:
+        every query's shard partial comes out of a single fused kernel
+        pass (:meth:`~repro.core.kernel.engine.
+        VectorizedTableSearchEngine.search_batch` with the shard as
+        each query's candidate set), bit-identical per query to
+        :meth:`search_shard`.  ``mode="prefilter"`` generates each
+        query's LSH shortlist, intersects it with ``shard`` preserving
+        shortlist order, and scores all intersections in the same
+        shared pass.  Scalar engines fall back to the per-query loop;
+        both outcomes are tallied in :attr:`batch_stats`.
+        """
+        self._check_open("search_shard_batch")
+        self._check_mode(mode)
+        shard_ids = list(shard)
+        batch_queries = list(queries)
+        if not batch_queries:
+            return []
+        engine = self.engine(method)
+        batch = getattr(engine, "search_batch", None)
+        if mode == "prefilter":
+            members = set(shard_ids)
+            candidate_lists = []
+            for query in batch_queries:
+                candidates = self._prefilter_candidates(
+                    query, method, lsh_config, votes
+                )
+                candidate_lists.append(
+                    [tid for tid in candidates if tid in members]
+                )
+            if batch is not None:
+                return batch(
+                    batch_queries, k=k, candidates=candidate_lists,
+                    stats=self.prefilter_stats,
+                    batch_stats=self.batch_stats,
+                )
+            from repro.core.topk import topk_search
+
+            self.batch_stats.record_looped(len(batch_queries))
+            return [
+                topk_search(engine, query, k, candidates=shortlist,
+                            stats=self.prefilter_stats)
+                for query, shortlist in zip(batch_queries, candidate_lists)
+            ]
+        if batch is not None:
+            return batch(
+                batch_queries, k=k,
+                candidates=[shard_ids] * len(batch_queries),
+                batch_stats=self.batch_stats,
+            )
+        self.batch_stats.record_looped(len(batch_queries))
+        return [
+            self.engine(method).search(query, k=k, candidates=shard_ids)
+            for query in batch_queries
+        ]
 
     def search_topk(self, query: Query, k: int = 10,
                     method: str = "types") -> ResultSet:
