@@ -14,8 +14,15 @@ cd "$(dirname "$0")/.."
 WORKERS="${1:-2}"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== lint: repro.analysis static checks =="
-python -m repro.analysis src/repro --format json --fail-on warning
+echo "== lint: repro.analysis static checks (syntax + flow passes) =="
+LINT_START=$SECONDS
+python -m repro.analysis src/repro --format json --fail-on warning \
+    --jobs "$WORKERS"
+echo "lint wall-time: $((SECONDS - LINT_START))s"
+
+echo
+echo "== lint self-check: injected violations must fail the stage =="
+python scripts/lint_selfcheck.py
 
 echo
 echo "== tier-1 test suite =="

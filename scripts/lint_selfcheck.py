@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""CI self-check for the whole-program flow lint passes.
+
+A lint stage that silently stopped finding anything would pass CI
+forever, so this script proves the flow passes still bite: it writes a
+scratch tree containing one synthetic AB/BA lock-order cycle and one
+wire-to-engine taint bypass, runs ``python -m repro.analysis`` over it
+exactly the way the CI lint stage runs over ``src/repro``, and fails
+unless the run (a) exits non-zero and (b) reports both expected rules.
+
+Run from the repository root (ci.sh does)::
+
+    python scripts/lint_selfcheck.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import textwrap
+from pathlib import Path
+
+LOCK_CYCLE = """\
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.journal = Journal()
+
+    def post(self):
+        with self._lock:
+            self.journal.append()
+
+
+class Journal:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.ledger: "Ledger" = None
+
+    def append(self):
+        with self._lock:
+            pass
+
+    def replay(self, ledger: "Ledger"):
+        with self._lock:
+            ledger.post()
+"""
+
+TAINT_BYPASS = """\
+from repro.cluster.protocol import read_frame
+
+
+class Searcher:
+    def search(self, query, k=10):
+        return []
+
+
+async def handle(reader, searcher: Searcher):
+    message = await read_frame(reader)
+    return searcher.search(message.get("query"), k=message.get("k"))
+"""
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="lint-selfcheck-") as scratch:
+        root = Path(scratch)
+        (root / "lock_cycle.py").write_text(
+            textwrap.dedent(LOCK_CYCLE), encoding="utf-8"
+        )
+        (root / "taint_bypass.py").write_text(
+            textwrap.dedent(TAINT_BYPASS), encoding="utf-8"
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(root),
+             "--no-baseline", "--format", "json", "--fail-on", "error"],
+            capture_output=True, text=True,
+        )
+        if result.returncode == 0:
+            print("lint_selfcheck: FAIL — injected violations did not "
+                  "fail the lint stage", file=sys.stderr)
+            print(result.stdout, file=sys.stderr)
+            return 1
+        try:
+            document = json.loads(result.stdout)
+        except json.JSONDecodeError:
+            print("lint_selfcheck: FAIL — lint did not emit JSON:",
+                  file=sys.stderr)
+            print(result.stdout, file=sys.stderr)
+            print(result.stderr, file=sys.stderr)
+            return 1
+        rules = {finding["rule"] for finding in document["findings"]}
+        missing = {"lock-order", "wire-taint"} - rules
+        if missing:
+            print(f"lint_selfcheck: FAIL — expected rules {sorted(missing)} "
+                  f"did not fire (got {sorted(rules)})", file=sys.stderr)
+            return 1
+        cycles = document["artifacts"]["lock_order"]["cycles"]
+        if not cycles:
+            print("lint_selfcheck: FAIL — lock-order artifacts report no "
+                  "cycle for the injected AB/BA pair", file=sys.stderr)
+            return 1
+        print("lint_selfcheck: ok — injected lock-order cycle and taint "
+              f"bypass both detected ({len(document['findings'])} "
+              "finding(s))")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,12 +15,19 @@ import argparse
 import json
 import subprocess
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis.baseline import Baseline, find_baseline_file
 from repro.analysis.engine import SEVERITIES, LintEngine, LintReport
-from repro.analysis.rules import ALL_RULES, get_rules
+from repro.analysis.rules import (
+    ALL_RULES,
+    PASS_GROUPS,
+    flow_rules,
+    get_rules,
+    rules_for_passes,
+)
 from repro.exceptions import AnalysisError
 
 #: Default lint target when no paths are given.
@@ -55,8 +62,28 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--passes", choices=PASS_GROUPS, default="all",
+        help="pass groups to run: per-file 'syntax' rules, "
+             "whole-program 'flow' rules, or 'all' (default)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker threads for the per-file phase (default: 1)",
+    )
+    parser.add_argument(
         "--changed-only", action="store_true",
-        help="lint only files that differ from HEAD (plus untracked)",
+        help="lint only files that differ from HEAD (plus untracked); "
+             "disables the whole-program flow passes",
+    )
+    parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="run a full lint, then rewrite the baseline file dropping "
+             "entries that no longer match any finding",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="with --prune-baseline: report what would be dropped "
+             "without rewriting the file",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -76,11 +103,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _list_rules() -> int:
-    width = max(len(rule.id) for rule in ALL_RULES)
-    for rule in ALL_RULES:
-        scope = "/".join(getattr(rule, "scoped_to", rule.scope)) or "all"
-        print(f"{rule.id:<{width}}  {rule.severity:<7}  "
-              f"[{scope}]  {rule.description}")
+    groups = (("syntax", ALL_RULES), ("flow", flow_rules()))
+    width = max(
+        len(rule.id) for _, rules in groups for rule in rules
+    )
+    for group, rules in groups:
+        print(f"# {group} passes")
+        for rule in rules:
+            scope = "/".join(getattr(rule, "scoped_to", rule.scope)) or "all"
+            print(f"{rule.id:<{width}}  {rule.severity:<7}  "
+                  f"[{scope}]  {rule.description}")
     return 0
 
 
@@ -143,7 +175,8 @@ def _load_baseline(args: argparse.Namespace,
     return Baseline.load(discovered)
 
 
-def _emit_text(report: LintReport, fail_on: str) -> None:
+def _emit_text(report: LintReport, fail_on: str,
+               elapsed: float) -> None:
     for finding in report.findings:
         print(finding.format_text())
     counts = report.counts()
@@ -153,7 +186,7 @@ def _emit_text(report: LintReport, fail_on: str) -> None:
     print(
         f"repro.analysis: {len(report.findings)} finding(s) "
         f"({summary}) across {report.files_checked} file(s); "
-        f"{len(report.baselined)} baselined"
+        f"{len(report.baselined)} baselined; {elapsed:.2f}s"
     )
     if report.stale_baseline:
         print(
@@ -165,7 +198,8 @@ def _emit_text(report: LintReport, fail_on: str) -> None:
             print(f"  [{rule}] {path}: {message}", file=sys.stderr)
 
 
-def _emit_json(report: LintReport, fail_on: str) -> None:
+def _emit_json(report: LintReport, fail_on: str,
+               elapsed: float) -> None:
     document = {
         "findings": [finding.to_json() for finding in report.findings],
         "counts": report.counts(),
@@ -175,40 +209,113 @@ def _emit_json(report: LintReport, fail_on: str) -> None:
             {"rule": rule, "path": path, "message": message}
             for rule, path, message in report.stale_baseline
         ],
+        "artifacts": report.artifacts,
+        "elapsed_seconds": round(elapsed, 3),
         "fail_on": fail_on,
         "failed": report.gates(fail_on),
     }
     print(json.dumps(document, indent=2, sort_keys=True))
 
 
+def _prune_baseline(args: argparse.Namespace, report: LintReport,
+                    baseline: Baseline) -> int:
+    """Rewrite the baseline file dropping entries that match nothing."""
+    if baseline.source is None:
+        print("repro.analysis: no baseline file to prune",
+              file=sys.stderr)
+        return 0
+    stale = set(report.stale_baseline)
+    if not stale:
+        print(f"repro.analysis: baseline {baseline.source} is tight; "
+              "nothing to prune")
+        return 0
+    for rule, path, message in sorted(stale):
+        verb = "would drop" if args.dry_run else "dropping"
+        print(f"repro.analysis: {verb} [{rule}] {path}: {message}")
+    if args.dry_run:
+        print(f"repro.analysis: --dry-run; {len(stale)} stale "
+              f"entr(ies) left in {baseline.source}")
+        return 0
+    # Rewrite from the raw document so non-entry keys (the top-level
+    # "comment", say) and per-entry reasons survive untouched.
+    document = json.loads(
+        Path(baseline.source).read_text(encoding="utf-8")
+    )
+    document["entries"] = [
+        entry for entry in document.get("entries", [])
+        if (entry.get("rule"), entry.get("path"),
+            entry.get("message")) not in stale
+    ]
+    Path(baseline.source).write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"repro.analysis: pruned {len(stale)} stale entr(ies) from "
+          f"{baseline.source}")
+    return 0
+
+
 def run(args: argparse.Namespace) -> int:
     """Execute a parsed lint invocation; returns the exit code."""
     if args.list_rules:
         return _list_rules()
-    try:
-        rules = (
-            get_rules([rid.strip() for rid in args.rules.split(",")
-                       if rid.strip()])
-            if args.rules else ALL_RULES
+    if args.prune_baseline and args.changed_only:
+        print(
+            "repro.analysis: error: --prune-baseline needs a full run; "
+            "drop --changed-only",
+            file=sys.stderr,
         )
+        return 2
+    try:
+        if args.rules:
+            rules = get_rules(
+                [rid.strip() for rid in args.rules.split(",")
+                 if rid.strip()]
+            )
+        else:
+            rules = rules_for_passes(args.passes)
+        if args.changed_only:
+            # Whole-program facts (call graph, lock graph, taint
+            # summaries) are wrong on a partial file set.
+            project_rules = [
+                rule for rule in rules if getattr(rule, "project", False)
+            ]
+            if project_rules:
+                print(
+                    "repro.analysis: --changed-only disables the "
+                    "whole-program flow passes ("
+                    + ", ".join(rule.id for rule in project_rules)
+                    + ")",
+                    file=sys.stderr,
+                )
+                rules = tuple(
+                    rule for rule in rules
+                    if not getattr(rule, "project", False)
+                )
+            if not rules:
+                print("repro.analysis: nothing to lint", file=sys.stderr)
+                return 0
         targets = _resolve_targets(args)
         if not targets:
             print("repro.analysis: nothing to lint", file=sys.stderr)
             return 0
         baseline = _load_baseline(args, targets)
         engine = LintEngine(rules, baseline=baseline)
-        report = engine.run(targets)
+        started = time.monotonic()
+        report = engine.run(targets, jobs=max(1, args.jobs))
+        elapsed = time.monotonic() - started
     except AnalysisError as exc:
         print(f"repro.analysis: error: {exc}", file=sys.stderr)
         return 2
+    if args.prune_baseline:
+        return _prune_baseline(args, report, baseline)
     if args.changed_only:
         # A partial run cannot tell a stale entry from one whose file
         # simply was not linted; only full runs report staleness.
         report.stale_baseline = []
     if args.format == "json":
-        _emit_json(report, args.fail_on)
+        _emit_json(report, args.fail_on, elapsed)
     else:
-        _emit_text(report, args.fail_on)
+        _emit_text(report, args.fail_on, elapsed)
     return 1 if report.gates(args.fail_on) else 0
 
 

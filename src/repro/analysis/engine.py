@@ -28,7 +28,7 @@ import ast
 import io
 import re
 import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -121,6 +121,34 @@ class SourceFile:
         return Path(self.display).parts
 
 
+#: Process-wide parse cache: resolved path -> (key, SourceFile) where
+#: key is (mtime_ns, size, display).  Parsing plus comment tokenizing
+#: dominates lint wall-time; repeated runs in one process (tests, the
+#: prune-baseline double pass) hit the cache instead.
+_PARSE_CACHE: Dict[str, Tuple[Tuple[int, int, str], SourceFile]] = {}
+
+
+def load_source(path: Path, display: str) -> SourceFile:
+    """Parse ``path`` into a :class:`SourceFile`, memoized by
+    ``(path, mtime, size)`` so unchanged files parse once per process."""
+    resolved = str(Path(path).resolve())
+    try:
+        stat = Path(path).stat()
+        key = (stat.st_mtime_ns, stat.st_size, display)
+    except OSError:
+        key = None
+    if key is not None:
+        cached = _PARSE_CACHE.get(resolved)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+    source = SourceFile(
+        Path(path), display, Path(path).read_text(encoding="utf-8")
+    )
+    if key is not None:
+        _PARSE_CACHE[resolved] = (key, source)
+    return source
+
+
 class _Suppressions:
     """Pragma-derived suppression state for one file."""
 
@@ -142,14 +170,22 @@ class _Suppressions:
             else:
                 self.by_line.setdefault(line, set()).update(rules)
         # A pragma on a def/class line covers the whole definition.
+        # Decorated definitions anchor on any decorator line too: the
+        # pragma naturally lands next to whichever line the author is
+        # looking at, and the span must start at the first decorator so
+        # findings reported against decorator lines are also covered.
         for node in ast.walk(source.tree):
             if isinstance(
                 node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
             ):
-                rules = self.by_line.get(node.lineno)
+                decorators = getattr(node, "decorator_list", [])
+                anchors = [node.lineno] + [d.lineno for d in decorators]
+                rules: Set[str] = set()
+                for line in anchors:
+                    rules |= self.by_line.get(line, set())
                 if rules:
                     end = node.end_lineno or node.lineno
-                    self.spans.append((node.lineno, end, set(rules)))
+                    self.spans.append((min(anchors), end, rules))
 
     def suppresses(self, finding: Finding) -> bool:
         for rules in (
@@ -174,6 +210,9 @@ class LintReport:
     baselined: List[Finding]
     stale_baseline: List[Tuple[str, str, str]]
     files_checked: int
+    #: JSON-able data published by project-wide passes (e.g. the
+    #: lock-order pass's acquisition graph).
+    artifacts: Dict[str, object] = field(default_factory=dict)
 
     def counts(self) -> Dict[str, int]:
         counts = {severity: 0 for severity in SEVERITIES}
@@ -242,9 +281,14 @@ class LintEngine:
             return Path(path).as_posix()
 
     # ------------------------------------------------------------------
-    def check_source(self, source: SourceFile) -> List[Finding]:
+    def check_source(
+        self,
+        source: SourceFile,
+        suppressions: Optional[_Suppressions] = None,
+    ) -> List[Finding]:
         """All pragma-filtered findings of every applicable rule."""
-        suppressions = _Suppressions(source)
+        if suppressions is None:
+            suppressions = _Suppressions(source)
         findings: List[Finding] = []
         for rule in self.rules:
             if not rule.applies(source):
@@ -255,27 +299,73 @@ class LintEngine:
         findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
         return findings
 
-    def run(self, paths: Iterable[Path]) -> LintReport:
-        """Lint ``paths`` (files or directories) and apply the baseline."""
+    def _process_file(
+        self, path: Path
+    ) -> Tuple[Optional[SourceFile], Optional[_Suppressions], List[Finding]]:
+        """Parse one file and run the per-file rules over it."""
+        display = self.display_path(path)
+        try:
+            source = load_source(path, display)
+        except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+            finding = Finding(
+                rule="parse-error",
+                severity="error",
+                path=display,
+                line=getattr(exc, "lineno", None) or 1,
+                message=f"could not parse file: {exc}",
+            )
+            return (None, None, [finding])
+        suppressions = _Suppressions(source)
+        return (source, suppressions,
+                self.check_source(source, suppressions))
+
+    def run(self, paths: Iterable[Path], jobs: int = 1) -> LintReport:
+        """Lint ``paths`` (files or directories) and apply the baseline.
+
+        Per-file rules run first (optionally across ``jobs`` worker
+        threads — parsing releases the GIL poorly but tokenizing and
+        rule checks interleave well enough to help on large trees);
+        project-wide rules then run once over every successfully parsed
+        file.  Output ordering is deterministic regardless of ``jobs``.
+        """
         files = self.discover(paths)
+        if jobs > 1 and len(files) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                outcomes = list(pool.map(self._process_file, files))
+        else:
+            outcomes = [self._process_file(path) for path in files]
         collected: List[Finding] = []
-        for path in files:
-            display = self.display_path(path)
-            try:
-                text = path.read_text(encoding="utf-8")
-                source = SourceFile(path, display, text)
-            except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
-                collected.append(
-                    Finding(
-                        rule="parse-error",
-                        severity="error",
-                        path=display,
-                        line=getattr(exc, "lineno", None) or 1,
-                        message=f"could not parse file: {exc}",
-                    )
-                )
-                continue
-            collected.extend(self.check_source(source))
+        sources: List[SourceFile] = []
+        suppressions_by_path: Dict[str, _Suppressions] = {}
+        for source, suppressions, findings in outcomes:
+            collected.extend(findings)
+            if source is not None and suppressions is not None:
+                sources.append(source)
+                suppressions_by_path[source.display] = suppressions
+        artifacts: Dict[str, object] = {}
+        project_rules = [
+            rule for rule in self.rules if getattr(rule, "project", False)
+        ]
+        if project_rules and sources:
+            # Imported here: the flow package depends on this module.
+            from repro.analysis.flow.symbols import Project
+
+            project = Project(sources)
+            project_findings: List[Finding] = []
+            for rule in project_rules:
+                for finding in rule.check_project(project):
+                    suppressions = suppressions_by_path.get(finding.path)
+                    if suppressions is None or not suppressions.suppresses(
+                        finding
+                    ):
+                        project_findings.append(finding)
+                artifacts.update(rule.artifacts())
+            project_findings.sort(
+                key=lambda f: (f.path, f.line, f.rule, f.message)
+            )
+            collected.extend(project_findings)
         active: List[Finding] = []
         baselined: List[Finding] = []
         for finding in collected:
@@ -288,4 +378,5 @@ class LintEngine:
             baselined=baselined,
             stale_baseline=self.baseline.stale_entries(),
             files_checked=len(files),
+            artifacts=artifacts,
         )

@@ -1,0 +1,42 @@
+"""Whole-program, flow-aware analysis passes for :mod:`repro.analysis`.
+
+The per-file rule packs check one :class:`SourceFile` at a time; the
+flow layer sees the whole ``src/repro`` tree at once:
+
+* :mod:`repro.analysis.flow.symbols` builds a project-wide symbol
+  table and call graph (module/class/function resolution, method
+  resolution through ``self``, resolved imports);
+* :mod:`repro.analysis.flow.cfg` builds per-function control-flow
+  graphs and runs a small worklist dataflow solver over them — the
+  abstract-state machinery every pass below reuses;
+* three interprocedural passes register as ordinary rules:
+  ``lock-order`` (:mod:`.lock_order`), ``wire-taint``
+  (:mod:`.wire_taint`) and ``dtype-flow`` (:mod:`.dtype_flow`).
+
+Flow rules subclass :class:`FlowRule` (``project = True``) and are
+dispatched once per run with the whole :class:`~.symbols.Project`
+instead of once per file; their findings still flow through the normal
+pragma/baseline machinery.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.flow.base import FlowRule
+from repro.analysis.flow.dtype_flow import DtypeFlowRule
+from repro.analysis.flow.lock_order import LockOrderRule
+from repro.analysis.flow.wire_taint import WireTaintRule
+
+__all__ = [
+    "FLOW_RULES",
+    "DtypeFlowRule",
+    "FlowRule",
+    "LockOrderRule",
+    "WireTaintRule",
+]
+
+#: The shipped flow pack, in catalog order.
+FLOW_RULES = (
+    LockOrderRule(),
+    WireTaintRule(),
+    DtypeFlowRule(),
+)

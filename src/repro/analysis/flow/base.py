@@ -1,0 +1,51 @@
+"""Base class shared by the whole-program flow rules."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator
+
+from repro.analysis.engine import Finding
+from repro.analysis.rules.base import Rule
+
+
+class FlowRule(Rule):
+    """A rule dispatched once per run with the whole project.
+
+    The engine calls :meth:`check_project` after the per-file rules,
+    passing the :class:`~repro.analysis.flow.symbols.Project` built
+    from every parsed file of the run.  Findings still carry ordinary
+    ``(rule, path, line, message)`` coordinates, so inline pragmas and
+    baseline entries apply unchanged.
+
+    :meth:`artifacts` may return JSON-able data describing the pass's
+    intermediate structures (the lock-order pass publishes its
+    acquisition graph here); the CLI embeds them in ``--format json``
+    output.
+    """
+
+    #: Marks the rule as project-wide for the engine's dispatch.
+    project = True
+
+    def check_project(self, project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def artifacts(self) -> Dict[str, Any]:
+        """JSON-able pass artifacts from the most recent run."""
+        return {}
+
+    # Per-file dispatch never applies to flow rules.
+    def applies(self, source) -> bool:
+        return False
+
+    def check(self, source) -> Iterator[Finding]:
+        return iter(())
+
+    def project_finding(self, display: str, line: int,
+                        message: str, rule_id: str = "") -> Finding:
+        return Finding(
+            rule=rule_id or self.id,
+            severity=self.severity,
+            path=display,
+            line=line,
+            message=message,
+        )

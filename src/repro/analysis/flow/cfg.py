@@ -1,0 +1,284 @@
+"""Per-function control-flow graphs and a small worklist solver.
+
+Every flow pass shares this machinery: a function body is lowered to
+basic blocks of simple statements with explicit successor edges, and
+:func:`solve_forward` iterates transfer functions to a fixpoint over
+them.  The lattice is supplied by the pass as a pair of callables —
+``join(a, b)`` (the confluence operator: union for may-analyses like
+taint, intersection for must-analyses like locks-held) and
+``transfer(state, statement)`` (the per-statement abstract step).
+
+Construction handles ``if``/``while``/``for``/``try``/``with``/
+``match``-free Python (the repo does not use ``match``), plus
+``return``/``raise``/``break``/``continue`` edges.  ``try`` bodies
+conservatively edge into their handlers from the block entry, which
+over-approximates exceptional flow — the right direction for both may-
+and must-facts.  ``with`` blocks additionally record which blocks lie
+inside which context managers, which the lock pass uses for held-set
+tracking.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class Block:
+    """One basic block: a run of simple statements plus successor ids."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.statements: List[ast.stmt] = []
+        self.successors: List[int] = []
+        #: Stack of ``ast.With``/``ast.AsyncWith`` nodes lexically
+        #: enclosing this block (innermost last).
+        self.with_context: Tuple[ast.AST, ...] = ()
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self.entry = self._new_block(()).index
+        self.exit = self._new_block(()).index
+
+    def _new_block(self, with_context: Tuple[ast.AST, ...]) -> Block:
+        block = Block(len(self.blocks))
+        block.with_context = with_context
+        self.blocks.append(block)
+        return block
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].successors:
+            self.blocks[src].successors.append(dst)
+
+    def predecessors(self) -> Dict[int, List[int]]:
+        preds: Dict[int, List[int]] = {b.index: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors:
+                preds[succ].append(block.index)
+        return preds
+
+
+class _Builder:
+    """Lowers a statement list into a :class:`CFG`."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        #: (break_target, continue_target) stack for loops.
+        self._loops: List[Tuple[int, int]] = []
+
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        first = self.cfg._new_block(())
+        self.cfg.add_edge(self.cfg.entry, first.index)
+        last = self._lower_body(body, first, ())
+        if last is not None:
+            self.cfg.add_edge(last.index, self.cfg.exit)
+        return self.cfg
+
+    # ------------------------------------------------------------------
+    def _lower_body(
+        self,
+        body: Sequence[ast.stmt],
+        current: Block,
+        ctx: Tuple[ast.AST, ...],
+    ) -> Optional[Block]:
+        """Lower ``body`` starting in ``current``; returns the block the
+        fall-through path ends in, or ``None`` when every path leaves
+        (return/raise/break/continue)."""
+        for stmt in body:
+            if current is None:
+                # Unreachable code after a terminator: give it its own
+                # island block so passes still see the statements.
+                current = self.cfg._new_block(ctx)
+            if isinstance(stmt, (ast.If,)):
+                current = self._lower_if(stmt, current, ctx)
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                current = self._lower_loop(stmt, current, ctx)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                current = self._lower_with(stmt, current, ctx)
+            elif isinstance(stmt, ast.Try):
+                current = self._lower_try(stmt, current, ctx)
+            elif isinstance(stmt, (ast.Return, ast.Raise)):
+                current.statements.append(stmt)
+                self.cfg.add_edge(current.index, self.cfg.exit)
+                current = None
+            elif isinstance(stmt, ast.Break):
+                current.statements.append(stmt)
+                if self._loops:
+                    self.cfg.add_edge(current.index, self._loops[-1][0])
+                current = None
+            elif isinstance(stmt, ast.Continue):
+                current.statements.append(stmt)
+                if self._loops:
+                    self.cfg.add_edge(current.index, self._loops[-1][1])
+                current = None
+            else:
+                current.statements.append(stmt)
+        return current
+
+    def _lower_if(self, stmt: ast.If, current: Block,
+                  ctx: Tuple[ast.AST, ...]) -> Optional[Block]:
+        current.statements.append(_CondMarker(stmt))
+        after = self.cfg._new_block(ctx)
+        then_entry = self.cfg._new_block(ctx)
+        self.cfg.add_edge(current.index, then_entry.index)
+        then_exit = self._lower_body(stmt.body, then_entry, ctx)
+        if then_exit is not None:
+            self.cfg.add_edge(then_exit.index, after.index)
+        if stmt.orelse:
+            else_entry = self.cfg._new_block(ctx)
+            self.cfg.add_edge(current.index, else_entry.index)
+            else_exit = self._lower_body(stmt.orelse, else_entry, ctx)
+            if else_exit is not None:
+                self.cfg.add_edge(else_exit.index, after.index)
+        else:
+            self.cfg.add_edge(current.index, after.index)
+        return after
+
+    def _lower_loop(self, stmt: ast.stmt, current: Block,
+                    ctx: Tuple[ast.AST, ...]) -> Block:
+        current.statements.append(_CondMarker(stmt))
+        after = self.cfg._new_block(ctx)
+        body_entry = self.cfg._new_block(ctx)
+        self.cfg.add_edge(current.index, body_entry.index)
+        self.cfg.add_edge(current.index, after.index)
+        self._loops.append((after.index, current.index))
+        body_exit = self._lower_body(stmt.body, body_entry, ctx)
+        self._loops.pop()
+        if body_exit is not None:
+            self.cfg.add_edge(body_exit.index, current.index)
+        if getattr(stmt, "orelse", None):
+            else_exit = self._lower_body(stmt.orelse, after, ctx)
+            return else_exit if else_exit is not None else after
+        return after
+
+    def _lower_with(self, stmt: ast.AST, current: Block,
+                    ctx: Tuple[ast.AST, ...]) -> Optional[Block]:
+        current.statements.append(_WithEnter(stmt))
+        inner_ctx = ctx + (stmt,)
+        body_entry = self.cfg._new_block(inner_ctx)
+        self.cfg.add_edge(current.index, body_entry.index)
+        body_exit = self._lower_body(stmt.body, body_entry, inner_ctx)
+        after = self.cfg._new_block(ctx)
+        if body_exit is not None:
+            self.cfg.add_edge(body_exit.index, after.index)
+            return after
+        return None
+
+    def _lower_try(self, stmt: ast.Try, current: Block,
+                   ctx: Tuple[ast.AST, ...]) -> Optional[Block]:
+        after = self.cfg._new_block(ctx)
+        body_entry = self.cfg._new_block(ctx)
+        self.cfg.add_edge(current.index, body_entry.index)
+        body_exit = self._lower_body(stmt.body, body_entry, ctx)
+        else_exit = body_exit
+        if stmt.orelse and body_exit is not None:
+            else_entry = self.cfg._new_block(ctx)
+            self.cfg.add_edge(body_exit.index, else_entry.index)
+            else_exit = self._lower_body(stmt.orelse, else_entry, ctx)
+        handler_exits: List[Optional[Block]] = []
+        for handler in stmt.handlers:
+            handler_entry = self.cfg._new_block(ctx)
+            # Exceptional flow approximation: the handler can run with
+            # any prefix of the try body executed.
+            self.cfg.add_edge(body_entry.index, handler_entry.index)
+            if body_exit is not None:
+                self.cfg.add_edge(body_exit.index, handler_entry.index)
+            handler_exits.append(
+                self._lower_body(handler.body, handler_entry, ctx)
+            )
+        exits = [e for e in [else_exit, *handler_exits] if e is not None]
+        if stmt.finalbody:
+            final_entry = self.cfg._new_block(ctx)
+            for block in exits:
+                self.cfg.add_edge(block.index, final_entry.index)
+            if not exits:
+                self.cfg.add_edge(body_entry.index, final_entry.index)
+            final_exit = self._lower_body(stmt.finalbody, final_entry, ctx)
+            if final_exit is not None:
+                self.cfg.add_edge(final_exit.index, after.index)
+                return after
+            return None
+        if not exits:
+            return None
+        for block in exits:
+            self.cfg.add_edge(block.index, after.index)
+        return after
+
+
+class _CondMarker(ast.stmt):
+    """Wrapper statement exposing a compound statement's test/iter
+    expression to transfer functions without its body."""
+
+    _fields = ()
+
+    def __init__(self, node: ast.stmt):
+        super().__init__()
+        self.node = node
+        self.expr = getattr(node, "test", None)
+        if self.expr is None:
+            self.expr = getattr(node, "iter", None)
+        self.lineno = node.lineno
+        self.col_offset = node.col_offset
+
+
+class _WithEnter(ast.stmt):
+    """Wrapper marking a ``with`` statement's context-manager entry."""
+
+    _fields = ()
+
+    def __init__(self, node: ast.AST):
+        super().__init__()
+        self.node = node
+        self.lineno = node.lineno
+        self.col_offset = node.col_offset
+
+
+def build_cfg(function: ast.AST) -> CFG:
+    """CFG of a ``FunctionDef``/``AsyncFunctionDef`` body."""
+    return _Builder().build(function.body)
+
+
+def solve_forward(
+    cfg: CFG,
+    init,
+    join: Callable,
+    transfer: Callable,
+    bottom=None,
+):
+    """Forward worklist dataflow over ``cfg``.
+
+    ``init`` is the entry state; unreached blocks start at ``bottom``
+    (``None`` means "no information yet" and ``join(None, x) == x``).
+    ``transfer(state, statement) -> state`` must be monotone for
+    termination; states must support ``==``.
+
+    Returns ``{block_index: in_state}`` at the fixpoint.
+    """
+    in_states: Dict[int, object] = {block.index: bottom
+                                    for block in cfg.blocks}
+    in_states[cfg.entry] = init
+    worklist = [cfg.entry]
+    guard = 0
+    limit = 50 * max(1, len(cfg.blocks)) ** 2
+    while worklist:
+        guard += 1
+        if guard > limit:  # pathological lattices: bail out safely
+            break
+        index = worklist.pop(0)
+        state = in_states[index]
+        if state is None:
+            continue
+        for stmt in cfg.blocks[index].statements:
+            state = transfer(state, stmt)
+        for succ in cfg.blocks[index].successors:
+            current = in_states[succ]
+            merged = state if current is None else join(current, state)
+            if merged != current:
+                in_states[succ] = merged
+                if succ not in worklist:
+                    worklist.append(succ)
+    return in_states

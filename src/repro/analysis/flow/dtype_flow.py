@@ -1,0 +1,360 @@
+"""Abstract dtype propagation through the kernel (``dtype-flow``).
+
+The lexical ``float-dtype-mix`` rule only sees locals assigned
+*directly* from an allocator call.  This pass closes the gap: dtypes
+are abstract values propagated through assignments, ``.astype`` calls,
+``np.asarray``/``np.frombuffer``/``np.arange`` conversions, arithmetic,
+and — via call-graph return summaries — helper functions, all joined
+over the per-function CFG.  Three findings come out of it:
+
+* **float mixes through chains** — a float32 value meeting a float64
+  value in arithmetic, even when either came through reassignment,
+  a conversion, or a helper return (the direct-assignment case is left
+  to ``float-dtype-mix`` so the two rules never double-report);
+* **int32 multiply overflow** — products of int32 values stay int32 in
+  numpy and wrap silently; row offsets must widen to int64 first;
+* **unpinned allocations meeting pinned float32** — an allocation that
+  inherited the platform-default dtype flowing into arithmetic with an
+  explicitly float32 value upcasts the whole expression.
+
+Scope matches the other kernel rules: only files under a ``kernel``
+path component are analyzed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.engine import Finding
+from repro.analysis.flow.base import FlowRule
+from repro.analysis.flow.cfg import (
+    _CondMarker,
+    _WithEnter,
+    build_cfg,
+    solve_forward,
+)
+from repro.analysis.flow.symbols import FunctionInfo, Project
+from repro.analysis.rules.kernel_safety import (
+    _ALLOCATORS,
+    _FLOAT_DTYPES,
+    _dtype_of_keyword,
+)
+
+#: Conversions that pin (``dtype=``) or pass through a dtype.
+_CONVERTERS = {"numpy.asarray", "numpy.array", "numpy.ascontiguousarray"}
+_PINNING_CALLS = {"numpy.frombuffer", "numpy.arange", "numpy.full"}
+
+_INT_DTYPES = {"int32", "int64", "uint32", "uint64", "intp"}
+
+#: Abstract value: (dtype, origin).  ``origin`` records how the fact
+#: was established — "direct" (allocator assignment the lexical rule
+#: already sees), "flow" (reassignment/conversion/arith), "return"
+#: (helper summary), "unpinned" (allocator without dtype=).
+_Value = Tuple[str, str]
+
+
+def _normalize(dtype: Optional[str]) -> Optional[str]:
+    if dtype is None:
+        return None
+    short = dtype.split(".")[-1]
+    return _FLOAT_DTYPES.get(short) or (
+        short if short in _INT_DTYPES else None
+    )
+
+
+class DtypeFlowRule(FlowRule):
+    """Flow-sensitive dtype discipline for the kernel."""
+
+    id = "dtype-flow"
+    severity = "warning"
+    description = (
+        "a dtype fact propagated through assignments, conversions or "
+        "helper returns produces a silent float upcast, an int32 "
+        "overflow product, or an unpinned allocation meeting pinned "
+        "float32 arithmetic"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        analysis = _DtypeAnalysis(project)
+        for display, line, message in analysis.run():
+            yield self.project_finding(display, line, message)
+
+
+class _DtypeAnalysis:
+    def __init__(self, project: Project):
+        self.project = project
+        #: qualname -> return-dtype summary (or None when unknown/mixed).
+        self.summaries: Dict[str, Optional[_Value]] = {}
+        self.findings: Dict[Tuple[str, int, str], None] = {}
+
+    def _kernel_functions(self) -> List[FunctionInfo]:
+        functions = []
+        for function in self.project.functions():
+            parts = function.module.source.display.replace(
+                "\\", "/"
+            ).split("/")
+            if "kernel" in parts:
+                functions.append(function)
+        return functions
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[Tuple[str, int, str]]:
+        functions = self._kernel_functions()
+        # Fixpoint over return summaries: helper chains (a() returning
+        # b()'s result) settle in as many rounds as the chain is deep.
+        for _ in range(4):
+            changed = False
+            for function in functions:
+                summary = self._return_summary(function)
+                if self.summaries.get(function.qualname, "∅") != summary:
+                    self.summaries[function.qualname] = summary
+                    changed = True
+            if not changed:
+                break
+        for function in functions:
+            self._analyze(function, report=True)
+        return list(self.findings)
+
+    # ------------------------------------------------------------------
+    def _return_summary(self, function: FunctionInfo) -> Optional[_Value]:
+        env = self._analyze(function, report=False)
+        returned: List[Optional[_Value]] = []
+        for node in ast.walk(function.node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not function.node:
+                    continue
+            if isinstance(node, ast.Return) and node.value is not None:
+                returned.append(
+                    self._expr_value(function, env, node.value,
+                                     report=False)
+                )
+        known = {value for value in returned if value is not None}
+        if returned and len(known) == 1 and None not in returned:
+            dtype, _ = next(iter(known))
+            return (dtype, "return")
+        return None
+
+    def _analyze(self, function: FunctionInfo,
+                 report: bool) -> Dict[str, _Value]:
+        """Run the dataflow; returns the exit-joined environment."""
+        cfg = build_cfg(function.node)
+
+        def join(a: Dict[str, _Value],
+                 b: Dict[str, _Value]) -> Dict[str, _Value]:
+            merged: Dict[str, _Value] = {}
+            for name in a.keys() & b.keys():
+                left, right = a[name], b[name]
+                if left[0] == right[0]:
+                    origin = (left[1] if left[1] == right[1] else "flow")
+                    merged[name] = (left[0], origin)
+            return merged
+
+        def transfer(env: Dict[str, _Value],
+                     stmt: ast.stmt) -> Dict[str, _Value]:
+            return self._transfer(function, env, stmt, report=False)
+
+        in_states = solve_forward(cfg, {}, join, transfer, bottom=None)
+        final: Dict[str, _Value] = {}
+        for block in cfg.blocks:
+            env = dict(in_states.get(block.index) or {})
+            for stmt in block.statements:
+                env = self._transfer(function, env, stmt, report)
+            for name, value in env.items():
+                if name not in final:
+                    final[name] = value
+        return final
+
+    # ------------------------------------------------------------------
+    def _transfer(
+        self,
+        function: FunctionInfo,
+        env: Dict[str, _Value],
+        stmt: ast.stmt,
+        report: bool,
+    ) -> Dict[str, _Value]:
+        if isinstance(stmt, (_CondMarker, _WithEnter)):
+            expr = getattr(stmt, "expr", None)
+            if expr is not None:
+                self._expr_value(function, env, expr, report)
+            return env
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return env  # nested defs get their own summary pass
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = (
+                self._expr_value(function, env, stmt.value, report)
+                if stmt.value is not None else None
+            )
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            env = dict(env)
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    if value is not None:
+                        env[target.id] = value
+                    elif isinstance(stmt, ast.Assign):
+                        env.pop(target.id, None)
+            return env
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._expr_value(function, env, child, report)
+        return env
+
+    # ------------------------------------------------------------------
+    def _expr_value(
+        self,
+        function: FunctionInfo,
+        env: Dict[str, _Value],
+        node: ast.AST,
+        report: bool,
+    ) -> Optional[_Value]:
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.Call):
+            return self._call_value(function, env, node, report)
+        if isinstance(node, ast.BinOp):
+            return self._binop_value(function, env, node, report)
+        if isinstance(node, (ast.Subscript, ast.UnaryOp)):
+            child = (node.value if isinstance(node, ast.Subscript)
+                     else node.operand)
+            inner = self._expr_value(function, env, child, report)
+            if inner is None:
+                return None
+            return (inner[0], "flow")
+        if isinstance(node, ast.IfExp):
+            self._expr_value(function, env, node.test, report)
+            left = self._expr_value(function, env, node.body, report)
+            right = self._expr_value(function, env, node.orelse, report)
+            if left is not None and right is not None \
+                    and left[0] == right[0]:
+                return (left[0], "flow")
+            return None
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr_value(function, env, child, report)
+        return None
+
+    def _call_value(
+        self,
+        function: FunctionInfo,
+        env: Dict[str, _Value],
+        call: ast.Call,
+        report: bool,
+    ) -> Optional[_Value]:
+        arg_values = [
+            self._expr_value(function, env, arg, report)
+            for arg in call.args
+        ]
+        for keyword in call.keywords:
+            self._expr_value(function, env, keyword.value, report)
+        canonical = self.project.canonical_name(function, call.func)
+        if canonical in _ALLOCATORS or canonical in _PINNING_CALLS:
+            pinned = _normalize(_dtype_of_keyword(call))
+            if pinned is not None:
+                return (pinned, "direct")
+            if canonical in {"numpy.zeros", "numpy.ones", "numpy.empty"}:
+                return ("float64", "unpinned")
+            return None
+        if canonical in _CONVERTERS:
+            pinned = _normalize(_dtype_of_keyword(call))
+            if pinned is not None:
+                return (pinned, "direct")
+            if arg_values and arg_values[0] is not None:
+                return (arg_values[0][0], "flow")
+            return None
+        if isinstance(call.func, ast.Attribute):
+            if call.func.attr == "astype" and call.args:
+                target = _normalize(
+                    dotted_name_or_constant(call.args[0])
+                )
+                self._expr_value(function, env, call.func.value, report)
+                if target is not None:
+                    return (target, "direct")
+                return None
+            # Shape-preserving methods keep their receiver's dtype.
+            if call.func.attr in {"copy", "reshape", "ravel",
+                                  "transpose", "view"}:
+                receiver = self._expr_value(function, env,
+                                            call.func.value, report)
+                if receiver is not None:
+                    return (receiver[0], "flow")
+                return None
+        callee = self.project.resolve_call(function, call)
+        if callee is not None:
+            summary = self.summaries.get(callee.qualname)
+            if summary is not None:
+                return summary
+        return None
+
+    def _binop_value(
+        self,
+        function: FunctionInfo,
+        env: Dict[str, _Value],
+        node: ast.BinOp,
+        report: bool,
+    ) -> Optional[_Value]:
+        left = self._expr_value(function, env, node.left, report)
+        right = self._expr_value(function, env, node.right, report)
+        if left is None or right is None:
+            known = left or right
+            return (known[0], "flow") if known is not None else None
+        ldtype, lorigin = left
+        rdtype, rorigin = right
+        if report:
+            self._check_mix(function, node, left, right)
+        if ldtype == rdtype:
+            return (ldtype, "flow")
+        if {ldtype, rdtype} == {"float32", "float64"}:
+            return ("float64", "flow")
+        return None
+
+    def _check_mix(
+        self,
+        function: FunctionInfo,
+        node: ast.BinOp,
+        left: _Value,
+        right: _Value,
+    ) -> None:
+        display = function.module.source.display
+        ldtype, lorigin = left
+        rdtype, rorigin = right
+        if {ldtype, rdtype} == {"float32", "float64"}:
+            # Both operands directly allocator-assigned: the lexical
+            # float-dtype-mix rule already reports that exact site.
+            if {lorigin, rorigin} == {"direct"}:
+                return
+            if "unpinned" in (lorigin, rorigin):
+                message = (
+                    "an allocation without an explicit dtype= (platform "
+                    "default float64) flows into arithmetic with pinned "
+                    "float32; pin the allocation's dtype"
+                )
+            else:
+                message = (
+                    f"a {ldtype} value meets a {rdtype} value through "
+                    "the dataflow (reassignment, conversion or helper "
+                    "return); the product silently upcasts to float64"
+                )
+            self.findings[(display, node.lineno, message)] = None
+            return
+        if (
+            ldtype == rdtype == "int32"
+            and isinstance(node.op, ast.Mult)
+        ):
+            self.findings[(
+                display,
+                node.lineno,
+                "product of two int32 values stays int32 in numpy and "
+                "wraps silently on overflow; widen to int64 before "
+                "multiplying",
+            )] = None
+
+
+def dotted_name_or_constant(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    from repro.analysis.rules.base import dotted_name
+
+    return dotted_name(node)

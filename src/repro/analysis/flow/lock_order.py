@@ -1,0 +1,615 @@
+"""Interprocedural lock-order analysis (``lock-order``).
+
+Two jobs, one traversal:
+
+1. **Deadlock detection.**  Every lock-acquisition site (``with
+   self._lock:``, ``async with``, explicit ``.acquire()``) is recorded
+   together with the set of locks already held there — lexically from
+   ``with`` nesting, flow-sensitively from ``.acquire()``/``.release()``
+   pairs via the CFG solver, and interprocedurally by propagating each
+   function's possible entry-held set over the call graph.  Each
+   "holding A, acquiring B" pair is an edge A→B in the acquisition
+   graph; any cycle (including a non-reentrant self-edge) is a
+   potential deadlock and becomes an error finding.  RLock self-edges
+   are reentrant and allowed.
+
+2. **Flow-sensitive ``# guarded-by:``.**  The lexical
+   ``guarded-attr-outside-lock`` rule cannot see that a private helper
+   is only ever called with the lock held.  Here a guarded access is
+   clean iff the named lock is in the lexical held set *or* in the
+   function's must-held-at-entry set — the intersection of held sets
+   over every resolved call site, computed only for private
+   (``_name``) functions that are never referenced as values (a
+   callback can run with any context).  Violations are emitted under
+   the legacy ``guarded-attr-outside-lock`` id so existing pragmas and
+   baselines apply unchanged.
+
+Lock identity is ``ClassName.attr`` for instance locks (resolved
+through ``self``, inferred attribute types, and parameter annotations)
+and ``module.name`` for module-level locks.  Locks on unresolvable
+receivers are skipped rather than guessed — a missing edge is better
+than a fabricated cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import Finding
+from repro.analysis.flow.base import FlowRule
+from repro.analysis.flow.cfg import (
+    _CondMarker,
+    _WithEnter,
+    build_cfg,
+    solve_forward,
+)
+from repro.analysis.flow.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    Project,
+)
+from repro.analysis.rules.base import dotted_name, is_self_attribute
+
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_]\w*)")
+_LOCKISH_RE = re.compile(r"(?:^|_)(?:r?lock|mutex|semaphore)$", re.IGNORECASE)
+
+_CONSTRUCTION_METHODS = {"__init__", "__setstate__", "__new__"}
+
+#: Constructor canonical names -> lock kind.
+_LOCK_CONSTRUCTORS = {
+    "threading.Lock": "lock",
+    "threading.RLock": "rlock",
+    "threading.Condition": "lock",
+    "threading.Semaphore": "lock",
+    "threading.BoundedSemaphore": "lock",
+    "multiprocessing.Lock": "lock",
+    "multiprocessing.RLock": "rlock",
+    "asyncio.Lock": "asyncio",
+    "asyncio.Condition": "asyncio",
+    "asyncio.Semaphore": "asyncio",
+}
+
+
+class _Event:
+    """One analysis-relevant site inside a function."""
+
+    __slots__ = ("kind", "line", "held", "data", "entry_scope")
+
+    def __init__(self, kind: str, line: int, held: frozenset, data,
+                 entry_scope: Optional[FunctionInfo]):
+        self.kind = kind  # "acquire" | "call" | "guarded"
+        self.line = line
+        self.held = held
+        self.data = data
+        self.entry_scope = entry_scope
+
+
+class LockOrderRule(FlowRule):
+    """Cross-module deadlock cycles + flow-sensitive guarded-by."""
+
+    id = "lock-order"
+    severity = "error"
+    description = (
+        "the interprocedural lock-acquisition graph has a cycle "
+        "(potential deadlock); also re-checks '# guarded-by:' "
+        "annotations flow-sensitively under the legacy "
+        "guarded-attr-outside-lock id"
+    )
+
+    def __init__(self) -> None:
+        self._artifacts: Dict[str, object] = {}
+
+    def artifacts(self) -> Dict[str, object]:
+        return {"lock_order": self._artifacts} if self._artifacts else {}
+
+    # ------------------------------------------------------------------
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        analysis = _LockAnalysis(project)
+        analysis.run()
+        self._artifacts = analysis.graph_artifacts()
+        for finding in analysis.findings(self):
+            yield finding
+
+
+class _LockAnalysis:
+    def __init__(self, project: Project):
+        self.project = project
+        #: (ClassName|module, attr) -> kind, from declarations.
+        self.declared: Dict[str, str] = {}
+        #: lock id -> kind (declared, or "lock" for lockish guesses).
+        self.kinds: Dict[str, str] = {}
+        self.events: Dict[str, List[_Event]] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.entry_may: Dict[str, frozenset] = {}
+        self.entry_must: Dict[str, Optional[frozenset]] = {}
+        #: edge (held, acquired) -> example "path:line" site.
+        self.edges: Dict[Tuple[str, str], str] = {}
+        self.cycles: List[List[str]] = []
+        self._guard_findings: List[Tuple[str, int, str, str]] = []
+
+    # -- declarations ---------------------------------------------------
+    def _collect_declarations(self) -> None:
+        for module in self.project.modules.values():
+            aliases = module.aliases
+            for stmt in module.source.tree.body:
+                if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    targets = (
+                        stmt.targets if isinstance(stmt, ast.Assign)
+                        else [stmt.target]
+                    )
+                    kind = self._constructed_kind(stmt.value, aliases)
+                    if kind is None:
+                        continue
+                    for target in targets:
+                        if isinstance(target, ast.Name):
+                            lock_id = f"{module.name}.{target.id}"
+                            self.declared[lock_id] = kind
+            for cls in module.classes.values():
+                for method in cls.methods.values():
+                    for stmt in ast.walk(method.node):
+                        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                            continue
+                        targets = (
+                            stmt.targets if isinstance(stmt, ast.Assign)
+                            else [stmt.target]
+                        )
+                        kind = self._constructed_kind(stmt.value, aliases)
+                        if kind is None:
+                            continue
+                        for target in targets:
+                            attr = is_self_attribute(target)
+                            if attr is not None:
+                                self.declared[f"{cls.name}.{attr}"] = kind
+        self.kinds.update(self.declared)
+
+    @staticmethod
+    def _constructed_kind(value: Optional[ast.AST],
+                          aliases: Dict[str, str]) -> Optional[str]:
+        if not isinstance(value, ast.Call):
+            return None
+        name = dotted_name(value.func)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        expansion = aliases.get(head)
+        if expansion is not None:
+            name = f"{expansion}.{rest}" if rest else expansion
+        return _LOCK_CONSTRUCTORS.get(name)
+
+    # -- lock identity --------------------------------------------------
+    def _lock_id(self, function: FunctionInfo,
+                 expr: ast.AST) -> Optional[str]:
+        """Resolve a context-manager/acquire receiver to a lock id."""
+        if isinstance(expr, ast.Attribute):
+            attr = expr.attr
+            receiver: Optional[ClassInfo] = None
+            if (isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                    and function.class_name):
+                class_name = function.class_name
+            else:
+                receiver = self.project.receiver_class(function, expr.value)
+                if receiver is None:
+                    return None
+                class_name = receiver.name
+            lock_id = f"{class_name}.{attr}"
+            if lock_id in self.declared:
+                return lock_id
+            if _LOCKISH_RE.search(attr):
+                self.kinds.setdefault(lock_id, "lock")
+                return lock_id
+            return None
+        if isinstance(expr, ast.Name):
+            lock_id = f"{function.module.name}.{expr.id}"
+            if lock_id in self.declared:
+                return lock_id
+            return None
+        return None
+
+    # -- per-function event extraction ----------------------------------
+    def run(self) -> None:
+        self._collect_declarations()
+        for function in self.project.functions():
+            self.functions[function.qualname] = function
+            self.events[function.qualname] = list(
+                self._function_events(function)
+            )
+        self._solve_entry_sets()
+        self._build_graph()
+
+    def _guarded_attrs(self, function: FunctionInfo) -> Dict[str, str]:
+        if not function.class_name:
+            return {}
+        cls = function.module.classes.get(function.class_name)
+        if cls is None:
+            return {}
+        cached = getattr(cls, "_guarded_cache", None)
+        if cached is not None:
+            return cached
+        guarded: Dict[str, str] = {}
+        comments = function.module.source.comments
+        for node in ast.walk(cls.node):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            attrs = [a for a in map(is_self_attribute, targets)
+                     if a is not None]
+            if not attrs:
+                continue
+            for line in range(node.lineno,
+                              (node.end_lineno or node.lineno) + 1):
+                comment = comments.get(line)
+                if comment is None:
+                    continue
+                match = _GUARDED_BY_RE.search(comment)
+                if match is not None:
+                    for attr in attrs:
+                        guarded[attr] = match.group(1)
+                    break
+        cls._guarded_cache = guarded
+        return guarded
+
+    def _function_events(self,
+                         function: FunctionInfo) -> Iterator[_Event]:
+        cfg = build_cfg(function.node)
+        guarded = self._guarded_attrs(function)
+        check_guards = function.name not in _CONSTRUCTION_METHODS
+
+        def join(a: frozenset, b: frozenset) -> frozenset:
+            return a & b
+
+        def transfer(state: frozenset, stmt: ast.stmt) -> frozenset:
+            for call in self._calls_in(stmt):
+                target = call.func
+                if (isinstance(target, ast.Attribute)
+                        and target.attr in ("acquire", "release")):
+                    lock = self._lock_id(function, target.value)
+                    if lock is None:
+                        continue
+                    if target.attr == "acquire":
+                        state = state | {lock}
+                    else:
+                        state = state - {lock}
+            return state
+
+        in_states = solve_forward(
+            cfg, frozenset(), join, transfer, bottom=None
+        )
+        for block in cfg.blocks:
+            acq_state = in_states.get(block.index)
+            if acq_state is None:
+                acq_state = frozenset()
+            with_held = frozenset(
+                lock for node in block.with_context
+                for lock in self._with_locks(function, node)
+            )
+            for stmt in block.statements:
+                held = with_held | acq_state
+                if isinstance(stmt, _WithEnter):
+                    for lock in self._with_locks(function, stmt.node):
+                        yield _Event("acquire", stmt.lineno, held, lock,
+                                     function)
+                elif isinstance(stmt, _CondMarker):
+                    if stmt.expr is not None:
+                        yield from self._scan_expr(
+                            function, stmt.expr, held, guarded,
+                            check_guards, function,
+                        )
+                else:
+                    for call in self._calls_in(stmt):
+                        if (isinstance(call.func, ast.Attribute)
+                                and call.func.attr == "acquire"):
+                            lock = self._lock_id(function, call.func.value)
+                            if lock is not None:
+                                yield _Event("acquire", call.lineno, held,
+                                             lock, function)
+                    acq_state = transfer(acq_state, stmt)
+                    yield from self._scan_stmt(
+                        function, stmt, held, guarded, check_guards,
+                        function,
+                    )
+
+    @staticmethod
+    def _calls_in(stmt: ast.AST) -> Iterator[ast.Call]:
+        """Calls in a statement, outside nested defs/lambdas."""
+        stack = [stmt]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _with_locks(self, function: FunctionInfo,
+                    node: ast.AST) -> List[str]:
+        locks = []
+        for item in getattr(node, "items", []):
+            lock = self._lock_id(function, item.context_expr)
+            if lock is not None:
+                locks.append(lock)
+        return locks
+
+    def _scan_stmt(self, function, stmt, held, guarded, check_guards,
+                   entry_scope) -> Iterator[_Event]:
+        """Events of one simple statement (descending into nested
+        defs/lambdas with a reset held set and no entry facts)."""
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in stmt.body:
+                yield from self._scan_stmt(
+                    function, inner, frozenset(), guarded, check_guards,
+                    None,
+                )
+            return
+        yield from self._scan_expr(
+            function, stmt, held, guarded, check_guards, entry_scope
+        )
+
+    def _scan_expr(self, function, root, held, guarded, check_guards,
+                   entry_scope) -> Iterator[_Event]:
+        stack = [(root, held, entry_scope)]
+        while stack:
+            node, node_held, scope = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                children = (node.body if isinstance(node.body, list)
+                            else [node.body])
+                for child in children:
+                    stack.append((child, frozenset(), None))
+                continue
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                inner = node_held | frozenset(
+                    self._with_locks(function, node)
+                )
+                for lock in self._with_locks(function, node):
+                    yield _Event("acquire", node.lineno, node_held, lock,
+                                 scope)
+                for item in node.items:
+                    stack.append((item.context_expr, node_held, scope))
+                for child in node.body:
+                    stack.append((child, inner, scope))
+                continue
+            if isinstance(node, ast.Call):
+                callee = self.project.resolve_call(function, node)
+                if callee is not None:
+                    yield _Event("call", node.lineno, node_held,
+                                 callee.qualname, scope)
+            attr = is_self_attribute(node)
+            if (check_guards and attr is not None and attr in guarded):
+                yield _Event("guarded", node.lineno, node_held,
+                             (attr, guarded[attr]), scope)
+            for child in ast.iter_child_nodes(node):
+                stack.append((child, node_held, scope))
+
+    # -- interprocedural entry sets -------------------------------------
+    def _call_sites(self) -> Dict[str, List[Tuple[str, frozenset, bool]]]:
+        """callee qualname -> [(caller qualname, held, has_entry_scope)]."""
+        sites: Dict[str, List[Tuple[str, frozenset, bool]]] = {}
+        for qualname, events in self.events.items():
+            for event in events:
+                if event.kind != "call":
+                    continue
+                sites.setdefault(event.data, []).append(
+                    (qualname, event.held, event.entry_scope is not None)
+                )
+        return sites
+
+    def _solve_entry_sets(self) -> None:
+        sites = self._call_sites()
+        # May-held at entry: union over call sites, to a fixpoint.
+        self.entry_may = {q: frozenset() for q in self.functions}
+        changed = True
+        iterations = 0
+        while changed and iterations < len(self.functions) + 10:
+            changed = False
+            iterations += 1
+            for callee, callers in sites.items():
+                if callee not in self.entry_may:
+                    continue
+                merged: Set[str] = set(self.entry_may[callee])
+                for caller, held, scoped in callers:
+                    merged |= held
+                    if scoped:
+                        merged |= self.entry_may.get(caller, frozenset())
+                if frozenset(merged) != self.entry_may[callee]:
+                    self.entry_may[callee] = frozenset(merged)
+                    changed = True
+        # Must-held at entry: intersection over call sites; only private
+        # never-referenced-as-value functions with >= 1 resolved site.
+        eligible = {
+            q for q, f in self.functions.items()
+            if f.is_private and q in sites
+            and not self.project.references_outside_calls(f)
+        }
+        self.entry_must = {
+            q: (None if q in eligible else frozenset())
+            for q in self.functions
+        }
+        changed = True
+        iterations = 0
+        while changed and iterations < len(self.functions) + 10:
+            changed = False
+            iterations += 1
+            for callee in eligible:
+                merged: Optional[frozenset] = None
+                for caller, held, scoped in sites.get(callee, []):
+                    caller_entry = (
+                        self.entry_must.get(caller) if scoped else frozenset()
+                    )
+                    if caller_entry is None:
+                        # Caller's entry set still TOP: defer.
+                        continue
+                    site_held = held | caller_entry
+                    merged = (site_held if merged is None
+                              else merged & site_held)
+                if merged is not None and merged != self.entry_must[callee]:
+                    self.entry_must[callee] = merged
+                    changed = True
+        for callee in eligible:
+            if self.entry_must[callee] is None:
+                self.entry_must[callee] = frozenset()
+
+    # -- graph + findings -----------------------------------------------
+    def _build_graph(self) -> None:
+        for qualname, events in self.events.items():
+            function = self.functions[qualname]
+            display = function.module.source.display
+            entry = self.entry_may.get(qualname, frozenset())
+            for event in events:
+                if event.kind != "acquire":
+                    continue
+                acquired = event.data
+                context = event.held | (
+                    entry if event.entry_scope is not None else frozenset()
+                )
+                site = f"{display}:{event.line}"
+                self.kinds.setdefault(acquired, "lock")
+                for held_lock in context:
+                    if (held_lock == acquired
+                            and self.kinds.get(acquired) == "rlock"):
+                        continue  # reentrant: not an edge
+                    self.edges.setdefault((held_lock, acquired), site)
+        self.cycles = self._find_cycles()
+
+    def _find_cycles(self) -> List[List[str]]:
+        """Self-edges plus every SCC with more than one node."""
+        graph: Dict[str, Set[str]] = {}
+        for src, dst in self.edges:
+            graph.setdefault(src, set()).add(dst)
+            graph.setdefault(dst, set())
+        cycles = [[node, node] for node in sorted(graph)
+                  if node in graph.get(node, ())]
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Dict[str, bool] = {}
+        stack: List[str] = []
+        counter = [0]
+        sccs: List[List[str]] = []
+
+        def strongconnect(root: str) -> None:
+            work = [(root, iter(sorted(graph[root])))]
+            index[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack[root] = True
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack[succ] = True
+                        work.append((succ, iter(sorted(graph[succ]))))
+                        advanced = True
+                        break
+                    if on_stack.get(succ):
+                        lowlink[node] = min(lowlink[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        sccs.append(sorted(component))
+
+        for node in sorted(graph):
+            if node not in index:
+                strongconnect(node)
+        cycles.extend(sccs)
+        return cycles
+
+    def findings(self, rule: LockOrderRule) -> Iterator[Finding]:
+        # Deadlock cycles, one finding per cycle at an example edge site.
+        for cycle in self.cycles:
+            if len(cycle) == 2 and cycle[0] == cycle[1]:
+                lock = cycle[0]
+                site = self.edges.get((lock, lock), "?:0")
+                path, _, line = site.rpartition(":")
+                yield rule.project_finding(
+                    path, int(line or 1),
+                    f"non-reentrant lock '{lock}' may be acquired while "
+                    "already held (self-deadlock); use an RLock or drop "
+                    "the nested acquisition",
+                )
+                continue
+            members = set(cycle)
+            example = None
+            for (src, dst), site in sorted(self.edges.items()):
+                if src in members and dst in members and src != dst:
+                    example = ((src, dst), site)
+                    break
+            if example is None:
+                continue
+            (_, _), site = example
+            path, _, line = site.rpartition(":")
+            order = " -> ".join(cycle + [cycle[0]])
+            yield rule.project_finding(
+                path, int(line or 1),
+                f"lock-order cycle {order}: two threads taking these "
+                "locks in different orders can deadlock; pick one global "
+                "order",
+            )
+        # Flow-sensitive guarded-by violations (legacy rule id).
+        for qualname, events in self.events.items():
+            function = self.functions[qualname]
+            display = function.module.source.display
+            entry_must = self.entry_must.get(qualname) or frozenset()
+            seen: Set[Tuple[int, str]] = set()
+            for event in events:
+                if event.kind != "guarded":
+                    continue
+                attr, lock_name = event.data
+                needed = (
+                    f"{function.class_name}.{lock_name}"
+                    if function.class_name else lock_name
+                )
+                context = event.held | (
+                    entry_must if event.entry_scope is not None
+                    else frozenset()
+                )
+                if needed in context:
+                    continue
+                key = (event.line, attr)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield rule.project_finding(
+                    display, event.line,
+                    f"'self.{attr}' is guarded by 'self.{lock_name}' but "
+                    f"accessed outside a 'with self.{lock_name}:' block",
+                    rule_id="guarded-attr-outside-lock",
+                )
+
+    # -- artifacts ------------------------------------------------------
+    def graph_artifacts(self) -> Dict[str, object]:
+        return {
+            "nodes": [
+                {"id": lock, "kind": self.kinds.get(lock, "lock")}
+                for lock in sorted(
+                    {n for edge in self.edges for n in edge}
+                    | set(self.declared)
+                )
+            ],
+            "edges": [
+                {"held": src, "acquires": dst, "site": site}
+                for (src, dst), site in sorted(self.edges.items())
+            ],
+            "cycles": self.cycles,
+        }

@@ -1,0 +1,428 @@
+"""Project-wide symbol table and call graph for the flow passes.
+
+A :class:`Project` is built once per engine run from every parsed
+:class:`~repro.analysis.engine.SourceFile`.  It resolves:
+
+* **modules** — display paths map to dotted module names (the segment
+  after the last ``src`` component, so ``src/repro/system.py`` is
+  ``repro.system`` and a test fixture ``kernel/mod.py`` is
+  ``kernel.mod``);
+* **classes and functions** — every ``def`` gets a
+  :class:`FunctionInfo` keyed ``module:Class.method`` / ``module:func``;
+* **imports** — ``from repro.x import y`` binds ``y`` to the project
+  symbol when ``repro.x`` is part of the run, and to its canonical
+  dotted name otherwise (the taint pass matches external
+  source/sanitizer tables on those names);
+* **calls** — ``self.method(...)`` through the defining class and its
+  project-resolved bases, ``name(...)`` through module scope and
+  imports, ``obj.method(...)`` through lightweight type inference
+  (``__init__`` attribute assignments, local constructor calls, and
+  parameter annotations), and ``ClassName(...)`` to ``__init__``.
+
+Resolution is deliberately best-effort: an unresolved call returns
+``None`` and the passes treat it as opaque.  Soundness for the lint
+verdicts comes from how each pass uses the graph, not from claiming
+completeness here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.engine import SourceFile
+from repro.analysis.rules.base import dotted_name, import_aliases
+
+
+def module_name_for(display: str) -> str:
+    """Dotted module name for a display path.
+
+    Everything up to and including the last ``src`` path component is
+    stripped, so both the shipped tree (``src/repro/...``) and scratch
+    fixture trees (``kernel/mod.py``) produce stable names.
+    """
+    parts = list(Path_parts(display))
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part)
+
+
+def Path_parts(display: str) -> Tuple[str, ...]:
+    return tuple(part for part in display.replace("\\", "/").split("/")
+                 if part not in ("", "."))
+
+
+class FunctionInfo:
+    """One function or method definition plus its resolution context."""
+
+    def __init__(
+        self,
+        module: "ModuleInfo",
+        node: ast.AST,
+        class_name: Optional[str],
+    ):
+        self.module = module
+        self.node = node
+        self.class_name = class_name
+        self.name = node.name
+        self.is_async = isinstance(node, ast.AsyncFunctionDef)
+
+    @property
+    def qualname(self) -> str:
+        local = (
+            f"{self.class_name}.{self.name}" if self.class_name
+            else self.name
+        )
+        return f"{self.module.name}:{local}"
+
+    @property
+    def is_private(self) -> bool:
+        """Conventionally internal: ``_name`` but not ``__dunder__``."""
+        return (
+            self.name.startswith("_")
+            and not (self.name.startswith("__") and self.name.endswith("__"))
+        )
+
+    def params(self) -> List[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        names.extend(a.arg for a in args.kwonlyargs)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FunctionInfo({self.qualname})"
+
+
+class ClassInfo:
+    """One class definition: methods, base names, inferred attr types."""
+
+    def __init__(self, module: "ModuleInfo", node: ast.ClassDef):
+        self.module = module
+        self.node = node
+        self.name = node.name
+        self.methods: Dict[str, FunctionInfo] = {}
+        self.base_names: List[str] = [
+            base for base in (dotted_name(b) for b in node.bases)
+            if base is not None
+        ]
+        #: ``self.<attr>`` -> class-name expression assigned in
+        #: ``__init__`` (either a constructor call or a parameter whose
+        #: annotation names a class).
+        self.attr_types: Dict[str, str] = {}
+
+    def infer_attr_types(self) -> None:
+        init = self.methods.get("__init__")
+        if init is None:
+            return
+        annotations: Dict[str, str] = {}
+        for arg in init.node.args.args + init.node.args.kwonlyargs:
+            if arg.annotation is not None:
+                name = _annotation_name(arg.annotation)
+                if name is not None:
+                    annotations[arg.arg] = name
+        for stmt in ast.walk(init.node):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                inferred = None
+                value = stmt.value
+                if isinstance(value, ast.Call):
+                    inferred = dotted_name(value.func)
+                elif isinstance(value, ast.Name):
+                    inferred = annotations.get(value.id)
+                if inferred:
+                    self.attr_types[target.attr] = inferred
+                if (
+                    isinstance(stmt, ast.AnnAssign)
+                    and stmt.annotation is not None
+                ):
+                    annotated = _annotation_name(stmt.annotation)
+                    if annotated:
+                        self.attr_types[target.attr] = annotated
+
+
+def _annotation_name(node: ast.AST) -> Optional[str]:
+    """A class name out of an annotation, unwrapping Optional/quotes."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.strip().split("[")[0].split(".")[-1] or None
+    if isinstance(node, ast.Subscript):
+        # Optional[X] / "X | None" style wrappers: take the inner name.
+        return _annotation_name(node.slice)
+    if isinstance(node, ast.BinOp):
+        left = _annotation_name(node.left)
+        return left or _annotation_name(node.right)
+    name = dotted_name(node)
+    if name is None or name == "None":
+        return None
+    return name.split(".")[-1]
+
+
+class ModuleInfo:
+    """One parsed module: top-level defs, classes, import bindings."""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.name = module_name_for(source.display)
+        self.aliases = import_aliases(source.tree)
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        for node in source.tree.body:
+            self._collect(node, class_name=None)
+
+    def _collect(self, node: ast.AST, class_name: Optional[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = FunctionInfo(self, node, class_name)
+            if class_name is None:
+                self.functions[node.name] = info
+            else:
+                self.classes[class_name].methods[node.name] = info
+        elif isinstance(node, ast.ClassDef) and class_name is None:
+            self.classes[node.name] = ClassInfo(self, node)
+            for member in node.body:
+                self._collect(member, class_name=node.name)
+
+
+class Project:
+    """The whole-program view the flow passes run over."""
+
+    def __init__(self, sources: Sequence[SourceFile]):
+        self.modules: Dict[str, ModuleInfo] = {}
+        for source in sources:
+            module = ModuleInfo(source)
+            self.modules[module.name] = module
+        for module in self.modules.values():
+            for cls in module.classes.values():
+                cls.infer_attr_types()
+        #: Class name -> every project class with that (short) name.
+        self._classes_by_name: Dict[str, List[ClassInfo]] = {}
+        for module in self.modules.values():
+            for cls in module.classes.values():
+                self._classes_by_name.setdefault(cls.name, []).append(cls)
+
+    # ------------------------------------------------------------------
+    def functions(self) -> Iterator[FunctionInfo]:
+        for module in self.modules.values():
+            yield from module.functions.values()
+            for cls in module.classes.values():
+                yield from cls.methods.values()
+
+    def class_named(self, name: str) -> Optional[ClassInfo]:
+        """The project class with (short) name ``name``, if unambiguous."""
+        short = name.split(".")[-1]
+        candidates = self._classes_by_name.get(short, [])
+        return candidates[0] if len(candidates) == 1 else None
+
+    def method_of(self, cls: Optional[ClassInfo],
+                  name: str) -> Optional[FunctionInfo]:
+        """Resolve ``name`` on ``cls``, walking project-resolved bases."""
+        seen = set()
+        while cls is not None and cls.name not in seen:
+            seen.add(cls.name)
+            method = cls.methods.get(name)
+            if method is not None:
+                return method
+            cls = next(
+                (resolved for resolved in (
+                    self.class_named(base) for base in cls.base_names
+                ) if resolved is not None),
+                None,
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Name and call resolution inside one function
+    # ------------------------------------------------------------------
+    def canonical_name(self, function: FunctionInfo,
+                       node: ast.AST) -> Optional[str]:
+        """Alias-expanded dotted name of an expression, if any."""
+        name = dotted_name(node)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        expansion = function.module.aliases.get(head)
+        if expansion is None:
+            return name
+        return f"{expansion}.{rest}" if rest else expansion
+
+    def receiver_class(self, function: FunctionInfo,
+                       node: ast.AST) -> Optional[ClassInfo]:
+        """The project class an expression evaluates to, best effort."""
+        # self -> the defining class.
+        if isinstance(node, ast.Name):
+            if node.id == "self" and function.class_name:
+                return function.module.classes.get(function.class_name)
+            # Local ``x = ClassName(...)`` or annotated parameter.
+            inferred = self._local_type(function, node.id)
+            if inferred is not None:
+                return self.class_named(inferred)
+            # ClassName used directly (constructor or classmethod).
+            return self.class_named_by_binding(function, node.id)
+        if isinstance(node, ast.Attribute):
+            # self.<attr> through the inferred attribute types.
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and function.class_name
+            ):
+                cls = function.module.classes.get(function.class_name)
+                if cls is not None:
+                    attr_type = cls.attr_types.get(node.attr)
+                    if attr_type is not None:
+                        return self.class_named(attr_type)
+        return None
+
+    def class_named_by_binding(self, function: FunctionInfo,
+                               name: str) -> Optional[ClassInfo]:
+        """Resolve a bare name to a project class via module bindings."""
+        module = function.module
+        if name in module.classes:
+            return module.classes[name]
+        target = module.aliases.get(name)
+        if target is None:
+            return None
+        mod_name, _, cls_name = target.rpartition(".")
+        imported = self.modules.get(mod_name)
+        if imported is not None and cls_name in imported.classes:
+            return imported.classes[cls_name]
+        return self.class_named(cls_name)
+
+    def _local_type(self, function: FunctionInfo,
+                    name: str) -> Optional[str]:
+        """Type of a local: constructor assignment or annotation."""
+        for arg in (function.node.args.args
+                    + function.node.args.kwonlyargs
+                    + function.node.args.posonlyargs):
+            if arg.arg == name and arg.annotation is not None:
+                return _annotation_name(arg.annotation)
+        result: Optional[str] = None
+        for stmt in ast.walk(function.node):
+            if isinstance(stmt, ast.AnnAssign):
+                if (isinstance(stmt.target, ast.Name)
+                        and stmt.target.id == name
+                        and stmt.annotation is not None):
+                    result = _annotation_name(stmt.annotation) or result
+                continue
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if not any(isinstance(t, ast.Name) and t.id == name
+                       for t in stmt.targets):
+                continue
+            value = stmt.value
+            if isinstance(value, ast.Call):
+                callee = dotted_name(value.func)
+                if callee is not None:
+                    result = callee.split(".")[-1]
+            elif isinstance(value, ast.Attribute):
+                # x = self.<attr> through inferred attribute types.
+                if (isinstance(value.value, ast.Name)
+                        and value.value.id == "self"
+                        and function.class_name):
+                    cls = function.module.classes.get(function.class_name)
+                    if cls is not None:
+                        result = cls.attr_types.get(value.attr) or result
+        return result
+
+    def resolve_call(self, function: FunctionInfo,
+                     call: ast.Call) -> Optional[FunctionInfo]:
+        """The project function a call dispatches to, or ``None``."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_bare(function, func.id)
+        if isinstance(func, ast.Attribute):
+            receiver = self.receiver_class(function, func.value)
+            if receiver is not None:
+                method = self.method_of(receiver, func.attr)
+                if method is not None:
+                    return method
+            # module.func(...) through import aliases.
+            canonical = self.canonical_name(function, func)
+            if canonical is not None:
+                return self.function_by_canonical(canonical)
+        return None
+
+    def _resolve_bare(self, function: FunctionInfo,
+                      name: str) -> Optional[FunctionInfo]:
+        module = function.module
+        if name in module.functions:
+            return module.functions[name]
+        cls = self.class_named_by_binding(function, name)
+        if cls is not None:
+            return self.method_of(cls, "__init__")
+        target = module.aliases.get(name)
+        if target is not None:
+            return self.function_by_canonical(target)
+        return None
+
+    def function_by_canonical(self, canonical: str) -> Optional[FunctionInfo]:
+        """``pkg.mod.func`` / ``pkg.mod.Class.method`` -> FunctionInfo."""
+        parts = canonical.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            module = self.modules.get(".".join(parts[:split]))
+            if module is None:
+                continue
+            rest = parts[split:]
+            if len(rest) == 1:
+                found = module.functions.get(rest[0])
+                if found is not None:
+                    return found
+                cls = module.classes.get(rest[0])
+                if cls is not None:
+                    return self.method_of(cls, "__init__")
+            elif len(rest) == 2:
+                cls = module.classes.get(rest[0])
+                if cls is not None:
+                    return self.method_of(cls, rest[1])
+        return None
+
+    # ------------------------------------------------------------------
+    def references_outside_calls(self, target: FunctionInfo) -> bool:
+        """Whether ``target`` is ever referenced as a value (callback).
+
+        A private helper passed around as a callback can run with any
+        context, so must-style interprocedural facts about its callers
+        do not hold.  Detected syntactically: a ``Name``/``Attribute``
+        mention of the function's name that is not the ``func`` of a
+        call.  The index over every such name is built once per
+        project, so the per-function query is a set lookup.
+        """
+        return target.name in self._value_reference_index()
+
+    def _value_reference_index(self) -> set:
+        cached = getattr(self, "_value_refs", None)
+        if cached is not None:
+            return cached
+        refs: set = set()
+        for module in self.modules.values():
+            call_funcs = {
+                id(node.func)
+                for node in ast.walk(module.source.tree)
+                if isinstance(node, ast.Call)
+            }
+            for node in ast.walk(module.source.tree):
+                if id(node) in call_funcs:
+                    continue
+                if isinstance(node, ast.Attribute):
+                    refs.add(node.attr)
+                elif (isinstance(node, ast.Name)
+                        and isinstance(node.ctx, ast.Load)):
+                    refs.add(node.id)
+        self._value_refs = refs
+        return refs

@@ -1,7 +1,11 @@
 """Rule registry for :mod:`repro.analysis`.
 
-``ALL_RULES`` is the shipped rule pack; :func:`get_rules` resolves a
-user-supplied subset of rule ids (the CLI's ``--rules``).
+``ALL_RULES`` is the shipped per-file (syntax) rule pack; the flow
+pack lives in :mod:`repro.analysis.flow` and is resolved lazily here
+(it depends on the engine, which the rules must not import at module
+load).  :func:`get_rules` resolves a user-supplied subset of rule ids
+(the CLI's ``--rules``); :func:`rules_for_passes` assembles the pass
+groups the CLI's ``--passes`` selects between.
 """
 
 from __future__ import annotations
@@ -35,9 +39,12 @@ from repro.exceptions import AnalysisError
 
 __all__ = [
     "ALL_RULES",
+    "PASS_GROUPS",
     "Rule",
+    "flow_rules",
     "get_rules",
     "rules_by_id",
+    "rules_for_passes",
 ]
 
 #: The shipped rule pack, in catalog order.
@@ -63,9 +70,52 @@ ALL_RULES: Tuple[Rule, ...] = (
 )
 
 
+#: Pass-group names the CLI accepts for ``--passes``.
+PASS_GROUPS = ("syntax", "flow", "all")
+
+
+def flow_rules() -> Tuple[Rule, ...]:
+    """The whole-program flow pack (imported lazily; see module doc)."""
+    from repro.analysis.flow import FLOW_RULES
+
+    return FLOW_RULES
+
+
+def rules_for_passes(passes: str) -> Tuple[Rule, ...]:
+    """The rule set one ``--passes`` selection runs.
+
+    ``syntax`` is the per-file pack alone.  ``flow`` is the
+    whole-program pack alone.  ``all`` (the default) is both — minus
+    the lexical ``guarded-attr-outside-lock`` rule, which the
+    flow-sensitive lock-order pass supersedes (it re-emits the same
+    rule id with flow-accurate held-lock tracking, so running both
+    would double-report every violation).
+    """
+    if passes == "syntax":
+        return ALL_RULES
+    if passes == "flow":
+        return flow_rules()
+    if passes == "all":
+        superseded = {"guarded-attr-outside-lock"}
+        kept = tuple(
+            rule for rule in ALL_RULES if rule.id not in superseded
+        )
+        return kept + flow_rules()
+    raise AnalysisError(
+        f"unknown pass group {passes!r}: use one of {PASS_GROUPS}"
+    )
+
+
 def rules_by_id() -> Dict[str, Rule]:
-    """Mapping of rule id -> rule instance for the shipped pack."""
-    return {rule.id: rule for rule in ALL_RULES}
+    """Mapping of rule id -> rule instance, syntax and flow packs both.
+
+    The lexical ``guarded-attr-outside-lock`` rule wins its id (an
+    explicit ``--rules guarded-attr-outside-lock`` means the per-file
+    rule); the flow pack contributes the ids only it defines.
+    """
+    registry = {rule.id: rule for rule in flow_rules()}
+    registry.update({rule.id: rule for rule in ALL_RULES})
+    return registry
 
 
 def get_rules(ids: Sequence[str]) -> Tuple[Rule, ...]:
@@ -78,4 +128,5 @@ def get_rules(ids: Sequence[str]) -> Tuple[Rule, ...]:
             f"{sorted(registry)}"
         )
     wanted = set(ids)
-    return tuple(rule for rule in ALL_RULES if rule.id in wanted)
+    catalog = ALL_RULES + flow_rules()
+    return tuple(rule for rule in catalog if rule.id in wanted)

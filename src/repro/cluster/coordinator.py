@@ -43,7 +43,9 @@ from repro.cluster.client import DEFAULT_POOL_SIZE, WorkerLink
 from repro.cluster.hashring import DEFAULT_VNODES
 from repro.cluster.protocol import (
     RoutingTable,
+    expect_endpoint,
     expect_type,
+    expect_worker_id,
     read_frame,
     write_frame,
 )
@@ -304,15 +306,8 @@ class ClusterCoordinator:
     async def _handle_register(
         self, message: Dict[str, Any]
     ) -> Dict[str, Any]:
-        worker_id = message.get("worker_id")
-        host = message.get("host")
-        port = message.get("port")
-        if not isinstance(worker_id, str) or not worker_id:
-            raise ClusterProtocolError("'worker_id' must be a string")
-        if not isinstance(host, str) or not host:
-            raise ClusterProtocolError("'host' must be a string")
-        if isinstance(port, bool) or not isinstance(port, int) or port <= 0:
-            raise ClusterProtocolError("'port' must be a positive int")
+        worker_id = expect_worker_id(message)
+        host, port = expect_endpoint(message)
         stale_link: Optional[WorkerLink] = None
         async with self._topology_lock:
             existing = self._workers.get(worker_id)
@@ -338,9 +333,7 @@ class ClusterCoordinator:
     async def _handle_leave(
         self, message: Dict[str, Any]
     ) -> Dict[str, Any]:
-        worker_id = message.get("worker_id")
-        if not isinstance(worker_id, str) or not worker_id:
-            raise ClusterProtocolError("'worker_id' must be a string")
+        worker_id = expect_worker_id(message)
         async with self._topology_lock:
             handle = self._workers.pop(worker_id, None)
             epoch = self._flip_epoch_locked() if handle else self._epoch

@@ -184,3 +184,78 @@ def _parse_worker_ids(
             )
         seen.setdefault(worker_id)
     return tuple(seen)
+
+
+# ----------------------------------------------------------------------
+# Field validators
+# ----------------------------------------------------------------------
+# Every value a handler pulls out of a request frame goes through one
+# of these before it touches the engine, the routing state, or the
+# filesystem.  They are the wire boundary's sanitizers: the wire-taint
+# lint pass treats their return values as clean, so a handler that
+# reads a frame field raw and forwards it trips the lint.
+
+def expect_epoch(payload: Dict[str, Any],
+                 name: str = "epoch") -> int:
+    """A non-negative integer epoch out of a frame field."""
+    epoch = payload.get(name)
+    if isinstance(epoch, bool) or not isinstance(epoch, int) or epoch < 0:
+        raise ClusterProtocolError(
+            f"'{name}' must be a non-negative int"
+        )
+    return epoch
+
+
+def expect_worker_id(payload: Dict[str, Any],
+                     name: str = "worker_id") -> str:
+    """A non-empty worker-id string out of a frame field."""
+    worker_id = payload.get(name)
+    if not isinstance(worker_id, str) or not worker_id:
+        raise ClusterProtocolError(f"'{name}' must be a worker id")
+    return worker_id
+
+
+def expect_worker_ids(payload: Dict[str, Any],
+                      name: str) -> Tuple[str, ...]:
+    """An ordered, deduplicated tuple of worker ids out of a list field."""
+    return _parse_worker_ids(payload, name)
+
+
+def expect_endpoint(payload: Dict[str, Any],
+                    host_name: str = "host",
+                    port_name: str = "port") -> Tuple[str, int]:
+    """A ``(host, port)`` endpoint out of two frame fields."""
+    host = payload.get(host_name)
+    if not isinstance(host, str) or not host:
+        raise ClusterProtocolError(f"'{host_name}' must be a string")
+    port = payload.get(port_name)
+    if (isinstance(port, bool) or not isinstance(port, int)
+            or not 0 < port < 65536):
+        raise ClusterProtocolError(
+            f"'{port_name}' must be a port number"
+        )
+    return (host, port)
+
+
+def expect_segment_path(payload: Dict[str, Any],
+                        name: str = "path") -> str:
+    """A sealed-segment directory path out of a frame field.
+
+    The adopt flow hands this straight to ``load_index``, so beyond
+    type/emptiness it rejects NUL bytes and ``..`` traversal segments —
+    a confused (or hostile) coordinator must not be able to map
+    arbitrary files into the worker's address space.
+    """
+    path = payload.get(name)
+    if not isinstance(path, str) or not path:
+        raise ClusterProtocolError(
+            f"'{name}' must be a directory path"
+        )
+    if "\x00" in path:
+        raise ClusterProtocolError(f"'{name}' contains a NUL byte")
+    parts = path.replace("\\", "/").split("/")
+    if ".." in parts:
+        raise ClusterProtocolError(
+            f"'{name}' must not contain '..' traversal segments"
+        )
+    return path

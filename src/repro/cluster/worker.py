@@ -33,7 +33,11 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from repro.cluster.hashring import DEFAULT_VNODES, HashRing
 from repro.cluster.protocol import (
     RoutingTable,
+    expect_epoch,
+    expect_segment_path,
     expect_type,
+    expect_worker_id,
+    expect_worker_ids,
     read_frame,
     write_frame,
 )
@@ -323,15 +327,11 @@ class ClusterWorker:
     async def _handle_search(
         self, message: Dict[str, Any]
     ) -> Dict[str, Any]:
-        epoch = message.get("epoch")
-        if isinstance(epoch, bool) or not isinstance(epoch, int):
-            raise ClusterProtocolError("'epoch' must be an int")
-        owner = message.get("owner")
-        if not isinstance(owner, str) or not owner:
-            raise ClusterProtocolError("'owner' must be a worker id")
-        live = _id_tuple(message, "live")
+        epoch = expect_epoch(message)
+        owner = expect_worker_id(message, "owner")
+        live = expect_worker_ids(message, "live")
         prev_live = (
-            _id_tuple(message, "prev_live")
+            expect_worker_ids(message, "prev_live")
             if message.get("prev_live") is not None else None
         )
         request = SearchRequest.from_json(
@@ -389,15 +389,11 @@ class ClusterWorker:
         reply's ``results`` holds one score/table-id pair list per
         query, in request order.
         """
-        epoch = message.get("epoch")
-        if isinstance(epoch, bool) or not isinstance(epoch, int):
-            raise ClusterProtocolError("'epoch' must be an int")
-        owner = message.get("owner")
-        if not isinstance(owner, str) or not owner:
-            raise ClusterProtocolError("'owner' must be a worker id")
-        live = _id_tuple(message, "live")
+        epoch = expect_epoch(message)
+        owner = expect_worker_id(message, "owner")
+        live = expect_worker_ids(message, "live")
         prev_live = (
-            _id_tuple(message, "prev_live")
+            expect_worker_ids(message, "prev_live")
             if message.get("prev_live") is not None else None
         )
         raw_queries = message.get("queries")
@@ -458,9 +454,7 @@ class ClusterWorker:
     async def _handle_adopt(
         self, message: Dict[str, Any]
     ) -> Dict[str, Any]:
-        path = message.get("path")
-        if not isinstance(path, str) or not path:
-            raise ClusterProtocolError("'path' must be a directory path")
+        path = expect_segment_path(message)
         loop = asyncio.get_running_loop()
         tables = await loop.run_in_executor(
             self._executor, functools.partial(self._adopt_sync, path)
@@ -536,14 +530,3 @@ class ClusterWorker:
                 self._shards.clear()
             self._shards[key] = shard
             return shard
-
-
-def _id_tuple(message: Dict[str, Any], name: str) -> Tuple[str, ...]:
-    raw = message.get(name)
-    if not isinstance(raw, list) or not all(
-        isinstance(entry, str) and entry for entry in raw
-    ):
-        raise ClusterProtocolError(
-            f"'{name}' must be a list of worker ids"
-        )
-    return tuple(raw)

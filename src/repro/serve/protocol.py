@@ -120,6 +120,31 @@ def _parse_choice(payload: Dict[str, Any], name: str, default: str,
     return value
 
 
+#: Table ids travel in URL path segments as well as JSON bodies, so
+#: beyond non-emptiness they must not carry control characters.
+MAX_TABLE_ID_LENGTH = 1024
+
+
+def parse_table_id(value: Any, name: str = "table_id") -> str:
+    """Validate one table id from a request body or URL segment.
+
+    The single chokepoint every externally-supplied table id passes
+    through before it reaches the engine (the wire-taint lint pass
+    treats its return value as sanitized).
+    """
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"'{name}' must be a non-empty string")
+    if len(value) > MAX_TABLE_ID_LENGTH:
+        raise ProtocolError(
+            f"'{name}' exceeds {MAX_TABLE_ID_LENGTH} characters"
+        )
+    if any(ch < " " or ch == "\x7f" for ch in value):
+        raise ProtocolError(
+            f"'{name}' must not contain control characters"
+        )
+    return value
+
+
 @dataclass(frozen=True)
 class SearchRequest:
     """One parsed, validated query request.
@@ -194,9 +219,7 @@ class ExplainRequest:
     def from_json(cls, payload: Any) -> "ExplainRequest":
         payload = _expect_mapping(payload)
         _check_fields(payload, ("tuples", "table_id", "method"))
-        table_id = payload.get("table_id")
-        if not isinstance(table_id, str) or not table_id:
-            raise ProtocolError("'table_id' must be a non-empty string")
+        table_id = parse_table_id(payload.get("table_id"))
         return cls(
             tuples=_parse_tuples(payload),
             table_id=table_id,
@@ -228,9 +251,7 @@ class TableUpsertRequest:
         if not isinstance(record, dict):
             raise ProtocolError("missing required object field 'table'")
         _check_fields(record, ("id", "attributes", "rows", "metadata"))
-        table_id = record.get("id")
-        if not isinstance(table_id, str) or not table_id:
-            raise ProtocolError("'table.id' must be a non-empty string")
+        table_id = parse_table_id(record.get("id"), name="table.id")
         attributes = record.get("attributes")
         if (not isinstance(attributes, list) or not attributes
                 or not all(isinstance(a, str) for a in attributes)):

@@ -67,6 +67,7 @@ from repro.serve.protocol import (
     SearchRequest,
     TableUpsertRequest,
     error_to_json,
+    parse_table_id,
     result_to_json,
 )
 from repro.serve.snapshot import SnapshotManager
@@ -579,9 +580,10 @@ class ThetisServer:
             "snapshot_version": self.snapshots.version,
         })
 
-    async def _handle_remove_table(self, table_id: str) -> HttpResponse:
+    async def _handle_remove_table(self, raw_id: str) -> HttpResponse:
         loop = asyncio.get_running_loop()
         try:
+            table_id = parse_table_id(raw_id)
             await loop.run_in_executor(
                 None,
                 lambda: self.snapshots.apply(

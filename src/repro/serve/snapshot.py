@@ -155,8 +155,9 @@ class SnapshotManager:
             snapshot.release()
 
     # ------------------------------------------------------------------
-    # Only called from apply(), which already holds _swap_lock.
-    def _clone_current(self) -> Thetis:  # lint: disable=guarded-attr-outside-lock
+    # Only called from apply(), which already holds _swap_lock — the
+    # flow-sensitive lock pass proves that, so no pragma is needed.
+    def _clone_current(self) -> Thetis:
         current = self._current.thetis
         lake, mapping = current.snapshot_inputs()
         # index_dir is deliberately not propagated: on-disk cold-start

@@ -365,8 +365,9 @@ class Thetis:
                 return cached
             return self._build_prefilter(key)
 
-    # Only called from prefilter(), which already holds _lock.
-    def _build_prefilter(  # lint: disable=guarded-attr-outside-lock
+    # Only called from prefilter(), which already holds _lock — the
+    # flow-sensitive lock pass proves that, so no pragma is needed.
+    def _build_prefilter(
         self, key: Tuple[str, LSHConfig, bool]
     ) -> TablePrefilter:
         method, config, column_aggregation = key

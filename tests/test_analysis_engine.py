@@ -1,6 +1,7 @@
 """Engine, baseline, and CLI behavior of repro.analysis."""
 
 import json
+import re
 import subprocess
 import textwrap
 from pathlib import Path
@@ -10,7 +11,7 @@ import pytest
 from repro.analysis.baseline import Baseline, find_baseline_file
 from repro.analysis.cli import main
 from repro.analysis.engine import Finding, LintEngine
-from repro.analysis.rules import ALL_RULES, get_rules
+from repro.analysis.rules import ALL_RULES, get_rules, rules_for_passes
 from repro.exceptions import AnalysisError
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -260,6 +261,155 @@ def test_cli_changed_only_with_no_changes_is_clean(tmp_path, monkeypatch,
     assert "nothing to lint" in capsys.readouterr().err
 
 
+def git_seed(tmp_path, files):
+    """``git init`` + commit ``files``; skip the test if git is missing."""
+    env = {"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@example.com",
+           "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@example.com"}
+    try:
+        subprocess.run(["git", "init", "-q"], check=True, cwd=tmp_path)
+        for relpath, text in files.items():
+            write(tmp_path, relpath, text)
+        subprocess.run(["git", "add", "."], check=True, cwd=tmp_path)
+        subprocess.run(
+            ["git", "commit", "-qm", "seed"], check=True, cwd=tmp_path,
+            env={**__import__("os").environ, **env},
+        )
+    except (OSError, subprocess.CalledProcessError):
+        pytest.skip("git unavailable")
+
+
+def test_cli_changed_only_handles_renames_and_deletions(tmp_path,
+                                                        monkeypatch,
+                                                        capsys):
+    monkeypatch.chdir(tmp_path)
+    git_seed(tmp_path, {
+        "src/moved.py": "import os\n",
+        "src/doomed.py": "import sys\n",
+    })
+    # A rename leaves the old path in the diff but absent on disk; a
+    # plain deletion leaves only a missing path.  Neither may crash or
+    # produce findings against files that no longer exist.
+    subprocess.run(["git", "mv", "src/moved.py", "src/renamed.py"],
+                   check=True, cwd=tmp_path)
+    (tmp_path / "src" / "doomed.py").unlink()
+    write(tmp_path, "src/fresh.py", "import json\n")
+    code = main(["src", "--no-baseline", "--changed-only",
+                 "--format", "json"])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 1
+    paths = {f["path"] for f in document["findings"]}
+    assert paths == {"src/renamed.py", "src/fresh.py"}
+
+
+def test_cli_changed_only_disables_flow_passes_with_notice(tmp_path,
+                                                           monkeypatch,
+                                                           capsys):
+    monkeypatch.chdir(tmp_path)
+    git_seed(tmp_path, {"src/clean.py": "VALUE = 1\n"})
+    write(tmp_path, "src/dirty.py", "import json\n")
+    assert main(["src", "--no-baseline", "--changed-only"]) == 1
+    err = capsys.readouterr().err
+    assert "disables the whole-program flow passes" in err
+    assert "lock-order" in err
+
+
+# ----------------------------------------------------------------------
+# --prune-baseline
+# ----------------------------------------------------------------------
+def prunable_baseline(tmp_path):
+    """A baseline with one live entry, one stale one, and a comment."""
+    write(tmp_path, "pkg/mod.py", "import os\n")
+    baseline_path = tmp_path / ".lint-baseline.json"
+    baseline_path.write_text(json.dumps({
+        "comment": "tracked debt",
+        "entries": [
+            {"rule": "unused-import", "path": "pkg/mod.py",
+             "message": "'os' is imported but never used",
+             "reason": "doctest needs it"},
+            {"rule": "unused-import", "path": "pkg/gone.py",
+             "message": "'sys' is imported but never used",
+             "reason": "obsolete"},
+        ],
+    }, indent=2))
+    return baseline_path
+
+
+def test_cli_prune_baseline_drops_stale_preserves_rest(tmp_path,
+                                                       monkeypatch,
+                                                       capsys):
+    monkeypatch.chdir(tmp_path)
+    baseline_path = prunable_baseline(tmp_path)
+    assert main(["pkg", "--prune-baseline"]) == 0
+    assert "dropping" in capsys.readouterr().out
+    document = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert document["comment"] == "tracked debt"
+    assert [entry["path"] for entry in document["entries"]] == ["pkg/mod.py"]
+    assert document["entries"][0]["reason"] == "doctest needs it"
+
+
+def test_cli_prune_baseline_dry_run_leaves_file_untouched(tmp_path,
+                                                          monkeypatch,
+                                                          capsys):
+    monkeypatch.chdir(tmp_path)
+    baseline_path = prunable_baseline(tmp_path)
+    before = baseline_path.read_text(encoding="utf-8")
+    assert main(["pkg", "--prune-baseline", "--dry-run"]) == 0
+    assert "would drop" in capsys.readouterr().out
+    assert baseline_path.read_text(encoding="utf-8") == before
+
+
+def test_cli_prune_baseline_reports_tight_baseline(tmp_path, monkeypatch,
+                                                   capsys):
+    monkeypatch.chdir(tmp_path)
+    baseline_path = prunable_baseline(tmp_path)
+    document = json.loads(baseline_path.read_text(encoding="utf-8"))
+    document["entries"] = document["entries"][:1]  # only the live entry
+    baseline_path.write_text(json.dumps(document, indent=2))
+    assert main(["pkg", "--prune-baseline"]) == 0
+    assert "is tight" in capsys.readouterr().out
+
+
+def test_cli_prune_baseline_rejects_changed_only(tmp_path, capsys):
+    assert main([str(tmp_path), "--prune-baseline", "--changed-only"]) == 2
+    assert "--prune-baseline needs a full run" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Parse cache and --jobs
+# ----------------------------------------------------------------------
+def test_parse_cache_reuses_until_file_changes(tmp_path):
+    from repro.analysis.engine import load_source
+
+    path = write(tmp_path, "mod.py", "x = 1\n")
+    first = load_source(path, "mod.py")
+    assert load_source(path, "mod.py") is first
+    path.write_text("x = 1\ny = 2\n", encoding="utf-8")
+    reparsed = load_source(path, "mod.py")
+    assert reparsed is not first
+    assert "y = 2" in reparsed.text
+
+
+def test_cli_jobs_output_matches_serial(tmp_path, capsys):
+    for index in range(6):
+        write(tmp_path, f"pkg/mod{index}.py", "import os\nimport json\n")
+
+    def run_with(jobs):
+        code = main([str(tmp_path / "pkg"), "--no-baseline",
+                     "--jobs", jobs, "--format", "json"])
+        document = json.loads(capsys.readouterr().out)
+        del document["elapsed_seconds"]
+        return code, document
+
+    assert run_with("1") == run_with("4")
+
+
+def test_cli_reports_elapsed_time(tmp_path, capsys):
+    path = write(tmp_path, "clean.py", "VALUE = 1\n")
+    assert main([str(path), "--no-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert re.search(r"\d+\.\d\ds", out)
+
+
 def test_thetis_lint_subcommand_is_wired(tmp_path, capsys):
     from repro.cli import build_parser
 
@@ -297,6 +447,39 @@ def test_pragma_on_def_line_covers_the_whole_body(tmp_path):
         "        return self._data") + 1
 
 
+def test_pragma_on_decorator_line_covers_decorated_def(tmp_path):
+    # A decorated def starts at the decorator line; the pragma must
+    # anchor there (or on the def line) and still cover the whole body.
+    path = write(tmp_path, "mod.py", """\
+        import threading
+
+        def traced(fn):
+            return fn
+
+        class Holder:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = []  # guarded-by: _lock
+
+            @traced  # lint: disable=guarded-attr-outside-lock
+            def unsafe(self):
+                return self._data
+
+            @traced
+            def on_def_line(self):  # lint: disable=guarded-attr-outside-lock
+                return self._data
+
+            @traced
+            def still_flagged(self):
+                return self._data
+        """)
+    report = LintEngine(get_rules(["guarded-attr-outside-lock"])).run([path])
+    assert len(report.findings) == 1
+    flagged_line = path.read_text().splitlines()[report.findings[0].line - 1]
+    assert "return self._data" in flagged_line
+    assert report.findings[0].line > 18  # the undecorated pragma-free def
+
+
 def test_disable_file_pragma_covers_every_line(tmp_path):
     path = write(tmp_path, "mod.py", """\
         # lint: disable-file=unused-import
@@ -313,7 +496,10 @@ def test_disable_file_pragma_covers_every_line(tmp_path):
 def test_shipped_tree_is_clean_with_shipped_baseline(monkeypatch):
     monkeypatch.chdir(REPO_ROOT)
     baseline = Baseline.load(REPO_ROOT / ".lint-baseline.json")
-    engine = LintEngine(ALL_RULES, baseline=baseline)
+    # The default (flow-enabled) pass set: the lexical guarded-attr
+    # rule alone would flag the helpers whose def-line pragmas were
+    # retired once the flow pass started proving them held-under-lock.
+    engine = LintEngine(rules_for_passes("all"), baseline=baseline)
     report = engine.run([REPO_ROOT / "src" / "repro"])
     assert report.findings == [], "\n".join(
         finding.format_text() for finding in report.findings

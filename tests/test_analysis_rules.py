@@ -32,9 +32,14 @@ def rule_ids(findings):
 # Rule catalog sanity
 # ----------------------------------------------------------------------
 def test_catalog_is_well_formed():
+    from repro.analysis.rules import flow_rules
+
     registry = rules_by_id()
-    assert len(registry) == len(ALL_RULES)
-    for rule in ALL_RULES:
+    # The flow pack contributes the ids only it defines (lock-order,
+    # wire-taint, dtype-flow); the lexical pack keeps every one of its
+    # own, including guarded-attr-outside-lock.
+    assert len(registry) == len(ALL_RULES) + len(flow_rules())
+    for rule in ALL_RULES + flow_rules():
         assert rule.id
         assert rule.severity in ("info", "warning", "error")
         assert rule.description

@@ -237,3 +237,62 @@ class TestHashRing:
 
     def test_default_vnodes(self):
         assert DEFAULT_VNODES == 64
+
+
+class TestFieldValidators:
+    """The wire-boundary sanitizers the handlers route frames through."""
+
+    def test_expect_epoch_accepts_non_negative_int(self):
+        from repro.cluster.protocol import expect_epoch
+
+        assert expect_epoch({"epoch": 0}) == 0
+        assert expect_epoch({"gen": 7}, "gen") == 7
+        for bad in ({}, {"epoch": -1}, {"epoch": "3"}, {"epoch": True},
+                    {"epoch": 2.0}):
+            with pytest.raises(ClusterProtocolError):
+                expect_epoch(bad)
+
+    def test_expect_worker_id_requires_non_empty_string(self):
+        from repro.cluster.protocol import expect_worker_id
+
+        assert expect_worker_id({"worker_id": "w-1"}) == "w-1"
+        assert expect_worker_id({"owner": "w-2"}, "owner") == "w-2"
+        for bad in ({}, {"worker_id": ""}, {"worker_id": 3}):
+            with pytest.raises(ClusterProtocolError):
+                expect_worker_id(bad)
+
+    def test_expect_worker_ids_dedupes_and_orders(self):
+        from repro.cluster.protocol import expect_worker_ids
+
+        assert expect_worker_ids(
+            {"live": ["b", "a", "b"]}, "live"
+        ) == ("b", "a")
+        with pytest.raises(ClusterProtocolError):
+            expect_worker_ids({"live": "not-a-list"}, "live")
+
+    def test_expect_endpoint_bounds_the_port(self):
+        from repro.cluster.protocol import expect_endpoint
+
+        assert expect_endpoint(
+            {"host": "127.0.0.1", "port": 8080}
+        ) == ("127.0.0.1", 8080)
+        for bad in ({"host": "", "port": 80},
+                    {"host": "h", "port": 0},
+                    {"host": "h", "port": 65536},
+                    {"host": "h", "port": True},
+                    {"host": "h", "port": "80"}):
+            with pytest.raises(ClusterProtocolError):
+                expect_endpoint(bad)
+
+    def test_expect_segment_path_rejects_traversal_and_nul(self):
+        from repro.cluster.protocol import expect_segment_path
+
+        assert expect_segment_path(
+            {"path": "/var/segments/seg-3"}
+        ) == "/var/segments/seg-3"
+        for bad in ({}, {"path": ""}, {"path": 7},
+                    {"path": "/var/\x00/seg"},
+                    {"path": "/var/../etc/passwd"},
+                    {"path": "..\\..\\secrets"}):
+            with pytest.raises(ClusterProtocolError):
+                expect_segment_path(bad)

@@ -208,3 +208,44 @@ class TestResponseCodec:
     def test_error_envelope(self):
         assert error_to_json("boom", 503) == {"error": "boom",
                                               "status": 503}
+
+
+class TestParseTableId:
+    """The chokepoint every external table id passes through."""
+
+    def test_accepts_ordinary_ids(self):
+        from repro.serve.protocol import parse_table_id
+
+        assert parse_table_id("T001") == "T001"
+        assert parse_table_id("lake/table-42.csv") == "lake/table-42.csv"
+
+    def test_rejects_non_strings_and_empty(self):
+        from repro.serve.protocol import parse_table_id
+
+        for bad in (None, 3, "", ["T1"]):
+            with pytest.raises(ProtocolError):
+                parse_table_id(bad)
+
+    def test_rejects_control_characters_and_oversize(self):
+        from repro.serve.protocol import MAX_TABLE_ID_LENGTH, parse_table_id
+
+        for bad in ("a\nb", "a\x00b", "a\x7fb", "x" * (MAX_TABLE_ID_LENGTH + 1)):
+            with pytest.raises(ProtocolError):
+                parse_table_id(bad)
+
+    def test_error_names_the_field(self):
+        from repro.serve.protocol import parse_table_id
+
+        with pytest.raises(ProtocolError, match="table.id"):
+            parse_table_id("", name="table.id")
+
+    def test_from_json_routes_through_parse_table_id(self):
+        with pytest.raises(ProtocolError, match="table_id"):
+            ExplainRequest.from_json({
+                "tuples": [["kg:a"]], "table_id": "bad\x01id",
+            })
+        with pytest.raises(ProtocolError, match="table.id"):
+            TableUpsertRequest.from_json({
+                "table": {"id": "x\x00y", "attributes": ["a"],
+                          "rows": [["kg:a"]]},
+            })
