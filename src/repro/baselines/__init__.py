@@ -1,10 +1,15 @@
 """Comparison systems: BM25, TURL-like, union search, join search."""
 
 from repro.baselines.bm25 import BM25TableSearch, text_query_from_labels
-from repro.baselines.join_search import JoinTableSearch
+from repro.baselines.join_search import (
+    JOIN_MODES,
+    JoinTableSearch,
+    normalize_cell,
+    query_value_sets,
+)
 from repro.baselines.metadata_search import MetadataKeywordSearch
 from repro.baselines.turl_like import TurlLikeTableSearch
-from repro.baselines.union_search import UnionTableSearch
+from repro.baselines.union_search import UnionTableSearch, dominant_types
 
 __all__ = [
     "BM25TableSearch",
@@ -12,5 +17,9 @@ __all__ = [
     "TurlLikeTableSearch",
     "UnionTableSearch",
     "JoinTableSearch",
+    "JOIN_MODES",
     "MetadataKeywordSearch",
+    "dominant_types",
+    "normalize_cell",
+    "query_value_sets",
 ]

@@ -7,86 +7,175 @@ that ranking principle (max per-column containment/Jaccard over string
 value sets) and, like the original systems, returns nothing for queries
 whose values never co-occur with a table's values; Section 7.2 reports
 essentially zero NDCG for this family on semantic table search.
+
+The cell canonicalization lives in :func:`normalize_cell` and is shared
+with the vectorized engine (:mod:`repro.core.kernel.join`) so both paths
+intern identical value sets.
 """
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.query import Query
 from repro.core.result import ResultSet, ScoredTable
 from repro.datalake.lake import DataLake
+from repro.exceptions import ConfigurationError
 from repro.kg.graph import KnowledgeGraph
 
+JOIN_MODES = ("containment", "jaccard")
 
-def _normalize(value: object) -> Optional[str]:
+
+def normalize_cell(value: object, fold_numeric: bool = False) -> Optional[str]:
+    """Canonical string form of a cell value, or ``None`` for blanks.
+
+    With ``fold_numeric`` numeric strings are folded onto one
+    representative (``"1"``, ``"1.0"`` and ``1`` all intern to ``"1"``),
+    so joins across differently formatted numeric columns line up.  The
+    flag is opt-in: the default keeps the historical byte-level behavior
+    where ``"1.0"`` and ``"1"`` are distinct values.
+    """
     if value is None:
         return None
     text = str(value).strip().lower()
-    return text or None
+    if not text:
+        return None
+    if fold_numeric:
+        try:
+            number = float(text)
+        except ValueError:
+            return text
+        if not math.isfinite(number):
+            return text
+        if number == int(number):
+            return str(int(number))
+        return repr(number)
+    return text
+
+
+def query_value_sets(
+    query: Query,
+    graph: KnowledgeGraph,
+    fold_numeric: bool = False,
+) -> List[FrozenSet[str]]:
+    """One value set per query column, using entity labels as values."""
+    width = query.max_width()
+    columns: List[Set[str]] = [set() for _ in range(width)]
+    for entity_tuple in query:
+        for position, uri in enumerate(entity_tuple):
+            entity = graph.find(uri)
+            label = normalize_cell(
+                entity.label if entity else uri, fold_numeric
+            )
+            if label is not None:
+                columns[position].add(label)
+    return [frozenset(c) for c in columns]
 
 
 class JoinTableSearch:
     """Value-overlap joinability ranking.
 
     Columns are represented as normalized string value sets; the score
-    of a table is the best containment of any query column inside any
-    table column (the JOSIE/D3L joinability signal).
+    of a table is the best overlap of any query column with any table
+    column — containment (the JOSIE/D3L joinability signal) by default,
+    or set Jaccard with ``mode="jaccard"``.
+
+    The postings index over the lake is built lazily on the first
+    search and reused across queries; :attr:`index_builds` counts how
+    many times it was (re)built.
     """
 
-    def __init__(self, lake: DataLake):
+    def __init__(
+        self,
+        lake: DataLake,
+        mode: str = "containment",
+        fold_numeric: bool = False,
+    ):
+        if mode not in JOIN_MODES:
+            raise ConfigurationError(f"unknown join mode: {mode!r}")
         self.lake = lake
-        # Column value sets plus a posting list value -> (table, column).
-        self._columns: Dict[Tuple[str, int], FrozenSet[str]] = {}
-        self._postings: Dict[str, Set[Tuple[str, int]]] = defaultdict(set)
-        for table in lake:
+        self.mode = mode
+        self.fold_numeric = fold_numeric
+        # Column value sets plus a posting list value -> (table, column),
+        # built on first use (eval harnesses construct this class even
+        # when they end up scoring only a handful of queries).
+        self._columns: Optional[Dict[Tuple[str, int], FrozenSet[str]]] = None
+        self._postings: Optional[Dict[str, Set[Tuple[str, int]]]] = None
+        self.index_builds = 0
+
+    # ------------------------------------------------------------------
+    def _build_index(self) -> None:
+        columns: Dict[Tuple[str, int], FrozenSet[str]] = {}
+        postings: Dict[str, Set[Tuple[str, int]]] = defaultdict(set)
+        for table in self.lake:
             for column in range(table.num_columns):
                 values = frozenset(
                     v
-                    for v in (_normalize(cell) for cell in table.column(column))
+                    for v in (
+                        normalize_cell(cell, self.fold_numeric)
+                        for cell in table.column(column)
+                    )
                     if v is not None
                 )
                 if not values:
                     continue
                 key = (table.table_id, column)
-                self._columns[key] = values
+                columns[key] = values
                 for value in values:
-                    self._postings[value].add(key)
+                    postings[value].add(key)
+        self._columns = columns
+        self._postings = postings
+        self.index_builds += 1
 
-    def query_value_sets(self, query: Query, graph: KnowledgeGraph) -> List[FrozenSet[str]]:
+    def _index(self) -> Tuple[
+        Dict[Tuple[str, int], FrozenSet[str]],
+        Dict[str, Set[Tuple[str, int]]],
+    ]:
+        if self._columns is None or self._postings is None:
+            self._build_index()
+        return self._columns, self._postings
+
+    def invalidate(self) -> None:
+        """Drop the postings index; the next search rebuilds it."""
+        self._columns = None
+        self._postings = None
+
+    def query_value_sets(
+        self, query: Query, graph: KnowledgeGraph
+    ) -> List[FrozenSet[str]]:
         """One value set per query column, using entity labels as values."""
-        width = query.max_width()
-        columns: List[Set[str]] = [set() for _ in range(width)]
-        for entity_tuple in query:
-            for position, uri in enumerate(entity_tuple):
-                entity = graph.find(uri)
-                label = _normalize(entity.label if entity else uri)
-                if label is not None:
-                    columns[position].add(label)
-        return [frozenset(c) for c in columns]
+        return query_value_sets(query, graph, self.fold_numeric)
 
-    def joinability(self, query_column: FrozenSet[str], table_column: FrozenSet[str]) -> float:
-        """Containment of the query column in the table column."""
+    def joinability(
+        self, query_column: FrozenSet[str], table_column: FrozenSet[str]
+    ) -> float:
+        """Overlap of the query column with the table column."""
         if not query_column or not table_column:
             return 0.0
-        return len(query_column & table_column) / len(query_column)
+        intersection = len(query_column & table_column)
+        if self.mode == "jaccard":
+            union = len(query_column) + len(table_column) - intersection
+            return intersection / union
+        return intersection / len(query_column)
 
     def search(
         self, query: Query, graph: KnowledgeGraph, k: Optional[int] = None
     ) -> ResultSet:
-        """Rank tables by their best query-column containment."""
+        """Rank tables by their best query-column overlap."""
         query_columns = [c for c in self.query_value_sets(query, graph) if c]
         if not query_columns:
             return ResultSet([])
+        table_columns, postings = self._index()
         # Candidate generation through the value postings.
         candidates: Set[Tuple[str, int]] = set()
         for query_column in query_columns:
             for value in query_column:
-                candidates.update(self._postings.get(value, ()))
+                candidates.update(postings.get(value, ()))
         best: Dict[str, float] = defaultdict(float)
         for key in candidates:
-            table_column = self._columns[key]
+            table_column = table_columns[key]
             for query_column in query_columns:
                 score = self.joinability(query_column, table_column)
                 if score > best[key[0]]:

@@ -38,6 +38,27 @@ def _query_columns(query: Query) -> List[List[str]]:
     return columns
 
 
+def dominant_types(
+    graph: KnowledgeGraph, uris: Sequence[str]
+) -> FrozenSet[str]:
+    """SANTOS-like column concept: the dominant types of the column.
+
+    Types carried by at least half the column's linked entities are
+    kept, approximating SANTOS's majority-vote column annotation.
+    Shared with the vectorized engine (:mod:`repro.core.kernel.union`)
+    so both paths encode identical column concepts.
+    """
+    if not uris:
+        return frozenset()
+    counts: Counter = Counter()
+    for uri in uris:
+        entity = graph.find(uri)
+        if entity is not None:
+            counts.update(entity.types)
+    threshold = len(uris) / 2.0
+    return frozenset(t for t, c in counts.items() if c >= threshold)
+
+
 class UnionTableSearch:
     """Structural union-search ranking over a semantic data lake.
 
@@ -95,20 +116,8 @@ class UnionTableSearch:
 
     # ------------------------------------------------------------------
     def _types_of_column(self, uris: Sequence[str]) -> FrozenSet[str]:
-        """SANTOS-like column concept: the dominant types of the column.
-
-        Types carried by at least half the column's linked entities are
-        kept, approximating SANTOS's majority-vote column annotation.
-        """
-        if not uris:
-            return frozenset()
-        counts: Counter = Counter()
-        for uri in uris:
-            entity = self.graph.find(uri)
-            if entity is not None:
-                counts.update(entity.types)
-        threshold = len(uris) / 2.0
-        return frozenset(t for t, c in counts.items() if c >= threshold)
+        """Dominant semantic types of a column (see :func:`dominant_types`)."""
+        return dominant_types(self.graph, uris)
 
     def _column_similarity_matrix(
         self, query: Query, table_id: str

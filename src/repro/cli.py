@@ -175,7 +175,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         query = _parse_tuples(args.tuple)
         results = thetis.search(
             query, k=args.k, method=args.method, use_lsh=args.lsh,
-            votes=args.votes, mode=args.mode,
+            votes=args.votes, mode=args.mode, task=args.task,
         )
         for rank, scored in enumerate(results, start=1):
             caption = lake.get(scored.table_id).metadata.get("caption", "")
@@ -630,6 +630,13 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--lsh", action="store_true",
                         help="enable LSH prefiltering")
     search.add_argument("--votes", type=int, default=1)
+    search.add_argument("--task", choices=["entity", "union", "join"],
+                        default="entity",
+                        help="search workload: 'entity' ranks by "
+                             "entity-tuple relevance (the default), "
+                             "'union' by attribute unionability, 'join' "
+                             "by joinable-column overlap — union and "
+                             "join run on the vectorized corpus kernels")
     search.add_argument("--mode", choices=["exact", "prefilter"],
                         default="exact",
                         help="retrieval mode: 'exact' scores every table, "

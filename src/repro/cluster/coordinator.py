@@ -429,7 +429,7 @@ class ClusterCoordinator:
                         for key in (
                             "epoch", "tables_total", "searches_total",
                             "uptime_seconds", "profile", "prefilter",
-                            "batch",
+                            "batch", "tasks",
                         )
                     }
                     if current.state == "dead":
@@ -629,7 +629,7 @@ class ClusterCoordinator:
     ) -> List[Any]:
         """Execute one coalesced micro-batch of ``/search`` requests.
 
-        Jobs sharing ``(mode, method, k, use_lsh, votes)`` ride one
+        Jobs sharing ``(task, mode, method, k, use_lsh, votes)`` ride one
         batched scatter: a single ``search_batch`` frame per shard, so
         every worker scores its whole shard for all queries of the
         group in one fused kernel pass.  Outcomes are per-request
@@ -666,6 +666,7 @@ class ClusterCoordinator:
         bit-identical to a solo scatter of that query.
         """
         first = group[0]
+        self.metrics.note_task(first.task, len(group))
         async with self._topology_lock:
             epoch = self._epoch
             live = tuple(
@@ -696,6 +697,7 @@ class ClusterCoordinator:
             "method": first.method,
             "votes": first.votes,
             "mode": wire_mode,
+            "task": first.task,
         }
         replies = await self._scatter(
             links, dict(base, live=list(live)), live

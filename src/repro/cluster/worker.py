@@ -111,6 +111,9 @@ class ClusterWorker:
         self._writers: Set[asyncio.StreamWriter] = set()
         self._started_at = 0.0
         self._searches_total = 0
+        # Per-task query tallies ("entity" | "union" | "join"), folded
+        # into the coordinator's fleet metrics via the pong.
+        self._task_counts: Dict[str, int] = {}
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -291,6 +294,7 @@ class ClusterWorker:
             "profile": self._profile_dict(),
             "prefilter": self.thetis.prefilter_stats.as_dict(),
             "batch": self.thetis.batch_stats.as_dict(),
+            "tasks": dict(sorted(self._task_counts.items())),
         }
 
     def _profile_dict(self) -> Dict[str, Any]:
@@ -341,6 +345,7 @@ class ClusterWorker:
                 "method": message.get("method", "types"),
                 "votes": message.get("votes", 1),
                 "mode": message.get("mode", "exact"),
+                "task": message.get("task", "entity"),
             },
             mode="search",
         )
@@ -361,12 +366,16 @@ class ClusterWorker:
                         "prefilter" if request.mode == "prefilter"
                         else "exact"
                     ),
+                    task=request.task,
                 ),
             )
             pairs = [[scored.score, scored.table_id] for scored in results]
         else:
             pairs = []
         self._searches_total += 1
+        self._task_counts[request.task] = (
+            self._task_counts.get(request.task, 0) + 1
+        )
         return {
             "ok": True,
             "type": "result",
@@ -409,6 +418,7 @@ class ClusterWorker:
                     "method": message.get("method", "types"),
                     "votes": message.get("votes", 1),
                     "mode": message.get("mode", "exact"),
+                    "task": message.get("task", "entity"),
                 },
                 mode="search",
             )
@@ -432,6 +442,7 @@ class ClusterWorker:
                         "prefilter" if first.mode == "prefilter"
                         else "exact"
                     ),
+                    task=first.task,
                 ),
             )
             per_query = [
@@ -441,6 +452,9 @@ class ClusterWorker:
         else:
             per_query = [[] for _ in queries]
         self._searches_total += len(queries)
+        self._task_counts[first.task] = (
+            self._task_counts.get(first.task, 0) + len(queries)
+        )
         return {
             "ok": True,
             "type": "result_batch",

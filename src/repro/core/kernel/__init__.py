@@ -29,6 +29,11 @@ from repro.core.kernel.index import (
     TableView,
     compile_kernel,
 )
+from repro.core.kernel.join import (
+    JoinCorpusIndex,
+    VectorizedJoinSearchEngine,
+    compile_join_index,
+)
 from repro.core.kernel.prefilter import PrefilterStats
 from repro.core.kernel.segments import (
     SegmentedCorpusIndex,
@@ -39,19 +44,32 @@ from repro.core.kernel.storage import (
     load_index,
     save_index,
 )
+from repro.core.kernel.union import (
+    UNION_ENCODERS,
+    UnionCorpusIndex,
+    VectorizedUnionSearchEngine,
+    compile_union_index,
+)
 
 __all__ = [
     "ENGINE_KINDS",
     "BatchStats",
     "CorpusIndex",
     "DEFAULT_ROW_CACHE_SIZE",
+    "JoinCorpusIndex",
     "PrefilterStats",
     "SegmentedCorpusIndex",
     "SegmentedIndexStats",
     "SimilarityKernel",
     "TableView",
+    "UNION_ENCODERS",
+    "UnionCorpusIndex",
+    "VectorizedJoinSearchEngine",
     "VectorizedTableSearchEngine",
+    "VectorizedUnionSearchEngine",
     "compile_kernel",
+    "compile_join_index",
+    "compile_union_index",
     "engine_class",
     "inspect_index",
     "load_index",

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
+import numpy as np
+
 
 @dataclass(frozen=True, order=True)
 class ScoredTable:
@@ -42,6 +44,34 @@ class ResultSet:
     def from_scores(cls, scores: Dict[str, float]) -> "ResultSet":
         """Build from a ``table_id -> score`` dictionary."""
         return cls(ScoredTable(score, tid) for tid, score in scores.items())
+
+    @classmethod
+    def from_arrays(
+        cls,
+        scores: np.ndarray,
+        table_ids: np.ndarray,
+        k: Optional[int] = None,
+    ) -> "ResultSet":
+        """Rank positive entries of parallel arrays, numpy-side.
+
+        ``scores[i]`` pairs with ``table_ids[i]``; non-positive scores
+        are dropped, matching every engine's "no overlap, no result"
+        contract.  Sorting by ``(-score, table_id)`` with ``lexsort``
+        reproduces the constructor's Python sort exactly, and with
+        ``k`` only the winners are materialized as
+        :class:`ScoredTable` objects — bit-identical to building the
+        full set and calling :meth:`top`, without the per-loser object
+        and comparison cost.
+        """
+        hits = np.nonzero(scores > 0.0)[0]
+        order = np.lexsort((table_ids[hits], -scores[hits]))
+        if k is not None:
+            order = order[: max(0, k)]
+        winners = hits[order]
+        return cls(
+            ScoredTable(float(scores[i]), str(table_ids[i]))
+            for i in winners
+        )
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -40,6 +40,10 @@ from repro.serve.metrics import percentile_of
 #: ``"mode"`` body field of ``POST /search``).
 SEARCH_MODES = ("exact", "prefilter")
 
+#: Search tasks the generator can stamp onto payloads (the ``"task"``
+#: body field of ``POST /search``).
+SEARCH_TASKS = ("entity", "union", "join")
+
 
 @dataclass
 class LoadReport:
@@ -115,6 +119,7 @@ class LoadGenerator:
         path: str = "/search",
         timeout: float = 30.0,
         search_mode: Optional[str] = None,
+        task: Optional[str] = None,
     ):
         if not payloads:
             raise ValueError("need at least one payload")
@@ -123,14 +128,21 @@ class LoadGenerator:
                 f"search_mode must be one of {SEARCH_MODES}, "
                 f"got {search_mode!r}"
             )
+        if task is not None and task not in SEARCH_TASKS:
+            raise ValueError(
+                f"task must be one of {SEARCH_TASKS}, got {task!r}"
+            )
         self.host = host
         self.port = port
         self.path = path
         if search_mode is not None:
             payloads = [dict(p, mode=search_mode) for p in payloads]
+        if task is not None:
+            payloads = [dict(p, task=task) for p in payloads]
         self.payloads = [json.dumps(p).encode("utf-8") for p in payloads]
         self.timeout = timeout
         self.search_mode = search_mode
+        self.task = task
 
     # ------------------------------------------------------------------
     def _one_request(self, connection: http.client.HTTPConnection,
@@ -270,6 +282,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--loop", choices=["closed", "open"],
                         default="closed",
                         help="load model: closed or open loop")
+    parser.add_argument("--task", choices=list(SEARCH_TASKS), default=None,
+                        help="stamp this search task onto every payload "
+                             "(entity, union, or join engine dispatch)")
     parser.add_argument("--mode", choices=list(SEARCH_MODES), default=None,
                         help="stamp this search mode onto every payload "
                              "(exact or prefilter)")
@@ -294,7 +309,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     payloads = loaded if isinstance(loaded, list) else [loaded]
     generator = LoadGenerator(
         args.host, args.port, payloads, path=args.path,
-        timeout=args.timeout, search_mode=args.mode,
+        timeout=args.timeout, search_mode=args.mode, task=args.task,
     )
     if args.loop == "closed":
         report = generator.run_closed(

@@ -121,6 +121,9 @@ class ServerMetrics:
         self._batch_occupancy: Dict[int, int] = {}  # guarded-by: _lock
         self.snapshot_swaps_total = 0  # guarded-by: _lock
         self._latency: Dict[str, LatencyHistogram] = {}  # guarded-by: _lock
+        # Per-task query tallies of the /search dispatch: task name
+        # ("entity" | "union" | "join") -> queries routed to it.
+        self._tasks: Dict[str, int] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     def request_started(self) -> None:
@@ -159,6 +162,15 @@ class ServerMetrics:
             self._batch_occupancy[size] = (
                 self._batch_occupancy.get(size, 0) + 1
             )
+
+    def note_task(self, task: str, queries: int) -> None:
+        """Tally ``queries`` dispatched to ``task``'s engine."""
+        with self._lock:
+            self._tasks[task] = self._tasks.get(task, 0) + int(queries)
+
+    def task_counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(sorted(self._tasks.items()))
 
     def snapshot_swapped(self) -> None:
         with self._lock:
@@ -212,6 +224,7 @@ class ServerMetrics:
                 )
             }
             histograms = sorted(self._latency.items())
+            tasks = dict(sorted(self._tasks.items()))
         payload: Dict[str, Any] = {
             "uptime_seconds": uptime_seconds,
             "requests_total": sum(requests.values()),
@@ -231,6 +244,11 @@ class ServerMetrics:
                 for endpoint, histogram in histograms
             },
         }
+        if tasks:
+            # Per-task dispatch tallies of the /search batch runner:
+            # how many queries each workload (entity/union/join)
+            # received since start-up.
+            payload["tasks"] = tasks
         if cache_stats is not None:
             payload["cache"] = {
                 name: {

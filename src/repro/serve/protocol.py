@@ -37,6 +37,11 @@ MODES = ("search", "topk", "prefilter")
 #: ``"exact"`` maps to the endpoint's plain ``"search"`` execution.
 WIRE_MODES = ("exact", "prefilter")
 
+#: Search workloads accepted on ``POST /search``: the paper's
+#: entity-tuple ranking (default), SANTOS-like union search, and
+#: D3L/JOSIE-like join search — all served by vectorized kernels.
+TASKS = ("entity", "union", "join")
+
 #: Upper bound on ``k`` accepted over the wire: a page of results, not
 #: a corpus dump — unbounded ``k`` would let one client monopolize a
 #: batch slot with serialization work.
@@ -160,6 +165,7 @@ class SearchRequest:
     mode: str = "search"
     use_lsh: bool = False
     votes: int = 1
+    task: str = "entity"
 
     @classmethod
     def from_json(cls, payload: Any, mode: str = "search") -> "SearchRequest":
@@ -169,13 +175,15 @@ class SearchRequest:
         ``"topk"``).  ``POST /search`` bodies may additionally carry a
         ``"mode"`` field choosing between ``"exact"`` (the default,
         mapped to plain ``"search"`` execution) and ``"prefilter"``
-        (LSH candidate generation + fused rescoring); the field is
-        rejected on other endpoints, where the path already fixes the
-        execution mode.
+        (LSH candidate generation + fused rescoring), and a ``"task"``
+        field routing the query to the entity, union, or join engine;
+        both fields are rejected on other endpoints, where the path
+        already fixes the execution.
         """
         payload = _expect_mapping(payload)
         _check_fields(
-            payload, ("tuples", "k", "method", "use_lsh", "votes", "mode")
+            payload,
+            ("tuples", "k", "method", "use_lsh", "votes", "mode", "task"),
         )
         if payload.get("mode") is not None:
             if mode != "search":
@@ -186,6 +194,21 @@ class SearchRequest:
                 payload, "mode", "exact", WIRE_MODES
             )
             mode = "search" if wire_mode == "exact" else "prefilter"
+        task = "entity"
+        if payload.get("task") is not None:
+            if mode not in ("search", "prefilter"):
+                raise ProtocolError(
+                    "'task' is only accepted on POST /search"
+                )
+            task = _parse_choice(payload, "task", "entity", TASKS)
+        if task != "entity" and (
+            mode == "prefilter" or _parse_bool(payload, "use_lsh", False)
+        ):
+            raise ProtocolError(
+                "LSH prefiltering applies to the entity task only: "
+                f"task {task!r} cannot combine with mode='prefilter' "
+                "or use_lsh"
+            )
         return cls(
             tuples=_parse_tuples(payload),
             k=_parse_int(payload, "k", 10, 1, MAX_K),
@@ -193,6 +216,7 @@ class SearchRequest:
             mode=mode if mode in MODES else "search",
             use_lsh=_parse_bool(payload, "use_lsh", False),
             votes=_parse_int(payload, "votes", 1, 1, 64),
+            task=task,
         )
 
     def query(self) -> Query:
@@ -202,9 +226,16 @@ class SearchRequest:
         except EmptyQueryError as exc:
             raise ProtocolError(str(exc)) from exc
 
-    def batch_key(self) -> Tuple[str, str, int, bool, int]:
-        """Requests sharing this key may run in one ``search_many`` call."""
-        return (self.mode, self.method, self.k, self.use_lsh, self.votes)
+    def batch_key(self) -> Tuple[str, str, str, int, bool, int]:
+        """Requests sharing this key may run in one ``search_many`` call.
+
+        The task is part of the key: entity, union, and join queries
+        never share a batch — they dispatch to different engines.
+        """
+        return (
+            self.task, self.mode, self.method, self.k,
+            self.use_lsh, self.votes,
+        )
 
 
 @dataclass(frozen=True)
@@ -312,6 +343,7 @@ def result_to_json(
         "k": request.k,
         "method": request.method,
         "mode": request.mode,
+        "task": request.task,
     }
     if snapshot_version is not None:
         payload["snapshot_version"] = snapshot_version

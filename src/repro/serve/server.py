@@ -446,11 +446,15 @@ class ThetisServer:
     def _run_batch_sync(self, jobs: List[_QueryJob]) -> List[Any]:
         """Execute one coalesced batch against the pinned snapshot.
 
-        Jobs sharing ``(mode, method, k, use_lsh, votes)`` run through
-        one ``search_many`` pass — with a vectorized engine that is a
-        single fused multi-query kernel pass over the corpus, in both
-        exact and prefilter mode; rankings are bit-identical to
+        Jobs sharing ``(task, mode, method, k, use_lsh, votes)`` run
+        through one ``search_many`` pass — with a vectorized engine
+        that is a single fused multi-query kernel pass over the corpus,
+        in both exact and prefilter mode; rankings are bit-identical to
         per-request ``Thetis.search`` calls (property-tested).
+        Non-entity tasks dispatch to the union/join kernels through the
+        same ``search_many`` entry point (their lane-stacked
+        ``search_batch``); the task splits the batch key, so entity,
+        union, and join jobs never share an engine pass.
         Prefilter-mode jobs generate their LSH shortlists per query
         (with every Nth one, ``prefilter_guardrail_every``,
         cross-checked against the exact ranking), then rescore all
@@ -464,9 +468,19 @@ class ThetisServer:
             for index, job in enumerate(jobs):
                 groups.setdefault(job.request.batch_key(), []).append(index)
             for key, indices in groups.items():
-                mode, method, k, use_lsh, votes = key
+                task, mode, method, k, use_lsh, votes = key
+                self.metrics.note_task(task, len(indices))
                 try:
-                    if mode == "topk":
+                    if task != "entity":
+                        results = thetis.search_many(
+                            {str(i): jobs[i].query for i in indices},
+                            k=k, method=method, task=task,
+                        )
+                        for index in indices:
+                            outcomes[index] = _QueryOutcome(
+                                results[str(index)], snapshot.version
+                            )
+                    elif mode == "topk":
                         for index in indices:
                             outcomes[index] = _QueryOutcome(
                                 thetis.search_topk(

@@ -46,6 +46,15 @@ from repro.similarity.types import TypeJaccardSimilarity
 #: only the shortlist (Section 6 + the fused kernel path).
 SEARCH_MODES = ("exact", "prefilter")
 
+#: Search workloads accepted by :meth:`Thetis.search`: ``"entity"`` is
+#: the paper's entity-tuple SemRel ranking, ``"union"`` the SANTOS-like
+#: / Starmie-like table-union ranking, ``"join"`` the D3L/JOSIE-like
+#: joinability ranking.  Union and join run on the vectorized kernels
+#: of :mod:`repro.core.kernel.union` / :mod:`repro.core.kernel.join`
+#: (scalar-baseline parity <= 1e-9) and are served through the same
+#: micro-batch, snapshot, and cluster scatter paths as ``"entity"``.
+SEARCH_TASKS = ("entity", "union", "join")
+
 
 class Thetis:
     """Semantic table search over a semantic data lake.
@@ -151,6 +160,9 @@ class Thetis:
         self._lock = threading.RLock()
         self._engines: Dict[str, TableSearchEngine] = {}  # guarded-by: _lock
         self._parallel: Dict[str, ParallelSearchEngine] = {}  # guarded-by: _lock
+        # Union/join task engines, keyed by ("union", encoder) or
+        # ("join",); built lazily like _engines.
+        self._task_engines: Dict[Tuple[str, ...], object] = {}  # guarded-by: _lock
         self._prefilters: Dict[
             Tuple[str, LSHConfig, bool], TablePrefilter
         ] = {}  # guarded-by: _lock
@@ -263,6 +275,88 @@ class Thetis:
                 self._parallel[method] = parallel
             return parallel
 
+    def union_engine(self, method: str = "types"):
+        """Return (and cache) the vectorized union engine for ``method``.
+
+        ``method`` selects the column encoder: ``"types"`` is the
+        SANTOS-like dominant-type encoding (requires the graph),
+        ``"embeddings"`` the Starmie-like mean column embedding
+        (requires an attached :class:`EmbeddingStore`).
+        """
+        from repro.core.kernel.union import VectorizedUnionSearchEngine
+
+        key = ("union", method)
+        # Intentionally racy read (double-checked locking, see engine()).
+        cached = self._task_engines.get(key)  # lint: disable=guarded-attr-outside-lock
+        if cached is not None:
+            return cached
+        with self._lock:
+            self._check_open("union_engine")
+            cached = self._task_engines.get(key)
+            if cached is not None:
+                return cached
+            if method == "embeddings":
+                if self.embeddings is None:
+                    raise ConfigurationError(
+                        "no embeddings attached; call train_embeddings() "
+                        "or pass an EmbeddingStore"
+                    )
+                engine = VectorizedUnionSearchEngine(
+                    self.lake, self.mapping,
+                    store=self.embeddings, column_encoder="embeddings",
+                )
+            elif method == "types":
+                engine = VectorizedUnionSearchEngine(
+                    self.lake, self.mapping,
+                    graph=self.graph, column_encoder="types",
+                )
+            else:
+                raise ConfigurationError(
+                    f"unknown method {method!r}: use 'types' or 'embeddings'"
+                )
+            self._task_engines[key] = engine
+            return engine
+
+    def join_engine(self):
+        """Return (and cache) the vectorized join engine.
+
+        Joinability is a syntactic value-overlap signal; the ``method``
+        dimension of the entity/union tasks does not apply.
+        """
+        from repro.core.kernel.join import VectorizedJoinSearchEngine
+
+        key = ("join",)
+        # Intentionally racy read (double-checked locking, see engine()).
+        cached = self._task_engines.get(key)  # lint: disable=guarded-attr-outside-lock
+        if cached is not None:
+            return cached
+        with self._lock:
+            self._check_open("join_engine")
+            cached = self._task_engines.get(key)
+            if cached is not None:
+                return cached
+            engine = VectorizedJoinSearchEngine(self.lake, self.graph)
+            self._task_engines[key] = engine
+            return engine
+
+    def _task_engine(self, task: str, method: str):
+        """The engine serving a non-entity ``task``."""
+        if task == "union":
+            return self.union_engine(method)
+        return self.join_engine()
+
+    def _check_task(self, task: str, mode: str, use_lsh: bool = False) -> None:
+        if task not in SEARCH_TASKS:
+            raise ConfigurationError(
+                f"unknown search task {task!r}: use one of {SEARCH_TASKS}"
+            )
+        if task != "entity" and (mode == "prefilter" or use_lsh):
+            raise ConfigurationError(
+                "LSH prefiltering applies to the entity task only: "
+                f"task {task!r} cannot combine with mode='prefilter' "
+                "or use_lsh"
+            )
+
     def cache_stats(self, method: str = "types") -> Dict[str, CacheStats]:
         """Cache statistics of the engine serving ``method``."""
         return self.engine(method).cache_stats()
@@ -272,10 +366,17 @@ class Thetis:
 
         A serving layer calls this during start-up so its readiness
         probe only flips once the first query would hit warm caches.
-        Returns the number of tables warmed.
+        Also recompiles any already-constructed union/join task
+        engines, so a snapshot swap rebuilds their indexes off the
+        request path.  Returns the number of tables warmed.
         """
         self._check_open("warm")
-        return self.engine(method).warm()
+        warmed = self.engine(method).warm()
+        with self._lock:
+            task_engines = list(self._task_engines.values())
+        for task_engine in task_engines:
+            task_engine.prepare()
+        return warmed
 
     def seed_engines_from(self, other: "Thetis") -> int:
         """Seed this instance's engines from another's warm state.
@@ -302,6 +403,19 @@ class Thetis:
                 continue
             engine.seed_views_from(source)
             seeded += 1
+        # Union/join task engines have no incremental index yet: the
+        # clone constructs matching (cold) engines so the warm() before
+        # the swap recompiles their indexes off the request path.
+        with other._lock:
+            task_keys = list(other._task_engines)
+        for key in task_keys:
+            try:
+                if key[0] == "union":
+                    self.union_engine(key[1])
+                else:
+                    self.join_engine()
+            except ConfigurationError:
+                continue
         # Serving counters continue across the swap: both generations
         # record into the same (thread-safe) stats objects.
         self.prefilter_stats = other.prefilter_stats
@@ -437,6 +551,8 @@ class Thetis:
         with self._lock:
             for engine in self._engines.values():
                 engine.invalidate_table(table.table_id)
+            for task_engine in self._task_engines.values():
+                task_engine.invalidate_table(table.table_id)
             for parallel in self._parallel.values():
                 parallel.reset_workers()
             for prefilter in self._prefilters.values():
@@ -452,6 +568,8 @@ class Thetis:
         with self._lock:
             for engine in self._engines.values():
                 engine.invalidate_table(table_id)
+            for task_engine in self._task_engines.values():
+                task_engine.invalidate_table(table_id)
             for parallel in self._parallel.values():
                 parallel.reset_workers()
             for prefilter in self._prefilters.values():
@@ -526,6 +644,7 @@ class Thetis:
         lsh_config: LSHConfig = RECOMMENDED_CONFIG,
         votes: int = 1,
         mode: str = "exact",
+        task: str = "entity",
     ) -> ResultSet:
         """Rank the lake's tables by SemRel against ``query``.
 
@@ -539,9 +658,18 @@ class Thetis:
         (``use_lsh`` is implied and ignored).  With ``workers > 1``
         (constructor) exact scoring is sharded across the worker
         pool — the ranking is identical either way.
+
+        ``task`` selects the workload (:data:`SEARCH_TASKS`):
+        ``"union"`` ranks by structural unionability, ``"join"`` by
+        value-overlap joinability; both run on the vectorized task
+        kernels at scalar-baseline parity.  Non-entity tasks are
+        exact-mode only.
         """
         self._check_open("search")
         self._check_mode(mode)
+        self._check_task(task, mode, use_lsh)
+        if task != "entity":
+            return self._task_engine(task, method).search(query, k=k)
         if mode == "prefilter":
             return self._search_prefiltered(
                 query, k, method, lsh_config, votes
@@ -565,6 +693,7 @@ class Thetis:
         lsh_config: LSHConfig = RECOMMENDED_CONFIG,
         votes: int = 1,
         mode: str = "exact",
+        task: str = "entity",
     ) -> Dict[str, ResultSet]:
         """Run a batch of queries; identical to per-query :meth:`search`.
 
@@ -577,11 +706,20 @@ class Thetis:
         then scores all shortlists in the same fused pass (selections
         are unioned for the shared gather and masked per query).
         Scalar engines keep the per-query loop; both outcomes are
-        tallied in :attr:`batch_stats`.
+        tallied in :attr:`batch_stats`.  Non-entity ``task`` batches
+        ride the task engines' lane-stacked ``search_batch``.
         """
         self._check_open("search_many")
         self._check_mode(mode)
+        self._check_task(task, mode, use_lsh)
         query_ids = list(queries.keys())
+        if task != "entity":
+            rankings = self._task_engine(task, method).search_batch(
+                [queries[query_id] for query_id in query_ids],
+                k=k,
+                batch_stats=self.batch_stats,
+            )
+            return dict(zip(query_ids, rankings))
         if mode == "prefilter":
             candidate_lists = [
                 self._prefilter_candidates(
@@ -649,6 +787,7 @@ class Thetis:
         lsh_config: LSHConfig = RECOMMENDED_CONFIG,
         votes: int = 1,
         mode: str = "exact",
+        task: str = "entity",
     ) -> ResultSet:
         """Score only the tables in ``shard``: one scatter-gather partial.
 
@@ -669,7 +808,12 @@ class Thetis:
         """
         self._check_open("search_shard")
         self._check_mode(mode)
+        self._check_task(task, mode)
         shard_ids = list(shard)
+        if task != "entity":
+            return self._task_engine(task, method).search(
+                query, k=k, candidates=shard_ids
+            )
         if mode == "prefilter":
             from repro.core.topk import topk_search
 
@@ -700,6 +844,7 @@ class Thetis:
         lsh_config: LSHConfig = RECOMMENDED_CONFIG,
         votes: int = 1,
         mode: str = "exact",
+        task: str = "entity",
     ) -> List[ResultSet]:
         """Score a scattered micro-batch against one shard in one pass.
 
@@ -717,10 +862,18 @@ class Thetis:
         """
         self._check_open("search_shard_batch")
         self._check_mode(mode)
+        self._check_task(task, mode)
         shard_ids = list(shard)
         batch_queries = list(queries)
         if not batch_queries:
             return []
+        if task != "entity":
+            return self._task_engine(task, method).search_batch(
+                batch_queries,
+                k=k,
+                candidates=[shard_ids] * len(batch_queries),
+                batch_stats=self.batch_stats,
+            )
         engine = self.engine(method)
         batch = getattr(engine, "search_batch", None)
         if mode == "prefilter":

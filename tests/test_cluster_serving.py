@@ -137,6 +137,29 @@ class TestParity:
         assert cluster["failed_workers"] == []
         assert cluster["hedged_retry"] is False
 
+    def test_union_and_join_tasks_are_bit_equal(
+        self, fleet, reference, queries
+    ):
+        """Task scatters merge shard partials into the exact ranking.
+
+        Every worker restricts the vectorized union/join engines to its
+        shard; ``merge_topk`` over the per-shard partials must equal a
+        single-process search of the same task.
+        """
+        for task in ("union", "join"):
+            for query in queries[:2]:
+                expected = [
+                    (s.score, s.table_id)
+                    for s in reference.search(query, k=K, task=task)
+                ]
+                status, body = post_search(
+                    fleet.port, dict(payload_of(query), task=task)
+                )
+                assert status == 200
+                assert body["task"] == task
+                assert body["degraded"] is False
+                assert ranking(body) == expected
+
     def test_bad_request_is_400(self, fleet):
         status, body = post_search(fleet.port, {"tuples": []})
         assert status == 400
